@@ -1,0 +1,66 @@
+// Ablation of the §2.2 cohesion guard (GroupingConfig::min_cohesion): how
+// the eviction threshold trades wire volume against semantic quality, on a
+// cohesive partitioning (node-cut) vs an incoherent one (random-cut).
+// This documents the design choice DESIGN.md §4 calls out: the guard is
+// what keeps low-cohesion partitionings from blurring unrelated nodes
+// into one semantics.
+#include "bench_util.hpp"
+
+#include "scgnn/core/analysis.hpp"
+#include "scgnn/core/semantic_aggregate.hpp"
+#include "scgnn/graph/bipartite.hpp"
+
+int main(int argc, char** argv) {
+    using namespace scgnn;
+    const auto opt = benchutil::parse_options(argc, argv);
+
+    std::printf("== Ablation: cohesion guard threshold (yelp-sim, pair 0->1, "
+                "k=20) ==\n");
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kYelpSim, opt.scale, opt.seed);
+    benchutil::print_dataset(d);
+
+    for (partition::PartitionAlgo algo :
+         {partition::PartitionAlgo::kNodeCut,
+          partition::PartitionAlgo::kRandomCut}) {
+        const auto parts =
+            partition::make_partitioning(algo, d.graph, 4, opt.seed);
+        const graph::Dbg dbg =
+            graph::extract_dbg(d.graph, parts.part_of, 0, 1);
+        if (dbg.num_edges() == 0) continue;
+
+        // Transported embeddings = the boundary nodes' real features.
+        tensor::Matrix h(dbg.num_src(), d.features.cols());
+        for (std::uint32_t i = 0; i < dbg.num_src(); ++i) {
+            const auto src = d.features.row(dbg.src_nodes[i]);
+            std::copy(src.begin(), src.end(), h.row(i).begin());
+        }
+
+        std::printf("%s partition:\n", partition::to_string(algo));
+        Table table({"min_cohesion", "groups", "wire rows", "compression",
+                     "approx error", "intra sim"});
+        for (double coh : {0.0, 0.1, 0.25, 0.5}) {
+            core::GroupingConfig gc;
+            gc.kmeans_k = 20;
+            gc.seed = opt.seed;
+            gc.min_cohesion = coh;
+            const core::Grouping g = core::build_grouping(dbg, gc);
+            const auto q = core::evaluate_grouping(dbg, g);
+            table.add_row(
+                {Table::num(coh, 2),
+                 Table::num(std::uint64_t{g.groups.size()}),
+                 Table::num(g.wire_rows(dbg)),
+                 Table::num(g.compression_ratio(dbg), 1) + "x",
+                 Table::num(core::approximation_error(dbg, g, h), 4),
+                 Table::num(q.mean_intra_similarity, 3)});
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+    std::printf(
+        "reading: raising the threshold evicts weakly-shared sources into "
+        "singleton groups — volume grows, approximation error falls. On the "
+        "cohesive node-cut the default 0.10 costs almost nothing; on the "
+        "incoherent random-cut the same threshold prunes the blurriest "
+        "fusions first.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation of the group-number hyper-parameter (§3.2 picking and §5.4's
+// statistics): sweeps k and reports compression rate and test accuracy,
+// with the EEP pick highlighted. Paper: averaged over the datasets,
+// compression rate decreases from 86.8% to 81.6% as groups go 2→20 (the
+// EEP) while accuracy gains ~0.13%; past the EEP the rate falls below 75%.
+#include "bench_util.hpp"
+
+#include "scgnn/core/elbow.hpp"
+#include "scgnn/graph/bipartite.hpp"
+
+int main(int argc, char** argv) {
+    using namespace scgnn;
+    const auto opt = benchutil::parse_options(argc, argv);
+
+    std::printf("== Ablation: group number k vs compression and accuracy "
+                "(node-cut, 4 partitions) ==\n");
+    for (graph::DatasetPreset preset :
+         {graph::DatasetPreset::kRedditSim, graph::DatasetPreset::kYelpSim}) {
+        const graph::Dataset d = graph::make_dataset(preset, opt.scale, opt.seed);
+        benchutil::print_dataset(d);
+        const auto parts = partition::make_partitioning(
+            partition::PartitionAlgo::kNodeCut, d.graph, 4, opt.seed);
+        const gnn::GnnConfig mc = benchutil::model_for(d);
+        dist::DistTrainConfig cfg = benchutil::train_cfg(opt);
+        cfg.record_epochs = false;
+
+        // Find the EEP on the largest plan for reference.
+        const dist::DistContext ctx(d, parts, cfg.norm);
+        std::uint32_t eep = 0;
+        {
+            const dist::PairPlan* biggest = nullptr;
+            for (const auto& plan : ctx.plans())
+                if (!biggest || plan.num_edges() > biggest->num_edges())
+                    biggest = &plan;
+            if (biggest) {
+                const auto cls = core::classify_sources(biggest->dbg);
+                std::vector<std::uint32_t> pool;
+                for (std::uint32_t u = 0; u < biggest->dbg.num_src(); ++u)
+                    if (cls[u] == graph::ConnectionType::kM2M)
+                        pool.push_back(u);
+                if (pool.size() >= 4) {
+                    core::ElbowConfig ec;
+                    ec.k_min = 2;
+                    ec.k_max = std::min<std::uint32_t>(
+                        32, static_cast<std::uint32_t>(pool.size()));
+                    ec.k_step = 2;
+                    ec.kmeans.seed = opt.seed;
+                    eep = core::find_eep_dbg(biggest->dbg, pool, ec).best_k;
+                }
+            }
+        }
+
+        Table table({"k", "wire rows", "volume vs vanilla", "test acc",
+                     "note"});
+        for (std::uint32_t k : {2u, 5u, 10u, 20u, 40u, 80u}) {
+            core::SemanticCompressorConfig sc;
+            sc.grouping.kmeans_k = k;
+            sc.grouping.seed = opt.seed;
+            core::SemanticCompressor comp(sc);
+            const auto r = train_distributed(d, parts, mc, cfg, comp);
+            const double vanilla_bytes = static_cast<double>(
+                ctx.vanilla_exchange_bytes(mc.hidden_dim));
+            const double ours_bytes = static_cast<double>(
+                comp.total_wire_rows() * mc.hidden_dim * sizeof(float));
+            std::string note;
+            if (eep != 0 && k <= eep && eep < 2 * k) note = "~EEP";
+            table.add_row({Table::num(std::uint64_t{k}),
+                           Table::num(comp.total_wire_rows()),
+                           Table::pct(ours_bytes / vanilla_bytes),
+                           Table::pct(r.test_accuracy), note});
+        }
+        std::printf("EEP on the largest plan: k=%u\n%s\n", eep,
+                    table.str().c_str());
+    }
+    std::printf("paper reference: compression rate decays slowly up to the "
+                "EEP and accelerates beyond it; accuracy gains from finer "
+                "groups are small (~0.13%%).\n");
+    return 0;
+}

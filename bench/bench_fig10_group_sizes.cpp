@@ -1,0 +1,60 @@
+// Reproduces Fig. 10: the distribution of semantic group sizes (edges per
+// group) and their means, per dataset. The paper reports means of 141:1
+// (Reddit), 689:1 (Yelp), 427:1 (Ogbn-products) and 46:1 (PubMed) at full
+// dataset scale; at reproduction scale the ordering and orders of magnitude
+// are the shape to check.
+#include "bench_util.hpp"
+
+#include "scgnn/common/stats.hpp"
+#include "scgnn/core/grouping.hpp"
+#include "scgnn/graph/bipartite.hpp"
+
+int main(int argc, char** argv) {
+    using namespace scgnn;
+    const auto opt = benchutil::parse_options(argc, argv);
+
+    std::printf("== Fig. 10: semantic group sizes (node-cut, 4 partitions, "
+                "k=20) ==\n");
+    Table table({"dataset", "groups", "mean size", "p50", "p90", "max",
+                 "grouped edges"});
+    for (graph::DatasetPreset preset : graph::all_presets()) {
+        const graph::Dataset d = graph::make_dataset(preset, opt.scale, opt.seed);
+        benchutil::print_dataset(d);
+        const auto parts = partition::make_partitioning(
+            partition::PartitionAlgo::kNodeCut, d.graph, 4, opt.seed);
+
+        std::vector<double> sizes;
+        std::uint64_t grouped_edges = 0;
+        core::GroupingConfig gc;
+        gc.kmeans_k = 20;
+        gc.seed = opt.seed;
+        for (const graph::Dbg& dbg :
+             graph::extract_all_dbgs(d.graph, parts.part_of, 4)) {
+            const core::Grouping g = core::build_grouping(dbg, gc);
+            for (const core::SemanticGroup& grp : g.groups) {
+                sizes.push_back(static_cast<double>(grp.edges));
+                grouped_edges += grp.edges;
+            }
+        }
+        if (sizes.empty()) continue;
+        RunningStat stat;
+        for (double s : sizes) stat.add(s);
+        table.add_row({d.name, Table::num(std::uint64_t{sizes.size()}),
+                       Table::num(stat.mean(), 1),
+                       Table::num(percentile(sizes, 0.5), 1),
+                       Table::num(percentile(sizes, 0.9), 1),
+                       Table::num(stat.max(), 0),
+                       Table::num(grouped_edges)});
+
+        // ASCII distribution (log-ish bins via clamped linear histogram).
+        Histogram h(0.0, stat.max() + 1.0, 12);
+        for (double s : sizes) h.add(s);
+        std::printf("%s group-size distribution:\n%s\n", d.name.c_str(),
+                    h.ascii(36).c_str());
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("paper reference means: Reddit 141:1, Yelp 689:1, "
+                "Ogbn-products 427:1, PubMed 46:1 — dense graphs build the "
+                "largest groups.\n");
+    return 0;
+}

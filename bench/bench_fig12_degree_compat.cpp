@@ -1,0 +1,113 @@
+// Reproduces Fig. 12: (a) the impact of graph connectivity — compression
+// ratio as a function of average degree — and (b) the cross-compatibility
+// of method combinations (§5.5).
+#include "bench_util.hpp"
+
+#include "scgnn/core/grouping.hpp"
+#include "scgnn/graph/bipartite.hpp"
+
+int main(int argc, char** argv) {
+    using namespace scgnn;
+    const auto opt = benchutil::parse_options(argc, argv);
+
+    // ---- Fig. 12(a): compression ratio vs average degree ----------------
+    std::printf("== Fig. 12(a): compression ratio vs average degree "
+                "(planted-partition sweep + presets) ==\n");
+    Table degree_table({"graph", "avg degree", "cross edges", "wire rows",
+                        "volume fraction", "ratio"});
+    auto measure = [&](const std::string& name, const graph::Graph& g,
+                       std::uint64_t seed) {
+        const auto parts = partition::make_partitioning(
+            partition::PartitionAlgo::kNodeCut, g, 4, seed);
+        std::uint64_t edges = 0, wire = 0;
+        core::GroupingConfig gc;
+        gc.kmeans_k = 20;
+        gc.seed = seed;
+        for (const graph::Dbg& dbg :
+             graph::extract_all_dbgs(g, parts.part_of, 4)) {
+            const core::Grouping grp = core::build_grouping(dbg, gc);
+            edges += dbg.num_edges();
+            wire += grp.wire_rows(dbg);
+        }
+        if (edges == 0) return;
+        degree_table.add_row(
+            {name, Table::num(g.average_degree(), 1), Table::num(edges),
+             Table::num(wire),
+             Table::pct(static_cast<double>(wire) / edges),
+             Table::num(static_cast<double>(edges) / wire, 1) + "x"});
+    };
+
+    for (double deg : {4.0, 10.0, 25.0, 60.0, 120.0}) {
+        graph::PlantedPartitionSpec spec;
+        spec.nodes = static_cast<std::uint32_t>(2000 * opt.scale / 0.35);
+        spec.communities = 8;
+        spec.avg_degree = deg;
+        spec.homophily = 0.8;
+        Rng rng(opt.seed);
+        const graph::Graph g = graph::planted_partition(spec, rng, nullptr);
+        measure("sweep d=" + Table::num(deg, 0), g, opt.seed);
+    }
+    for (graph::DatasetPreset preset : graph::all_presets()) {
+        const graph::Dataset d = graph::make_dataset(preset, opt.scale, opt.seed);
+        measure(d.name, d.graph, opt.seed);
+    }
+    std::printf("%s\n", degree_table.str().c_str());
+    std::printf("paper reference: Reddit (d=489) compresses below 0.5%%; "
+                "sparser graphs compress less — the ratio grows with "
+                "density.\n\n");
+
+    // ---- Fig. 12(b): cross-compatibility matrix -------------------------
+    std::printf("== Fig. 12(b): compatibility of method combinations "
+                "(pubmed-sim, 2 partitions) ==\n");
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, opt.scale, opt.seed);
+    const auto parts = partition::make_partitioning(
+        partition::PartitionAlgo::kNodeCut, d.graph, 2, opt.seed);
+    const gnn::GnnConfig mc = benchutil::model_for(d);
+    dist::DistTrainConfig cfg = benchutil::train_cfg(opt);
+    cfg.record_epochs = false;
+
+    auto stage = [&](core::Method m)
+        -> std::unique_ptr<dist::BoundaryCompressor> {
+        core::MethodConfig c;
+        c.method = m;
+        c.sampling.rate = 0.3;
+        c.quant.bits = 8;
+        c.delay.period = 2;
+        c.semantic = benchutil::semantic_cfg();
+        return core::make_compressor(c);
+    };
+
+    double vanilla_mb = 0.0;
+    {
+        dist::VanillaExchange v;
+        vanilla_mb = train_distributed(d, parts, mc, cfg, v).mean_comm_mb;
+    }
+
+    Table compat({"combination", "volume fraction", "test acc", "verdict"});
+    const std::pair<core::Method, core::Method> pairs[] = {
+        {core::Method::kSemantic, core::Method::kQuant},
+        {core::Method::kSemantic, core::Method::kDelay},
+        {core::Method::kSemantic, core::Method::kSampling},
+        {core::Method::kQuant, core::Method::kDelay},
+        {core::Method::kSampling, core::Method::kQuant},
+        {core::Method::kSampling, core::Method::kDelay},
+    };
+    const double chance = 1.0 / d.num_classes;
+    for (const auto& [a, b] : pairs) {
+        std::vector<std::unique_ptr<dist::BoundaryCompressor>> stages;
+        stages.push_back(stage(a));
+        stages.push_back(stage(b));
+        core::ComposedCompressor comp(std::move(stages));
+        const std::string name = comp.name();
+        const auto r = train_distributed(d, parts, mc, cfg, comp);
+        const bool converged = r.test_accuracy > chance + 0.1;
+        compat.add_row({name, Table::pct(r.mean_comm_mb / vanilla_mb),
+                        Table::pct(r.test_accuracy),
+                        converged ? "ok" : "fails to converge"});
+    }
+    std::printf("%s\n", compat.str().c_str());
+    std::printf("paper reference: ours composes best with every other "
+                "method; sampling is the most exclusive partner.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces the motivational breakdown of Fig. 1(b) / §1: the share of
+// epoch time spent in cross-partition communication vs computation for the
+// existing training schemes, and how SC-GNN's lightweight extra expression
+// (the fuse/disassemble compute) trades against the communication it
+// removes. The paper's numbers: current training spends ~66% of time in
+// communication and only ~26% in computation.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+    using namespace scgnn;
+    const auto opt = benchutil::parse_options(argc, argv);
+
+    std::printf("== Fig. 1(b): epoch-time breakdown, comm vs compute "
+                "(4 partitions, node-cut) ==\n");
+    Table table({"dataset", "method", "epoch ms", "comm share",
+                 "compute share"});
+    for (graph::DatasetPreset preset : graph::all_presets()) {
+        const graph::Dataset d = graph::make_dataset(preset, opt.scale, opt.seed);
+        const auto parts = partition::make_partitioning(
+            partition::PartitionAlgo::kNodeCut, d.graph, 4, opt.seed);
+        const gnn::GnnConfig mc = benchutil::model_for(d);
+        dist::DistTrainConfig cfg = benchutil::train_cfg(opt);
+        cfg.epochs = std::max(5u, opt.epochs / 3);
+        cfg.record_epochs = false;
+
+        for (core::Method method :
+             {core::Method::kVanilla, core::Method::kSampling,
+              core::Method::kSemantic}) {
+            core::MethodConfig m;
+            m.method = method;
+            m.sampling.rate = 0.1;
+            m.semantic = benchutil::semantic_cfg();
+            auto comp = core::make_compressor(m);
+            const auto r = train_distributed(d, parts, mc, cfg, *comp);
+            table.add_row({d.name, core::to_string(method),
+                           Table::num(r.mean_epoch_ms, 1),
+                           Table::pct(r.mean_comm_ms / r.mean_epoch_ms),
+                           Table::pct(r.mean_compute_ms / r.mean_epoch_ms)});
+        }
+    }
+    std::printf("\n%s\n", table.str().c_str());
+    std::printf("paper reference: vanilla/per-edge schemes spend ~66%% of "
+                "the epoch communicating; SC-GNN inverts the balance — the "
+                "lightweight semantic expression is profitable because the "
+                "communication it removes dominated the epoch.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Fig. 2(b): the volume/accuracy Pareto frontier of the three
+// per-edge decaying baselines, with SC-GNN's operating point plotted
+// against it. Sweeps each baseline's knob on the sparse PubMed preset
+// (4 partitions) — the regime where per-edge decaying visibly costs
+// accuracy — and prints (volume fraction, accuracy) series.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+    using namespace scgnn;
+    const auto opt = benchutil::parse_options(argc, argv);
+
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, opt.scale, opt.seed);
+    benchutil::print_dataset(d);
+    const auto parts = partition::make_partitioning(
+        partition::PartitionAlgo::kNodeCut, d.graph, 4, opt.seed);
+    const gnn::GnnConfig mc = benchutil::model_for(d);
+    dist::DistTrainConfig cfg = benchutil::train_cfg(opt);
+    cfg.record_epochs = false;
+
+    double vanilla_mb = 0.0;
+    {
+        core::MethodConfig m;
+        m.method = core::Method::kVanilla;
+        auto comp = core::make_compressor(m);
+        vanilla_mb =
+            train_distributed(d, parts, mc, cfg, *comp).mean_comm_mb;
+    }
+
+    std::printf("== Fig. 2(b): volume/accuracy Pareto of per-edge decaying "
+                "methods (pubmed-sim, 4 partitions) ==\n");
+    Table table({"method", "knob", "volume fraction", "test acc"});
+    auto run = [&](const char* name, const std::string& knob,
+                   core::MethodConfig m) {
+        auto comp = core::make_compressor(m);
+        const auto r = train_distributed(d, parts, mc, cfg, *comp);
+        table.add_row({name, knob, Table::pct(r.mean_comm_mb / vanilla_mb),
+                       Table::pct(r.test_accuracy)});
+    };
+
+    for (double rate : {0.5, 0.2, 0.1, 0.05, 0.02}) {
+        core::MethodConfig m;
+        m.method = core::Method::kSampling;
+        m.sampling.rate = rate;
+        run("Samp.", "rate=" + Table::num(rate, 2), m);
+    }
+    for (int bits : {16, 8, 4}) {
+        core::MethodConfig m;
+        m.method = core::Method::kQuant;
+        m.quant.bits = bits;
+        run("Quant.", "bits=" + Table::num(std::uint64_t(bits)), m);
+    }
+    for (std::uint32_t tau : {2u, 4u, 8u, 16u, 32u}) {
+        core::MethodConfig m;
+        m.method = core::Method::kDelay;
+        m.delay.period = tau;
+        run("Delay.", "tau=" + Table::num(std::uint64_t{tau}), m);
+    }
+    {
+        core::MethodConfig m;
+        m.method = core::Method::kSemantic;
+        m.semantic = benchutil::semantic_cfg();
+        run("Ours", "k=20", m);
+    }
+    std::printf("\n%s\n", table.str().c_str());
+    std::printf(
+        "shape check: the three baselines trade volume against accuracy "
+        "along a common frontier (quant/delay touch it, sampling sits "
+        "below); SC-GNN's point lies far left of the frontier at equal "
+        "accuracy — it breaks through rather than moving along it.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Fig. 4: (a) the window-sliding comparison of Jaccard vs
+// semantic similarity (cohesion highlight) and (b) the group-number
+// traversal with k-means inertia and the EEP pick per dataset.
+#include "bench_util.hpp"
+
+#include "scgnn/core/elbow.hpp"
+#include "scgnn/core/grouping.hpp"
+#include "scgnn/graph/bipartite.hpp"
+#include "scgnn/partition/partition.hpp"
+
+int main(int argc, char** argv) {
+    using namespace scgnn;
+    const auto opt = benchutil::parse_options(argc, argv);
+
+    // ---- Fig. 4(a): window sliding ------------------------------------
+    std::printf("== Fig. 4(a): window-sliding similarity (64-bit rows, "
+                "16-bit window) ==\n");
+    const std::size_t width = 64, window = 16;
+    std::vector<std::uint32_t> fixed;
+    for (std::uint32_t i = 24; i < 24 + window; ++i) fixed.push_back(i);
+    Table slide({"offset", "overlap", "jaccard", "semantic",
+                 "semantic/jaccard"});
+    for (std::uint32_t off = 0; off + window <= width; off += 4) {
+        std::vector<std::uint32_t> sliding;
+        for (std::uint32_t i = off; i < off + window; ++i)
+            sliding.push_back(i);
+        const double j = core::jaccard_similarity(fixed, sliding);
+        const double s = core::semantic_similarity(fixed, sliding);
+        const auto overlap = core::intersection_size(fixed, sliding);
+        slide.add_row({Table::num(std::uint64_t{off}),
+                       Table::num(std::uint64_t{overlap}), Table::num(j, 4),
+                       Table::num(s, 4),
+                       j > 0 ? Table::num(s / j, 2) : std::string("-")});
+    }
+    std::printf("%s\n", slide.str().c_str());
+    std::printf("shape check: the semantic column amplifies the high-overlap "
+                "middle super-linearly while both vanish at the edges.\n\n");
+
+    // ---- Fig. 4(b): group-number traversal and EEP ---------------------
+    std::printf("== Fig. 4(b): group-number traversal (k-means inertia, "
+                "node-cut, partition pair 0->1) ==\n");
+    for (graph::DatasetPreset preset : graph::all_presets()) {
+        const graph::Dataset d =
+            graph::make_dataset(preset, opt.scale, opt.seed);
+        const auto parts = partition::make_partitioning(
+            partition::PartitionAlgo::kNodeCut, d.graph, 4, opt.seed);
+        const graph::Dbg dbg =
+            graph::extract_dbg(d.graph, parts.part_of, 0, 1);
+        if (dbg.num_edges() == 0) continue;
+
+        // M2M pool of the DBG (what the grouping stage actually clusters).
+        const auto cls = core::classify_sources(dbg);
+        std::vector<std::uint32_t> pool;
+        for (std::uint32_t u = 0; u < dbg.num_src(); ++u)
+            if (cls[u] == graph::ConnectionType::kM2M) pool.push_back(u);
+        if (pool.size() < 4) continue;
+
+        core::ElbowConfig ec;
+        ec.k_min = 2;
+        ec.k_max = std::min<std::uint32_t>(
+            32, static_cast<std::uint32_t>(pool.size()));
+        ec.k_step = 2;
+        ec.kmeans.seed = opt.seed;
+        const core::ElbowResult elbow = core::find_eep_dbg(dbg, pool, ec);
+
+        std::printf("%s (M2M pool %zu sources):\n", d.name.c_str(),
+                    pool.size());
+        Table curve({"k", "inertia", "curvature", "EEP"});
+        for (std::size_t i = 0; i < elbow.ks.size(); ++i)
+            curve.add_row({Table::num(std::uint64_t{elbow.ks[i]}),
+                           Table::num(elbow.inertia[i], 1),
+                           Table::num(elbow.curvature[i], 3),
+                           elbow.ks[i] == elbow.best_k ? "<== EEP" : ""});
+        std::printf("%s\n", curve.str().c_str());
+    }
+    std::printf("paper reference: Reddit's EEP lands around k=20; inertia "
+                "falls steeply before the elbow and flattens after.\n");
+    return 0;
+}

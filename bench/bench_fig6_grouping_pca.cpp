@@ -1,0 +1,112 @@
+// Reproduces Fig. 6: PCA projection of the DBG source rows coloured by
+// grouping, comparing Jaccard-driven and semantic-driven k-means. The
+// figure's claim is qualitative (semantic grouping creates crisper
+// clusters); this bench prints the quantitative cluster-separation score
+// for both, plus a sample of 2-D coordinates for external plotting.
+#include "bench_util.hpp"
+
+#include "scgnn/core/analysis.hpp"
+#include "scgnn/core/kmeans.hpp"
+#include "scgnn/core/pca.hpp"
+#include "scgnn/graph/bipartite.hpp"
+#include "scgnn/partition/partition.hpp"
+
+int main(int argc, char** argv) {
+    using namespace scgnn;
+    const auto opt = benchutil::parse_options(argc, argv);
+
+    std::printf("== Fig. 6: grouping quality under PCA (node-cut, 4 "
+                "partitions, pair 0->1, k=20) ==\n");
+    Table table({"dataset", "pool", "jaccard cohesion", "semantic cohesion",
+                 "jaccard PCA sep", "semantic PCA sep", "semantic wins"});
+    for (graph::DatasetPreset preset : graph::all_presets()) {
+        const graph::Dataset d = graph::make_dataset(preset, opt.scale, opt.seed);
+        const auto parts = partition::make_partitioning(
+            partition::PartitionAlgo::kNodeCut, d.graph, 4, opt.seed);
+        const graph::Dbg dbg = graph::extract_dbg(d.graph, parts.part_of, 0, 1);
+        const auto cls = core::classify_sources(dbg);
+        std::vector<std::uint32_t> pool;
+        for (std::uint32_t u = 0; u < dbg.num_src(); ++u)
+            if (cls[u] == graph::ConnectionType::kM2M) pool.push_back(u);
+        if (pool.size() < 8) {
+            table.add_row({d.name, Table::num(std::uint64_t{pool.size()}),
+                           "-", "-", "-", "-", "pool too small"});
+            continue;
+        }
+
+        const std::uint32_t k =
+            std::min<std::uint32_t>(20, static_cast<std::uint32_t>(pool.size() / 2));
+        core::KMeansConfig base{.k = k, .seed = opt.seed};
+        base.kind = core::SimilarityKind::kJaccard;
+        const auto km_j = core::kmeans_dbg_rows(dbg, pool, base);
+        base.kind = core::SimilarityKind::kSemantic;
+        const auto km_s = core::kmeans_dbg_rows(dbg, pool, base);
+
+        // Densify the pool rows once for the PCA projection.
+        tensor::Matrix rows(pool.size(), dbg.num_dst());
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            const auto dense = dbg.dense_row(pool[i]);
+            std::copy(dense.begin(), dense.end(), rows.row(i).begin());
+        }
+        const core::PcaResult pca = core::pca_2d(rows, opt.seed);
+        const double sep_j =
+            core::cluster_separation(pca.projected, km_j.assignment);
+        const double sep_s =
+            core::cluster_separation(pca.projected, km_s.assignment);
+        // Cohesion (the paper's actual notion of grouping quality): mean
+        // within-group semantic similarity over between-group similarity.
+        core::GroupingConfig gc;
+        gc.kmeans_k = k;
+        gc.seed = opt.seed;
+        gc.kind = core::SimilarityKind::kJaccard;
+        const double coh_j =
+            core::evaluate_grouping(dbg, core::build_grouping(dbg, gc))
+                .cohesion_ratio;
+        gc.kind = core::SimilarityKind::kSemantic;
+        const double coh_s =
+            core::evaluate_grouping(dbg, core::build_grouping(dbg, gc))
+                .cohesion_ratio;
+        // Zero inter-group similarity (perfectly separated pools) makes
+        // the ratio explode; clamp for display.
+        auto fmt_coh = [](double c) {
+            return c > 9999.0 ? std::string(">9999") : Table::num(c, 2);
+        };
+        table.add_row({d.name, Table::num(std::uint64_t{pool.size()}),
+                       fmt_coh(coh_j), fmt_coh(coh_s),
+                       Table::num(sep_j, 3), Table::num(sep_s, 3),
+                       coh_s > coh_j ? "yes" : "no"});
+    }
+    std::printf("\n%s\n", table.str().c_str());
+    std::printf("paper reference: Jaccard grouping shows misclassified "
+                "points and mixed clusters on all datasets; semantic "
+                "grouping separates them explicitly. The cohesion columns "
+                "carry the quantitative claim; the PCA separation is the "
+                "geometric proxy behind the figure's scatter plots.\n\n");
+
+    // Coordinate sample for external plotting (first dataset).
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kRedditSim, opt.scale, opt.seed);
+    const auto parts = partition::make_partitioning(
+        partition::PartitionAlgo::kNodeCut, d.graph, 4, opt.seed);
+    const graph::Dbg dbg = graph::extract_dbg(d.graph, parts.part_of, 0, 1);
+    const auto cls = core::classify_sources(dbg);
+    std::vector<std::uint32_t> pool;
+    for (std::uint32_t u = 0; u < dbg.num_src(); ++u)
+        if (cls[u] == graph::ConnectionType::kM2M) pool.push_back(u);
+    if (pool.size() >= 8) {
+        tensor::Matrix rows(pool.size(), dbg.num_dst());
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            const auto dense = dbg.dense_row(pool[i]);
+            std::copy(dense.begin(), dense.end(), rows.row(i).begin());
+        }
+        const auto km = core::kmeans_dbg_rows(
+            dbg, pool, {.k = 12, .seed = opt.seed});
+        const auto pca = core::pca_2d(rows, opt.seed);
+        std::printf("# reddit-sim PCA sample (x, y, cluster) — first 20 "
+                    "points:\n");
+        for (std::size_t i = 0; i < std::min<std::size_t>(20, pool.size()); ++i)
+            std::printf("%8.3f %8.3f %2u\n", pca.projected(i, 0),
+                        pca.projected(i, 1), km.assignment[i]);
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces Table 1: communication volume (MB/epoch), epoch time (ms) and
+// test accuracy for five methods × {2, 4, 8} partitions × four datasets.
+// As in §5.2 the three baselines are traffic-equalised to SC-GNN's volume
+// (sampling rate, quant bit-width and delay period are solved per
+// configuration) so every compressed method applies the same pressure to
+// the interconnect, and the remaining differences are processing
+// efficiency and accuracy.
+#include <algorithm>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+    using namespace scgnn;
+    const auto opt = benchutil::parse_options(argc, argv);
+
+    std::printf("== Table 1: volume / epoch time / accuracy (node-cut) ==\n");
+    for (graph::DatasetPreset preset : graph::all_presets()) {
+        const graph::Dataset d = graph::make_dataset(preset, opt.scale, opt.seed);
+        benchutil::print_dataset(d);
+        Table table({"method", "P", "comm MB", "epoch ms", "comm ms",
+                     "compute ms", "test acc"});
+
+        for (std::uint32_t parts_n : {2u, 4u, 8u}) {
+            const auto parts = partition::make_partitioning(
+                partition::PartitionAlgo::kNodeCut, d.graph, parts_n,
+                opt.seed);
+            const gnn::GnnConfig mc = benchutil::model_for(d);
+            dist::DistTrainConfig cfg = benchutil::train_cfg(opt);
+            cfg.record_epochs = false;
+
+            // First run vanilla and ours to find the equalisation target.
+            core::MethodConfig m;
+            m.method = core::Method::kVanilla;
+            auto vanilla_comp = core::make_compressor(m);
+            const auto vanilla =
+                train_distributed(d, parts, mc, cfg, *vanilla_comp);
+
+            m.method = core::Method::kSemantic;
+            m.semantic = benchutil::semantic_cfg();
+            auto ours_comp = core::make_compressor(m);
+            const auto ours = train_distributed(d, parts, mc, cfg, *ours_comp);
+
+            const double target =
+                ours.mean_comm_mb / std::max(1e-9, vanilla.mean_comm_mb);
+            const auto knobs = benchutil::equalize(target);
+
+            auto run = [&](core::MethodConfig mc2) {
+                auto comp = core::make_compressor(mc2);
+                return train_distributed(d, parts, mc, cfg, *comp);
+            };
+            m = {};
+            m.method = core::Method::kDelay;
+            m.delay.period = knobs.delay_period;
+            const auto delay = run(m);
+            m = {};
+            m.method = core::Method::kQuant;
+            m.quant.bits = knobs.quant_bits == 32 ? 16 : knobs.quant_bits;
+            const auto quant = run(m);
+            m = {};
+            m.method = core::Method::kSampling;
+            m.sampling.rate = knobs.sampling_rate;
+            const auto samp = run(m);
+
+            auto row = [&](const char* name, const dist::DistTrainResult& r) {
+                table.add_row({name, Table::num(std::uint64_t{parts_n}),
+                               Table::num(r.mean_comm_mb, 2),
+                               Table::num(r.mean_epoch_ms, 1),
+                               Table::num(r.mean_comm_ms, 1),
+                               Table::num(r.mean_compute_ms, 1),
+                               Table::pct(r.test_accuracy)});
+            };
+            row("Vanilla.", vanilla);
+            row("Delay.", delay);
+            row("Quant.", quant);
+            row("Samp.", samp);
+            row("Ours", ours);
+        }
+        std::printf("%s\n", table.str().c_str());
+    }
+    std::printf(
+        "paper reference: SC-GNN reaches the lowest epoch time in every "
+        "configuration (31.77%% of vanilla on average) with accuracy at or "
+        "above the equalised baselines.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+#pragma once
+/// \file bench_util.hpp
+/// \brief Shared plumbing for the paper-reproduction bench binaries: scaled
+///        dataset construction, standard model/train configs, and the
+///        traffic-equalisation solver of §5.2.
+///
+/// Every bench accepts two optional CLI args: `--scale <f>` (dataset size
+/// multiplier, default 0.35) and `--epochs <n>` (training epochs, default
+/// 30), so the full suite stays minutes-scale while remaining faithful in
+/// shape. All seeds are fixed and printed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "scgnn/common/table.hpp"
+#include "scgnn/core/framework.hpp"
+
+namespace scgnn::benchutil {
+
+/// Parsed common CLI options.
+struct Options {
+    double scale = 0.35;
+    std::uint32_t epochs = 30;
+    std::uint64_t seed = 2024;
+};
+
+inline Options parse_options(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
+            opt.scale = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc)
+            opt.epochs = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+            opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    }
+    std::printf("# options: scale=%.2f epochs=%u seed=%llu\n", opt.scale,
+                opt.epochs, static_cast<unsigned long long>(opt.seed));
+    return opt;
+}
+
+/// Model config matched to a dataset (hidden width 64, GCN).
+inline gnn::GnnConfig model_for(const graph::Dataset& d) {
+    return gnn::GnnConfig{
+        .in_dim = static_cast<std::uint32_t>(d.features.cols()),
+        .hidden_dim = 64,
+        .out_dim = d.num_classes,
+        .kind = gnn::LayerKind::kGcn,
+        .seed = 11};
+}
+
+/// Default distributed-train config.
+inline dist::DistTrainConfig train_cfg(const Options& opt) {
+    dist::DistTrainConfig cfg;
+    cfg.epochs = opt.epochs;
+    return cfg;
+}
+
+/// Default semantic config: k=20 (the paper's Reddit EEP).
+inline core::SemanticCompressorConfig semantic_cfg() {
+    core::SemanticCompressorConfig cfg;
+    cfg.grouping.kmeans_k = 20;
+    return cfg;
+}
+
+/// Solve the §5.2 traffic equalisation: pick each baseline's knob so its
+/// per-epoch volume roughly matches SC-GNN's. `target_fraction` is
+/// (ours bytes) / (vanilla bytes).
+struct EqualizedKnobs {
+    double sampling_rate = 1.0;
+    int quant_bits = 32;             ///< 32 = leave uncompressed
+    std::uint32_t delay_period = 1;
+};
+
+inline EqualizedKnobs equalize(double target_fraction) {
+    EqualizedKnobs k;
+    // Sampling drops whole boundary rows: rate ≈ fraction, floored so the
+    // model still sees some fresh data.
+    k.sampling_rate = std::max(0.02, std::min(1.0, target_fraction));
+    // Quant can shrink at most 8× (32 → 4 bits): pick the nearest width.
+    const double bits = 32.0 * target_fraction;
+    k.quant_bits = bits <= 4.0 ? 4 : (bits <= 8.0 ? 8 : 16);
+    // Delay transmits every τ-th epoch: τ ≈ 1/fraction, capped.
+    k.delay_period = static_cast<std::uint32_t>(
+        std::min(64.0, std::max(1.0, 1.0 / std::max(1e-3, target_fraction))));
+    return k;
+}
+
+/// One-line dataset banner.
+inline void print_dataset(const graph::Dataset& d) {
+    std::printf("# %s: %u nodes, %llu edges, avg degree %.1f, %u classes\n",
+                d.name.c_str(), d.graph.num_nodes(),
+                static_cast<unsigned long long>(d.graph.num_edges()),
+                d.graph.average_degree(), d.num_classes);
+}
+
+} // namespace scgnn::benchutil

@@ -1,0 +1,85 @@
+// The paper's motivating scenario (§1, §5.3): full-batch GNN training on a
+// bandwidth-starved cluster. Trains the Yelp-like preset over a slow
+// simulated interconnect and compares four deployments:
+//   1. vanilla exchange,
+//   2. the best per-edge baseline at a matched volume (sampling),
+//   3. SC-GNN,
+//   4. SC-GNN + differential optimisation (without-O2O),
+// reporting the comm/compute split of the epoch time — the aggregate-wall
+// before and after semantic compression.
+//
+// Run: ./build/examples/bandwidth_constrained
+#include <cstdio>
+
+#include "scgnn/common/table.hpp"
+#include "scgnn/core/framework.hpp"
+
+int main() {
+    using namespace scgnn;
+
+    const graph::Dataset data =
+        graph::make_dataset(graph::DatasetPreset::kYelpSim, 0.4, 11);
+    std::printf("dataset %s: %u nodes, %llu edges, avg degree %.1f\n",
+                data.name.c_str(), data.graph.num_nodes(),
+                static_cast<unsigned long long>(data.graph.num_edges()),
+                data.graph.average_degree());
+
+    const auto parts = partition::make_partitioning(
+        partition::PartitionAlgo::kNodeCut, data.graph, 4, 11);
+
+    gnn::GnnConfig model{
+        .in_dim = static_cast<std::uint32_t>(data.features.cols()),
+        .hidden_dim = 64,
+        .out_dim = data.num_classes,
+        .seed = 5};
+
+    dist::DistTrainConfig cfg;
+    cfg.epochs = 30;
+    // A starved interconnect: 60 MB/s effective, 200 µs per message —
+    // think shared 1GbE between commodity boxes.
+    cfg.cost.bandwidth_bytes_per_s = 60e6;
+    cfg.cost.latency_s = 200e-6;
+
+    Table table({"deployment", "comm MB/ep", "comm ms", "compute ms",
+                 "epoch ms", "comm share", "test acc"});
+    auto report = [&](const char* name, dist::BoundaryCompressor& comp) {
+        const auto r = train_distributed(data, parts, model, cfg, comp);
+        table.add_row({name, Table::num(r.mean_comm_mb, 2),
+                       Table::num(r.mean_comm_ms, 1),
+                       Table::num(r.mean_compute_ms, 1),
+                       Table::num(r.mean_epoch_ms, 1),
+                       Table::pct(r.mean_comm_ms / r.mean_epoch_ms),
+                       Table::pct(r.test_accuracy)});
+        return r;
+    };
+
+    dist::VanillaExchange vanilla;
+    std::printf("training vanilla...\n");
+    const auto rv = report("vanilla", vanilla);
+
+    core::SemanticCompressorConfig sc;
+    sc.grouping.kmeans_k = 20;
+    core::SemanticCompressor ours(sc);
+    std::printf("training SC-GNN...\n");
+    const auto ro = report("sc-gnn", ours);
+
+    // Sampling at SC-GNN's volume (the §5.2 equalisation).
+    const double rate =
+        std::max(0.02, ro.mean_comm_mb / std::max(1e-9, rv.mean_comm_mb));
+    baselines::SamplingCompressor samp({.rate = rate});
+    std::printf("training sampling at matched volume (rate=%.3f)...\n", rate);
+    (void)report("sampling@same-volume", samp);
+
+    sc.drop = core::DropMask::without_o2o();
+    core::SemanticCompressor ours_diff(sc);
+    std::printf("training SC-GNN without-O2O (differential)...\n");
+    (void)report("sc-gnn w/o O2O", ours_diff);
+
+    std::printf("\n%s\n", table.str().c_str());
+    std::printf("reading: on a starved link the vanilla epoch is "
+                "communication-dominated (the aggregate-wall); semantic "
+                "compression collapses the comm share while accuracy "
+                "holds, and the differential variant trims the leftover "
+                "O2O traffic for free.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+// Explore how the choice of partitioner interacts with semantic
+// compression (§4 and Table 2): for each algorithm this prints the cut
+// structure, the connection-type mix, the grouping statistics and the
+// resulting SC-GNN wire volume — the "algorithmic isomorphism" argument
+// for node-cut, made tangible.
+//
+// Run: ./build/examples/partition_explorer [preset-index 0..3]
+#include <cstdio>
+#include <cstdlib>
+
+#include "scgnn/common/table.hpp"
+#include "scgnn/core/semantic_compressor.hpp"
+#include "scgnn/dist/context.hpp"
+
+int main(int argc, char** argv) {
+    using namespace scgnn;
+
+    const auto presets = graph::all_presets();
+    std::size_t pick = 1;  // yelp-sim by default
+    if (argc > 1) pick = static_cast<std::size_t>(std::atoi(argv[1])) % 4;
+    const graph::Dataset data = graph::make_dataset(presets[pick], 0.35, 3);
+    std::printf("dataset %s: %u nodes, %llu edges, avg degree %.1f; 4 "
+                "partitions\n\n",
+                data.name.c_str(), data.graph.num_nodes(),
+                static_cast<unsigned long long>(data.graph.num_edges()),
+                data.graph.average_degree());
+
+    Table table({"partition", "cut edges", "boundary nodes", "M2M share",
+                 "groups", "mean group", "wire rows", "compression"});
+    for (partition::PartitionAlgo algo :
+         {partition::PartitionAlgo::kNodeCut,
+          partition::PartitionAlgo::kEdgeCut,
+          partition::PartitionAlgo::kMultilevel,
+          partition::PartitionAlgo::kRandomCut}) {
+        const auto parts =
+            partition::make_partitioning(algo, data.graph, 4, 3);
+        const auto quality = partition::evaluate(data.graph, parts);
+        const auto mix = graph::connection_mix(data.graph, parts.part_of, 4);
+
+        const dist::DistContext ctx(data, parts, gnn::AdjNorm::kSymmetric);
+        core::SemanticCompressorConfig sc;
+        sc.grouping.kmeans_k = 20;
+        core::SemanticCompressor comp(sc);
+        comp.setup(ctx);
+
+        std::uint64_t groups = 0, grouped_edges = 0;
+        for (std::size_t pi = 0; pi < ctx.plans().size(); ++pi) {
+            const core::Grouping& g = comp.grouping(pi);
+            groups += g.groups.size();
+            grouped_edges += g.grouped_edges();
+        }
+        table.add_row(
+            {partition::to_string(algo), Table::num(quality.cut_edges),
+             Table::num(quality.boundary_nodes),
+             Table::pct(mix.fraction(graph::ConnectionType::kM2M)),
+             Table::num(groups),
+             groups ? Table::num(static_cast<double>(grouped_edges) /
+                                     static_cast<double>(groups), 1)
+                    : std::string("-"),
+             Table::num(comp.total_wire_rows()),
+             Table::num(static_cast<double>(ctx.total_cross_edges()) /
+                            static_cast<double>(comp.total_wire_rows()), 1) +
+                 "x"});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("reading: node-cut concentrates a node's cross edges on few "
+                "pairs, which is exactly the structure the group fusion "
+                "approximates — hence the best wire volume (Table 2's "
+                "finding).\n");
+    return 0;
+}

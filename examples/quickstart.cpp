@@ -1,0 +1,52 @@
+// Quickstart: train a GCN on the Reddit-like preset with 4 partitions,
+// once with the vanilla exchange and once with SC-GNN's semantic
+// compression, and compare volume / epoch time / accuracy.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "scgnn/common/table.hpp"
+#include "scgnn/core/framework.hpp"
+
+int main() {
+    using namespace scgnn;
+
+    std::printf("Generating the reddit-sim dataset (high-density preset)...\n");
+    const graph::Dataset data =
+        graph::make_dataset(graph::DatasetPreset::kRedditSim, 0.5, 2024);
+    std::printf("  nodes=%u  edges=%llu  avg-degree=%.1f  classes=%u\n",
+                data.graph.num_nodes(),
+                static_cast<unsigned long long>(data.graph.num_edges()),
+                data.graph.average_degree(), data.num_classes);
+
+    core::PipelineConfig cfg;
+    cfg.num_parts = 4;
+    cfg.model.in_dim = static_cast<std::uint32_t>(data.features.cols());
+    cfg.model.hidden_dim = 64;
+    cfg.model.out_dim = data.num_classes;
+    cfg.train.epochs = 40;
+
+    Table table({"method", "comm MB/epoch", "epoch ms", "comm ms", "compute ms",
+                 "test acc"});
+    for (core::Method m : {core::Method::kVanilla, core::Method::kSemantic}) {
+        cfg.method.method = m;
+        std::printf("Training with %s exchange...\n", core::to_string(m));
+        const core::PipelineResult res = core::run_pipeline(data, cfg);
+        table.add_row({core::to_string(m),
+                       Table::num(res.train.mean_comm_mb, 3),
+                       Table::num(res.train.mean_epoch_ms, 1),
+                       Table::num(res.train.mean_comm_ms, 1),
+                       Table::num(res.train.mean_compute_ms, 1),
+                       Table::pct(res.train.test_accuracy)});
+        if (m == core::Method::kSemantic) {
+            std::printf(
+                "  semantic grouping: %u groups, mean group size %.1f edges, "
+                "compression ratio %.1fx\n",
+                res.num_groups, res.mean_group_size, res.compression_ratio);
+        }
+    }
+    std::printf("\n%s\n", table.str().c_str());
+    return 0;
+}

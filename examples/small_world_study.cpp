@@ -1,0 +1,105 @@
+// Structure study: does semantic compression depend only on density
+// (Fig. 12(a)) or also on *structure*? Three graph families at identical
+// node count and average degree — community (planted partition),
+// small-world (Watts–Strogatz) and uniform random (Erdős–Rényi) — are
+// partitioned and compressed identically; the differences isolate the
+// role of cohesive cross-partition structure.
+//
+// Run: ./build/examples/small_world_study
+#include <cstdio>
+
+#include "scgnn/common/table.hpp"
+#include "scgnn/core/analysis.hpp"
+#include "scgnn/core/semantic_compressor.hpp"
+#include "scgnn/dist/context.hpp"
+#include "scgnn/graph/algorithms.hpp"
+#include "scgnn/graph/generators.hpp"
+
+int main() {
+    using namespace scgnn;
+    const std::uint32_t n = 2000;
+    const double target_degree = 16.0;
+    const std::uint64_t seed = 23;
+
+    struct Family {
+        std::string name;
+        graph::Graph g;
+    };
+    std::vector<Family> families;
+    {
+        graph::PlantedPartitionSpec spec;
+        spec.nodes = n;
+        spec.communities = 8;
+        spec.avg_degree = target_degree;
+        spec.homophily = 0.85;
+        Rng rng(seed);
+        families.push_back(
+            {"community", graph::planted_partition(spec, rng, nullptr)});
+    }
+    {
+        Rng rng(seed);
+        families.push_back(
+            {"small-world", graph::watts_strogatz(n, 16, 0.1, rng)});
+    }
+    {
+        Rng rng(seed);
+        families.push_back(
+            {"uniform random",
+             graph::erdos_renyi(n, static_cast<std::uint64_t>(
+                                       n * target_degree / 2), rng)});
+    }
+
+    Table table({"family", "avg deg", "clustering", "avg path", "cross edges",
+                 "wire rows", "compression", "mean cohesion"});
+    for (const Family& fam : families) {
+        const auto parts = partition::make_partitioning(
+            partition::PartitionAlgo::kNodeCut, fam.g, 4, seed);
+
+        graph::Dataset pseudo;  // context only needs graph + feature width
+        pseudo.name = fam.name;
+        pseudo.graph = fam.g;
+        pseudo.features = tensor::Matrix(fam.g.num_nodes(), 8);
+        pseudo.labels.assign(fam.g.num_nodes(), 0);
+        pseudo.num_classes = 2;
+        pseudo.train_mask = {0};
+        pseudo.test_mask = {1};
+        const dist::DistContext ctx(pseudo, parts, gnn::AdjNorm::kSymmetric);
+
+        core::SemanticCompressorConfig sc;
+        sc.grouping.kmeans_k = 20;
+        core::SemanticCompressor comp(sc);
+        comp.setup(ctx);
+
+        double cohesion = 0.0;
+        std::size_t measured = 0;
+        for (std::size_t pi = 0; pi < ctx.plans().size(); ++pi) {
+            const auto q = core::evaluate_grouping(ctx.plans()[pi].dbg,
+                                                   comp.grouping(pi));
+            if (q.mean_intra_similarity > 0.0) {
+                cohesion += q.mean_intra_similarity;
+                ++measured;
+            }
+        }
+        Rng path_rng(seed);
+        table.add_row(
+            {fam.name, Table::num(fam.g.average_degree(), 1),
+             Table::num(graph::average_clustering(fam.g), 3),
+             Table::num(graph::approx_average_distance(fam.g, 10, path_rng), 2),
+             Table::num(ctx.total_cross_edges()),
+             Table::num(comp.total_wire_rows()),
+             Table::num(static_cast<double>(ctx.total_cross_edges()) /
+                            static_cast<double>(comp.total_wire_rows()), 1) +
+                 "x",
+             measured ? Table::num(cohesion / measured, 3)
+                      : std::string("-")});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf(
+        "reading: at equal size and degree, community structure both cuts "
+        "the cross-partition traffic (smaller boundary) and leaves the "
+        "most cohesive groups; the uniform random graph compresses by "
+        "group-budget alone with near-zero cohesion — density is "
+        "necessary (Fig. 12(a)) but structure decides the quality of the "
+        "semantics.\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+#pragma once
+/// \file fabric.hpp
+/// \brief Simulated multi-device communication fabric.
+///
+/// The paper's testbed (4×RTX-4090 over gloo) is replaced by an in-process
+/// fabric: partitions are logical devices, payloads move through shared
+/// memory, and the fabric's job is byte-exact accounting plus an α–β
+/// (latency + size/bandwidth) epoch-time model. Per-device NIC
+/// serialisation is modelled by charging each device the max of its
+/// (in + out) traffic — the congestion shape a gloo all-to-all shows.
+/// Defaults are calibrated in DESIGN.md so that the vanilla Reddit preset
+/// reproduces the paper's comm-dominated epoch profile (Fig. 2(b): ~66%
+/// communication).
+
+#include <cstdint>
+#include <vector>
+
+#include "scgnn/common/error.hpp"
+
+namespace scgnn::comm {
+
+/// α–β point-to-point cost model.
+struct CostModel {
+    double latency_s = 50e-6;              ///< α: per-message latency
+    double bandwidth_bytes_per_s = 250e6;  ///< 1/β: effective link bandwidth
+
+    /// Time to move `bytes` in `messages` discrete sends.
+    [[nodiscard]] double seconds(std::uint64_t bytes,
+                                 std::uint64_t messages) const noexcept {
+        return latency_s * static_cast<double>(messages) +
+               static_cast<double>(bytes) / bandwidth_bytes_per_s;
+    }
+};
+
+/// Aggregate traffic counters.
+struct TrafficStats {
+    std::uint64_t bytes = 0;
+    std::uint64_t messages = 0;
+
+    void merge(const TrafficStats& o) noexcept {
+        bytes += o.bytes;
+        messages += o.messages;
+    }
+};
+
+/// Byte-accounting fabric between `num_devices` logical devices.
+///
+/// Usage per epoch: call record() for every logical send, then end_epoch()
+/// to roll the epoch into history. Epoch comm time is modelled, not
+/// measured — payloads never leave the process.
+class Fabric {
+public:
+    /// A fabric over `num_devices` devices (>= 1) with the given cost model.
+    explicit Fabric(std::uint32_t num_devices, CostModel model = {});
+
+    /// Number of devices.
+    [[nodiscard]] std::uint32_t num_devices() const noexcept { return n_; }
+
+    /// The cost model in force.
+    [[nodiscard]] const CostModel& cost_model() const noexcept { return model_; }
+
+    /// Record one logical send of `bytes` bytes from device `src` to `dst`.
+    /// Zero-byte sends still count a message (headers cross the wire).
+    void record(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes,
+                std::uint64_t messages = 1);
+
+    /// Override the cost model of one directed link (heterogeneous
+    /// clusters: NVLink within a box, Ethernet across boxes). Links
+    /// without an override use the fabric-wide model.
+    void set_link(std::uint32_t src, std::uint32_t dst, CostModel model);
+
+    /// The model governing a directed link (override or fabric default).
+    [[nodiscard]] const CostModel& link_model(std::uint32_t src,
+                                              std::uint32_t dst) const;
+
+    /// Traffic of the current (un-ended) epoch.
+    [[nodiscard]] TrafficStats epoch_stats() const noexcept;
+
+    /// Traffic summed over all epochs including the current one.
+    [[nodiscard]] TrafficStats total_stats() const noexcept;
+
+    /// Current-epoch traffic from `src` to `dst`.
+    [[nodiscard]] TrafficStats pair_stats(std::uint32_t src,
+                                          std::uint32_t dst) const;
+
+    /// Modelled communication time of the current epoch: max over devices
+    /// of the α–β cost of that device's in+out traffic (NIC serialisation;
+    /// different devices transfer in parallel).
+    [[nodiscard]] double epoch_comm_seconds() const noexcept;
+
+    /// Close the current epoch: appends its totals to history and clears
+    /// the per-pair counters.
+    void end_epoch();
+
+    /// Number of closed epochs.
+    [[nodiscard]] std::size_t epochs() const noexcept { return history_.size(); }
+
+    /// Traffic of closed epoch `e`.
+    [[nodiscard]] const TrafficStats& epoch_history(std::size_t e) const;
+
+    /// Modelled comm seconds of closed epoch `e`.
+    [[nodiscard]] double epoch_history_seconds(std::size_t e) const;
+
+    /// Reset everything (counters and history).
+    void clear();
+
+private:
+    [[nodiscard]] std::size_t idx(std::uint32_t src, std::uint32_t dst) const {
+        SCGNN_CHECK(src < n_ && dst < n_, "device id out of range");
+        SCGNN_CHECK(src != dst, "self-sends do not cross the fabric");
+        return static_cast<std::size_t>(src) * n_ + dst;
+    }
+
+    std::uint32_t n_;
+    CostModel model_;
+    std::vector<TrafficStats> pair_;           ///< n×n current-epoch counters
+    std::vector<TrafficStats> history_;        ///< per closed epoch
+    std::vector<double> history_seconds_;      ///< modelled time per closed epoch
+    std::vector<char> has_override_;           ///< n×n link-override flags
+    std::vector<CostModel> override_;          ///< n×n link overrides
+};
+
+} // namespace scgnn::comm

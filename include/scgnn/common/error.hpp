@@ -1,0 +1,62 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error type and precondition-checking macros used across all
+///        scgnn libraries.
+///
+/// Per the project style contract (C++ Core Guidelines E.* rules), violated
+/// preconditions and unrecoverable configuration errors throw `scgnn::Error`;
+/// internal invariants that can only fail on a library bug use
+/// `SCGNN_ASSERT`, which also throws so that tests can observe it.
+
+#include <stdexcept>
+#include <string>
+
+namespace scgnn {
+
+/// Exception thrown on any precondition violation or invalid configuration
+/// inside the scgnn libraries. Derives from std::runtime_error so generic
+/// handlers keep working.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg) {
+    std::string full(kind);
+    full += " failed: ";
+    full += expr;
+    if (!msg.empty()) {
+        full += " — ";
+        full += msg;
+    }
+    full += " (";
+    full += file;
+    full += ':';
+    full += std::to_string(line);
+    full += ')';
+    throw Error(full);
+}
+
+} // namespace detail
+} // namespace scgnn
+
+/// Check a caller-facing precondition; throws scgnn::Error when violated.
+/// Usage: SCGNN_CHECK(rows > 0, "matrix must be non-empty");
+#define SCGNN_CHECK(cond, msg)                                                  \
+    do {                                                                        \
+        if (!(cond))                                                            \
+            ::scgnn::detail::raise("precondition", #cond, __FILE__, __LINE__,   \
+                                   (msg));                                      \
+    } while (false)
+
+/// Check an internal invariant (a bug in this library if it fires).
+#define SCGNN_ASSERT(cond, msg)                                                 \
+    do {                                                                        \
+        if (!(cond))                                                            \
+            ::scgnn::detail::raise("invariant", #cond, __FILE__, __LINE__,      \
+                                   (msg));                                      \
+    } while (false)

@@ -1,0 +1,31 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logger. No global mutable state beyond an atomic
+///        level threshold; output goes to stderr so bench tables on stdout
+///        stay machine-readable.
+
+#include <atomic>
+#include <string_view>
+
+namespace scgnn {
+
+/// Severity levels in increasing order of importance.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level that will be emitted (default: kInfo).
+void set_log_level(LogLevel level) noexcept;
+
+/// Current minimum level.
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one log line ("[level] message\n") to stderr when `level` passes the
+/// threshold. Thread-safe at the granularity of one line.
+void log(LogLevel level, std::string_view message);
+
+/// Convenience wrappers.
+inline void log_debug(std::string_view m) { log(LogLevel::kDebug, m); }
+inline void log_info(std::string_view m) { log(LogLevel::kInfo, m); }
+inline void log_warn(std::string_view m) { log(LogLevel::kWarn, m); }
+inline void log_error(std::string_view m) { log(LogLevel::kError, m); }
+
+} // namespace scgnn

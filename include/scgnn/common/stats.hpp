@@ -1,0 +1,102 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Small statistics helpers: running mean/variance, percentiles and
+///        fixed-bin histograms. Used by graph statistics (degree
+///        distributions, Fig. 10 group-size distributions) and by the bench
+///        harnesses when summarising repeated measurements.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace scgnn {
+
+/// Welford running mean/variance accumulator. Value-semantic.
+class RunningStat {
+public:
+    /// Fold one observation into the accumulator.
+    void add(double x) noexcept;
+
+    /// Number of observations so far.
+    [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+
+    /// Mean of the observations (0 when empty).
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+
+    /// Unbiased sample variance (0 when fewer than two observations).
+    [[nodiscard]] double variance() const noexcept;
+
+    /// Sample standard deviation.
+    [[nodiscard]] double stddev() const noexcept;
+
+    /// Smallest observation (+inf when empty).
+    [[nodiscard]] double min() const noexcept { return min_; }
+
+    /// Largest observation (-inf when empty).
+    [[nodiscard]] double max() const noexcept { return max_; }
+
+    /// Sum of all observations.
+    [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    void merge(const RunningStat& other) noexcept;
+
+private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Linear-interpolation percentile of an *unsorted* sample; `q` in [0, 1].
+/// Copies and sorts internally — intended for bench-sized data.
+[[nodiscard]] double percentile(std::span<const double> sample, double q);
+
+/// Fixed-bin histogram over [lo, hi); out-of-range values clamp to the edge
+/// bins so no observation is silently dropped.
+class Histogram {
+public:
+    /// Build with `bins` equal-width bins spanning [lo, hi). Requires
+    /// bins >= 1 and hi > lo.
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /// Fold one observation.
+    void add(double x) noexcept;
+
+    /// Count in bin `i`.
+    [[nodiscard]] std::uint64_t bin_count(std::size_t i) const;
+
+    /// Number of bins.
+    [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+
+    /// Inclusive lower edge of bin `i`.
+    [[nodiscard]] double bin_lo(std::size_t i) const;
+
+    /// Exclusive upper edge of bin `i`.
+    [[nodiscard]] double bin_hi(std::size_t i) const;
+
+    /// Total observations folded in.
+    [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+    /// Render a compact ASCII bar chart (one line per bin), used by bench
+    /// binaries to print the paper's distribution figures.
+    [[nodiscard]] std::string ascii(std::size_t width = 40) const;
+
+private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/// Discrete curvature of a sampled curve y(x) at interior points, used by
+/// the EEP (elbow equilibrium point) search of §3.2. Returns a vector the
+/// same length as the inputs with zero curvature at the two endpoints.
+/// Requires xs strictly increasing and |xs| == |ys|.
+[[nodiscard]] std::vector<double> discrete_curvature(std::span<const double> xs,
+                                                     std::span<const double> ys);
+
+} // namespace scgnn

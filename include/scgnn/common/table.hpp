@@ -1,0 +1,47 @@
+#pragma once
+/// \file table.hpp
+/// \brief Console table renderer used by every bench binary to print
+///        paper-style rows (Table 1, Table 2, the per-figure series).
+///
+/// The renderer right-aligns numeric cells, left-aligns text, and sizes
+/// columns to content, so the output diffs cleanly between runs.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace scgnn {
+
+/// A simple column-aligned text table.
+class Table {
+public:
+    /// Create a table with fixed column headers.
+    explicit Table(std::vector<std::string> headers);
+
+    /// Append a row; must have exactly as many cells as there are headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format a double with `prec` decimals.
+    [[nodiscard]] static std::string num(double v, int prec = 2);
+
+    /// Convenience: format an integer count.
+    [[nodiscard]] static std::string num(std::uint64_t v);
+
+    /// Convenience: format a percentage (value 0.153 -> "15.30%").
+    [[nodiscard]] static std::string pct(double fraction, int prec = 2);
+
+    /// Number of data rows added so far.
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+    /// Render the whole table with a header separator line.
+    [[nodiscard]] std::string str() const;
+
+    /// Render as CSV (for EXPERIMENTS.md ingestion / plotting elsewhere).
+    [[nodiscard]] std::string csv() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace scgnn

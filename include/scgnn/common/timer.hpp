@@ -1,0 +1,69 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock timing helpers used by the benchmark harnesses and by
+///        the distributed trainer to measure real compute cost of each
+///        compression method (the simulated fabric supplies comm time).
+
+#include <chrono>
+#include <cstdint>
+
+namespace scgnn {
+
+/// Simple monotonic stopwatch. Value-semantic; starts at construction.
+class WallTimer {
+public:
+    WallTimer() noexcept : start_(clock::now()) {}
+
+    /// Restart the stopwatch.
+    void reset() noexcept { start_ = clock::now(); }
+
+    /// Elapsed time in seconds since construction/reset.
+    [[nodiscard]] double seconds() const noexcept {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Elapsed time in milliseconds since construction/reset.
+    [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// Accumulates wall time across many start/stop sections (e.g. total compute
+/// time per epoch split from communication time).
+class SectionTimer {
+public:
+    /// Begin a timed section; nested begins are a precondition violation in
+    /// spirit but are tolerated by restarting the section.
+    void begin() noexcept { section_.reset(); running_ = true; }
+
+    /// End the current section, folding its duration into the total.
+    void end() noexcept {
+        if (running_) {
+            total_ += section_.seconds();
+            ++count_;
+            running_ = false;
+        }
+    }
+
+    /// Total accumulated seconds across all ended sections.
+    [[nodiscard]] double total_seconds() const noexcept { return total_; }
+
+    /// Total accumulated milliseconds.
+    [[nodiscard]] double total_millis() const noexcept { return total_ * 1e3; }
+
+    /// Number of ended sections.
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+    /// Discard all accumulated time.
+    void clear() noexcept { total_ = 0.0; count_ = 0; running_ = false; }
+
+private:
+    WallTimer section_;
+    double total_ = 0.0;
+    std::uint64_t count_ = 0;
+    bool running_ = false;
+};
+
+} // namespace scgnn

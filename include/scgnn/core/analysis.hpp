@@ -1,0 +1,41 @@
+#pragma once
+/// \file analysis.hpp
+/// \brief Diagnostics over DBGs and groupings: the all-pairs similarity
+///        matrix (the vectorised Eq. (2) evaluated in bulk, as §3.1's SIMD
+///        discussion describes) and grouping-quality metrics used by the
+///        ablation studies and examples.
+
+#include <cstdint>
+#include <span>
+
+#include "scgnn/core/grouping.hpp"
+#include "scgnn/tensor/matrix.hpp"
+
+namespace scgnn::core {
+
+/// All-pairs similarity of the DBG rows of `pool` (|pool| × |pool|,
+/// symmetric, self-similarities on the diagonal). Runs off the sparse
+/// adjacency with a shared collection vector — O(Σ nnz · |pool|).
+[[nodiscard]] tensor::Matrix pairwise_similarity(
+    const graph::Dbg& dbg, std::span<const std::uint32_t> pool,
+    SimilarityKind kind);
+
+/// Quality metrics of one grouping, per the paper's cohesion framing:
+/// good groupings have high similarity inside groups, low across.
+struct GroupingQuality {
+    double mean_intra_similarity = 0.0;  ///< member pairs within groups
+    double mean_inter_similarity = 0.0;  ///< pairs straddling groups
+    double cohesion_ratio = 0.0;         ///< intra / max(inter, ε)
+    double coverage = 0.0;               ///< grouped edges / all edges
+    double compression_ratio = 1.0;      ///< per-edge rows / wire rows
+    double mean_group_size = 0.0;        ///< edges per group
+};
+
+/// Evaluate a grouping against its DBG. Pairwise terms are computed over
+/// the M2M groups' members; groups larger than `max_pair_members` are
+/// deterministically subsampled to bound the cost.
+[[nodiscard]] GroupingQuality evaluate_grouping(
+    const graph::Dbg& dbg, const Grouping& grouping,
+    std::uint32_t max_pair_members = 64);
+
+} // namespace scgnn::core

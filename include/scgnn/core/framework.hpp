@@ -1,0 +1,112 @@
+#pragma once
+/// \file framework.hpp
+/// \brief The SC-GNN training framework of Fig. 8 as a turnkey pipeline,
+///        plus the method factory and compressor composition used by the
+///        evaluation harnesses.
+///
+/// Pipeline stages: graph partition (node-cut by default, per §4) →
+/// semantic grouping of every partition-pair DBG → distributed full-batch
+/// training with group-compressed exchanges → full-graph evaluation.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scgnn/baselines/baselines.hpp"
+#include "scgnn/core/semantic_compressor.hpp"
+#include "scgnn/dist/trainer.hpp"
+#include "scgnn/graph/dataset.hpp"
+#include "scgnn/partition/partition.hpp"
+
+namespace scgnn::core {
+
+/// The five methods of the evaluation (§5): the three baselines, the
+/// uncompressed reference and SC-GNN.
+enum class Method : std::uint8_t {
+    kVanilla = 0,
+    kSampling = 1,
+    kQuant = 2,
+    kDelay = 3,
+    kSemantic = 4,
+};
+
+/// Printable method name as used in the paper's tables
+/// ("Vanilla."/"Samp."/"Quant."/"Delay."/"Ours").
+[[nodiscard]] const char* to_string(Method m) noexcept;
+
+/// All five methods in Table-1 row order.
+[[nodiscard]] std::vector<Method> all_methods();
+
+/// Union of every method's knobs; only the active method's fields are read.
+struct MethodConfig {
+    Method method = Method::kSemantic;
+    baselines::SamplingConfig sampling{};
+    baselines::QuantConfig quant{};
+    baselines::DelayConfig delay{};
+    SemanticCompressorConfig semantic{};
+};
+
+/// Instantiate the compressor for a method configuration.
+[[nodiscard]] std::unique_ptr<dist::BoundaryCompressor> make_compressor(
+    const MethodConfig& cfg);
+
+/// Sequential composition of traffic-reduction methods — the §5.5
+/// cross-compatibility experiment (Fig. 12(b)). Stage 0 transforms the
+/// boundary rows first (a fusing stage such as SC-GNN must come first);
+/// later stages re-transform the reconstruction. Wire bytes compose
+/// multiplicatively: the first stage sets the base volume and each later
+/// stage contributes the ratio of its own wire bytes to the vanilla
+/// per-edge volume (quant ⇒ bits/32, delay ⇒ 0 or 1, sampling ⇒ ≈rate).
+class ComposedCompressor final : public dist::BoundaryCompressor {
+public:
+    /// Compose the given stages in order. Requires ≥ 1 stage.
+    explicit ComposedCompressor(
+        std::vector<std::unique_ptr<dist::BoundaryCompressor>> stages);
+
+    [[nodiscard]] std::string name() const override;
+    void setup(const dist::DistContext& ctx) override;
+    void begin_epoch(std::uint64_t epoch) override;
+
+    [[nodiscard]] std::uint64_t forward_rows(const dist::DistContext& ctx,
+                                             std::size_t plan_idx, int layer,
+                                             const tensor::Matrix& src,
+                                             tensor::Matrix& out) override;
+    [[nodiscard]] std::uint64_t backward_rows(const dist::DistContext& ctx,
+                                              std::size_t plan_idx, int layer,
+                                              const tensor::Matrix& grad_in,
+                                              tensor::Matrix& grad_out) override;
+
+private:
+    std::vector<std::unique_ptr<dist::BoundaryCompressor>> stages_;
+};
+
+/// End-to-end pipeline configuration.
+struct PipelineConfig {
+    std::uint32_t num_parts = 4;
+    partition::PartitionAlgo algo = partition::PartitionAlgo::kNodeCut;
+    std::uint64_t partition_seed = 99;
+    gnn::GnnConfig model{};
+    dist::DistTrainConfig train{};
+    MethodConfig method{};  ///< defaults to SC-GNN
+};
+
+/// Pipeline outcome: training result plus the statistics the paper reports
+/// about the static stages.
+struct PipelineResult {
+    dist::DistTrainResult train;
+    partition::PartitionQuality partition_quality;
+    std::uint64_t cross_edges = 0;        ///< vanilla per-exchange row count
+    std::uint64_t wire_rows = 0;          ///< compressed per-exchange rows (ours)
+    double compression_ratio = 1.0;       ///< cross_edges / wire_rows
+    std::uint32_t num_groups = 0;         ///< Σ groups over plans (ours)
+    double mean_group_size = 0.0;         ///< Fig. 10 statistic (edges/group)
+};
+
+/// Run the full Fig. 8 pipeline on a dataset. When cfg.method selects a
+/// baseline the semantic statistics (wire_rows, groups) are still computed
+/// for reference, since they are a static property of the partitioning.
+[[nodiscard]] PipelineResult run_pipeline(const graph::Dataset& data,
+                                          const PipelineConfig& cfg);
+
+} // namespace scgnn::core

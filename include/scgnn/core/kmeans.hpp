@@ -1,0 +1,64 @@
+#pragma once
+/// \file kmeans.hpp
+/// \brief Similarity-driven k-means over DBG adjacency rows — the
+///        cohesion-driven node grouping of §3.2.
+///
+/// The semantic similarity expands a distance space over the source nodes:
+/// assignment maximises similarity to the centroid (via the vectorised
+/// Eq. (2) form, which accepts real-valued centroids), centroids are member
+/// means, and the reported inertia is the classical Euclidean k-means
+/// inertia so the elbow (EEP) search of Fig. 4(b) has its usual monotone
+/// curve.
+
+#include <cstdint>
+#include <vector>
+
+#include "scgnn/core/similarity.hpp"
+#include "scgnn/tensor/matrix.hpp"
+
+namespace scgnn::core {
+
+/// K-means configuration.
+struct KMeansConfig {
+    std::uint32_t k = 8;           ///< number of clusters (>= 1)
+    std::uint32_t max_iters = 50;  ///< Lloyd iterations cap
+    std::uint64_t seed = 13;       ///< k-means++ seeding stream
+    SimilarityKind kind = SimilarityKind::kSemantic;
+};
+
+/// K-means outcome.
+struct KMeansResult {
+    std::vector<std::uint32_t> assignment;  ///< cluster id per input row
+    tensor::Matrix centroids;               ///< (k × dim) member means
+    double inertia = 0.0;                   ///< Σ ‖row − centroid‖²
+    std::uint32_t iterations = 0;           ///< Lloyd iterations executed
+};
+
+/// Cluster the rows of `rows` into `cfg.k` groups. Rows are typically the
+/// dense 0/1 DBG adjacency rows (Dbg::dense_row). Requires at least one
+/// row; k is clamped to the row count. Deterministic given the seed.
+[[nodiscard]] KMeansResult kmeans_rows(const tensor::Matrix& rows,
+                                       const KMeansConfig& cfg);
+
+/// Euclidean inertia of an arbitrary assignment against given centroids —
+/// exposed for tests and for evaluating grouping quality (Fig. 4(b)).
+[[nodiscard]] double euclidean_inertia(const tensor::Matrix& rows,
+                                       const tensor::Matrix& centroids,
+                                       std::span<const std::uint32_t> assignment);
+
+} // namespace scgnn::core
+
+#include "scgnn/graph/bipartite.hpp"
+
+namespace scgnn::core {
+
+/// Sparse-input k-means over the DBG adjacency rows of the source nodes in
+/// `pool` (local source indices). Mathematically identical to running
+/// kmeans_rows on the densified rows but runs in O(nnz·k) per iteration —
+/// the SIMD-friendly Eq. (2) evaluation §3.1 describes, so it scales to
+/// training-size DBGs. Centroids come back dense (k × |V|).
+[[nodiscard]] KMeansResult kmeans_dbg_rows(const graph::Dbg& dbg,
+                                           std::span<const std::uint32_t> pool,
+                                           const KMeansConfig& cfg);
+
+} // namespace scgnn::core

@@ -1,0 +1,41 @@
+#pragma once
+/// \file semantic_aggregate.hpp
+/// \brief Literal reference implementations of Fig. 7: the traditional
+///        per-connection aggregate (a) and the semantic group aggregate
+///        (b). These operate on one DBG and are used by unit tests (to pin
+///        the algebra of fusion/disassembly) and by the kernel benchmarks;
+///        the training-integrated path lives in SemanticCompressor.
+
+#include <cstdint>
+
+#include "scgnn/core/grouping.hpp"
+#include "scgnn/tensor/matrix.hpp"
+
+namespace scgnn::core {
+
+/// Result of aggregating one DBG's messages at the sink side.
+struct AggregateResult {
+    tensor::Matrix sink_values;     ///< (|V| × f) received sums per sink
+    std::uint64_t rows_transmitted = 0;  ///< wire rows (per-edge or per-group)
+};
+
+/// Fig. 7(a): every edge (u,v) transmits h_u; sink v sums its arrivals.
+/// `src` is (|U| × f).
+[[nodiscard]] AggregateResult traditional_aggregate(const graph::Dbg& dbg,
+                                                    const tensor::Matrix& src);
+
+/// Fig. 7(b): per group, fuse h_g = Σ w_out(u)·h_u, transmit one row, and
+/// disassemble at each sink v as D_g(v)·h_g (the L-SALSA-weighted share of
+/// the group message — edges·w_in(v) copies of the fused mean). Raw rows
+/// transmit per-edge as in (a).
+[[nodiscard]] AggregateResult semantic_aggregate(const graph::Dbg& dbg,
+                                                 const Grouping& grouping,
+                                                 const tensor::Matrix& src);
+
+/// Worst-case relative error introduced by the semantic approximation on
+/// this DBG/input: ‖semantic − traditional‖_F / ‖traditional‖_F.
+[[nodiscard]] double approximation_error(const graph::Dbg& dbg,
+                                         const Grouping& grouping,
+                                         const tensor::Matrix& src);
+
+} // namespace scgnn::core

@@ -1,0 +1,75 @@
+#pragma once
+/// \file similarity.hpp
+/// \brief Semantic similarity (Eq. (1)/(2) of the paper) and the Jaccard
+///        baseline it improves on.
+///
+/// For two source nodes u1, u2 of a DBG with neighbour sets N(u1), N(u2):
+///
+///   Jaccard:   J(u1,u2) = |N(u1) ∩ N(u2)| / |N(u1) ∪ N(u2)|
+///   Semantic:  S(u1,u2) = |N(u1) ∩ N(u2)|² / (|N(u1)| + |N(u2)|)
+///
+/// The squared numerator distinguishes fully-connected DBGs of different
+/// sizes (Fig. 3(b)) and super-linearly amplifies strong cohesion while
+/// leaving non-cohesion at zero (the "selective highlight" of §3.1).
+///
+/// Both measures are provided in set form (sorted id lists) and in the
+/// vectorised form of Eq. (2) — dot products against a shared collection
+/// vector C_A — which also generalises to real-valued k-means centroids.
+
+#include <cstdint>
+#include <span>
+
+#include "scgnn/tensor/matrix.hpp"
+
+namespace scgnn::core {
+
+/// |a ∩ b| for two ascending-sorted id lists.
+[[nodiscard]] std::size_t intersection_size(std::span<const std::uint32_t> a,
+                                            std::span<const std::uint32_t> b);
+
+/// Jaccard similarity of two ascending-sorted neighbour lists.
+/// Returns 0 when both are empty.
+[[nodiscard]] double jaccard_similarity(std::span<const std::uint32_t> a,
+                                        std::span<const std::uint32_t> b);
+
+/// Semantic similarity (Eq. (1)) of two ascending-sorted neighbour lists.
+/// Returns 0 when both are empty.
+[[nodiscard]] double semantic_similarity(std::span<const std::uint32_t> a,
+                                         std::span<const std::uint32_t> b);
+
+/// Vectorised semantic similarity (Eq. (2)):
+///   S = (a·b)² / (c_a + c_b)
+/// where c_a, c_b are the entries of the shared collection vector C_A
+/// (row sums of the adjacency). For 0/1 rows this equals the set form;
+/// for real-valued rows (k-means centroids) it is the natural relaxation.
+/// Returns 0 when c_a + c_b == 0.
+[[nodiscard]] double semantic_similarity_vec(std::span<const float> a,
+                                             std::span<const float> b,
+                                             double c_a, double c_b);
+
+/// Vectorised Jaccard relaxation: (a·b) / (c_a + c_b − a·b); 0 when the
+/// denominator vanishes.
+[[nodiscard]] double jaccard_similarity_vec(std::span<const float> a,
+                                            std::span<const float> b,
+                                            double c_a, double c_b);
+
+/// Shared collection vector C_A = A·1 (per-row sums) of a dense row-major
+/// matrix — the precomputation Eq. (2) hoists out of the pairwise loop.
+[[nodiscard]] std::vector<double> collection_vector(const tensor::Matrix& rows);
+
+/// Which similarity the grouping stage runs on.
+enum class SimilarityKind : std::uint8_t {
+    kJaccard = 0,   ///< baseline (Fig. 6 left columns)
+    kSemantic = 1,  ///< the paper's measure (Fig. 6 right columns)
+};
+
+/// Printable name ("jaccard"/"semantic").
+[[nodiscard]] const char* to_string(SimilarityKind kind) noexcept;
+
+/// Dispatch on the vectorised forms.
+[[nodiscard]] double similarity_vec(SimilarityKind kind,
+                                    std::span<const float> a,
+                                    std::span<const float> b, double c_a,
+                                    double c_b);
+
+} // namespace scgnn::core

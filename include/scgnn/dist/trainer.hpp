@@ -1,0 +1,105 @@
+#pragma once
+/// \file trainer.hpp
+/// \brief Distributed full-batch trainer over the simulated fabric.
+///
+/// Partitions are logical devices executed in-process. Model weights are
+/// replicated conceptually (as in synchronous data-parallel GNN training);
+/// because every device sees identical weights after each synchronous
+/// step, the simulation keeps one weight copy and reproduces the same math.
+/// The per-epoch cost is reported as
+///     epoch_ms = compute_ms + comm_ms
+/// where compute_ms is the measured wall time of the epoch's numeric work
+/// divided by the device count (devices run in parallel) and comm_ms is
+/// the fabric's α–β model over the bytes the compressor actually sent.
+
+#include <cstdint>
+#include <vector>
+
+#include "scgnn/comm/fabric.hpp"
+#include "scgnn/dist/compressor.hpp"
+#include "scgnn/dist/context.hpp"
+#include "scgnn/gnn/model.hpp"
+#include "scgnn/gnn/optimizer.hpp"
+#include "scgnn/gnn/trainer.hpp"
+
+namespace scgnn::dist {
+
+/// gnn::Aggregator that performs the distributed aggregate: per-partition
+/// SpMM on [local ; halo] stacks, with the halo rows moved (and possibly
+/// compressed) through a BoundaryCompressor and charged to the fabric.
+/// Input/output matrices are in global row order.
+class DistAggregator final : public gnn::Aggregator {
+public:
+    /// All referenced objects must outlive the aggregator.
+    DistAggregator(const DistContext& ctx, comm::Fabric& fabric,
+                   BoundaryCompressor& compressor);
+
+    [[nodiscard]] tensor::Matrix forward(const tensor::Matrix& h,
+                                         int layer) override;
+    [[nodiscard]] tensor::Matrix backward(const tensor::Matrix& g,
+                                          int layer) override;
+
+private:
+    const DistContext* ctx_;
+    comm::Fabric* fabric_;
+    BoundaryCompressor* comp_;
+};
+
+/// Distributed training-loop configuration.
+struct DistTrainConfig {
+    std::uint32_t epochs = 60;
+    gnn::AdamConfig adam{};
+    gnn::AdjNorm norm = gnn::AdjNorm::kSymmetric;
+    comm::CostModel cost{};
+    bool record_epochs = true;  ///< keep per-epoch metrics
+    /// Early stopping patience on full-graph validation accuracy
+    /// (0 = disabled). The validation pass runs outside the timed epoch
+    /// and off the fabric, so it does not perturb the cost metrics.
+    std::uint32_t patience = 0;
+    /// Multiplicative per-epoch LR decay (1 = constant).
+    float lr_decay = 1.0f;
+    /// Also charge the per-epoch ring all-reduce of the weight gradients
+    /// to the fabric (2·(P−1)/P · |params| bytes per device, as a real
+    /// synchronous data-parallel run pays). Off by default because the
+    /// paper's volumes count only embeddings/gradients of nodes.
+    bool count_weight_sync = false;
+    /// When non-empty, the trained weights are written here (see
+    /// gnn/checkpoint.hpp) after the final epoch.
+    std::string checkpoint_path;
+};
+
+/// Per-epoch observability record.
+struct EpochMetrics {
+    double loss = 0.0;
+    double comm_mb = 0.0;      ///< bytes sent this epoch / 1e6
+    double comm_ms = 0.0;      ///< modelled fabric time
+    double compute_ms = 0.0;   ///< measured wall / num devices
+    double epoch_ms = 0.0;     ///< compute_ms + comm_ms
+};
+
+/// Result of a distributed run. Accuracy is evaluated on the *full*
+/// uncompressed graph with the trained weights (compression is a training-
+/// time mechanism, as in BNS-GCN's protocol).
+struct DistTrainResult {
+    std::vector<EpochMetrics> epoch_metrics;
+    double train_accuracy = 0.0;
+    double val_accuracy = 0.0;
+    double test_accuracy = 0.0;
+    double mean_epoch_ms = 0.0;
+    double mean_comm_ms = 0.0;
+    double mean_compute_ms = 0.0;
+    double mean_comm_mb = 0.0;    ///< per-epoch average volume
+    double total_comm_mb = 0.0;
+    double final_loss = 0.0;
+    std::uint32_t epochs_run = 0;   ///< < epochs when early stopping fired
+    double best_val_accuracy = 0.0; ///< peak validation accuracy observed
+};
+
+/// Train a fresh model on `data` split by `parts`, exchanging boundary rows
+/// through `compressor`. Deterministic given the seeds in the configs.
+[[nodiscard]] DistTrainResult train_distributed(
+    const graph::Dataset& data, const partition::Partitioning& parts,
+    const gnn::GnnConfig& model_cfg, const DistTrainConfig& cfg,
+    BoundaryCompressor& compressor);
+
+} // namespace scgnn::dist

@@ -1,0 +1,25 @@
+#pragma once
+/// \file adjacency.hpp
+/// \brief Normalised adjacency construction for GNN aggregation.
+
+#include "scgnn/graph/graph.hpp"
+#include "scgnn/tensor/sparse.hpp"
+
+namespace scgnn::gnn {
+
+/// How the aggregation matrix is normalised.
+enum class AdjNorm {
+    kSymmetric,  ///< Â = D^{-1/2}(A+I)D^{-1/2} — GCN (Kipf & Welling)
+    kRowMean,    ///< Â = D^{-1}(A+I) — GraphSAGE mean aggregator
+    kSum,        ///< Â = A (no self-loops, unit weights) — GIN sum aggregator
+};
+
+/// Build the normalised aggregation matrix of `g`. kSymmetric/kRowMean add
+/// self-loops; kSum is the raw adjacency (GIN handles the self term with
+/// its (1+ε) factor). kSymmetric and kSum are symmetric (forward and
+/// backward aggregation coincide); kRowMean is not, so the backward pass
+/// uses Âᵀ.
+[[nodiscard]] tensor::SparseMatrix normalized_adjacency(const graph::Graph& g,
+                                                        AdjNorm norm);
+
+} // namespace scgnn::gnn

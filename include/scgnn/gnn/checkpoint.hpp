@@ -1,0 +1,24 @@
+#pragma once
+/// \file checkpoint.hpp
+/// \brief Model checkpointing: save/restore the trainable parameters of a
+///        GnnModel (plain-text, shape-checked). Lets examples and tools
+///        separate training from analysis, and freezes trained weights for
+///        exact cross-run comparisons.
+
+#include <string>
+
+#include "scgnn/gnn/model.hpp"
+
+namespace scgnn::gnn {
+
+/// Write all trainable parameters of `model` to `path`. The file records
+/// the model configuration (dims, layers, kind) so load_checkpoint can
+/// verify compatibility.
+void save_checkpoint(GnnModel& model, const std::string& path);
+
+/// Restore parameters saved by save_checkpoint into `model`. Throws
+/// scgnn::Error when the file is missing/malformed or the recorded
+/// configuration does not match the model's shapes.
+void load_checkpoint(GnnModel& model, const std::string& path);
+
+} // namespace scgnn::gnn

@@ -1,0 +1,66 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Classification metrics beyond plain accuracy: confusion matrix
+///        and per-class precision/recall/F1 — used by the examples to show
+///        *which* classes a compression method degrades, not just how much.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "scgnn/tensor/matrix.hpp"
+
+namespace scgnn::gnn {
+
+/// A (classes × classes) confusion matrix; rows are true classes, columns
+/// are predictions.
+class ConfusionMatrix {
+public:
+    /// Empty matrix for `classes` classes (>= 2).
+    explicit ConfusionMatrix(std::uint32_t classes);
+
+    /// Count one (true, predicted) observation.
+    void add(std::int32_t truth, std::int32_t predicted);
+
+    /// Number of classes.
+    [[nodiscard]] std::uint32_t classes() const noexcept { return k_; }
+
+    /// Count of (true, predicted) cell.
+    [[nodiscard]] std::uint64_t at(std::uint32_t truth,
+                                   std::uint32_t predicted) const;
+
+    /// Total observations.
+    [[nodiscard]] std::uint64_t total() const noexcept;
+
+    /// Overall accuracy (0 when empty).
+    [[nodiscard]] double accuracy() const noexcept;
+
+    /// Precision of class c: TP / (TP + FP); 0 when undefined.
+    [[nodiscard]] double precision(std::uint32_t c) const;
+
+    /// Recall of class c: TP / (TP + FN); 0 when undefined.
+    [[nodiscard]] double recall(std::uint32_t c) const;
+
+    /// F1 of class c (harmonic mean of precision and recall; 0 when
+    /// undefined).
+    [[nodiscard]] double f1(std::uint32_t c) const;
+
+    /// Unweighted mean of per-class F1 scores.
+    [[nodiscard]] double macro_f1() const;
+
+    /// Render as an aligned text table.
+    [[nodiscard]] std::string str() const;
+
+private:
+    std::uint32_t k_;
+    std::vector<std::uint64_t> counts_;  ///< row-major k×k
+};
+
+/// Build the confusion matrix of `logits` against `labels` over the rows
+/// in `mask`.
+[[nodiscard]] ConfusionMatrix confusion_matrix(
+    const tensor::Matrix& logits, std::span<const std::int32_t> labels,
+    std::span<const std::uint32_t> mask, std::uint32_t classes);
+
+} // namespace scgnn::gnn

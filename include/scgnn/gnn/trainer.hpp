@@ -1,0 +1,78 @@
+#pragma once
+/// \file trainer.hpp
+/// \brief Single-device full-batch trainer — the reference implementation
+///        the distributed trainer is validated against (with a vanilla
+///        exchange the two must produce near-identical models).
+
+#include <cstdint>
+#include <vector>
+
+#include "scgnn/gnn/adjacency.hpp"
+#include "scgnn/gnn/model.hpp"
+#include "scgnn/gnn/optimizer.hpp"
+#include "scgnn/graph/dataset.hpp"
+
+namespace scgnn::gnn {
+
+/// Aggregator over a prebuilt sparse matrix (no communication) — what a
+/// single device does.
+class SpmmAggregator final : public Aggregator {
+public:
+    /// `adj` must outlive the aggregator.
+    explicit SpmmAggregator(const tensor::SparseMatrix& adj) : adj_(&adj) {}
+
+    [[nodiscard]] tensor::Matrix forward(const tensor::Matrix& h,
+                                         int layer) override;
+    [[nodiscard]] tensor::Matrix backward(const tensor::Matrix& g,
+                                          int layer) override;
+
+private:
+    const tensor::SparseMatrix* adj_;
+};
+
+/// Training-loop hyper-parameters.
+struct TrainConfig {
+    std::uint32_t epochs = 60;
+    AdamConfig adam{};
+    AdjNorm norm = AdjNorm::kSymmetric;
+    bool record_loss = true;
+    /// Early stopping: stop when the validation accuracy has not improved
+    /// for `patience` consecutive evaluations. 0 disables (fixed epochs).
+    /// Requires a non-empty val split when enabled.
+    std::uint32_t patience = 0;
+    /// Multiplicative learning-rate decay applied after every epoch
+    /// (1 = constant LR).
+    float lr_decay = 1.0f;
+};
+
+/// Outcome of a training run.
+struct TrainResult {
+    std::vector<double> losses;     ///< per-epoch train loss (if recorded)
+    double train_accuracy = 0.0;
+    double val_accuracy = 0.0;
+    double test_accuracy = 0.0;
+    double mean_epoch_ms = 0.0;     ///< measured wall time per epoch
+    std::uint32_t epochs_run = 0;   ///< < epochs when early stopping fired
+    double best_val_accuracy = 0.0; ///< peak validation accuracy observed
+};
+
+/// Train a fresh model on the dataset, single-device. Deterministic given
+/// the model seed in `model_cfg`.
+[[nodiscard]] TrainResult train_single_device(const graph::Dataset& data,
+                                              const GnnConfig& model_cfg,
+                                              const TrainConfig& train_cfg);
+
+/// One complete epoch (forward, loss, backward, step) on a prebuilt model
+/// and aggregator; returns the train loss. Shared by both trainers.
+[[nodiscard]] double run_epoch(GnnModel& model, Adam& opt, Aggregator& agg,
+                               const tensor::Matrix& features,
+                               std::span<const std::int32_t> labels,
+                               std::span<const std::uint32_t> train_mask);
+
+/// Evaluate accuracy of `model` on the rows of `mask` (forward only).
+[[nodiscard]] double evaluate_accuracy(GnnModel& model, Aggregator& agg,
+                                       const tensor::Matrix& features,
+                                       std::span<const std::int32_t> labels,
+                                       std::span<const std::uint32_t> mask);
+
+} // namespace scgnn::gnn

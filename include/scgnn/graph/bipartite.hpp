@@ -1,0 +1,119 @@
+#pragma once
+/// \file bipartite.hpp
+/// \brief Directed bipartite graph (DBG) extraction and connection-type
+///        classification — the objects §3.1 and Fig. 2(c)/(d) of the paper
+///        are defined on.
+///
+/// For an ordered partition pair (p → q) the DBG collects the boundary
+/// nodes of p that have at least one neighbour in q (sources U), the
+/// boundary nodes of q reached from them (sinks V), and the cross-partition
+/// edges E(U→V). During training every source must ship its embedding to q
+/// along these edges; SC-GNN compresses them group-wise.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "scgnn/graph/graph.hpp"
+
+namespace scgnn::graph {
+
+/// Directed bipartite graph between one ordered pair of partitions.
+/// Local indices are positions in `src_nodes` / `dst_nodes` (both sorted by
+/// global id); the edge structure is CSR over local source index.
+struct Dbg {
+    std::uint32_t src_part = 0;             ///< source partition id (p)
+    std::uint32_t dst_part = 0;             ///< sink partition id (q)
+    std::vector<std::uint32_t> src_nodes;   ///< global ids of U, ascending
+    std::vector<std::uint32_t> dst_nodes;   ///< global ids of V, ascending
+    std::vector<std::uint64_t> ptr{0};      ///< CSR row pointers, |U|+1
+    std::vector<std::uint32_t> adj;         ///< local sink indices, ascending per row
+
+    /// |U| — number of source boundary nodes.
+    [[nodiscard]] std::uint32_t num_src() const noexcept {
+        return static_cast<std::uint32_t>(src_nodes.size());
+    }
+
+    /// |V| — number of sink boundary nodes.
+    [[nodiscard]] std::uint32_t num_dst() const noexcept {
+        return static_cast<std::uint32_t>(dst_nodes.size());
+    }
+
+    /// |E(U→V)| — number of cross-partition edges.
+    [[nodiscard]] std::uint64_t num_edges() const noexcept {
+        return adj.size();
+    }
+
+    /// Sorted local sink indices reachable from local source `lu`.
+    [[nodiscard]] std::span<const std::uint32_t> out_neighbors(
+        std::uint32_t lu) const;
+
+    /// Out-degree of local source `lu` within this DBG.
+    [[nodiscard]] std::uint32_t out_degree(std::uint32_t lu) const;
+
+    /// In-degree of every local sink (computed on demand, |V| entries).
+    [[nodiscard]] std::vector<std::uint32_t> in_degrees() const;
+
+    /// Dense 0/1 adjacency row of local source `lu` (length |V|) — the A_u
+    /// vector of Eq. (2), used by the similarity and k-means code.
+    [[nodiscard]] std::vector<float> dense_row(std::uint32_t lu) const;
+};
+
+/// Extract the DBG for the ordered pair (src_part → dst_part). `part_of`
+/// assigns every node of `g` to a partition. The result may be empty (no
+/// cross edges).
+[[nodiscard]] Dbg extract_dbg(const Graph& g,
+                              std::span<const std::uint32_t> part_of,
+                              std::uint32_t src_part, std::uint32_t dst_part);
+
+/// Extract the DBGs of every ordered pair that has at least one edge.
+[[nodiscard]] std::vector<Dbg> extract_all_dbgs(
+    const Graph& g, std::span<const std::uint32_t> part_of,
+    std::uint32_t num_parts);
+
+/// Connection type of a single cross-partition edge, per Fig. 2(c): the
+/// edge (u,v) is O2O when both endpoints touch exactly one cross edge in
+/// this DBG, O2M when only u fans out, M2O when only v fans in, M2M
+/// otherwise.
+enum class ConnectionType : std::uint8_t { kO2O = 0, kO2M = 1, kM2O = 2, kM2M = 3 };
+
+/// Printable name of a connection type ("O2O" etc.).
+[[nodiscard]] const char* to_string(ConnectionType t) noexcept;
+
+/// Per-edge connection types, in CSR order (same order as Dbg::adj).
+[[nodiscard]] std::vector<ConnectionType> classify_edges(const Dbg& dbg);
+
+/// Aggregate counts of the four connection types.
+struct ConnectionMix {
+    std::uint64_t count[4] = {0, 0, 0, 0};
+
+    /// Total classified edges.
+    [[nodiscard]] std::uint64_t total() const noexcept {
+        return count[0] + count[1] + count[2] + count[3];
+    }
+
+    /// Fraction of edges with the given type (0 when empty).
+    [[nodiscard]] double fraction(ConnectionType t) const noexcept {
+        const auto tot = total();
+        return tot == 0 ? 0.0
+                        : static_cast<double>(count[static_cast<int>(t)]) /
+                              static_cast<double>(tot);
+    }
+
+    /// Merge another mix into this one.
+    void merge(const ConnectionMix& o) noexcept {
+        for (int i = 0; i < 4; ++i) count[i] += o.count[i];
+    }
+};
+
+/// Connection mix of one DBG.
+[[nodiscard]] ConnectionMix connection_mix(const Dbg& dbg);
+
+/// Connection mix aggregated over all ordered partition pairs — the Fig. 2(d)
+/// statistic.
+[[nodiscard]] ConnectionMix connection_mix(const Graph& g,
+                                           std::span<const std::uint32_t> part_of,
+                                           std::uint32_t num_parts);
+
+} // namespace scgnn::graph

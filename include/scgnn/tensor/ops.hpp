@@ -1,0 +1,76 @@
+#pragma once
+/// \file ops.hpp
+/// \brief Dense kernels used by the GNN layers: GEMM variants, activations,
+///        softmax + cross-entropy (forward and backward) and small row-wise
+///        utilities. All kernels are written against Matrix and are
+///        deliberately cache-friendly (i-k-j loop order) but otherwise
+///        straightforward — the reproduction's bottleneck is communication,
+///        matching the paper's Fig. 2(b) breakdown.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "scgnn/tensor/matrix.hpp"
+
+namespace scgnn::tensor {
+
+/// C = A · B. Shapes: (m×k)·(k×n) → (m×n).
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = Aᵀ · B. Shapes: (k×m)ᵀ·(k×n) → (m×n). Used by weight gradients.
+[[nodiscard]] Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A · Bᵀ. Shapes: (m×k)·(n×k)ᵀ → (m×n). Used by input gradients.
+[[nodiscard]] Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// Element-wise ReLU, returning a new matrix.
+[[nodiscard]] Matrix relu(const Matrix& x);
+
+/// ReLU backward: grad_in = grad_out ⊙ 1[x > 0], where `x` is the *input*
+/// that was fed to relu().
+[[nodiscard]] Matrix relu_backward(const Matrix& grad_out, const Matrix& x);
+
+/// Row-wise numerically-stable softmax.
+[[nodiscard]] Matrix row_softmax(const Matrix& logits);
+
+/// Mean softmax cross-entropy over the rows listed in `mask` (the train/test
+/// split). `labels[r]` is the class index of row r. Returns the mean loss.
+[[nodiscard]] double softmax_cross_entropy(
+    const Matrix& logits, std::span<const std::int32_t> labels,
+    std::span<const std::uint32_t> mask);
+
+/// Gradient of mean softmax cross-entropy w.r.t. the logits; rows not in
+/// `mask` receive zero gradient. Matches softmax_cross_entropy above.
+[[nodiscard]] Matrix softmax_cross_entropy_grad(
+    const Matrix& logits, std::span<const std::int32_t> labels,
+    std::span<const std::uint32_t> mask);
+
+/// Per-row argmax (predicted class per node).
+[[nodiscard]] std::vector<std::int32_t> row_argmax(const Matrix& logits);
+
+/// Fraction of rows in `mask` whose argmax equals the label — the "test
+/// accuracy" column of Table 1.
+[[nodiscard]] double masked_accuracy(const Matrix& logits,
+                                     std::span<const std::int32_t> labels,
+                                     std::span<const std::uint32_t> mask);
+
+/// Micro-averaged F1 over the rows in `mask` (equals accuracy for
+/// single-label classification, kept for parity with Yelp-style reporting).
+[[nodiscard]] double masked_micro_f1(const Matrix& logits,
+                                     std::span<const std::int32_t> labels,
+                                     std::span<const std::uint32_t> mask);
+
+/// out = a + b (new matrix); shapes must match.
+[[nodiscard]] Matrix add(const Matrix& a, const Matrix& b);
+
+/// y += alpha * x over the full payload; shapes must match.
+void axpy(float alpha, const Matrix& x, Matrix& y);
+
+/// Scale every row r of `m` by `scale[r]`. Requires scale.size()==m.rows().
+void scale_rows(Matrix& m, std::span<const float> scale);
+
+/// Transpose (m×n) → (n×m).
+[[nodiscard]] Matrix transpose(const Matrix& m);
+
+} // namespace scgnn::tensor

@@ -1,0 +1,96 @@
+#pragma once
+/// \file sparse.hpp
+/// \brief CSR sparse matrix and SpMM — the aggregate kernel Â·H at the heart
+///        of full-batch GNN training (Fig. 2(a) of the paper).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "scgnn/tensor/matrix.hpp"
+
+namespace scgnn::tensor {
+
+/// One nonzero in coordinate form, used to assemble CSR matrices.
+struct Triplet {
+    std::uint32_t row;
+    std::uint32_t col;
+    float value;
+};
+
+/// Immutable CSR (compressed sparse row) matrix of f32.
+///
+/// Built once from triplets (duplicates are summed, as graph adjacency
+/// assembly requires) and then used read-only by SpMM; this mirrors how the
+/// normalised adjacency Â is prepared once per partitioning and reused every
+/// epoch.
+class SparseMatrix {
+public:
+    /// Empty 0×0 matrix.
+    SparseMatrix() = default;
+
+    /// Assemble from triplets. Duplicate (row,col) entries are summed.
+    /// Triplets may arrive in any order.
+    SparseMatrix(std::size_t rows, std::size_t cols,
+                 std::vector<Triplet> triplets);
+
+    /// Number of rows.
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+    /// Number of columns.
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+    /// Number of stored nonzeros.
+    [[nodiscard]] std::size_t nnz() const noexcept { return col_.size(); }
+
+    /// Row-pointer array (size rows()+1).
+    [[nodiscard]] std::span<const std::uint64_t> row_ptr() const noexcept {
+        return ptr_;
+    }
+
+    /// Column indices of the nonzeros, row by row, ascending within a row.
+    [[nodiscard]] std::span<const std::uint32_t> col_idx() const noexcept {
+        return col_;
+    }
+
+    /// Values of the nonzeros, parallel to col_idx().
+    [[nodiscard]] std::span<const float> values() const noexcept { return val_; }
+
+    /// Column indices of row r.
+    [[nodiscard]] std::span<const std::uint32_t> row_cols(std::size_t r) const;
+
+    /// Values of row r.
+    [[nodiscard]] std::span<const float> row_vals(std::size_t r) const;
+
+    /// Dense lookup of element (r,c); O(log nnz(r)).
+    [[nodiscard]] float coeff(std::size_t r, std::size_t c) const;
+
+    /// Transposed copy.
+    [[nodiscard]] SparseMatrix transposed() const;
+
+    /// Dense (rows×cols) copy — for tests on tiny matrices only.
+    [[nodiscard]] Matrix to_dense() const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<std::uint64_t> ptr_{0};
+    std::vector<std::uint32_t> col_;
+    std::vector<float> val_;
+};
+
+/// y = S · x, the SpMM aggregate: (rows×cols)·(cols×f) → (rows×f).
+[[nodiscard]] Matrix spmm(const SparseMatrix& s, const Matrix& x);
+
+/// y = Sᵀ · x without materialising the transpose: (cols×f) output.
+/// Used by the backward pass of the aggregation.
+[[nodiscard]] Matrix spmm_transposed(const SparseMatrix& s, const Matrix& x);
+
+/// Multi-threaded spmm: rows are split across `threads` workers (each row
+/// of the output is owned by exactly one worker, so no synchronisation is
+/// needed). threads == 0 picks the hardware concurrency; threads == 1
+/// falls back to the serial kernel. Bit-identical to spmm().
+[[nodiscard]] Matrix spmm_parallel(const SparseMatrix& s, const Matrix& x,
+                                   unsigned threads = 0);
+
+} // namespace scgnn::tensor

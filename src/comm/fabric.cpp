@@ -1,0 +1,100 @@
+#include "scgnn/comm/fabric.hpp"
+
+#include <algorithm>
+
+namespace scgnn::comm {
+
+Fabric::Fabric(std::uint32_t num_devices, CostModel model)
+    : n_(num_devices), model_(model) {
+    SCGNN_CHECK(n_ >= 1, "fabric needs at least one device");
+    SCGNN_CHECK(model_.latency_s >= 0.0, "latency must be non-negative");
+    SCGNN_CHECK(model_.bandwidth_bytes_per_s > 0.0,
+                "bandwidth must be positive");
+    pair_.assign(static_cast<std::size_t>(n_) * n_, {});
+    has_override_.assign(pair_.size(), 0);
+    override_.assign(pair_.size(), model_);
+}
+
+void Fabric::set_link(std::uint32_t src, std::uint32_t dst, CostModel model) {
+    SCGNN_CHECK(model.latency_s >= 0.0, "latency must be non-negative");
+    SCGNN_CHECK(model.bandwidth_bytes_per_s > 0.0,
+                "bandwidth must be positive");
+    const std::size_t i = idx(src, dst);
+    has_override_[i] = 1;
+    override_[i] = model;
+}
+
+const CostModel& Fabric::link_model(std::uint32_t src,
+                                    std::uint32_t dst) const {
+    const std::size_t i = idx(src, dst);
+    return has_override_[i] ? override_[i] : model_;
+}
+
+void Fabric::record(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes,
+                    std::uint64_t messages) {
+    auto& slot = pair_[idx(src, dst)];
+    slot.bytes += bytes;
+    slot.messages += messages;
+}
+
+TrafficStats Fabric::epoch_stats() const noexcept {
+    TrafficStats total;
+    for (const auto& p : pair_) total.merge(p);
+    return total;
+}
+
+TrafficStats Fabric::total_stats() const noexcept {
+    TrafficStats total = epoch_stats();
+    for (const auto& h : history_) total.merge(h);
+    return total;
+}
+
+TrafficStats Fabric::pair_stats(std::uint32_t src, std::uint32_t dst) const {
+    return pair_[idx(src, dst)];
+}
+
+double Fabric::epoch_comm_seconds() const noexcept {
+    // Each device serialises its own in+out transfers (NIC model); each
+    // link is charged by its own cost model; devices run in parallel.
+    double worst = 0.0;
+    for (std::uint32_t d = 0; d < n_; ++d) {
+        double dev = 0.0;
+        for (std::uint32_t o = 0; o < n_; ++o) {
+            if (o == d) continue;
+            const std::size_t out_i = static_cast<std::size_t>(d) * n_ + o;
+            const std::size_t in_i = static_cast<std::size_t>(o) * n_ + d;
+            const CostModel& out_m =
+                has_override_[out_i] ? override_[out_i] : model_;
+            const CostModel& in_m =
+                has_override_[in_i] ? override_[in_i] : model_;
+            dev += out_m.seconds(pair_[out_i].bytes, pair_[out_i].messages);
+            dev += in_m.seconds(pair_[in_i].bytes, pair_[in_i].messages);
+        }
+        worst = std::max(worst, dev);
+    }
+    return worst;
+}
+
+void Fabric::end_epoch() {
+    history_.push_back(epoch_stats());
+    history_seconds_.push_back(epoch_comm_seconds());
+    std::fill(pair_.begin(), pair_.end(), TrafficStats{});
+}
+
+const TrafficStats& Fabric::epoch_history(std::size_t e) const {
+    SCGNN_CHECK(e < history_.size(), "epoch index out of range");
+    return history_[e];
+}
+
+double Fabric::epoch_history_seconds(std::size_t e) const {
+    SCGNN_CHECK(e < history_seconds_.size(), "epoch index out of range");
+    return history_seconds_[e];
+}
+
+void Fabric::clear() {
+    std::fill(pair_.begin(), pair_.end(), TrafficStats{});
+    history_.clear();
+    history_seconds_.clear();
+}
+
+} // namespace scgnn::comm

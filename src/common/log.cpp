@@ -1,0 +1,41 @@
+#include "scgnn/common/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace scgnn {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel l) {
+    switch (l) {
+        case LogLevel::kDebug: return "debug";
+        case LogLevel::kInfo: return "info";
+        case LogLevel::kWarn: return "warn";
+        case LogLevel::kError: return "error";
+    }
+    return "?";
+}
+
+} // namespace
+
+void set_log_level(LogLevel level) noexcept {
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+    return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log(LogLevel level, std::string_view message) {
+    if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard lock(g_mutex);
+    std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+                 static_cast<int>(message.size()), message.data());
+}
+
+} // namespace scgnn

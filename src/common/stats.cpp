@@ -1,0 +1,129 @@
+#include "scgnn/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "scgnn/common/error.hpp"
+
+namespace scgnn {
+
+void RunningStat::add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::span<const double> sample, double q) {
+    SCGNN_CHECK(!sample.empty(), "percentile of an empty sample");
+    SCGNN_CHECK(q >= 0.0 && q <= 1.0, "percentile rank must be in [0,1]");
+    std::vector<double> s(sample.begin(), sample.end());
+    std::sort(s.begin(), s.end());
+    if (s.size() == 1) return s[0];
+    const double pos = q * static_cast<double>(s.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, s.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return s[lo] + frac * (s[hi] - s[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+    SCGNN_CHECK(bins >= 1, "histogram needs at least one bin");
+    SCGNN_CHECK(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::add(double x) noexcept {
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto i = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+    i = std::clamp<std::ptrdiff_t>(i, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(i)];
+    ++total_;
+}
+
+std::uint64_t Histogram::bin_count(std::size_t i) const {
+    SCGNN_CHECK(i < counts_.size(), "histogram bin out of range");
+    return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+    SCGNN_CHECK(i < counts_.size(), "histogram bin out of range");
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+    SCGNN_CHECK(i < counts_.size(), "histogram bin out of range");
+    return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) /
+                     static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+    std::uint64_t peak = 1;
+    for (auto c : counts_) peak = std::max(peak, c);
+    std::string out;
+    char buf[64];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar =
+            static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                     static_cast<double>(peak) *
+                                     static_cast<double>(width));
+        std::snprintf(buf, sizeof buf, "[%9.2f,%9.2f) %8llu |", bin_lo(i),
+                      bin_hi(i), static_cast<unsigned long long>(counts_[i]));
+        out += buf;
+        out.append(bar, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+std::vector<double> discrete_curvature(std::span<const double> xs,
+                                       std::span<const double> ys) {
+    SCGNN_CHECK(xs.size() == ys.size(), "curvature needs matching x/y lengths");
+    SCGNN_CHECK(xs.size() >= 3, "curvature needs at least three points");
+    for (std::size_t i = 1; i < xs.size(); ++i)
+        SCGNN_CHECK(xs[i] > xs[i - 1], "curvature x-values must be increasing");
+
+    std::vector<double> kappa(xs.size(), 0.0);
+    for (std::size_t i = 1; i + 1 < xs.size(); ++i) {
+        const double h1 = xs[i] - xs[i - 1];
+        const double h2 = xs[i + 1] - xs[i];
+        // First and second derivatives from the non-uniform 3-point stencil.
+        const double d1 = (ys[i + 1] - ys[i - 1]) / (h1 + h2);
+        const double d2 =
+            2.0 * (h1 * ys[i + 1] - (h1 + h2) * ys[i] + h2 * ys[i - 1]) /
+            (h1 * h2 * (h1 + h2));
+        const double denom = std::pow(1.0 + d1 * d1, 1.5);
+        kappa[i] = std::abs(d2) / denom;
+    }
+    return kappa;
+}
+
+} // namespace scgnn

@@ -1,0 +1,103 @@
+#include "scgnn/common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "scgnn/common/error.hpp"
+
+namespace scgnn {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+    if (s.empty()) return false;
+    for (char c : s)
+        if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+              c == '-' || c == '+' || c == 'e' || c == 'E' || c == '%' ||
+              c == 'x' || c == ','))
+            return false;
+    return std::isdigit(static_cast<unsigned char>(s.front())) ||
+           s.front() == '-' || s.front() == '+' || s.front() == '.';
+}
+
+} // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    SCGNN_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    SCGNN_CHECK(cells.size() == headers_.size(),
+                "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int prec) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+    return buf;
+}
+
+std::string Table::num(std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string Table::pct(double fraction, int prec) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f%%", prec, fraction * 100.0);
+    return buf;
+}
+
+std::string Table::str() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const std::size_t pad = width[c] - row[c].size();
+            out += "| ";
+            if (looks_numeric(row[c])) {
+                out.append(pad, ' ');
+                out += row[c];
+            } else {
+                out += row[c];
+                out.append(pad, ' ');
+            }
+            out += ' ';
+        }
+        out += "|\n";
+    };
+
+    std::string out;
+    emit_row(headers_, out);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        out += "|-";
+        out.append(width[c], '-');
+        out += '-';
+    }
+    out += "|\n";
+    for (const auto& row : rows_) emit_row(row, out);
+    return out;
+}
+
+std::string Table::csv() const {
+    auto emit = [](const std::vector<std::string>& row, std::string& out) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) out += ',';
+            out += row[c];
+        }
+        out += '\n';
+    };
+    std::string out;
+    emit(headers_, out);
+    for (const auto& row : rows_) emit(row, out);
+    return out;
+}
+
+} // namespace scgnn

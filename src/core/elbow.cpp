@@ -1,0 +1,93 @@
+#include "scgnn/core/elbow.hpp"
+
+#include <algorithm>
+
+#include "scgnn/common/stats.hpp"
+
+namespace scgnn::core {
+
+ElbowResult pick_elbow(std::vector<std::uint32_t> ks,
+                       std::vector<double> inertia) {
+    SCGNN_CHECK(!ks.empty(), "elbow selection needs at least one point");
+    SCGNN_CHECK(ks.size() == inertia.size(), "ks/inertia length mismatch");
+
+    ElbowResult res;
+    res.ks = std::move(ks);
+    res.inertia = std::move(inertia);
+
+    if (res.ks.size() < 3) {
+        res.best_k = res.ks.front();
+        res.curvature.assign(res.ks.size(), 0.0);
+        return res;
+    }
+
+    // Normalise both axes to [0,1] so curvature is scale-free, then pick
+    // the interior point of maximum curvature — "the most distorted point".
+    std::vector<double> xs(res.ks.size()), ys(res.ks.size());
+    const double x_lo = res.ks.front(), x_hi = res.ks.back();
+    double y_lo = res.inertia[0], y_hi = res.inertia[0];
+    for (double v : res.inertia) {
+        y_lo = std::min(y_lo, v);
+        y_hi = std::max(y_hi, v);
+    }
+    const double y_span = std::max(y_hi - y_lo, 1e-12);
+    for (std::size_t i = 0; i < res.ks.size(); ++i) {
+        xs[i] = (static_cast<double>(res.ks[i]) - x_lo) / (x_hi - x_lo);
+        ys[i] = (res.inertia[i] - y_lo) / y_span;
+    }
+    res.curvature = discrete_curvature(xs, ys);
+
+    std::size_t best = 1;
+    for (std::size_t i = 1; i + 1 < res.curvature.size(); ++i)
+        if (res.curvature[i] > res.curvature[best]) best = i;
+    res.best_k = res.ks[best];
+    return res;
+}
+
+namespace {
+
+void check_sweep(const ElbowConfig& cfg) {
+    SCGNN_CHECK(cfg.k_min >= 1, "k_min must be at least 1");
+    SCGNN_CHECK(cfg.k_step >= 1, "k_step must be at least 1");
+    SCGNN_CHECK(cfg.k_max >= cfg.k_min, "k_max must be >= k_min");
+}
+
+} // namespace
+
+ElbowResult find_eep(const tensor::Matrix& rows, const ElbowConfig& cfg) {
+    check_sweep(cfg);
+    const auto n = static_cast<std::uint32_t>(rows.rows());
+    const std::uint32_t k_hi = std::min(cfg.k_max, n);
+
+    std::vector<std::uint32_t> ks;
+    std::vector<double> inertia;
+    for (std::uint32_t k = cfg.k_min; k <= k_hi; k += cfg.k_step) {
+        KMeansConfig kc = cfg.kmeans;
+        kc.k = k;
+        ks.push_back(k);
+        inertia.push_back(kmeans_rows(rows, kc).inertia);
+    }
+    SCGNN_CHECK(!ks.empty(), "elbow sweep produced no points");
+    return pick_elbow(std::move(ks), std::move(inertia));
+}
+
+ElbowResult find_eep_dbg(const graph::Dbg& dbg,
+                         std::span<const std::uint32_t> pool,
+                         const ElbowConfig& cfg) {
+    check_sweep(cfg);
+    const auto n = static_cast<std::uint32_t>(pool.size());
+    const std::uint32_t k_hi = std::min(cfg.k_max, n);
+
+    std::vector<std::uint32_t> ks;
+    std::vector<double> inertia;
+    for (std::uint32_t k = cfg.k_min; k <= k_hi; k += cfg.k_step) {
+        KMeansConfig kc = cfg.kmeans;
+        kc.k = k;
+        ks.push_back(k);
+        inertia.push_back(kmeans_dbg_rows(dbg, pool, kc).inertia);
+    }
+    SCGNN_CHECK(!ks.empty(), "elbow sweep produced no points");
+    return pick_elbow(std::move(ks), std::move(inertia));
+}
+
+} // namespace scgnn::core

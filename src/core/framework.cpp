@@ -1,0 +1,168 @@
+#include "scgnn/core/framework.hpp"
+
+namespace scgnn::core {
+
+const char* to_string(Method m) noexcept {
+    switch (m) {
+        case Method::kVanilla: return "Vanilla.";
+        case Method::kSampling: return "Samp.";
+        case Method::kQuant: return "Quant.";
+        case Method::kDelay: return "Delay.";
+        case Method::kSemantic: return "Ours";
+    }
+    return "?";
+}
+
+std::vector<Method> all_methods() {
+    return {Method::kVanilla, Method::kDelay, Method::kQuant,
+            Method::kSampling, Method::kSemantic};
+}
+
+std::unique_ptr<dist::BoundaryCompressor> make_compressor(
+    const MethodConfig& cfg) {
+    switch (cfg.method) {
+        case Method::kVanilla:
+            return std::make_unique<dist::VanillaExchange>();
+        case Method::kSampling:
+            return std::make_unique<baselines::SamplingCompressor>(cfg.sampling);
+        case Method::kQuant:
+            return std::make_unique<baselines::QuantCompressor>(cfg.quant);
+        case Method::kDelay:
+            return std::make_unique<baselines::DelayCompressor>(cfg.delay);
+        case Method::kSemantic:
+            return std::make_unique<SemanticCompressor>(cfg.semantic);
+    }
+    throw Error("unknown method");
+}
+
+// ------------------------------------------------------- ComposedCompressor
+
+ComposedCompressor::ComposedCompressor(
+    std::vector<std::unique_ptr<dist::BoundaryCompressor>> stages)
+    : stages_(std::move(stages)) {
+    SCGNN_CHECK(!stages_.empty(), "composition needs at least one stage");
+    for (const auto& s : stages_)
+        SCGNN_CHECK(s != nullptr, "null stage in composition");
+}
+
+std::string ComposedCompressor::name() const {
+    std::string n = stages_[0]->name();
+    for (std::size_t i = 1; i < stages_.size(); ++i) n += "+" + stages_[i]->name();
+    return n;
+}
+
+void ComposedCompressor::setup(const dist::DistContext& ctx) {
+    for (auto& s : stages_) s->setup(ctx);
+}
+
+void ComposedCompressor::begin_epoch(std::uint64_t epoch) {
+    for (auto& s : stages_) s->begin_epoch(epoch);
+}
+
+std::uint64_t ComposedCompressor::forward_rows(const dist::DistContext& ctx,
+                                               std::size_t plan_idx, int layer,
+                                               const tensor::Matrix& src,
+                                               tensor::Matrix& out) {
+    const dist::PairPlan& plan = ctx.plans()[plan_idx];
+    const double vanilla_bytes = static_cast<double>(plan.num_edges()) *
+                                 src.cols() * sizeof(float);
+    tensor::Matrix cur = src;
+    double bytes = 0.0;
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        tensor::Matrix next;
+        const auto stage_bytes = static_cast<double>(
+            stages_[i]->forward_rows(ctx, plan_idx, layer, cur, next));
+        if (i == 0)
+            bytes = stage_bytes;  // base volume
+        else if (vanilla_bytes > 0.0)
+            bytes *= stage_bytes / vanilla_bytes;  // relative factor
+        cur = std::move(next);
+    }
+    out = std::move(cur);
+    return static_cast<std::uint64_t>(bytes);
+}
+
+std::uint64_t ComposedCompressor::backward_rows(const dist::DistContext& ctx,
+                                                std::size_t plan_idx, int layer,
+                                                const tensor::Matrix& grad_in,
+                                                tensor::Matrix& grad_out) {
+    const dist::PairPlan& plan = ctx.plans()[plan_idx];
+    const double vanilla_bytes = static_cast<double>(plan.num_edges()) *
+                                 grad_in.cols() * sizeof(float);
+    // Adjoint order: last forward stage first. Stage 0 owns the wire
+    // representation (base volume); later stages contribute relative
+    // factors, as in the forward direction.
+    tensor::Matrix cur = grad_in;
+    std::vector<double> per_stage(stages_.size(), 0.0);
+    for (std::size_t i = stages_.size(); i-- > 0;) {
+        tensor::Matrix next;
+        per_stage[i] = static_cast<double>(
+            stages_[i]->backward_rows(ctx, plan_idx, layer, cur, next));
+        cur = std::move(next);
+    }
+    grad_out = std::move(cur);
+    double bytes = per_stage[0];
+    for (std::size_t i = 1; i < stages_.size(); ++i)
+        if (vanilla_bytes > 0.0) bytes *= per_stage[i] / vanilla_bytes;
+    return static_cast<std::uint64_t>(bytes);
+}
+
+// ----------------------------------------------------------------- Pipeline
+
+PipelineResult run_pipeline(const graph::Dataset& data,
+                            const PipelineConfig& cfg) {
+    const partition::Partitioning parts = partition::make_partitioning(
+        cfg.algo, data.graph, cfg.num_parts, cfg.partition_seed);
+
+    PipelineResult res;
+    res.partition_quality = partition::evaluate(data.graph, parts);
+
+    const std::unique_ptr<dist::BoundaryCompressor> comp =
+        make_compressor(cfg.method);
+    res.train =
+        train_distributed(data, parts, cfg.model, cfg.train, *comp);
+
+    // Static semantic statistics of this partitioning (cheap to recompute
+    // when the training method was a baseline).
+    const dist::DistContext ctx(data, parts, cfg.train.norm);
+    res.cross_edges = ctx.total_cross_edges();
+    if (cfg.method.method == Method::kSemantic) {
+        const auto* sem = dynamic_cast<const SemanticCompressor*>(comp.get());
+        SCGNN_ASSERT(sem != nullptr, "semantic method without SemanticCompressor");
+        res.wire_rows = sem->total_wire_rows();
+        std::uint64_t edges_in_groups = 0;
+        std::uint32_t groups = 0;
+        for (std::size_t pi = 0; pi < ctx.plans().size(); ++pi) {
+            const Grouping& g = sem->grouping(pi);
+            groups += static_cast<std::uint32_t>(g.groups.size());
+            edges_in_groups += g.grouped_edges();
+        }
+        res.num_groups = groups;
+        res.mean_group_size =
+            groups == 0 ? 0.0
+                        : static_cast<double>(edges_in_groups) / groups;
+    } else {
+        SemanticCompressor sem(cfg.method.semantic);
+        sem.setup(ctx);
+        res.wire_rows = sem.total_wire_rows();
+        std::uint64_t edges_in_groups = 0;
+        std::uint32_t groups = 0;
+        for (std::size_t pi = 0; pi < ctx.plans().size(); ++pi) {
+            const Grouping& g = sem.grouping(pi);
+            groups += static_cast<std::uint32_t>(g.groups.size());
+            edges_in_groups += g.grouped_edges();
+        }
+        res.num_groups = groups;
+        res.mean_group_size =
+            groups == 0 ? 0.0
+                        : static_cast<double>(edges_in_groups) / groups;
+    }
+    res.compression_ratio =
+        res.wire_rows == 0
+            ? 1.0
+            : static_cast<double>(res.cross_edges) /
+                  static_cast<double>(res.wire_rows);
+    return res;
+}
+
+} // namespace scgnn::core

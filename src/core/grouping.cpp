@@ -1,0 +1,206 @@
+#include "scgnn/core/grouping.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace scgnn::core {
+
+using graph::ConnectionType;
+using graph::Dbg;
+
+std::vector<ConnectionType> classify_sources(const Dbg& dbg) {
+    const auto in_deg = dbg.in_degrees();
+    std::vector<ConnectionType> cls(dbg.num_src());
+    for (std::uint32_t u = 0; u < dbg.num_src(); ++u) {
+        const auto sinks = dbg.out_neighbors(u);
+        if (sinks.size() == 1) {
+            cls[u] = in_deg[sinks[0]] == 1 ? ConnectionType::kO2O
+                                           : ConnectionType::kM2O;
+        } else {
+            bool any_shared = false;
+            for (std::uint32_t v : sinks)
+                if (in_deg[v] > 1) {
+                    any_shared = true;
+                    break;
+                }
+            cls[u] = any_shared ? ConnectionType::kM2M : ConnectionType::kO2M;
+        }
+    }
+    return cls;
+}
+
+namespace {
+
+/// Assemble a SemanticGroup from its member source rows, computing the
+/// in-group degrees and the L-SALSA weights.
+SemanticGroup make_group(const Dbg& dbg, std::vector<std::uint32_t> members,
+                         ConnectionType origin) {
+    SemanticGroup g;
+    g.origin = origin;
+    g.members = std::move(members);
+    std::sort(g.members.begin(), g.members.end());
+
+    std::map<std::uint32_t, std::uint32_t> sink_deg;  // ordered → sorted sinks
+    for (std::uint32_t u : g.members) {
+        g.edges += dbg.out_degree(u);
+        for (std::uint32_t v : dbg.out_neighbors(u)) ++sink_deg[v];
+    }
+    SCGNN_ASSERT(g.edges > 0, "a semantic group must cover at least one edge");
+
+    g.out_weights.reserve(g.members.size());
+    const auto inv_e = static_cast<float>(1.0 / static_cast<double>(g.edges));
+    for (std::uint32_t u : g.members)
+        g.out_weights.push_back(static_cast<float>(dbg.out_degree(u)) * inv_e);
+
+    g.sinks.reserve(sink_deg.size());
+    g.in_weights.reserve(sink_deg.size());
+    for (const auto& [v, d] : sink_deg) {
+        g.sinks.push_back(v);
+        g.in_weights.push_back(static_cast<float>(d) * inv_e);
+    }
+    return g;
+}
+
+} // namespace
+
+std::uint64_t Grouping::grouped_edges() const noexcept {
+    std::uint64_t total = 0;
+    for (const SemanticGroup& g : groups) total += g.edges;
+    return total;
+}
+
+std::uint64_t Grouping::wire_rows(const Dbg& dbg) const {
+    std::uint64_t rows = groups.size();
+    for (std::uint32_t u : raw_rows) rows += dbg.out_degree(u);
+    return rows;
+}
+
+double Grouping::compression_ratio(const Dbg& dbg) const {
+    const std::uint64_t wire = wire_rows(dbg);
+    if (wire == 0) return 1.0;
+    return static_cast<double>(dbg.num_edges()) / static_cast<double>(wire);
+}
+
+Grouping build_grouping(const Dbg& dbg, const GroupingConfig& cfg) {
+    Grouping out;
+    out.group_of_row.assign(dbg.num_src(), -1);
+    if (dbg.num_src() == 0) return out;
+
+    const std::vector<ConnectionType> cls = classify_sources(dbg);
+
+    // O2O sources stay raw.
+    for (std::uint32_t u = 0; u < dbg.num_src(); ++u)
+        if (cls[u] == ConnectionType::kO2O) out.raw_rows.push_back(u);
+
+    // M2O: sources sharing a sink form a natural full-mapping group.
+    std::map<std::uint32_t, std::vector<std::uint32_t>> m2o_by_sink;
+    for (std::uint32_t u = 0; u < dbg.num_src(); ++u)
+        if (cls[u] == ConnectionType::kM2O)
+            m2o_by_sink[dbg.out_neighbors(u)[0]].push_back(u);
+    for (auto& [sink, members] : m2o_by_sink) {
+        if (members.size() >= 2) {
+            out.groups.push_back(
+                make_group(dbg, std::move(members), ConnectionType::kM2O));
+        } else {
+            // A lone single-edge source of a shared sink: its sibling edges
+            // belong to M2M sources, so there is nothing to fuse with.
+            out.raw_rows.push_back(members[0]);
+        }
+    }
+
+    // O2M: each fan-out source is its own full-mapping group.
+    for (std::uint32_t u = 0; u < dbg.num_src(); ++u)
+        if (cls[u] == ConnectionType::kO2M)
+            out.groups.push_back(make_group(dbg, {u}, ConnectionType::kO2M));
+
+    // M2M pool: similarity-driven k-means over dense adjacency rows.
+    std::vector<std::uint32_t> pool;
+    for (std::uint32_t u = 0; u < dbg.num_src(); ++u)
+        if (cls[u] == ConnectionType::kM2M) pool.push_back(u);
+
+    if (pool.size() == 1) {
+        out.chosen_k = 1;
+        out.groups.push_back(make_group(dbg, {pool[0]}, ConnectionType::kM2M));
+    } else if (!pool.empty()) {
+        std::uint32_t k;
+        if (cfg.kmeans_k > 0) {
+            k = std::min<std::uint32_t>(cfg.kmeans_k,
+                                        static_cast<std::uint32_t>(pool.size()));
+        } else {
+            ElbowConfig ec;
+            ec.k_min = 2;
+            ec.k_max = std::min<std::uint32_t>(
+                cfg.max_k, static_cast<std::uint32_t>(pool.size()));
+            ec.kmeans.seed = cfg.seed;
+            ec.kmeans.kind = cfg.kind;
+            k = find_eep_dbg(dbg, pool, ec).best_k;
+        }
+        out.chosen_k = k;
+        KMeansConfig kc;
+        kc.k = k;
+        kc.seed = cfg.seed;
+        kc.kind = cfg.kind;
+        const KMeansResult km = kmeans_dbg_rows(dbg, pool, kc);
+
+        std::vector<std::vector<std::uint32_t>> clusters(k);
+        for (std::size_t i = 0; i < pool.size(); ++i)
+            clusters[km.assignment[i]].push_back(pool[i]);
+
+        // Cohesion guard: within each cluster, a member whose sinks are
+        // mostly private (shared-sink fraction below the threshold) would
+        // only blur the group's semantics — evict it into a singleton
+        // group (its own fan-out still compresses d:1).
+        std::vector<std::uint32_t> evicted;
+        if (cfg.min_cohesion > 0.0) {
+            SCGNN_CHECK(cfg.min_cohesion <= 1.0,
+                        "min_cohesion is a fraction in [0, 1]");
+            for (auto& members : clusters) {
+                if (members.size() < 2) continue;
+                std::map<std::uint32_t, std::uint32_t> sink_count;
+                for (std::uint32_t u : members)
+                    for (std::uint32_t v : dbg.out_neighbors(u))
+                        ++sink_count[v];
+                std::vector<std::uint32_t> kept;
+                kept.reserve(members.size());
+                for (std::uint32_t u : members) {
+                    const auto sinks = dbg.out_neighbors(u);
+                    std::size_t shared = 0;
+                    for (std::uint32_t v : sinks)
+                        if (sink_count.at(v) >= 2) ++shared;
+                    const double cohesion =
+                        static_cast<double>(shared) /
+                        static_cast<double>(sinks.size());
+                    if (cohesion + 1e-12 >= cfg.min_cohesion)
+                        kept.push_back(u);
+                    else
+                        evicted.push_back(u);
+                }
+                // Keeping a single survivor is fine — it becomes a
+                // singleton group below via the same path.
+                members = std::move(kept);
+            }
+        }
+        for (auto& members : clusters)
+            if (!members.empty())
+                out.groups.push_back(
+                    make_group(dbg, std::move(members), ConnectionType::kM2M));
+        for (std::uint32_t u : evicted)
+            out.groups.push_back(make_group(dbg, {u}, ConnectionType::kM2M));
+    }
+
+    // Index rows → groups.
+    for (std::size_t gi = 0; gi < out.groups.size(); ++gi)
+        for (std::uint32_t u : out.groups[gi].members)
+            out.group_of_row[u] = static_cast<std::int32_t>(gi);
+
+    std::sort(out.raw_rows.begin(), out.raw_rows.end());
+
+    // Every source row is either grouped or raw, never both.
+    std::size_t covered = out.raw_rows.size();
+    for (const SemanticGroup& g : out.groups) covered += g.members.size();
+    SCGNN_ASSERT(covered == dbg.num_src(),
+                 "grouping must partition the source rows");
+    return out;
+}
+
+} // namespace scgnn::core

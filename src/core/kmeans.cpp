@@ -1,0 +1,324 @@
+#include "scgnn/core/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "scgnn/common/rng.hpp"
+
+namespace scgnn::core {
+namespace {
+
+double sq_dist(std::span<const float> a, std::span<const float> b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+/// k-means++ seeding: first centre uniform, later centres proportional to
+/// squared distance from the nearest chosen centre.
+tensor::Matrix seed_centroids(const tensor::Matrix& rows, std::uint32_t k,
+                              Rng& rng) {
+    const std::size_t n = rows.rows();
+    tensor::Matrix centroids(k, rows.cols());
+    std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+
+    std::size_t first = rng.index(n);
+    auto copy_row = [&](std::uint32_t c, std::size_t r) {
+        const auto src = rows.row(r);
+        auto dst = centroids.row(c);
+        std::copy(src.begin(), src.end(), dst.begin());
+    };
+    copy_row(0, first);
+    for (std::uint32_t c = 1; c < k; ++c) {
+        double total = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            d2[r] = std::min(d2[r], sq_dist(rows.row(r), centroids.row(c - 1)));
+            total += d2[r];
+        }
+        std::size_t pick = 0;
+        if (total <= 0.0) {
+            pick = rng.index(n);  // all points coincide with chosen centres
+        } else {
+            double t = rng.uniform() * total;
+            for (std::size_t r = 0; r < n; ++r) {
+                t -= d2[r];
+                if (t <= 0.0) {
+                    pick = r;
+                    break;
+                }
+            }
+        }
+        copy_row(c, pick);
+    }
+    return centroids;
+}
+
+} // namespace
+
+KMeansResult kmeans_rows(const tensor::Matrix& rows, const KMeansConfig& cfg) {
+    SCGNN_CHECK(rows.rows() >= 1, "k-means needs at least one row");
+    SCGNN_CHECK(cfg.k >= 1, "k must be at least 1");
+    const std::size_t n = rows.rows();
+    const std::uint32_t k =
+        std::min<std::uint32_t>(cfg.k, static_cast<std::uint32_t>(n));
+
+    Rng rng(cfg.seed);
+    KMeansResult res;
+    res.centroids = seed_centroids(rows, k, rng);
+    res.assignment.assign(n, 0);
+    const std::vector<double> c_rows = collection_vector(rows);
+
+    std::vector<double> c_cent(k, 0.0);
+    auto refresh_c_cent = [&] {
+        for (std::uint32_t c = 0; c < k; ++c) {
+            double acc = 0.0;
+            for (float v : res.centroids.row(c)) acc += v;
+            c_cent[c] = acc;
+        }
+    };
+    refresh_c_cent();
+
+    std::vector<std::uint32_t> count(k, 0);
+    for (std::uint32_t iter = 0; iter < cfg.max_iters; ++iter) {
+        ++res.iterations;
+        // Assign: maximise similarity; break ties (and the all-zero case)
+        // by Euclidean distance so the result is always well-defined.
+        bool changed = false;
+        for (std::size_t r = 0; r < n; ++r) {
+            std::uint32_t best = 0;
+            double best_sim = -1.0;
+            double best_d2 = std::numeric_limits<double>::infinity();
+            for (std::uint32_t c = 0; c < k; ++c) {
+                const double sim = similarity_vec(cfg.kind, rows.row(r),
+                                                  res.centroids.row(c),
+                                                  c_rows[r], c_cent[c]);
+                const double d2 = sq_dist(rows.row(r), res.centroids.row(c));
+                if (sim > best_sim + 1e-12 ||
+                    (std::abs(sim - best_sim) <= 1e-12 && d2 < best_d2)) {
+                    best = c;
+                    best_sim = sim;
+                    best_d2 = d2;
+                }
+            }
+            if (res.assignment[r] != best) {
+                res.assignment[r] = best;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0) break;
+
+        // Update: member means; empty clusters reseed to the row farthest
+        // from its centroid.
+        res.centroids.zero();
+        std::fill(count.begin(), count.end(), 0u);
+        for (std::size_t r = 0; r < n; ++r) {
+            const std::uint32_t c = res.assignment[r];
+            ++count[c];
+            const auto src = rows.row(r);
+            auto dst = res.centroids.row(c);
+            for (std::size_t j = 0; j < src.size(); ++j) dst[j] += src[j];
+        }
+        for (std::uint32_t c = 0; c < k; ++c) {
+            if (count[c] == 0) continue;
+            const float inv = 1.0f / static_cast<float>(count[c]);
+            for (auto& v : res.centroids.row(c)) v *= inv;
+        }
+        for (std::uint32_t c = 0; c < k; ++c) {
+            if (count[c] != 0) continue;
+            // Reseed an empty cluster with the worst-fitting row.
+            std::size_t worst = 0;
+            double worst_d2 = -1.0;
+            for (std::size_t r = 0; r < n; ++r) {
+                const double d2 = sq_dist(
+                    rows.row(r), res.centroids.row(res.assignment[r]));
+                if (d2 > worst_d2) {
+                    worst_d2 = d2;
+                    worst = r;
+                }
+            }
+            const auto src = rows.row(worst);
+            auto dst = res.centroids.row(c);
+            std::copy(src.begin(), src.end(), dst.begin());
+            res.assignment[worst] = c;
+        }
+        refresh_c_cent();
+    }
+
+    res.inertia = euclidean_inertia(rows, res.centroids, res.assignment);
+    return res;
+}
+
+KMeansResult kmeans_dbg_rows(const graph::Dbg& dbg,
+                             std::span<const std::uint32_t> pool,
+                             const KMeansConfig& cfg) {
+    SCGNN_CHECK(!pool.empty(), "k-means needs at least one row");
+    SCGNN_CHECK(cfg.k >= 1, "k must be at least 1");
+    for (std::uint32_t u : pool)
+        SCGNN_CHECK(u < dbg.num_src(), "pool row out of DBG range");
+
+    const std::size_t n = pool.size();
+    const std::size_t dim = dbg.num_dst();
+    const std::uint32_t k =
+        std::min<std::uint32_t>(cfg.k, static_cast<std::uint32_t>(n));
+    Rng rng(cfg.seed);
+
+    KMeansResult res;
+    res.centroids = tensor::Matrix(k, dim);
+    res.assignment.assign(n, 0);
+
+    auto copy_row_to_centroid = [&](std::uint32_t c, std::size_t i) {
+        auto dst = res.centroids.row(c);
+        std::fill(dst.begin(), dst.end(), 0.0f);
+        for (std::uint32_t v : dbg.out_neighbors(pool[i])) dst[v] = 1.0f;
+    };
+
+    // k-means++ seeding with sparse distances to the last chosen centre.
+    {
+        std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+        std::vector<std::size_t> chosen;
+        chosen.push_back(rng.index(n));
+        copy_row_to_centroid(0, chosen[0]);
+        for (std::uint32_t c = 1; c < k; ++c) {
+            const auto last = dbg.out_neighbors(pool[chosen.back()]);
+            double total = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const auto row = dbg.out_neighbors(pool[i]);
+                const auto inter =
+                    static_cast<double>(intersection_size(row, last));
+                const double dist =
+                    static_cast<double>(row.size() + last.size()) - 2.0 * inter;
+                d2[i] = std::min(d2[i], dist);
+                total += d2[i];
+            }
+            std::size_t pick = 0;
+            if (total <= 0.0) {
+                pick = rng.index(n);
+            } else {
+                double t = rng.uniform() * total;
+                for (std::size_t i = 0; i < n; ++i) {
+                    t -= d2[i];
+                    if (t <= 0.0) {
+                        pick = i;
+                        break;
+                    }
+                }
+            }
+            chosen.push_back(pick);
+            copy_row_to_centroid(c, pick);
+        }
+    }
+
+    std::vector<double> c_cent(k, 0.0);   // centroid row sums (C_A entries)
+    std::vector<double> cent_sq(k, 0.0);  // centroid squared norms
+    auto refresh_centroid_stats = [&] {
+        for (std::uint32_t c = 0; c < k; ++c) {
+            double s = 0.0, sq = 0.0;
+            for (float v : res.centroids.row(c)) {
+                s += v;
+                sq += static_cast<double>(v) * v;
+            }
+            c_cent[c] = s;
+            cent_sq[c] = sq;
+        }
+    };
+    refresh_centroid_stats();
+
+    std::vector<std::uint32_t> count(k, 0);
+    std::vector<double> row_d2(n, 0.0);
+    for (std::uint32_t iter = 0; iter < cfg.max_iters; ++iter) {
+        ++res.iterations;
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto row = dbg.out_neighbors(pool[i]);
+            const auto c_row = static_cast<double>(row.size());
+            std::uint32_t best = 0;
+            double best_sim = -1.0;
+            double best_d2 = std::numeric_limits<double>::infinity();
+            for (std::uint32_t c = 0; c < k; ++c) {
+                const auto cent = res.centroids.row(c);
+                double dot = 0.0;
+                for (std::uint32_t v : row) dot += cent[v];
+                double sim;
+                if (cfg.kind == SimilarityKind::kJaccard) {
+                    const double denom = c_row + c_cent[c] - dot;
+                    sim = denom <= 0.0 ? 0.0 : dot / denom;
+                } else {
+                    const double denom = c_row + c_cent[c];
+                    sim = denom <= 0.0 ? 0.0 : dot * dot / denom;
+                }
+                const double d2 = c_row - 2.0 * dot + cent_sq[c];
+                if (sim > best_sim + 1e-12 ||
+                    (std::abs(sim - best_sim) <= 1e-12 && d2 < best_d2)) {
+                    best = c;
+                    best_sim = sim;
+                    best_d2 = d2;
+                }
+            }
+            row_d2[i] = best_d2;
+            if (res.assignment[i] != best) {
+                res.assignment[i] = best;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0) break;
+
+        res.centroids.zero();
+        std::fill(count.begin(), count.end(), 0u);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint32_t c = res.assignment[i];
+            ++count[c];
+            auto dst = res.centroids.row(c);
+            for (std::uint32_t v : dbg.out_neighbors(pool[i])) dst[v] += 1.0f;
+        }
+        for (std::uint32_t c = 0; c < k; ++c) {
+            if (count[c] == 0) continue;
+            const float inv = 1.0f / static_cast<float>(count[c]);
+            for (auto& v : res.centroids.row(c)) v *= inv;
+        }
+        for (std::uint32_t c = 0; c < k; ++c) {
+            if (count[c] != 0) continue;
+            std::size_t worst = 0;
+            for (std::size_t i = 1; i < n; ++i)
+                if (row_d2[i] > row_d2[worst]) worst = i;
+            copy_row_to_centroid(c, worst);
+            res.assignment[worst] = c;
+            row_d2[worst] = 0.0;
+        }
+        refresh_centroid_stats();
+    }
+
+    // Final Euclidean inertia against the final centroids.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto row = dbg.out_neighbors(pool[i]);
+        const auto cent = res.centroids.row(res.assignment[i]);
+        double dot = 0.0;
+        for (std::uint32_t v : row) dot += cent[v];
+        inertia += static_cast<double>(row.size()) - 2.0 * dot +
+                   cent_sq[res.assignment[i]];
+    }
+    res.inertia = std::max(0.0, inertia);
+    return res;
+}
+
+double euclidean_inertia(const tensor::Matrix& rows,
+                         const tensor::Matrix& centroids,
+                         std::span<const std::uint32_t> assignment) {
+    SCGNN_CHECK(assignment.size() == rows.rows(),
+                "one assignment per row required");
+    SCGNN_CHECK(rows.cols() == centroids.cols(),
+                "rows/centroids width mismatch");
+    double total = 0.0;
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+        SCGNN_CHECK(assignment[r] < centroids.rows(),
+                    "assignment references a missing centroid");
+        total += sq_dist(rows.row(r), centroids.row(assignment[r]));
+    }
+    return total;
+}
+
+} // namespace scgnn::core

@@ -1,0 +1,174 @@
+#include "scgnn/core/pca.hpp"
+
+#include <cmath>
+
+#include "scgnn/common/error.hpp"
+#include "scgnn/common/rng.hpp"
+
+namespace scgnn::core {
+
+using tensor::Matrix;
+
+namespace {
+
+/// One power-iteration estimate of the dominant right singular vector of
+/// the centred data matrix X (n × d), returning the direction and the
+/// variance it explains. `ortho_to` (possibly empty) lists directions the
+/// iterate is re-orthogonalised against (deflation).
+std::pair<std::vector<double>, double> dominant_direction(
+    const Matrix& x, const std::vector<std::vector<double>>& ortho_to,
+    Rng& rng) {
+    const std::size_t n = x.rows(), d = x.cols();
+    std::vector<double> v(d);
+    for (auto& e : v) e = rng.normal();
+
+    auto orthonormalise = [&](std::vector<double>& u) {
+        for (const auto& o : ortho_to) {
+            double dot = 0.0;
+            for (std::size_t j = 0; j < d; ++j) dot += u[j] * o[j];
+            for (std::size_t j = 0; j < d; ++j) u[j] -= dot * o[j];
+        }
+        double norm = 0.0;
+        for (double e : u) norm += e * e;
+        norm = std::sqrt(norm);
+        if (norm < 1e-12) {
+            // Degenerate: restart from a fresh random direction.
+            for (auto& e : u) e = rng.normal();
+            norm = 0.0;
+            for (double e : u) norm += e * e;
+            norm = std::sqrt(norm);
+        }
+        for (auto& e : u) e /= norm;
+    };
+    orthonormalise(v);
+
+    std::vector<double> xv(n), next(d);
+    double eigen = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+        // next = Xᵀ(Xv) — one covariance-matrix application without
+        // materialising the d×d covariance.
+        for (std::size_t r = 0; r < n; ++r) {
+            const auto row = x.row(r);
+            double acc = 0.0;
+            for (std::size_t j = 0; j < d; ++j) acc += row[j] * v[j];
+            xv[r] = acc;
+        }
+        std::fill(next.begin(), next.end(), 0.0);
+        for (std::size_t r = 0; r < n; ++r) {
+            const auto row = x.row(r);
+            for (std::size_t j = 0; j < d; ++j) next[j] += xv[r] * row[j];
+        }
+        double norm = 0.0;
+        for (double e : next) norm += e * e;
+        norm = std::sqrt(norm);
+        if (norm < 1e-18) break;
+        for (std::size_t j = 0; j < d; ++j) next[j] /= norm;
+        orthonormalise(next);
+        double delta = 0.0;
+        for (std::size_t j = 0; j < d; ++j)
+            delta += (next[j] - v[j]) * (next[j] - v[j]);
+        v = next;
+        eigen = norm / static_cast<double>(n > 1 ? n - 1 : 1);
+        if (delta < 1e-14) break;
+    }
+    return {v, eigen};
+}
+
+} // namespace
+
+PcaResult pca_2d(const Matrix& rows, std::uint64_t seed) {
+    SCGNN_CHECK(rows.rows() >= 2, "PCA needs at least two rows");
+    SCGNN_CHECK(rows.cols() >= 1, "PCA needs at least one column");
+    const std::size_t n = rows.rows(), d = rows.cols();
+
+    // Centre.
+    Matrix x = rows;
+    std::vector<double> mean(d, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        const auto row = x.row(r);
+        for (std::size_t j = 0; j < d; ++j) mean[j] += row[j];
+    }
+    for (auto& m : mean) m /= static_cast<double>(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        auto row = x.row(r);
+        for (std::size_t j = 0; j < d; ++j)
+            row[j] -= static_cast<float>(mean[j]);
+    }
+
+    Rng rng(seed);
+    PcaResult res;
+    res.components = Matrix(2, d);
+    std::vector<std::vector<double>> found;
+    for (int c = 0; c < 2; ++c) {
+        auto [v, eigen] = dominant_direction(x, found, rng);
+        for (std::size_t j = 0; j < d; ++j)
+            res.components(c, j) = static_cast<float>(v[j]);
+        res.explained_variance.push_back(eigen);
+        found.push_back(std::move(v));
+    }
+
+    res.projected = Matrix(n, 2);
+    for (std::size_t r = 0; r < n; ++r) {
+        const auto row = x.row(r);
+        for (int c = 0; c < 2; ++c) {
+            double acc = 0.0;
+            for (std::size_t j = 0; j < d; ++j)
+                acc += static_cast<double>(row[j]) * res.components(c, j);
+            res.projected(r, c) = static_cast<float>(acc);
+        }
+    }
+    return res;
+}
+
+double cluster_separation(const Matrix& projected,
+                          std::span<const std::uint32_t> labels) {
+    SCGNN_CHECK(projected.cols() == 2, "expected a 2-D projection");
+    SCGNN_CHECK(labels.size() == projected.rows(),
+                "one label per projected row required");
+    SCGNN_CHECK(!labels.empty(), "empty projection");
+
+    std::uint32_t k = 0;
+    for (std::uint32_t l : labels) k = std::max(k, l + 1);
+
+    std::vector<double> cx(k, 0.0), cy(k, 0.0);
+    std::vector<std::uint32_t> count(k, 0);
+    for (std::size_t r = 0; r < labels.size(); ++r) {
+        cx[labels[r]] += projected(r, 0);
+        cy[labels[r]] += projected(r, 1);
+        ++count[labels[r]];
+    }
+    std::vector<std::uint32_t> used;
+    for (std::uint32_t c = 0; c < k; ++c)
+        if (count[c] > 0) {
+            cx[c] /= count[c];
+            cy[c] /= count[c];
+            used.push_back(c);
+        }
+    SCGNN_CHECK(!used.empty(), "no populated clusters");
+
+    // Mean intra-cluster distance to own centroid.
+    double intra = 0.0;
+    for (std::size_t r = 0; r < labels.size(); ++r) {
+        const double dx = projected(r, 0) - cx[labels[r]];
+        const double dy = projected(r, 1) - cy[labels[r]];
+        intra += std::sqrt(dx * dx + dy * dy);
+    }
+    intra /= static_cast<double>(labels.size());
+
+    if (used.size() < 2) return 0.0;
+
+    // Mean pairwise inter-centroid distance.
+    double inter = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < used.size(); ++i)
+        for (std::size_t j = i + 1; j < used.size(); ++j) {
+            const double dx = cx[used[i]] - cx[used[j]];
+            const double dy = cy[used[i]] - cy[used[j]];
+            inter += std::sqrt(dx * dx + dy * dy);
+            ++pairs;
+        }
+    inter /= static_cast<double>(pairs);
+    return intra <= 1e-12 ? inter / 1e-12 : inter / intra;
+}
+
+} // namespace scgnn::core

@@ -1,0 +1,80 @@
+#include "scgnn/core/semantic_aggregate.hpp"
+
+#include <cmath>
+
+namespace scgnn::core {
+
+using tensor::Matrix;
+
+AggregateResult traditional_aggregate(const graph::Dbg& dbg,
+                                      const Matrix& src) {
+    SCGNN_CHECK(src.rows() == dbg.num_src(), "one row per source required");
+    AggregateResult res;
+    res.sink_values = Matrix(dbg.num_dst(), src.cols());
+    for (std::uint32_t u = 0; u < dbg.num_src(); ++u) {
+        const auto h_u = src.row(u);
+        for (std::uint32_t v : dbg.out_neighbors(u)) {
+            auto h_v = res.sink_values.row(v);
+            for (std::size_t c = 0; c < h_u.size(); ++c) h_v[c] += h_u[c];
+            ++res.rows_transmitted;
+        }
+    }
+    return res;
+}
+
+AggregateResult semantic_aggregate(const graph::Dbg& dbg,
+                                   const Grouping& grouping,
+                                   const Matrix& src) {
+    SCGNN_CHECK(src.rows() == dbg.num_src(), "one row per source required");
+    AggregateResult res;
+    res.sink_values = Matrix(dbg.num_dst(), src.cols());
+    const std::size_t f = src.cols();
+
+    for (const SemanticGroup& g : grouping.groups) {
+        // Line 1-2 of Fig. 7(b): fuse h_g = Σ w_out(u)·h_u.
+        std::vector<float> h_g(f, 0.0f);
+        for (std::size_t i = 0; i < g.members.size(); ++i) {
+            const auto h_u = src.row(g.members[i]);
+            const float w = g.out_weights[i];
+            for (std::size_t c = 0; c < f; ++c) h_g[c] += w * h_u[c];
+        }
+        // Line 3-4: one semantic row crosses the wire.
+        ++res.rows_transmitted;
+        // Line 5-7: disassemble; sink v receives its L-SALSA share of the
+        // group mass, D_g(v)·h_g == |E_g|·w_in(v)·h_g.
+        for (std::size_t j = 0; j < g.sinks.size(); ++j) {
+            const float share =
+                g.in_weights[j] * static_cast<float>(g.edges);
+            auto h_v = res.sink_values.row(g.sinks[j]);
+            for (std::size_t c = 0; c < f; ++c) h_v[c] += share * h_g[c];
+        }
+    }
+
+    // Raw rows keep the traditional per-edge path.
+    for (std::uint32_t u : grouping.raw_rows) {
+        const auto h_u = src.row(u);
+        for (std::uint32_t v : dbg.out_neighbors(u)) {
+            auto h_v = res.sink_values.row(v);
+            for (std::size_t c = 0; c < f; ++c) h_v[c] += h_u[c];
+            ++res.rows_transmitted;
+        }
+    }
+    return res;
+}
+
+double approximation_error(const graph::Dbg& dbg, const Grouping& grouping,
+                           const Matrix& src) {
+    const AggregateResult exact = traditional_aggregate(dbg, src);
+    const AggregateResult approx = semantic_aggregate(dbg, grouping, src);
+    double num = 0.0, den = 0.0;
+    const auto fe = exact.sink_values.flat();
+    const auto fa = approx.sink_values.flat();
+    for (std::size_t i = 0; i < fe.size(); ++i) {
+        const double d = static_cast<double>(fa[i]) - fe[i];
+        num += d * d;
+        den += static_cast<double>(fe[i]) * fe[i];
+    }
+    return den <= 0.0 ? std::sqrt(num) : std::sqrt(num / den);
+}
+
+} // namespace scgnn::core

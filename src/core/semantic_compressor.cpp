@@ -1,0 +1,138 @@
+#include "scgnn/core/semantic_compressor.hpp"
+
+namespace scgnn::core {
+
+using dist::DistContext;
+using dist::PairPlan;
+using tensor::Matrix;
+
+SemanticCompressor::SemanticCompressor(SemanticCompressorConfig config)
+    : cfg_(config) {}
+
+void SemanticCompressor::setup(const DistContext& ctx) {
+    plans_.clear();
+    plans_.reserve(ctx.plans().size());
+    GroupingConfig gc = cfg_.grouping;
+    for (std::size_t pi = 0; pi < ctx.plans().size(); ++pi) {
+        const PairPlan& plan = ctx.plans()[pi];
+        PlanState state;
+        // Derive an independent grouping seed per plan so identical DBGs in
+        // different pairs do not share k-means++ draws.
+        gc.seed = cfg_.grouping.seed + pi * 0x9e3779b97f4a7c15ULL;
+        state.grouping = build_grouping(plan.dbg, gc);
+
+        const std::vector<graph::ConnectionType> cls =
+            classify_sources(plan.dbg);
+        state.raw_class.reserve(state.grouping.raw_rows.size());
+        for (std::uint32_t r : state.grouping.raw_rows)
+            state.raw_class.push_back(cls[r]);
+
+        state.wire_rows = 0;
+        for (const SemanticGroup& g : state.grouping.groups)
+            if (!cfg_.drop.dropped(g.origin)) ++state.wire_rows;
+        for (std::size_t i = 0; i < state.grouping.raw_rows.size(); ++i)
+            if (!cfg_.drop.dropped(state.raw_class[i]))
+                state.wire_rows +=
+                    plan.dbg.out_degree(state.grouping.raw_rows[i]);
+        plans_.push_back(std::move(state));
+    }
+}
+
+std::uint64_t SemanticCompressor::forward_rows(const DistContext& ctx,
+                                               std::size_t plan_idx,
+                                               int /*layer*/, const Matrix& src,
+                                               Matrix& out) {
+    SCGNN_CHECK(plan_idx < plans_.size(), "plan index out of range (setup?)");
+    const PairPlan& plan = ctx.plans()[plan_idx];
+    const PlanState& state = plans_[plan_idx];
+    SCGNN_CHECK(src.rows() == plan.num_rows(), "source row count mismatch");
+
+    const std::size_t f = src.cols();
+    out = Matrix(src.rows(), f);  // zero: dropped classes contribute nothing
+    std::uint64_t wire_rows = 0;
+
+    for (const SemanticGroup& g : state.grouping.groups) {
+        if (cfg_.drop.dropped(g.origin)) continue;
+        // Fuse (Fig. 7(b) line 1-2) ...
+        std::vector<float> h_g(f, 0.0f);
+        for (std::size_t i = 0; i < g.members.size(); ++i) {
+            const auto h_u = src.row(g.members[i]);
+            const float w = g.out_weights[i];
+            for (std::size_t c = 0; c < f; ++c) h_g[c] += w * h_u[c];
+        }
+        ++wire_rows;  // ... transmit one semantic row (line 3-4) ...
+        // ... and reconstruct every member halo row as the fused semantics;
+        // the receiver's adjacency weights perform the proportional
+        // disassembly (line 5-7).
+        for (std::uint32_t member : g.members) {
+            auto dst = out.row(member);
+            std::copy(h_g.begin(), h_g.end(), dst.begin());
+        }
+    }
+
+    for (std::size_t i = 0; i < state.grouping.raw_rows.size(); ++i) {
+        if (cfg_.drop.dropped(state.raw_class[i])) continue;
+        const std::uint32_t r = state.grouping.raw_rows[i];
+        const auto s = src.row(r);
+        auto d = out.row(r);
+        std::copy(s.begin(), s.end(), d.begin());
+        wire_rows += plan.dbg.out_degree(r);  // raw rows keep per-edge cost
+    }
+    return wire_rows * f * sizeof(float);
+}
+
+std::uint64_t SemanticCompressor::backward_rows(const DistContext& ctx,
+                                                std::size_t plan_idx,
+                                                int /*layer*/,
+                                                const Matrix& grad_in,
+                                                Matrix& grad_out) {
+    SCGNN_CHECK(plan_idx < plans_.size(), "plan index out of range (setup?)");
+    const PairPlan& plan = ctx.plans()[plan_idx];
+    const PlanState& state = plans_[plan_idx];
+    SCGNN_CHECK(grad_in.rows() == plan.num_rows(),
+                "gradient row count mismatch");
+
+    const std::size_t f = grad_in.cols();
+    grad_out = Matrix(grad_in.rows(), f);
+    std::uint64_t wire_rows = 0;
+
+    for (const SemanticGroup& g : state.grouping.groups) {
+        if (cfg_.drop.dropped(g.origin)) continue;
+        // Adjoint of the fusion: one fused gradient row crosses back ...
+        std::vector<float> g_g(f, 0.0f);
+        for (std::uint32_t member : g.members) {
+            const auto gi = grad_in.row(member);
+            for (std::size_t c = 0; c < f; ++c) g_g[c] += gi[c];
+        }
+        ++wire_rows;
+        // ... and the owner disassembles it by the output weights.
+        for (std::size_t i = 0; i < g.members.size(); ++i) {
+            const float w = g.out_weights[i];
+            auto d = grad_out.row(g.members[i]);
+            for (std::size_t c = 0; c < f; ++c) d[c] = w * g_g[c];
+        }
+    }
+
+    for (std::size_t i = 0; i < state.grouping.raw_rows.size(); ++i) {
+        if (cfg_.drop.dropped(state.raw_class[i])) continue;
+        const std::uint32_t r = state.grouping.raw_rows[i];
+        const auto s = grad_in.row(r);
+        auto d = grad_out.row(r);
+        std::copy(s.begin(), s.end(), d.begin());
+        wire_rows += plan.dbg.out_degree(r);
+    }
+    return wire_rows * f * sizeof(float);
+}
+
+const Grouping& SemanticCompressor::grouping(std::size_t plan_idx) const {
+    SCGNN_CHECK(plan_idx < plans_.size(), "plan index out of range (setup?)");
+    return plans_[plan_idx].grouping;
+}
+
+std::uint64_t SemanticCompressor::total_wire_rows() const noexcept {
+    std::uint64_t total = 0;
+    for (const PlanState& s : plans_) total += s.wire_rows;
+    return total;
+}
+
+} // namespace scgnn::core

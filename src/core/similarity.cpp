@@ -1,0 +1,82 @@
+#include "scgnn/core/similarity.hpp"
+
+#include "scgnn/common/error.hpp"
+
+namespace scgnn::core {
+
+std::size_t intersection_size(std::span<const std::uint32_t> a,
+                              std::span<const std::uint32_t> b) {
+    std::size_t i = 0, j = 0, count = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (b[j] < a[i]) {
+            ++j;
+        } else {
+            ++count;
+            ++i;
+            ++j;
+        }
+    }
+    return count;
+}
+
+double jaccard_similarity(std::span<const std::uint32_t> a,
+                          std::span<const std::uint32_t> b) {
+    const std::size_t inter = intersection_size(a, b);
+    const std::size_t uni = a.size() + b.size() - inter;
+    return uni == 0 ? 0.0
+                    : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double semantic_similarity(std::span<const std::uint32_t> a,
+                           std::span<const std::uint32_t> b) {
+    const auto inter = static_cast<double>(intersection_size(a, b));
+    const auto denom = static_cast<double>(a.size() + b.size());
+    return denom == 0.0 ? 0.0 : inter * inter / denom;
+}
+
+double semantic_similarity_vec(std::span<const float> a,
+                               std::span<const float> b, double c_a,
+                               double c_b) {
+    SCGNN_CHECK(a.size() == b.size(), "similarity rows must match in width");
+    double dot = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        dot += static_cast<double>(a[i]) * b[i];
+    const double denom = c_a + c_b;
+    return denom <= 0.0 ? 0.0 : dot * dot / denom;
+}
+
+double jaccard_similarity_vec(std::span<const float> a,
+                              std::span<const float> b, double c_a,
+                              double c_b) {
+    SCGNN_CHECK(a.size() == b.size(), "similarity rows must match in width");
+    double dot = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        dot += static_cast<double>(a[i]) * b[i];
+    const double denom = c_a + c_b - dot;
+    return denom <= 0.0 ? 0.0 : dot / denom;
+}
+
+std::vector<double> collection_vector(const tensor::Matrix& rows) {
+    std::vector<double> c(rows.rows(), 0.0);
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+        double acc = 0.0;
+        for (float v : rows.row(r)) acc += v;
+        c[r] = acc;
+    }
+    return c;
+}
+
+const char* to_string(SimilarityKind kind) noexcept {
+    return kind == SimilarityKind::kJaccard ? "jaccard" : "semantic";
+}
+
+double similarity_vec(SimilarityKind kind, std::span<const float> a,
+                      std::span<const float> b, double c_a, double c_b) {
+    return kind == SimilarityKind::kJaccard
+               ? jaccard_similarity_vec(a, b, c_a, c_b)
+               : semantic_similarity_vec(a, b, c_a, c_b);
+}
+
+} // namespace scgnn::core

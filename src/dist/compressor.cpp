@@ -1,0 +1,25 @@
+#include "scgnn/dist/compressor.hpp"
+
+namespace scgnn::dist {
+
+std::uint64_t VanillaExchange::forward_rows(const DistContext& ctx,
+                                            std::size_t plan_idx, int /*layer*/,
+                                            const tensor::Matrix& src,
+                                            tensor::Matrix& out) {
+    const PairPlan& plan = ctx.plans()[plan_idx];
+    SCGNN_CHECK(src.rows() == plan.num_rows(), "source row count mismatch");
+    out = src;
+    return plan.num_edges() * src.cols() * sizeof(float);
+}
+
+std::uint64_t VanillaExchange::backward_rows(const DistContext& ctx,
+                                             std::size_t plan_idx, int /*layer*/,
+                                             const tensor::Matrix& grad_in,
+                                             tensor::Matrix& grad_out) {
+    const PairPlan& plan = ctx.plans()[plan_idx];
+    SCGNN_CHECK(grad_in.rows() == plan.num_rows(), "gradient row count mismatch");
+    grad_out = grad_in;
+    return plan.num_edges() * grad_in.cols() * sizeof(float);
+}
+
+} // namespace scgnn::dist

@@ -1,0 +1,127 @@
+#include "scgnn/dist/context.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace scgnn::dist {
+
+DistContext::DistContext(const graph::Dataset& data,
+                         const partition::Partitioning& parts,
+                         gnn::AdjNorm norm)
+    : p_(parts.num_parts),
+      feat_dim_(static_cast<std::uint32_t>(data.features.cols())) {
+    const graph::Graph& g = data.graph;
+    SCGNN_CHECK(parts.part_of.size() == g.num_nodes(),
+                "partitioning does not cover the graph");
+    SCGNN_CHECK(p_ >= 2, "distributed context needs at least two partitions");
+
+    const std::uint32_t n = g.num_nodes();
+    owner_.assign(parts.part_of.begin(), parts.part_of.end());
+    local_nodes_.resize(p_);
+    for (std::uint32_t u = 0; u < n; ++u) {
+        SCGNN_CHECK(owner_[u] < p_, "partition id out of range");
+        local_nodes_[owner_[u]].push_back(u);  // ascending since u ascends
+    }
+    local_index_.assign(n, 0);
+    for (std::uint32_t p = 0; p < p_; ++p)
+        for (std::uint32_t i = 0; i < local_nodes_[p].size(); ++i)
+            local_index_[local_nodes_[p][i]] = i;
+
+    // Halo: remote neighbours of each partition, sorted unique by global id.
+    halo_.resize(p_);
+    halo_owner_.resize(p_);
+    std::vector<std::unordered_map<std::uint32_t, std::uint32_t>> halo_slot(p_);
+    for (std::uint32_t p = 0; p < p_; ++p) {
+        std::vector<std::uint32_t> h;
+        for (std::uint32_t u : local_nodes_[p])
+            for (std::uint32_t v : g.neighbors(u))
+                if (owner_[v] != p) h.push_back(v);
+        std::sort(h.begin(), h.end());
+        h.erase(std::unique(h.begin(), h.end()), h.end());
+        halo_[p] = std::move(h);
+        halo_owner_[p].reserve(halo_[p].size());
+        halo_slot[p].reserve(halo_[p].size());
+        for (std::uint32_t i = 0; i < halo_[p].size(); ++i) {
+            halo_owner_[p].push_back(owner_[halo_[p][i]]);
+            halo_slot[p][halo_[p][i]] = i;
+        }
+    }
+
+    // Local aggregation matrices, rows/cols in local index space.
+    const tensor::SparseMatrix global_adj = gnn::normalized_adjacency(g, norm);
+    local_adj_.reserve(p_);
+    for (std::uint32_t p = 0; p < p_; ++p) {
+        const auto n_local = static_cast<std::uint32_t>(local_nodes_[p].size());
+        std::vector<tensor::Triplet> trips;
+        for (std::uint32_t i = 0; i < n_local; ++i) {
+            const std::uint32_t gu = local_nodes_[p][i];
+            const auto cols = global_adj.row_cols(gu);
+            const auto vals = global_adj.row_vals(gu);
+            for (std::size_t e = 0; e < cols.size(); ++e) {
+                const std::uint32_t gv = cols[e];
+                std::uint32_t col;
+                if (owner_[gv] == p)
+                    col = local_index_[gv];
+                else
+                    col = n_local + halo_slot[p].at(gv);
+                trips.push_back({i, col, vals[e]});
+            }
+        }
+        local_adj_.emplace_back(
+            n_local, n_local + static_cast<std::uint32_t>(halo_[p].size()),
+            std::move(trips));
+    }
+
+    // Exchange plans for every ordered pair with cross edges.
+    for (graph::Dbg& dbg : graph::extract_all_dbgs(g, owner_, p_)) {
+        PairPlan plan;
+        plan.src_part = dbg.src_part;
+        plan.dst_part = dbg.dst_part;
+        plan.src_local_rows.reserve(dbg.src_nodes.size());
+        plan.dst_halo_slots.reserve(dbg.src_nodes.size());
+        for (std::uint32_t gu : dbg.src_nodes) {
+            plan.src_local_rows.push_back(local_index_[gu]);
+            plan.dst_halo_slots.push_back(halo_slot[dbg.dst_part].at(gu));
+        }
+        plan.dbg = std::move(dbg);
+        plans_.push_back(std::move(plan));
+    }
+}
+
+std::span<const std::uint32_t> DistContext::local_nodes(std::uint32_t p) const {
+    SCGNN_CHECK(p < p_, "partition id out of range");
+    return local_nodes_[p];
+}
+
+std::span<const std::uint32_t> DistContext::halo(std::uint32_t p) const {
+    SCGNN_CHECK(p < p_, "partition id out of range");
+    return halo_[p];
+}
+
+std::span<const std::uint32_t> DistContext::halo_owner(std::uint32_t p) const {
+    SCGNN_CHECK(p < p_, "partition id out of range");
+    return halo_owner_[p];
+}
+
+const tensor::SparseMatrix& DistContext::local_adj(std::uint32_t p) const {
+    SCGNN_CHECK(p < p_, "partition id out of range");
+    return local_adj_[p];
+}
+
+std::uint32_t DistContext::local_index(std::uint32_t g) const {
+    SCGNN_CHECK(g < local_index_.size(), "node id out of range");
+    return local_index_[g];
+}
+
+std::uint32_t DistContext::owner(std::uint32_t g) const {
+    SCGNN_CHECK(g < owner_.size(), "node id out of range");
+    return owner_[g];
+}
+
+std::uint64_t DistContext::total_cross_edges() const noexcept {
+    std::uint64_t total = 0;
+    for (const PairPlan& plan : plans_) total += plan.num_edges();
+    return total;
+}
+
+} // namespace scgnn::dist

@@ -1,0 +1,240 @@
+#include "scgnn/dist/trainer.hpp"
+
+#include <algorithm>
+
+#include "scgnn/common/timer.hpp"
+#include "scgnn/gnn/adjacency.hpp"
+#include "scgnn/gnn/checkpoint.hpp"
+#include "scgnn/tensor/ops.hpp"
+
+namespace scgnn::dist {
+
+using tensor::Matrix;
+
+DistAggregator::DistAggregator(const DistContext& ctx, comm::Fabric& fabric,
+                               BoundaryCompressor& compressor)
+    : ctx_(&ctx), fabric_(&fabric), comp_(&compressor) {
+    SCGNN_CHECK(fabric.num_devices() == ctx.num_parts(),
+                "fabric device count must match the partition count");
+}
+
+Matrix DistAggregator::forward(const Matrix& h, int layer) {
+    const DistContext& ctx = *ctx_;
+    const std::uint32_t parts = ctx.num_parts();
+    const std::size_t f = h.cols();
+
+    // Per-partition stacked inputs [local ; halo].
+    std::vector<Matrix> stacked(parts);
+    for (std::uint32_t p = 0; p < parts; ++p) {
+        const auto locals = ctx.local_nodes(p);
+        const auto halo = ctx.halo(p);
+        stacked[p] = Matrix(locals.size() + halo.size(), f);
+        for (std::size_t i = 0; i < locals.size(); ++i) {
+            const auto srow = h.row(locals[i]);
+            auto drow = stacked[p].row(i);
+            std::copy(srow.begin(), srow.end(), drow.begin());
+        }
+    }
+
+    // Halo exchange, plan by plan.
+    const auto plans = ctx.plans();
+    for (std::size_t pi = 0; pi < plans.size(); ++pi) {
+        const PairPlan& plan = plans[pi];
+        Matrix src(plan.num_rows(), f);
+        for (std::size_t i = 0; i < plan.dbg.src_nodes.size(); ++i) {
+            const auto srow = h.row(plan.dbg.src_nodes[i]);
+            auto drow = src.row(i);
+            std::copy(srow.begin(), srow.end(), drow.begin());
+        }
+        Matrix recon(plan.num_rows(), f);
+        const std::uint64_t bytes =
+            comp_->forward_rows(ctx, pi, layer, src, recon);
+        fabric_->record(plan.src_part, plan.dst_part, bytes);
+
+        const std::size_t halo_base = ctx.local_nodes(plan.dst_part).size();
+        Matrix& dst_stack = stacked[plan.dst_part];
+        for (std::size_t i = 0; i < plan.dst_halo_slots.size(); ++i) {
+            const auto srow = recon.row(i);
+            auto drow = dst_stack.row(halo_base + plan.dst_halo_slots[i]);
+            std::copy(srow.begin(), srow.end(), drow.begin());
+        }
+    }
+
+    // Per-partition local SpMM, results written back in global order.
+    Matrix out(h.rows(), f);
+    for (std::uint32_t p = 0; p < parts; ++p) {
+        const Matrix agg = tensor::spmm(ctx.local_adj(p), stacked[p]);
+        const auto locals = ctx.local_nodes(p);
+        for (std::size_t i = 0; i < locals.size(); ++i) {
+            const auto srow = agg.row(i);
+            auto drow = out.row(locals[i]);
+            std::copy(srow.begin(), srow.end(), drow.begin());
+        }
+    }
+    return out;
+}
+
+Matrix DistAggregator::backward(const Matrix& g, int layer) {
+    const DistContext& ctx = *ctx_;
+    const std::uint32_t parts = ctx.num_parts();
+    const std::size_t f = g.cols();
+
+    Matrix out(g.rows(), f);
+    // Per-partition transposed SpMM; the halo block of the result is the
+    // gradient that must travel back to the owners.
+    std::vector<Matrix> stacked_grad(parts);
+    for (std::uint32_t p = 0; p < parts; ++p) {
+        const auto locals = ctx.local_nodes(p);
+        Matrix gp(locals.size(), f);
+        for (std::size_t i = 0; i < locals.size(); ++i) {
+            const auto srow = g.row(locals[i]);
+            auto drow = gp.row(i);
+            std::copy(srow.begin(), srow.end(), drow.begin());
+        }
+        stacked_grad[p] = tensor::spmm_transposed(ctx.local_adj(p), gp);
+        // Local block accumulates directly.
+        for (std::size_t i = 0; i < locals.size(); ++i) {
+            const auto srow = stacked_grad[p].row(i);
+            auto drow = out.row(locals[i]);
+            for (std::size_t c = 0; c < f; ++c) drow[c] += srow[c];
+        }
+    }
+
+    // Gradient exchange: the reverse of every forward plan. For plan
+    // (q → p) the receiver p now returns gradients for q's boundary rows.
+    const auto plans = ctx.plans();
+    for (std::size_t pi = 0; pi < plans.size(); ++pi) {
+        const PairPlan& plan = plans[pi];
+        const std::uint32_t p = plan.dst_part;  // gradient sender
+        const std::size_t halo_base = ctx.local_nodes(p).size();
+        Matrix grad_in(plan.num_rows(), f);
+        for (std::size_t i = 0; i < plan.dst_halo_slots.size(); ++i) {
+            const auto srow =
+                stacked_grad[p].row(halo_base + plan.dst_halo_slots[i]);
+            auto drow = grad_in.row(i);
+            std::copy(srow.begin(), srow.end(), drow.begin());
+        }
+        Matrix grad_out(plan.num_rows(), f);
+        const std::uint64_t bytes =
+            comp_->backward_rows(ctx, pi, layer, grad_in, grad_out);
+        fabric_->record(plan.dst_part, plan.src_part, bytes);
+
+        for (std::size_t i = 0; i < plan.dbg.src_nodes.size(); ++i) {
+            const auto srow = grad_out.row(i);
+            auto drow = out.row(plan.dbg.src_nodes[i]);
+            for (std::size_t c = 0; c < f; ++c) drow[c] += srow[c];
+        }
+    }
+    return out;
+}
+
+DistTrainResult train_distributed(const graph::Dataset& data,
+                                  const partition::Partitioning& parts,
+                                  const gnn::GnnConfig& model_cfg,
+                                  const DistTrainConfig& cfg,
+                                  BoundaryCompressor& compressor) {
+    SCGNN_CHECK(model_cfg.in_dim == data.features.cols(),
+                "model in_dim must match the dataset feature width");
+    SCGNN_CHECK(model_cfg.out_dim == data.num_classes,
+                "model out_dim must match the dataset class count");
+    SCGNN_CHECK(cfg.epochs >= 1, "need at least one epoch");
+
+    DistContext ctx(data, parts, cfg.norm);
+    comm::Fabric fabric(parts.num_parts, cfg.cost);
+    DistAggregator agg(ctx, fabric, compressor);
+    gnn::GnnModel model(model_cfg);
+    gnn::Adam opt(model.parameters(), cfg.adam);
+
+    SCGNN_CHECK(cfg.lr_decay > 0.0f && cfg.lr_decay <= 1.0f,
+                "lr_decay must be in (0, 1]");
+    SCGNN_CHECK(cfg.patience == 0 || !data.val_mask.empty(),
+                "early stopping needs a validation split");
+
+    compressor.setup(ctx);
+
+    // Full-graph, uncompressed aggregator used for evaluation (and for the
+    // early-stopping validation probes — off the fabric, untimed).
+    const tensor::SparseMatrix eval_adj =
+        gnn::normalized_adjacency(data.graph, cfg.norm);
+    gnn::SpmmAggregator eval_agg(eval_adj);
+
+    DistTrainResult result;
+    double total_epoch_ms = 0.0, total_comm_ms = 0.0, total_compute_ms = 0.0;
+    double total_bytes = 0.0;
+    // Ring all-reduce volume of the weight gradients, charged once per
+    // epoch when enabled: each device sends 2·(P−1) chunks of |params|/P.
+    std::uint64_t weight_sync_bytes_per_link = 0;
+    if (cfg.count_weight_sync) {
+        std::uint64_t param_bytes = 0;
+        for (const tensor::Matrix* p : model.parameters())
+            param_bytes += p->payload_bytes();
+        weight_sync_bytes_per_link = 2ull * (parts.num_parts - 1) *
+                                     param_bytes /
+                                     std::max(1u, parts.num_parts);
+    }
+
+    std::uint32_t stale = 0;
+    for (std::uint32_t e = 0; e < cfg.epochs; ++e) {
+        compressor.begin_epoch(e);
+        WallTimer timer;
+        const double loss = gnn::run_epoch(model, opt, agg, data.features,
+                                           data.labels, data.train_mask);
+        if (cfg.count_weight_sync) {
+            // Ring topology: device d sends to (d+1) mod P in both the
+            // reduce-scatter and all-gather phases.
+            for (std::uint32_t dsrc = 0; dsrc < parts.num_parts; ++dsrc)
+                fabric.record(dsrc, (dsrc + 1) % parts.num_parts,
+                              weight_sync_bytes_per_link,
+                              2ull * (parts.num_parts - 1));
+        }
+        const double wall_ms = timer.millis();
+
+        EpochMetrics m;
+        m.loss = loss;
+        m.comm_mb = static_cast<double>(fabric.epoch_stats().bytes) / 1e6;
+        m.comm_ms = fabric.epoch_comm_seconds() * 1e3;
+        m.compute_ms = wall_ms / parts.num_parts;
+        m.epoch_ms = m.compute_ms + m.comm_ms;
+        fabric.end_epoch();
+
+        total_epoch_ms += m.epoch_ms;
+        total_comm_ms += m.comm_ms;
+        total_compute_ms += m.compute_ms;
+        total_bytes += m.comm_mb;
+        result.final_loss = loss;
+        ++result.epochs_run;
+        if (cfg.record_epochs) result.epoch_metrics.push_back(m);
+
+        if (cfg.lr_decay < 1.0f) opt.set_lr(opt.config().lr * cfg.lr_decay);
+        if (cfg.patience > 0) {
+            const double val = gnn::evaluate_accuracy(
+                model, eval_agg, data.features, data.labels, data.val_mask);
+            if (val > result.best_val_accuracy + 1e-12) {
+                result.best_val_accuracy = val;
+                stale = 0;
+            } else if (++stale >= cfg.patience) {
+                break;
+            }
+        }
+    }
+    result.mean_epoch_ms = total_epoch_ms / result.epochs_run;
+    result.mean_comm_ms = total_comm_ms / result.epochs_run;
+    result.mean_compute_ms = total_compute_ms / result.epochs_run;
+    result.mean_comm_mb = total_bytes / result.epochs_run;
+    result.total_comm_mb = total_bytes;
+    if (!cfg.checkpoint_path.empty())
+        gnn::save_checkpoint(model, cfg.checkpoint_path);
+
+    result.train_accuracy = gnn::evaluate_accuracy(
+        model, eval_agg, data.features, data.labels, data.train_mask);
+    if (!data.val_mask.empty())
+        result.val_accuracy = gnn::evaluate_accuracy(
+            model, eval_agg, data.features, data.labels, data.val_mask);
+    result.best_val_accuracy =
+        std::max(result.best_val_accuracy, result.val_accuracy);
+    result.test_accuracy = gnn::evaluate_accuracy(
+        model, eval_agg, data.features, data.labels, data.test_mask);
+    return result;
+}
+
+} // namespace scgnn::dist

@@ -1,0 +1,35 @@
+#include "scgnn/gnn/adjacency.hpp"
+
+#include <cmath>
+
+namespace scgnn::gnn {
+
+tensor::SparseMatrix normalized_adjacency(const graph::Graph& g, AdjNorm norm) {
+    const std::uint32_t n = g.num_nodes();
+    std::vector<tensor::Triplet> trips;
+    trips.reserve(2 * g.num_edges() + n);
+
+    if (norm == AdjNorm::kSum) {
+        for (std::uint32_t u = 0; u < n; ++u)
+            for (std::uint32_t v : g.neighbors(u))
+                trips.push_back({u, v, 1.0f});
+        return tensor::SparseMatrix(n, n, std::move(trips));
+    }
+
+    std::vector<double> deg(n);
+    for (std::uint32_t u = 0; u < n; ++u)
+        deg[u] = static_cast<double>(g.degree(u)) + 1.0;  // self-loop
+
+    auto weight = [&](std::uint32_t r, std::uint32_t c) -> float {
+        if (norm == AdjNorm::kSymmetric)
+            return static_cast<float>(1.0 / std::sqrt(deg[r] * deg[c]));
+        return static_cast<float>(1.0 / deg[r]);
+    };
+    for (std::uint32_t u = 0; u < n; ++u) {
+        trips.push_back({u, u, weight(u, u)});
+        for (std::uint32_t v : g.neighbors(u)) trips.push_back({u, v, weight(u, v)});
+    }
+    return tensor::SparseMatrix(n, n, std::move(trips));
+}
+
+} // namespace scgnn::gnn

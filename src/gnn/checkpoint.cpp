@@ -1,0 +1,86 @@
+#include "scgnn/gnn/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace scgnn::gnn {
+namespace {
+
+const char* kind_name(LayerKind k) {
+    switch (k) {
+        case LayerKind::kGcn: return "gcn";
+        case LayerKind::kSage: return "sage";
+        case LayerKind::kGin: return "gin";
+    }
+    return "?";
+}
+
+} // namespace
+
+void save_checkpoint(GnnModel& model, const std::string& path) {
+    std::ofstream out(path);
+    SCGNN_CHECK(out.good(), "cannot open checkpoint for writing: " + path);
+    const GnnConfig& cfg = model.config();
+    out << "scgnn-checkpoint v1\n"
+        << "kind " << kind_name(cfg.kind) << '\n'
+        << "dims " << cfg.in_dim << ' ' << cfg.hidden_dim << ' '
+        << cfg.out_dim << ' ' << cfg.num_layers << '\n';
+    const auto params = model.parameters();
+    out << "tensors " << params.size() << '\n';
+    char buf[48];
+    for (const tensor::Matrix* p : params) {
+        out << p->rows() << ' ' << p->cols() << '\n';
+        const auto flat = p->flat();
+        for (std::size_t i = 0; i < flat.size(); ++i) {
+            std::snprintf(buf, sizeof buf, "%.9g", flat[i]);
+            out << buf << (i + 1 == flat.size() ? '\n' : ' ');
+        }
+    }
+    SCGNN_CHECK(out.good(), "checkpoint write failed: " + path);
+}
+
+void load_checkpoint(GnnModel& model, const std::string& path) {
+    std::ifstream in(path);
+    SCGNN_CHECK(in.good(), "cannot open checkpoint for reading: " + path);
+    std::string magic, version;
+    in >> magic >> version;
+    SCGNN_CHECK(magic == "scgnn-checkpoint" && version == "v1",
+                "not a scgnn v1 checkpoint: " + path);
+
+    std::string key, kind;
+    in >> key >> kind;
+    SCGNN_CHECK(key == "kind", "malformed checkpoint header");
+    SCGNN_CHECK(kind == kind_name(model.config().kind),
+                "checkpoint layer kind does not match the model");
+
+    std::uint32_t in_dim = 0, hidden = 0, out_dim = 0, layers = 0;
+    in >> key >> in_dim >> hidden >> out_dim >> layers;
+    SCGNN_CHECK(key == "dims", "malformed checkpoint header");
+    const GnnConfig& cfg = model.config();
+    SCGNN_CHECK(in_dim == cfg.in_dim && hidden == cfg.hidden_dim &&
+                    out_dim == cfg.out_dim && layers == cfg.num_layers,
+                "checkpoint dimensions do not match the model");
+
+    std::size_t tensors = 0;
+    in >> key >> tensors;
+    SCGNN_CHECK(key == "tensors", "malformed checkpoint header");
+    const auto params = model.parameters();
+    SCGNN_CHECK(tensors == params.size(),
+                "checkpoint tensor count does not match the model");
+
+    for (tensor::Matrix* p : params) {
+        std::size_t rows = 0, cols = 0;
+        SCGNN_CHECK(static_cast<bool>(in >> rows >> cols),
+                    "truncated checkpoint");
+        SCGNN_CHECK(rows == p->rows() && cols == p->cols(),
+                    "checkpoint tensor shape mismatch");
+        auto flat = p->flat();
+        for (std::size_t i = 0; i < flat.size(); ++i)
+            SCGNN_CHECK(static_cast<bool>(in >> flat[i]),
+                        "truncated checkpoint payload");
+    }
+}
+
+} // namespace scgnn::gnn

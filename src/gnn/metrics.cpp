@@ -1,0 +1,114 @@
+#include "scgnn/gnn/metrics.hpp"
+
+#include <cstdio>
+
+#include "scgnn/tensor/ops.hpp"
+
+namespace scgnn::gnn {
+
+ConfusionMatrix::ConfusionMatrix(std::uint32_t classes)
+    : k_(classes), counts_(static_cast<std::size_t>(classes) * classes, 0) {
+    SCGNN_CHECK(classes >= 2, "need at least two classes");
+}
+
+void ConfusionMatrix::add(std::int32_t truth, std::int32_t predicted) {
+    SCGNN_CHECK(truth >= 0 && static_cast<std::uint32_t>(truth) < k_,
+                "true class out of range");
+    SCGNN_CHECK(predicted >= 0 && static_cast<std::uint32_t>(predicted) < k_,
+                "predicted class out of range");
+    ++counts_[static_cast<std::size_t>(truth) * k_ +
+              static_cast<std::size_t>(predicted)];
+}
+
+std::uint64_t ConfusionMatrix::at(std::uint32_t truth,
+                                  std::uint32_t predicted) const {
+    SCGNN_CHECK(truth < k_ && predicted < k_, "class index out of range");
+    return counts_[static_cast<std::size_t>(truth) * k_ + predicted];
+}
+
+std::uint64_t ConfusionMatrix::total() const noexcept {
+    std::uint64_t t = 0;
+    for (std::uint64_t c : counts_) t += c;
+    return t;
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+    const std::uint64_t t = total();
+    if (t == 0) return 0.0;
+    std::uint64_t hit = 0;
+    for (std::uint32_t c = 0; c < k_; ++c)
+        hit += counts_[static_cast<std::size_t>(c) * k_ + c];
+    return static_cast<double>(hit) / static_cast<double>(t);
+}
+
+double ConfusionMatrix::precision(std::uint32_t c) const {
+    SCGNN_CHECK(c < k_, "class index out of range");
+    std::uint64_t predicted = 0;
+    for (std::uint32_t t = 0; t < k_; ++t)
+        predicted += counts_[static_cast<std::size_t>(t) * k_ + c];
+    if (predicted == 0) return 0.0;
+    return static_cast<double>(counts_[static_cast<std::size_t>(c) * k_ + c]) /
+           static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(std::uint32_t c) const {
+    SCGNN_CHECK(c < k_, "class index out of range");
+    std::uint64_t actual = 0;
+    for (std::uint32_t p = 0; p < k_; ++p)
+        actual += counts_[static_cast<std::size_t>(c) * k_ + p];
+    if (actual == 0) return 0.0;
+    return static_cast<double>(counts_[static_cast<std::size_t>(c) * k_ + c]) /
+           static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(std::uint32_t c) const {
+    const double p = precision(c);
+    const double r = recall(c);
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+    double total_f1 = 0.0;
+    for (std::uint32_t c = 0; c < k_; ++c) total_f1 += f1(c);
+    return total_f1 / k_;
+}
+
+std::string ConfusionMatrix::str() const {
+    std::string out = "true\\pred";
+    char buf[32];
+    for (std::uint32_t c = 0; c < k_; ++c) {
+        std::snprintf(buf, sizeof buf, "%8u", c);
+        out += buf;
+    }
+    out += '\n';
+    for (std::uint32_t t = 0; t < k_; ++t) {
+        std::snprintf(buf, sizeof buf, "%9u", t);
+        out += buf;
+        for (std::uint32_t p = 0; p < k_; ++p) {
+            std::snprintf(buf, sizeof buf, "%8llu",
+                          static_cast<unsigned long long>(at(t, p)));
+            out += buf;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+ConfusionMatrix confusion_matrix(const tensor::Matrix& logits,
+                                 std::span<const std::int32_t> labels,
+                                 std::span<const std::uint32_t> mask,
+                                 std::uint32_t classes) {
+    SCGNN_CHECK(labels.size() == logits.rows(),
+                "one label per logits row required");
+    SCGNN_CHECK(logits.cols() == classes,
+                "logit width must equal the class count");
+    ConfusionMatrix cm(classes);
+    const auto pred = tensor::row_argmax(logits);
+    for (std::uint32_t r : mask) {
+        SCGNN_CHECK(r < logits.rows(), "mask row out of range");
+        cm.add(labels[r], pred[r]);
+    }
+    return cm;
+}
+
+} // namespace scgnn::gnn

@@ -1,0 +1,157 @@
+#include "scgnn/gnn/model.hpp"
+
+#include "scgnn/tensor/ops.hpp"
+
+namespace scgnn::gnn {
+namespace {
+
+using tensor::Matrix;
+
+/// z += broadcast of the (1 × cols) bias row.
+void add_bias(Matrix& z, const Matrix& bias) {
+    SCGNN_ASSERT(bias.rows() == 1 && bias.cols() == z.cols(),
+                 "bias shape mismatch");
+    const auto b = bias.row(0);
+    for (std::size_t r = 0; r < z.rows(); ++r) {
+        auto zr = z.row(r);
+        for (std::size_t c = 0; c < zr.size(); ++c) zr[c] += b[c];
+    }
+}
+
+/// Column sums as a (1 × cols) matrix — the bias gradient.
+[[nodiscard]] Matrix col_sums(const Matrix& m) {
+    Matrix s(1, m.cols());
+    auto sr = s.row(0);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const auto mr = m.row(r);
+        for (std::size_t c = 0; c < mr.size(); ++c) sr[c] += mr[c];
+    }
+    return s;
+}
+
+} // namespace
+
+GnnModel::GnnModel(const GnnConfig& config)
+    : cfg_(config), dropout_rng_(config.seed ^ 0xd40d007ULL) {
+    SCGNN_CHECK(cfg_.in_dim > 0 && cfg_.hidden_dim > 0 && cfg_.out_dim > 0,
+                "all model dimensions must be positive");
+    SCGNN_CHECK(cfg_.num_layers >= 1, "need at least one layer");
+    SCGNN_CHECK(cfg_.dropout >= 0.0f && cfg_.dropout < 1.0f,
+                "dropout must be in [0, 1)");
+    Rng rng(cfg_.seed);
+    layers_.resize(cfg_.num_layers);
+    for (std::uint32_t i = 0; i < cfg_.num_layers; ++i) {
+        const std::uint32_t fan_in = i == 0 ? cfg_.in_dim : cfg_.hidden_dim;
+        const std::uint32_t fan_out =
+            i + 1 == cfg_.num_layers ? cfg_.out_dim : cfg_.hidden_dim;
+        Layer& l = layers_[i];
+        l.w = Matrix::glorot(fan_in, fan_out, rng);
+        l.b = Matrix(1, fan_out);
+        l.gw = Matrix(fan_in, fan_out);
+        l.gb = Matrix(1, fan_out);
+        if (cfg_.kind == LayerKind::kSage) {
+            l.w_self = Matrix::glorot(fan_in, fan_out, rng);
+            l.gw_self = Matrix(fan_in, fan_out);
+        }
+    }
+    h_.resize(cfg_.num_layers);
+    a_.resize(cfg_.num_layers);
+    z_.resize(cfg_.num_layers);
+    mask_.resize(cfg_.num_layers);
+}
+
+Matrix GnnModel::forward(const Matrix& x, Aggregator& agg) {
+    SCGNN_CHECK(x.cols() == cfg_.in_dim, "feature width must match in_dim");
+    Matrix cur = x;
+    for (std::uint32_t i = 0; i < cfg_.num_layers; ++i) {
+        h_[i] = std::move(cur);
+        a_[i] = agg.forward(h_[i], static_cast<int>(i));
+        if (cfg_.kind == LayerKind::kGin) {
+            // a becomes the GIN combine (1+ε)·h + A·h; the weight applies
+            // to the combined signal, so the cached a_ feeds gw directly.
+            tensor::axpy(1.0f + cfg_.gin_eps, h_[i], a_[i]);
+        }
+        Matrix z = tensor::matmul(a_[i], layers_[i].w);
+        if (cfg_.kind == LayerKind::kSage)
+            z += tensor::matmul(h_[i], layers_[i].w_self);
+        add_bias(z, layers_[i].b);
+        z_[i] = std::move(z);
+        if (i + 1 == cfg_.num_layers) {
+            cur = z_[i];
+        } else {
+            cur = tensor::relu(z_[i]);
+            if (training_ && cfg_.dropout > 0.0f) {
+                // Inverted dropout: surviving units are scaled by 1/(1-p)
+                // so evaluation needs no rescaling.
+                mask_[i] = Matrix(cur.rows(), cur.cols());
+                const float keep_scale = 1.0f / (1.0f - cfg_.dropout);
+                auto mf = mask_[i].flat();
+                auto cf = cur.flat();
+                for (std::size_t j = 0; j < mf.size(); ++j) {
+                    mf[j] = dropout_rng_.bernoulli(cfg_.dropout) ? 0.0f
+                                                                 : keep_scale;
+                    cf[j] *= mf[j];
+                }
+            } else {
+                mask_[i] = Matrix();  // inactive this pass
+            }
+        }
+    }
+    have_cache_ = true;
+    return cur;
+}
+
+void GnnModel::backward(const Matrix& dlogits, Aggregator& agg) {
+    SCGNN_CHECK(have_cache_, "backward() requires a preceding forward()");
+    SCGNN_CHECK(dlogits.rows() == z_.back().rows() &&
+                    dlogits.cols() == cfg_.out_dim,
+                "dlogits shape mismatch");
+
+    Matrix dz = dlogits;
+    for (std::uint32_t i = cfg_.num_layers; i-- > 0;) {
+        Layer& l = layers_[i];
+        l.gw += tensor::matmul_at_b(a_[i], dz);
+        l.gb += col_sums(dz);
+        if (cfg_.kind == LayerKind::kSage)
+            l.gw_self += tensor::matmul_at_b(h_[i], dz);
+        if (i == 0) break;  // no trainable ancestors below the features
+        const Matrix dcombined = tensor::matmul_a_bt(dz, l.w);
+        Matrix dh = agg.backward(dcombined, static_cast<int>(i));
+        if (cfg_.kind == LayerKind::kSage)
+            dh += tensor::matmul_a_bt(dz, l.w_self);
+        else if (cfg_.kind == LayerKind::kGin)
+            tensor::axpy(1.0f + cfg_.gin_eps, dcombined, dh);
+        if (!mask_[i - 1].empty()) {
+            auto df = dh.flat();
+            const auto mf = mask_[i - 1].flat();
+            for (std::size_t j = 0; j < df.size(); ++j) df[j] *= mf[j];
+        }
+        dz = tensor::relu_backward(dh, z_[i - 1]);
+    }
+}
+
+std::vector<Matrix*> GnnModel::parameters() {
+    std::vector<Matrix*> out;
+    for (Layer& l : layers_) {
+        out.push_back(&l.w);
+        if (cfg_.kind == LayerKind::kSage) out.push_back(&l.w_self);
+        out.push_back(&l.b);
+    }
+    return out;
+}
+
+std::vector<Matrix*> GnnModel::gradients() {
+    std::vector<Matrix*> out;
+    for (Layer& l : layers_) {
+        out.push_back(&l.gw);
+        if (cfg_.kind == LayerKind::kSage) out.push_back(&l.gw_self);
+        out.push_back(&l.gb);
+    }
+    return out;
+}
+
+void GnnModel::zero_grad() {
+    for (Matrix* g : gradients()) g->zero();
+}
+
+} // namespace scgnn::gnn

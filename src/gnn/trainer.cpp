@@ -1,0 +1,99 @@
+#include "scgnn/gnn/trainer.hpp"
+
+#include <algorithm>
+
+#include "scgnn/common/timer.hpp"
+#include "scgnn/tensor/ops.hpp"
+
+namespace scgnn::gnn {
+
+tensor::Matrix SpmmAggregator::forward(const tensor::Matrix& h, int) {
+    return tensor::spmm(*adj_, h);
+}
+
+tensor::Matrix SpmmAggregator::backward(const tensor::Matrix& g, int) {
+    return tensor::spmm_transposed(*adj_, g);
+}
+
+double run_epoch(GnnModel& model, Adam& opt, Aggregator& agg,
+                 const tensor::Matrix& features,
+                 std::span<const std::int32_t> labels,
+                 std::span<const std::uint32_t> train_mask) {
+    model.set_training(true);
+    model.zero_grad();
+    const tensor::Matrix logits = model.forward(features, agg);
+    const double loss =
+        tensor::softmax_cross_entropy(logits, labels, train_mask);
+    const tensor::Matrix dlogits =
+        tensor::softmax_cross_entropy_grad(logits, labels, train_mask);
+    model.backward(dlogits, agg);
+    opt.step(model.parameters(), model.gradients());
+    model.set_training(false);
+    return loss;
+}
+
+double evaluate_accuracy(GnnModel& model, Aggregator& agg,
+                         const tensor::Matrix& features,
+                         std::span<const std::int32_t> labels,
+                         std::span<const std::uint32_t> mask) {
+    model.set_training(false);
+    const tensor::Matrix logits = model.forward(features, agg);
+    return tensor::masked_accuracy(logits, labels, mask);
+}
+
+TrainResult train_single_device(const graph::Dataset& data,
+                                const GnnConfig& model_cfg,
+                                const TrainConfig& train_cfg) {
+    SCGNN_CHECK(model_cfg.in_dim == data.features.cols(),
+                "model in_dim must match the dataset feature width");
+    SCGNN_CHECK(model_cfg.out_dim == data.num_classes,
+                "model out_dim must match the dataset class count");
+    SCGNN_CHECK(train_cfg.epochs >= 1, "need at least one epoch");
+
+    const tensor::SparseMatrix adj =
+        normalized_adjacency(data.graph, train_cfg.norm);
+    SpmmAggregator agg(adj);
+    GnnModel model(model_cfg);
+    Adam opt(model.parameters(), train_cfg.adam);
+
+    SCGNN_CHECK(train_cfg.lr_decay > 0.0f && train_cfg.lr_decay <= 1.0f,
+                "lr_decay must be in (0, 1]");
+    SCGNN_CHECK(train_cfg.patience == 0 || !data.val_mask.empty(),
+                "early stopping needs a validation split");
+
+    TrainResult result;
+    WallTimer total;
+    std::uint32_t stale = 0;
+    for (std::uint32_t e = 0; e < train_cfg.epochs; ++e) {
+        const double loss = run_epoch(model, opt, agg, data.features,
+                                      data.labels, data.train_mask);
+        if (train_cfg.record_loss) result.losses.push_back(loss);
+        ++result.epochs_run;
+        if (train_cfg.lr_decay < 1.0f)
+            opt.set_lr(opt.config().lr * train_cfg.lr_decay);
+        if (train_cfg.patience > 0) {
+            const double val = evaluate_accuracy(
+                model, agg, data.features, data.labels, data.val_mask);
+            if (val > result.best_val_accuracy + 1e-12) {
+                result.best_val_accuracy = val;
+                stale = 0;
+            } else if (++stale >= train_cfg.patience) {
+                break;
+            }
+        }
+    }
+    result.mean_epoch_ms = total.millis() / result.epochs_run;
+
+    result.train_accuracy = evaluate_accuracy(model, agg, data.features,
+                                              data.labels, data.train_mask);
+    if (!data.val_mask.empty())
+        result.val_accuracy = evaluate_accuracy(model, agg, data.features,
+                                                data.labels, data.val_mask);
+    result.best_val_accuracy =
+        std::max(result.best_val_accuracy, result.val_accuracy);
+    result.test_accuracy = evaluate_accuracy(model, agg, data.features,
+                                             data.labels, data.test_mask);
+    return result;
+}
+
+} // namespace scgnn::gnn

@@ -1,0 +1,136 @@
+#include "scgnn/graph/bipartite.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace scgnn::graph {
+
+std::span<const std::uint32_t> Dbg::out_neighbors(std::uint32_t lu) const {
+    SCGNN_CHECK(lu < num_src(), "local source index out of range");
+    return {adj.data() + ptr[lu],
+            static_cast<std::size_t>(ptr[lu + 1] - ptr[lu])};
+}
+
+std::uint32_t Dbg::out_degree(std::uint32_t lu) const {
+    SCGNN_CHECK(lu < num_src(), "local source index out of range");
+    return static_cast<std::uint32_t>(ptr[lu + 1] - ptr[lu]);
+}
+
+std::vector<std::uint32_t> Dbg::in_degrees() const {
+    std::vector<std::uint32_t> deg(num_dst(), 0);
+    for (std::uint32_t lv : adj) ++deg[lv];
+    return deg;
+}
+
+std::vector<float> Dbg::dense_row(std::uint32_t lu) const {
+    std::vector<float> row(num_dst(), 0.0f);
+    for (std::uint32_t lv : out_neighbors(lu)) row[lv] = 1.0f;
+    return row;
+}
+
+Dbg extract_dbg(const Graph& g, std::span<const std::uint32_t> part_of,
+                std::uint32_t src_part, std::uint32_t dst_part) {
+    SCGNN_CHECK(part_of.size() == g.num_nodes(),
+                "one partition id per node required");
+    SCGNN_CHECK(src_part != dst_part, "DBG requires two distinct partitions");
+
+    Dbg dbg;
+    dbg.src_part = src_part;
+    dbg.dst_part = dst_part;
+
+    // Pass 1: collect boundary nodes on both sides.
+    std::vector<std::uint32_t> dst_set;
+    for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+        if (part_of[u] != src_part) continue;
+        bool is_src = false;
+        for (std::uint32_t v : g.neighbors(u)) {
+            if (part_of[v] == dst_part) {
+                is_src = true;
+                dst_set.push_back(v);
+            }
+        }
+        if (is_src) dbg.src_nodes.push_back(u);
+    }
+    std::sort(dst_set.begin(), dst_set.end());
+    dst_set.erase(std::unique(dst_set.begin(), dst_set.end()), dst_set.end());
+    dbg.dst_nodes = std::move(dst_set);
+
+    std::unordered_map<std::uint32_t, std::uint32_t> dst_local;
+    dst_local.reserve(dbg.dst_nodes.size());
+    for (std::uint32_t i = 0; i < dbg.dst_nodes.size(); ++i)
+        dst_local[dbg.dst_nodes[i]] = i;
+
+    // Pass 2: CSR rows (neighbors() is sorted by global id, and dst_nodes is
+    // sorted by global id, so local sink indices come out ascending).
+    dbg.ptr.assign(dbg.src_nodes.size() + 1, 0);
+    for (std::uint32_t i = 0; i < dbg.src_nodes.size(); ++i) {
+        const std::uint32_t u = dbg.src_nodes[i];
+        for (std::uint32_t v : g.neighbors(u))
+            if (part_of[v] == dst_part) dbg.adj.push_back(dst_local.at(v));
+        dbg.ptr[i + 1] = dbg.adj.size();
+    }
+    return dbg;
+}
+
+std::vector<Dbg> extract_all_dbgs(const Graph& g,
+                                  std::span<const std::uint32_t> part_of,
+                                  std::uint32_t num_parts) {
+    SCGNN_CHECK(num_parts >= 2, "need at least two partitions");
+    std::vector<Dbg> out;
+    for (std::uint32_t p = 0; p < num_parts; ++p)
+        for (std::uint32_t q = 0; q < num_parts; ++q) {
+            if (p == q) continue;
+            Dbg dbg = extract_dbg(g, part_of, p, q);
+            if (dbg.num_edges() > 0) out.push_back(std::move(dbg));
+        }
+    return out;
+}
+
+const char* to_string(ConnectionType t) noexcept {
+    switch (t) {
+        case ConnectionType::kO2O: return "O2O";
+        case ConnectionType::kO2M: return "O2M";
+        case ConnectionType::kM2O: return "M2O";
+        case ConnectionType::kM2M: return "M2M";
+    }
+    return "?";
+}
+
+std::vector<ConnectionType> classify_edges(const Dbg& dbg) {
+    const auto in_deg = dbg.in_degrees();
+    std::vector<ConnectionType> types;
+    types.reserve(dbg.num_edges());
+    for (std::uint32_t lu = 0; lu < dbg.num_src(); ++lu) {
+        const bool fan_out = dbg.out_degree(lu) > 1;
+        for (std::uint32_t lv : dbg.out_neighbors(lu)) {
+            const bool fan_in = in_deg[lv] > 1;
+            if (!fan_out && !fan_in)
+                types.push_back(ConnectionType::kO2O);
+            else if (fan_out && !fan_in)
+                types.push_back(ConnectionType::kO2M);
+            else if (!fan_out && fan_in)
+                types.push_back(ConnectionType::kM2O);
+            else
+                types.push_back(ConnectionType::kM2M);
+        }
+    }
+    return types;
+}
+
+ConnectionMix connection_mix(const Dbg& dbg) {
+    ConnectionMix mix;
+    for (ConnectionType t : classify_edges(dbg))
+        ++mix.count[static_cast<int>(t)];
+    return mix;
+}
+
+ConnectionMix connection_mix(const Graph& g,
+                             std::span<const std::uint32_t> part_of,
+                             std::uint32_t num_parts) {
+    ConnectionMix mix;
+    for (const Dbg& dbg : extract_all_dbgs(g, part_of, num_parts))
+        mix.merge(connection_mix(dbg));
+    return mix;
+}
+
+} // namespace scgnn::graph

@@ -1,0 +1,162 @@
+#include "scgnn/graph/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace scgnn::graph {
+
+DatasetSpec preset_spec(DatasetPreset preset) {
+    DatasetSpec s;
+    switch (preset) {
+        case DatasetPreset::kRedditSim:
+            // Paper Reddit: 232k nodes, avg degree 489.3, 41 classes, 97% acc.
+            // Scaled: the defining property is very high density.
+            s.name = "reddit-sim";
+            s.topology = {.nodes = 6000,
+                          .communities = 8,
+                          .avg_degree = 120.0,
+                          .homophily = 0.85,
+                          .power = 2.1};
+            s.num_classes = 8;
+            s.feature_dim = 32;
+            s.feature_noise = 1.5;
+            s.label_noise = 0.033;
+            break;
+        case DatasetPreset::kYelpSim:
+            // Paper Yelp: avg degree ~19.5, accuracy plateaus at ~65% —
+            // reproduced with strong feature noise.
+            s.name = "yelp-sim";
+            s.topology = {.nodes = 8000,
+                          .communities = 6,
+                          .avg_degree = 19.5,
+                          .homophily = 0.70,
+                          .power = 2.4};
+            s.num_classes = 6;
+            s.feature_dim = 32;
+            s.feature_noise = 3.0;
+            s.label_noise = 0.416;
+            break;
+        case DatasetPreset::kOgbnProductsSim:
+            // Paper Ogbn-products: avg degree ~25.8, accuracy ~79%.
+            s.name = "ogbn-products-sim";
+            s.topology = {.nodes = 8000,
+                          .communities = 10,
+                          .avg_degree = 25.8,
+                          .homophily = 0.78,
+                          .power = 2.3};
+            s.num_classes = 10;
+            s.feature_dim = 32;
+            s.feature_noise = 2.0;
+            s.label_noise = 0.229;
+            break;
+        case DatasetPreset::kPubMedSim:
+            // Paper PubMed: 19.7k nodes, avg degree 4.5, 3 classes, ~76.5%.
+            s.name = "pubmed-sim";
+            s.topology = {.nodes = 4000,
+                          .communities = 3,
+                          .avg_degree = 4.5,
+                          .homophily = 0.80,
+                          .power = 2.6};
+            s.num_classes = 3;
+            s.feature_dim = 32;
+            s.feature_noise = 1.5;
+            s.label_noise = 0.30;
+            break;
+    }
+    return s;
+}
+
+std::string preset_name(DatasetPreset preset) { return preset_spec(preset).name; }
+
+std::vector<DatasetPreset> all_presets() {
+    return {DatasetPreset::kRedditSim, DatasetPreset::kYelpSim,
+            DatasetPreset::kOgbnProductsSim, DatasetPreset::kPubMedSim};
+}
+
+Dataset make_synthetic_dataset(const DatasetSpec& spec, std::uint64_t seed) {
+    SCGNN_CHECK(spec.num_classes >= 2, "need at least two classes");
+    SCGNN_CHECK(spec.feature_dim >= 1, "need at least one feature");
+    SCGNN_CHECK(spec.feature_noise >= 0.0, "noise stddev must be non-negative");
+    SCGNN_CHECK(spec.train_fraction > 0.0 && spec.val_fraction >= 0.0 &&
+                    spec.train_fraction + spec.val_fraction < 1.0,
+                "train/val fractions must leave room for a test split");
+    SCGNN_CHECK(spec.topology.communities == spec.num_classes,
+                "labels are planted communities: counts must match");
+
+    Rng rng(seed);
+    Dataset d;
+    d.name = spec.name;
+    d.num_classes = spec.num_classes;
+
+    std::vector<std::uint32_t> community;
+    Rng topo_rng = rng.fork(1);
+    d.graph = planted_partition(spec.topology, topo_rng, &community);
+
+    const std::uint32_t n = d.graph.num_nodes();
+
+    // Observed labels: the planted community, except that a `label_noise`
+    // fraction of nodes reports a uniformly random class. Features and
+    // topology follow the TRUE community, so the flipped nodes are
+    // irreducible error — this pins each preset's accuracy ceiling to the
+    // paper's band (Reddit ~97%, Yelp ~65%, Ogbn ~79%, PubMed ~76.5%).
+    SCGNN_CHECK(spec.label_noise >= 0.0 && spec.label_noise <= 1.0,
+                "label_noise must be a probability");
+    Rng label_rng = rng.fork(4);
+    d.labels.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (label_rng.bernoulli(spec.label_noise))
+            d.labels[i] = static_cast<std::int32_t>(
+                label_rng.uniform_u64(spec.num_classes));
+        else
+            d.labels[i] = static_cast<std::int32_t>(community[i]);
+    }
+
+    // Class centroids on a noisy simplex; features = centroid of the TRUE
+    // community + noise.
+    Rng feat_rng = rng.fork(2);
+    tensor::Matrix centroids = tensor::Matrix::randn(
+        spec.num_classes, spec.feature_dim, feat_rng, 0.0f, 1.0f);
+    d.features = tensor::Matrix(n, spec.feature_dim);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const auto c = centroids.row(community[i]);
+        auto x = d.features.row(i);
+        for (std::size_t j = 0; j < x.size(); ++j)
+            x[j] = c[j] + static_cast<float>(
+                              feat_rng.normal(0.0, spec.feature_noise));
+    }
+
+    // Split.
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    Rng split_rng = rng.fork(3);
+    split_rng.shuffle(order);
+    const auto n_train = static_cast<std::size_t>(
+        spec.train_fraction * static_cast<double>(n));
+    const auto n_val = static_cast<std::size_t>(
+        spec.val_fraction * static_cast<double>(n));
+    d.train_mask.assign(order.begin(),
+                        order.begin() + static_cast<std::ptrdiff_t>(n_train));
+    d.val_mask.assign(order.begin() + static_cast<std::ptrdiff_t>(n_train),
+                      order.begin() +
+                          static_cast<std::ptrdiff_t>(n_train + n_val));
+    d.test_mask.assign(order.begin() +
+                           static_cast<std::ptrdiff_t>(n_train + n_val),
+                       order.end());
+    SCGNN_ASSERT(!d.test_mask.empty(), "test split ended up empty");
+    return d;
+}
+
+Dataset make_dataset(DatasetPreset preset, double scale, std::uint64_t seed) {
+    SCGNN_CHECK(scale > 0.0, "dataset scale must be positive");
+    DatasetSpec spec = preset_spec(preset);
+    const double scaled =
+        std::max(64.0, std::round(scale * spec.topology.nodes));
+    spec.topology.nodes = static_cast<std::uint32_t>(scaled);
+    // Degree cannot exceed n-1 on tiny scales.
+    spec.topology.avg_degree = std::min(
+        spec.topology.avg_degree, static_cast<double>(spec.topology.nodes) / 4.0);
+    return make_synthetic_dataset(spec, seed);
+}
+
+} // namespace scgnn::graph

@@ -1,0 +1,66 @@
+#include "scgnn/tensor/matrix.hpp"
+
+#include <cmath>
+
+namespace scgnn::tensor {
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+    SCGNN_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+                "matrix += requires identical shapes");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+    SCGNN_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+                "matrix -= requires identical shapes");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+    return *this;
+}
+
+Matrix& Matrix::operator*=(float s) noexcept {
+    for (auto& x : data_) x *= s;
+    return *this;
+}
+
+Matrix Matrix::glorot(std::size_t rows, std::size_t cols, Rng& rng) {
+    Matrix m(rows, cols);
+    const double limit =
+        std::sqrt(6.0 / static_cast<double>(rows + cols ? rows + cols : 1));
+    for (auto& x : m.data_)
+        x = static_cast<float>(rng.uniform(-limit, limit));
+    return m;
+}
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, Rng& rng, float mean,
+                     float stddev) {
+    Matrix m(rows, cols);
+    for (auto& x : m.data_)
+        x = static_cast<float>(rng.normal(mean, stddev));
+    return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0f;
+    return m;
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+    SCGNN_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+                "max_abs_diff requires identical shapes");
+    float worst = 0.0f;
+    const auto fa = a.flat();
+    const auto fb = b.flat();
+    for (std::size_t i = 0; i < fa.size(); ++i)
+        worst = std::max(worst, std::abs(fa[i] - fb[i]));
+    return worst;
+}
+
+float frobenius_norm(const Matrix& m) noexcept {
+    double acc = 0.0;
+    for (float x : m.flat()) acc += static_cast<double>(x) * x;
+    return static_cast<float>(std::sqrt(acc));
+}
+
+} // namespace scgnn::tensor

@@ -1,0 +1,219 @@
+#include "scgnn/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scgnn::tensor {
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+    SCGNN_CHECK(a.cols() == b.rows(), "matmul inner dimensions must agree");
+    Matrix c(a.rows(), b.cols());
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    for (std::size_t i = 0; i < m; ++i) {
+        float* ci = c.data() + i * n;
+        const float* ai = a.data() + i * k;
+        for (std::size_t p = 0; p < k; ++p) {
+            const float aip = ai[p];
+            if (aip == 0.0f) continue;
+            const float* bp = b.data() + p * n;
+            for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+        }
+    }
+    return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+    SCGNN_CHECK(a.rows() == b.rows(), "matmul_at_b outer dimensions must agree");
+    Matrix c(a.cols(), b.cols());
+    const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+    for (std::size_t p = 0; p < k; ++p) {
+        const float* ap = a.data() + p * m;
+        const float* bp = b.data() + p * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float api = ap[i];
+            if (api == 0.0f) continue;
+            float* ci = c.data() + i * n;
+            for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+        }
+    }
+    return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+    SCGNN_CHECK(a.cols() == b.cols(), "matmul_a_bt inner dimensions must agree");
+    Matrix c(a.rows(), b.rows());
+    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* ai = a.data() + i * k;
+        float* ci = c.data() + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float* bj = b.data() + j * k;
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+            ci[j] = acc;
+        }
+    }
+    return c;
+}
+
+Matrix relu(const Matrix& x) {
+    Matrix y = x;
+    for (auto& v : y.flat()) v = std::max(v, 0.0f);
+    return y;
+}
+
+Matrix relu_backward(const Matrix& grad_out, const Matrix& x) {
+    SCGNN_CHECK(grad_out.rows() == x.rows() && grad_out.cols() == x.cols(),
+                "relu_backward shapes must match");
+    Matrix g = grad_out;
+    auto gf = g.flat();
+    auto xf = x.flat();
+    for (std::size_t i = 0; i < gf.size(); ++i)
+        if (xf[i] <= 0.0f) gf[i] = 0.0f;
+    return g;
+}
+
+Matrix row_softmax(const Matrix& logits) {
+    Matrix p = logits;
+    for (std::size_t r = 0; r < p.rows(); ++r) {
+        auto row = p.row(r);
+        float mx = row[0];
+        for (float v : row) mx = std::max(mx, v);
+        float sum = 0.0f;
+        for (auto& v : row) {
+            v = std::exp(v - mx);
+            sum += v;
+        }
+        const float inv = 1.0f / sum;
+        for (auto& v : row) v *= inv;
+    }
+    return p;
+}
+
+double softmax_cross_entropy(const Matrix& logits,
+                             std::span<const std::int32_t> labels,
+                             std::span<const std::uint32_t> mask) {
+    SCGNN_CHECK(labels.size() == logits.rows(),
+                "one label per logits row required");
+    SCGNN_CHECK(!mask.empty(), "loss mask must be non-empty");
+    double total = 0.0;
+    for (std::uint32_t r : mask) {
+        SCGNN_CHECK(r < logits.rows(), "mask row out of range");
+        const auto row = logits.row(r);
+        const auto label = labels[r];
+        SCGNN_CHECK(label >= 0 && static_cast<std::size_t>(label) < logits.cols(),
+                    "label out of class range");
+        float mx = row[0];
+        for (float v : row) mx = std::max(mx, v);
+        double lse = 0.0;
+        for (float v : row) lse += std::exp(static_cast<double>(v - mx));
+        lse = std::log(lse) + mx;
+        total += lse - static_cast<double>(row[static_cast<std::size_t>(label)]);
+    }
+    return total / static_cast<double>(mask.size());
+}
+
+Matrix softmax_cross_entropy_grad(const Matrix& logits,
+                                  std::span<const std::int32_t> labels,
+                                  std::span<const std::uint32_t> mask) {
+    SCGNN_CHECK(labels.size() == logits.rows(),
+                "one label per logits row required");
+    SCGNN_CHECK(!mask.empty(), "loss mask must be non-empty");
+    Matrix grad(logits.rows(), logits.cols());
+    const float inv_n = 1.0f / static_cast<float>(mask.size());
+    for (std::uint32_t r : mask) {
+        SCGNN_CHECK(r < logits.rows(), "mask row out of range");
+        const auto row = logits.row(r);
+        auto grow = grad.row(r);
+        float mx = row[0];
+        for (float v : row) mx = std::max(mx, v);
+        float sum = 0.0f;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            grow[c] = std::exp(row[c] - mx);
+            sum += grow[c];
+        }
+        const float inv = 1.0f / sum;
+        for (auto& g : grow) g *= inv * inv_n;
+        grow[static_cast<std::size_t>(labels[r])] -= inv_n;
+    }
+    return grad;
+}
+
+std::vector<std::int32_t> row_argmax(const Matrix& logits) {
+    SCGNN_CHECK(logits.cols() > 0, "argmax of empty rows");
+    std::vector<std::int32_t> out(logits.rows());
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+        const auto row = logits.row(r);
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < row.size(); ++c)
+            if (row[c] > row[best]) best = c;
+        out[r] = static_cast<std::int32_t>(best);
+    }
+    return out;
+}
+
+double masked_accuracy(const Matrix& logits,
+                       std::span<const std::int32_t> labels,
+                       std::span<const std::uint32_t> mask) {
+    SCGNN_CHECK(labels.size() == logits.rows(),
+                "one label per logits row required");
+    SCGNN_CHECK(!mask.empty(), "accuracy mask must be non-empty");
+    const auto pred = row_argmax(logits);
+    std::size_t hit = 0;
+    for (std::uint32_t r : mask) {
+        SCGNN_CHECK(r < logits.rows(), "mask row out of range");
+        if (pred[r] == labels[r]) ++hit;
+    }
+    return static_cast<double>(hit) / static_cast<double>(mask.size());
+}
+
+double masked_micro_f1(const Matrix& logits,
+                       std::span<const std::int32_t> labels,
+                       std::span<const std::uint32_t> mask) {
+    // Single-label multi-class micro-F1 equals accuracy; computed through
+    // TP/FP/FN to keep the metric honest if multi-label support is added.
+    const auto pred = row_argmax(logits);
+    std::size_t tp = 0, fp = 0, fn = 0;
+    for (std::uint32_t r : mask) {
+        SCGNN_CHECK(r < logits.rows(), "mask row out of range");
+        if (pred[r] == labels[r]) {
+            ++tp;
+        } else {
+            ++fp;
+            ++fn;
+        }
+    }
+    const double denom = static_cast<double>(2 * tp + fp + fn);
+    return denom == 0.0 ? 0.0 : 2.0 * static_cast<double>(tp) / denom;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+    Matrix c = a;
+    c += b;
+    return c;
+}
+
+void axpy(float alpha, const Matrix& x, Matrix& y) {
+    SCGNN_CHECK(x.rows() == y.rows() && x.cols() == y.cols(),
+                "axpy shapes must match");
+    auto xf = x.flat();
+    auto yf = y.flat();
+    for (std::size_t i = 0; i < xf.size(); ++i) yf[i] += alpha * xf[i];
+}
+
+void scale_rows(Matrix& m, std::span<const float> scale) {
+    SCGNN_CHECK(scale.size() == m.rows(), "one scale per row required");
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const float s = scale[r];
+        for (auto& v : m.row(r)) v *= s;
+    }
+}
+
+Matrix transpose(const Matrix& m) {
+    Matrix t(m.cols(), m.rows());
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c) t(c, r) = m(r, c);
+    return t;
+}
+
+} // namespace scgnn::tensor

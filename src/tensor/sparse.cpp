@@ -1,0 +1,145 @@
+#include "scgnn/tensor/sparse.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace scgnn::tensor {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
+                           std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+    for (const auto& t : triplets) {
+        SCGNN_CHECK(t.row < rows_, "triplet row out of range");
+        SCGNN_CHECK(t.col < cols_, "triplet col out of range");
+    }
+    std::sort(triplets.begin(), triplets.end(),
+              [](const Triplet& a, const Triplet& b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+
+    ptr_.assign(rows_ + 1, 0);
+    col_.reserve(triplets.size());
+    val_.reserve(triplets.size());
+    for (std::size_t i = 0; i < triplets.size();) {
+        const auto r = triplets[i].row;
+        const auto c = triplets[i].col;
+        float sum = 0.0f;
+        while (i < triplets.size() && triplets[i].row == r &&
+               triplets[i].col == c)
+            sum += triplets[i++].value;
+        col_.push_back(c);
+        val_.push_back(sum);
+        ++ptr_[r + 1];
+    }
+    for (std::size_t r = 0; r < rows_; ++r) ptr_[r + 1] += ptr_[r];
+}
+
+std::span<const std::uint32_t> SparseMatrix::row_cols(std::size_t r) const {
+    SCGNN_CHECK(r < rows_, "sparse row index out of range");
+    return {col_.data() + ptr_[r], static_cast<std::size_t>(ptr_[r + 1] - ptr_[r])};
+}
+
+std::span<const float> SparseMatrix::row_vals(std::size_t r) const {
+    SCGNN_CHECK(r < rows_, "sparse row index out of range");
+    return {val_.data() + ptr_[r], static_cast<std::size_t>(ptr_[r + 1] - ptr_[r])};
+}
+
+float SparseMatrix::coeff(std::size_t r, std::size_t c) const {
+    SCGNN_CHECK(r < rows_ && c < cols_, "sparse index out of range");
+    const auto cols = row_cols(r);
+    const auto it = std::lower_bound(cols.begin(), cols.end(),
+                                     static_cast<std::uint32_t>(c));
+    if (it == cols.end() || *it != c) return 0.0f;
+    return val_[ptr_[r] + static_cast<std::size_t>(it - cols.begin())];
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+    std::vector<Triplet> trips;
+    trips.reserve(nnz());
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const auto cols = row_cols(r);
+        const auto vals = row_vals(r);
+        for (std::size_t i = 0; i < cols.size(); ++i)
+            trips.push_back({cols[i], static_cast<std::uint32_t>(r), vals[i]});
+    }
+    return SparseMatrix(cols_, rows_, std::move(trips));
+}
+
+Matrix SparseMatrix::to_dense() const {
+    Matrix d(rows_, cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const auto cols = row_cols(r);
+        const auto vals = row_vals(r);
+        for (std::size_t i = 0; i < cols.size(); ++i) d(r, cols[i]) = vals[i];
+    }
+    return d;
+}
+
+Matrix spmm(const SparseMatrix& s, const Matrix& x) {
+    SCGNN_CHECK(s.cols() == x.rows(), "spmm inner dimensions must agree");
+    Matrix y(s.rows(), x.cols());
+    const std::size_t f = x.cols();
+    for (std::size_t r = 0; r < s.rows(); ++r) {
+        const auto cols = s.row_cols(r);
+        const auto vals = s.row_vals(r);
+        float* yr = y.data() + r * f;
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            const float v = vals[i];
+            const float* xr = x.data() + static_cast<std::size_t>(cols[i]) * f;
+            for (std::size_t j = 0; j < f; ++j) yr[j] += v * xr[j];
+        }
+    }
+    return y;
+}
+
+Matrix spmm_parallel(const SparseMatrix& s, const Matrix& x, unsigned threads) {
+    SCGNN_CHECK(s.cols() == x.rows(), "spmm inner dimensions must agree");
+    if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+    if (threads == 1 || s.rows() < 2 * threads) return spmm(s, x);
+
+    Matrix y(s.rows(), x.cols());
+    const std::size_t f = x.cols();
+    auto worker = [&](std::size_t row_lo, std::size_t row_hi) {
+        for (std::size_t r = row_lo; r < row_hi; ++r) {
+            const auto cols = s.row_cols(r);
+            const auto vals = s.row_vals(r);
+            float* yr = y.data() + r * f;
+            for (std::size_t i = 0; i < cols.size(); ++i) {
+                const float v = vals[i];
+                const float* xr =
+                    x.data() + static_cast<std::size_t>(cols[i]) * f;
+                for (std::size_t j = 0; j < f; ++j) yr[j] += v * xr[j];
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    const std::size_t chunk = (s.rows() + threads - 1) / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+        const std::size_t lo = std::min<std::size_t>(t * chunk, s.rows());
+        const std::size_t hi = std::min<std::size_t>(lo + chunk, s.rows());
+        if (lo < hi) pool.emplace_back(worker, lo, hi);
+    }
+    for (auto& th : pool) th.join();
+    return y;
+}
+
+Matrix spmm_transposed(const SparseMatrix& s, const Matrix& x) {
+    SCGNN_CHECK(s.rows() == x.rows(),
+                "spmm_transposed requires x rows == s rows");
+    Matrix y(s.cols(), x.cols());
+    const std::size_t f = x.cols();
+    for (std::size_t r = 0; r < s.rows(); ++r) {
+        const auto cols = s.row_cols(r);
+        const auto vals = s.row_vals(r);
+        const float* xr = x.data() + r * f;
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            const float v = vals[i];
+            float* yr = y.data() + static_cast<std::size_t>(cols[i]) * f;
+            for (std::size_t j = 0; j < f; ++j) yr[j] += v * xr[j];
+        }
+    }
+    return y;
+}
+
+} // namespace scgnn::tensor

@@ -1,0 +1,164 @@
+// Unit tests for DBG extraction and connection-type classification — the
+// Fig. 2(c)/(d) machinery.
+#include <gtest/gtest.h>
+
+#include "scgnn/graph/bipartite.hpp"
+#include "scgnn/graph/dataset.hpp"
+#include "scgnn/partition/partition.hpp"
+
+namespace scgnn::graph {
+namespace {
+
+/// Two partitions: {0,1,2} | {3,4,5}; cross edges 0-3, 1-3, 1-4, plus an
+/// intra edge 0-1 and 4-5 that must NOT appear in the DBG.
+struct Fixture {
+    Graph g{6, std::vector<Edge>{{0, 3}, {1, 3}, {1, 4}, {0, 1}, {4, 5}}};
+    std::vector<std::uint32_t> part{0, 0, 0, 1, 1, 1};
+};
+
+TEST(Dbg, ExtractionCollectsBoundaryOnly) {
+    Fixture f;
+    const Dbg d = extract_dbg(f.g, f.part, 0, 1);
+    EXPECT_EQ(d.src_part, 0u);
+    EXPECT_EQ(d.dst_part, 1u);
+    EXPECT_EQ(d.src_nodes, (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_EQ(d.dst_nodes, (std::vector<std::uint32_t>{3, 4}));
+    EXPECT_EQ(d.num_edges(), 3u);
+}
+
+TEST(Dbg, LocalAdjacencyRowsCorrect) {
+    Fixture f;
+    const Dbg d = extract_dbg(f.g, f.part, 0, 1);
+    // node 0 → {3} = local {0}; node 1 → {3,4} = local {0,1}
+    EXPECT_EQ(d.out_degree(0), 1u);
+    EXPECT_EQ(d.out_degree(1), 2u);
+    const auto n1 = d.out_neighbors(1);
+    EXPECT_EQ(n1[0], 0u);
+    EXPECT_EQ(n1[1], 1u);
+}
+
+TEST(Dbg, ReverseDirectionIsItsOwnDbg) {
+    Fixture f;
+    const Dbg d = extract_dbg(f.g, f.part, 1, 0);
+    EXPECT_EQ(d.src_nodes, (std::vector<std::uint32_t>{3, 4}));
+    EXPECT_EQ(d.dst_nodes, (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_EQ(d.num_edges(), 3u);
+}
+
+TEST(Dbg, InDegrees) {
+    Fixture f;
+    const Dbg d = extract_dbg(f.g, f.part, 0, 1);
+    const auto in = d.in_degrees();
+    EXPECT_EQ(in[0], 2u);  // node 3 receives from 0 and 1
+    EXPECT_EQ(in[1], 1u);  // node 4 receives from 1
+}
+
+TEST(Dbg, DenseRowMatchesAdjacency) {
+    Fixture f;
+    const Dbg d = extract_dbg(f.g, f.part, 0, 1);
+    const auto row = d.dense_row(1);
+    EXPECT_EQ(row, (std::vector<float>{1.0f, 1.0f}));
+    EXPECT_EQ(d.dense_row(0), (std::vector<float>{1.0f, 0.0f}));
+}
+
+TEST(Dbg, EmptyWhenNoCrossEdges) {
+    const Graph g(4, std::vector<Edge>{{0, 1}, {2, 3}});
+    const std::vector<std::uint32_t> part{0, 0, 1, 1};
+    const Dbg d = extract_dbg(g, part, 0, 1);
+    EXPECT_EQ(d.num_src(), 0u);
+    EXPECT_EQ(d.num_edges(), 0u);
+}
+
+TEST(Dbg, ValidatesArguments) {
+    Fixture f;
+    EXPECT_THROW((void)extract_dbg(f.g, f.part, 0, 0), Error);
+    const std::vector<std::uint32_t> short_part{0, 1};
+    EXPECT_THROW((void)extract_dbg(f.g, short_part, 0, 1), Error);
+    EXPECT_THROW((void)f.g.neighbors(9), Error);
+}
+
+TEST(Dbg, ExtractAllSkipsEmptyPairs) {
+    const Graph g(4, std::vector<Edge>{{0, 2}});
+    const std::vector<std::uint32_t> part{0, 1, 2, 2};
+    const auto all = extract_all_dbgs(g, part, 3);
+    // Only (0→2) and (2→0) carry edges.
+    EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(Classify, O2OEdge) {
+    // 0-2 is the only cross edge: both endpoints degree 1.
+    const Graph g(4, std::vector<Edge>{{0, 2}});
+    const std::vector<std::uint32_t> part{0, 0, 1, 1};
+    const Dbg d = extract_dbg(g, part, 0, 1);
+    const auto types = classify_edges(d);
+    ASSERT_EQ(types.size(), 1u);
+    EXPECT_EQ(types[0], ConnectionType::kO2O);
+}
+
+TEST(Classify, O2MEdges) {
+    // 0 fans out to 2 and 3 (each sink exclusive).
+    const Graph g(4, std::vector<Edge>{{0, 2}, {0, 3}});
+    const std::vector<std::uint32_t> part{0, 0, 1, 1};
+    const auto types = classify_edges(extract_dbg(g, part, 0, 1));
+    ASSERT_EQ(types.size(), 2u);
+    EXPECT_EQ(types[0], ConnectionType::kO2M);
+    EXPECT_EQ(types[1], ConnectionType::kO2M);
+}
+
+TEST(Classify, M2OEdges) {
+    // 0 and 1 both feed sink 2 only.
+    const Graph g(4, std::vector<Edge>{{0, 2}, {1, 2}});
+    const std::vector<std::uint32_t> part{0, 0, 1, 1};
+    const auto types = classify_edges(extract_dbg(g, part, 0, 1));
+    ASSERT_EQ(types.size(), 2u);
+    EXPECT_EQ(types[0], ConnectionType::kM2O);
+    EXPECT_EQ(types[1], ConnectionType::kM2O);
+}
+
+TEST(Classify, M2MEdges) {
+    // Full 2×2 bipartite block: every edge is M2M.
+    const Graph g(4, std::vector<Edge>{{0, 2}, {0, 3}, {1, 2}, {1, 3}});
+    const std::vector<std::uint32_t> part{0, 0, 1, 1};
+    const auto types = classify_edges(extract_dbg(g, part, 0, 1));
+    ASSERT_EQ(types.size(), 4u);
+    for (auto t : types) EXPECT_EQ(t, ConnectionType::kM2M);
+}
+
+TEST(Classify, MixedTypesCoexist) {
+    // 0→{3,4} shares sink 3 with 1→3 (M2M-ish); 2→5 is O2O.
+    const Graph g(6, std::vector<Edge>{{0, 3}, {0, 4}, {1, 3}, {2, 5}});
+    const std::vector<std::uint32_t> part{0, 0, 0, 1, 1, 1};
+    const ConnectionMix mix = connection_mix(extract_dbg(g, part, 0, 1));
+    EXPECT_EQ(mix.total(), 4u);
+    EXPECT_EQ(mix.count[static_cast<int>(ConnectionType::kO2O)], 1u);
+    EXPECT_GT(mix.count[static_cast<int>(ConnectionType::kM2M)], 0u);
+}
+
+TEST(Classify, MixFractionsSumToOne) {
+    Fixture f;
+    const ConnectionMix mix = connection_mix(f.g, f.part, 2);
+    double total = 0.0;
+    for (auto t : {ConnectionType::kO2O, ConnectionType::kO2M,
+                   ConnectionType::kM2O, ConnectionType::kM2M})
+        total += mix.fraction(t);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Classify, ToStringNames) {
+    EXPECT_STREQ(to_string(ConnectionType::kO2O), "O2O");
+    EXPECT_STREQ(to_string(ConnectionType::kM2M), "M2M");
+}
+
+TEST(Classify, M2MDominatesOnRealisticPartitionedGraphs) {
+    // The Fig. 2(d) claim: on dense community graphs almost all cross
+    // edges are M2M.
+    const Dataset data = make_dataset(DatasetPreset::kRedditSim, 0.25, 3);
+    const auto parts = partition::make_partitioning(
+        partition::PartitionAlgo::kNodeCut, data.graph, 4, 7);
+    const ConnectionMix mix = connection_mix(data.graph, parts.part_of, 4);
+    EXPECT_GT(mix.fraction(ConnectionType::kM2M), 0.9);
+    EXPECT_LT(mix.fraction(ConnectionType::kO2O), 0.05);
+}
+
+} // namespace
+} // namespace scgnn::graph

@@ -1,0 +1,137 @@
+// Unit tests for the simulated communication fabric and its α–β model.
+#include <gtest/gtest.h>
+
+#include "scgnn/comm/fabric.hpp"
+
+namespace scgnn::comm {
+namespace {
+
+TEST(CostModel, AlphaBetaDecomposition) {
+    CostModel m{.latency_s = 1e-3, .bandwidth_bytes_per_s = 1e6};
+    EXPECT_DOUBLE_EQ(m.seconds(0, 1), 1e-3);
+    EXPECT_DOUBLE_EQ(m.seconds(1'000'000, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m.seconds(500'000, 2), 2e-3 + 0.5);
+}
+
+TEST(Fabric, ConstructionValidates) {
+    EXPECT_THROW(Fabric(0), Error);
+    EXPECT_THROW(Fabric(2, CostModel{.latency_s = -1.0}), Error);
+    EXPECT_THROW(Fabric(2, CostModel{.bandwidth_bytes_per_s = 0.0}), Error);
+}
+
+TEST(Fabric, RecordsPairTraffic) {
+    Fabric f(3);
+    f.record(0, 1, 100);
+    f.record(0, 1, 50);
+    f.record(2, 0, 10);
+    EXPECT_EQ(f.pair_stats(0, 1).bytes, 150u);
+    EXPECT_EQ(f.pair_stats(0, 1).messages, 2u);
+    EXPECT_EQ(f.pair_stats(1, 0).bytes, 0u);
+    EXPECT_EQ(f.epoch_stats().bytes, 160u);
+    EXPECT_EQ(f.epoch_stats().messages, 3u);
+}
+
+TEST(Fabric, SelfSendRejected) {
+    Fabric f(2);
+    EXPECT_THROW(f.record(1, 1, 10), Error);
+    EXPECT_THROW(f.record(2, 0, 10), Error);
+}
+
+TEST(Fabric, ZeroByteSendStillCountsMessage) {
+    Fabric f(2);
+    f.record(0, 1, 0);
+    EXPECT_EQ(f.epoch_stats().messages, 1u);
+    EXPECT_EQ(f.epoch_stats().bytes, 0u);
+}
+
+TEST(Fabric, EpochRollOver) {
+    Fabric f(2);
+    f.record(0, 1, 100);
+    f.end_epoch();
+    EXPECT_EQ(f.epochs(), 1u);
+    EXPECT_EQ(f.epoch_history(0).bytes, 100u);
+    EXPECT_EQ(f.epoch_stats().bytes, 0u);  // counters cleared
+    f.record(1, 0, 7);
+    EXPECT_EQ(f.total_stats().bytes, 107u);
+}
+
+TEST(Fabric, EpochHistorySecondsRecorded) {
+    CostModel m{.latency_s = 0.0, .bandwidth_bytes_per_s = 100.0};
+    Fabric f(2, m);
+    f.record(0, 1, 200);
+    const double live = f.epoch_comm_seconds();
+    f.end_epoch();
+    EXPECT_DOUBLE_EQ(f.epoch_history_seconds(0), live);
+    EXPECT_DOUBLE_EQ(live, 2.0);
+    EXPECT_THROW((void)f.epoch_history(1), Error);
+}
+
+TEST(Fabric, CommTimeIsMaxOverDeviceSerialisation) {
+    CostModel m{.latency_s = 0.0, .bandwidth_bytes_per_s = 1.0};
+    Fabric f(3, m);
+    // Device 0 sends 10 to both others; devices 1 and 2 see 10 each, but
+    // device 0 serialises 20.
+    f.record(0, 1, 10);
+    f.record(0, 2, 10);
+    EXPECT_DOUBLE_EQ(f.epoch_comm_seconds(), 20.0);
+    // Balanced exchange: every device moves in+out 20.
+    f.clear();
+    f.record(1, 2, 10);
+    f.record(2, 1, 10);
+    EXPECT_DOUBLE_EQ(f.epoch_comm_seconds(), 20.0);
+}
+
+TEST(Fabric, LinkOverrideChangesOnlyThatLink) {
+    CostModel base{.latency_s = 0.0, .bandwidth_bytes_per_s = 100.0};
+    Fabric f(3, base);
+    f.set_link(0, 1, CostModel{.latency_s = 0.0,
+                               .bandwidth_bytes_per_s = 10.0});
+    EXPECT_DOUBLE_EQ(f.link_model(0, 1).bandwidth_bytes_per_s, 10.0);
+    EXPECT_DOUBLE_EQ(f.link_model(1, 0).bandwidth_bytes_per_s, 100.0);
+
+    f.record(0, 1, 100);  // slow link: 10 s
+    EXPECT_DOUBLE_EQ(f.epoch_comm_seconds(), 10.0);
+    f.clear();
+    f.record(0, 2, 100);  // default link: 1 s
+    EXPECT_DOUBLE_EQ(f.epoch_comm_seconds(), 1.0);
+}
+
+TEST(Fabric, UniformOverridesMatchDefaultModel) {
+    CostModel base{.latency_s = 1e-4, .bandwidth_bytes_per_s = 1e6};
+    Fabric plain(2, base), overridden(2, base);
+    overridden.set_link(0, 1, base);
+    overridden.set_link(1, 0, base);
+    for (auto* f : {&plain, &overridden}) {
+        f->record(0, 1, 12345, 3);
+        f->record(1, 0, 99, 1);
+    }
+    EXPECT_DOUBLE_EQ(plain.epoch_comm_seconds(),
+                     overridden.epoch_comm_seconds());
+}
+
+TEST(Fabric, LinkOverrideValidates) {
+    Fabric f(2);
+    EXPECT_THROW(f.set_link(0, 0, CostModel{}), Error);
+    EXPECT_THROW(f.set_link(0, 1, CostModel{.bandwidth_bytes_per_s = 0.0}),
+                 Error);
+}
+
+TEST(Fabric, ClearResetsEverything) {
+    Fabric f(2);
+    f.record(0, 1, 5);
+    f.end_epoch();
+    f.record(0, 1, 5);
+    f.clear();
+    EXPECT_EQ(f.epochs(), 0u);
+    EXPECT_EQ(f.total_stats().bytes, 0u);
+}
+
+TEST(Fabric, TrafficStatsMerge) {
+    TrafficStats a{10, 1}, b{5, 2};
+    a.merge(b);
+    EXPECT_EQ(a.bytes, 15u);
+    EXPECT_EQ(a.messages, 3u);
+}
+
+} // namespace
+} // namespace scgnn::comm

@@ -1,0 +1,159 @@
+// Unit tests for RunningStat, percentile, Histogram and discrete curvature.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scgnn/common/error.hpp"
+#include "scgnn/common/stats.hpp"
+
+namespace scgnn {
+namespace {
+
+TEST(RunningStat, EmptyDefaults) {
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MeanAndVariance) {
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStat, SingleObservationHasZeroVariance) {
+    RunningStat s;
+    s.add(3.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+    RunningStat whole, a, b;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(i * 0.7) * 10;
+        whole.add(x);
+        (i < 20 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_EQ(a.min(), whole.min());
+    EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmptyIsIdentity) {
+    RunningStat a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.mean(), mean);
+}
+
+TEST(Percentile, Median) {
+    const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+}
+
+TEST(Percentile, Extremes) {
+    const std::vector<double> v{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+    const std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+}
+
+TEST(Percentile, RejectsBadInput) {
+    const std::vector<double> v{1.0};
+    EXPECT_THROW((void)percentile({}, 0.5), Error);
+    EXPECT_THROW((void)percentile(v, -0.1), Error);
+    EXPECT_THROW((void)percentile(v, 1.1), Error);
+}
+
+TEST(Histogram, BinsAndEdges) {
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.bins(), 5u);
+    EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, CountsLandInRightBins) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(1.0);
+    h.add(1.5);
+    h.add(9.9);
+    EXPECT_EQ(h.bin_count(0), 2u);
+    EXPECT_EQ(h.bin_count(4), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.bin_count(0), 1u);
+    EXPECT_EQ(h.bin_count(4), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+    EXPECT_THROW(Histogram(0.0, 0.0, 5), Error);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBin) {
+    Histogram h(0.0, 1.0, 3);
+    h.add(0.1);
+    const std::string art = h.ascii(10);
+    EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+}
+
+TEST(Curvature, StraightLineHasZeroCurvature) {
+    std::vector<double> xs{1, 2, 3, 4, 5}, ys{2, 4, 6, 8, 10};
+    const auto k = discrete_curvature(xs, ys);
+    for (std::size_t i = 1; i + 1 < k.size(); ++i) EXPECT_NEAR(k[i], 0.0, 1e-9);
+}
+
+TEST(Curvature, ElbowPointHasPeakCurvature) {
+    // y drops fast then flattens: the elbow is at index 2. Curvature is
+    // only meaningful on comparable axes, so both are normalised to [0,1]
+    // first (exactly what the EEP search does).
+    std::vector<double> xs{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+    std::vector<double> ys{1.0, 0.4737, 0.0526, 0.0316, 0.0105, 0.0};
+    const auto k = discrete_curvature(xs, ys);
+    std::size_t best = 1;
+    for (std::size_t i = 1; i + 1 < k.size(); ++i)
+        if (k[i] > k[best]) best = i;
+    EXPECT_EQ(best, 2u);
+}
+
+TEST(Curvature, EndpointsAreZero) {
+    std::vector<double> xs{1, 2, 3}, ys{9, 1, 0.5};
+    const auto k = discrete_curvature(xs, ys);
+    EXPECT_EQ(k.front(), 0.0);
+    EXPECT_EQ(k.back(), 0.0);
+}
+
+TEST(Curvature, RejectsBadInput) {
+    std::vector<double> xs{1, 2}, ys{1, 2};
+    EXPECT_THROW((void)discrete_curvature(xs, ys), Error);
+    std::vector<double> xs2{1, 1, 2}, ys2{1, 2, 3};
+    EXPECT_THROW((void)discrete_curvature(xs2, ys2), Error);
+    std::vector<double> xs3{1, 2, 3}, ys3{1, 2};
+    EXPECT_THROW((void)discrete_curvature(xs3, ys3), Error);
+}
+
+} // namespace
+} // namespace scgnn

@@ -1,0 +1,101 @@
+// Unit tests for the console table renderer and the logging shim.
+#include <gtest/gtest.h>
+
+#include "scgnn/common/error.hpp"
+#include "scgnn/common/log.hpp"
+#include <algorithm>
+
+#include "scgnn/common/table.hpp"
+#include "scgnn/common/timer.hpp"
+
+namespace scgnn {
+namespace {
+
+TEST(Table, RendersHeaderSeparatorAndRows) {
+    Table t({"name", "value"});
+    t.add_row({"alpha", "1.00"});
+    t.add_row({"beta", "23.50"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("|---"), std::string::npos);
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);  // header+sep+2 rows
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, RejectsEmptyHeader) { EXPECT_THROW(Table({}), Error); }
+
+TEST(Table, NumericCellsRightAligned) {
+    Table t({"metric", "v"});
+    t.add_row({"x", "1.5"});
+    t.add_row({"longer-name", "10.25"});
+    const std::string s = t.str();
+    // The shorter number must be padded on the left (right-aligned).
+    EXPECT_NE(s.find("  1.5"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.14159, 4), "3.1416");
+    EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+TEST(Table, PctFormatsFraction) {
+    EXPECT_EQ(Table::pct(0.1234), "12.34%");
+    EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, CsvEscapesNothingButJoinsCells) {
+    Table t({"a", "b"});
+    t.add_row({"x", "1"});
+    EXPECT_EQ(t.csv(), "a,b\nx,1\n");
+}
+
+TEST(Table, RowsCountsDataRows) {
+    Table t({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.add_row({"r"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Log, LevelThresholdIsRespected) {
+    const LogLevel old = log_level();
+    set_log_level(LogLevel::kError);
+    EXPECT_EQ(log_level(), LogLevel::kError);
+    log_info("suppressed");  // must not crash
+    set_log_level(old);
+}
+
+TEST(Timer, WallTimerIsMonotonic) {
+    WallTimer t;
+    const double a = t.seconds();
+    const double b = t.seconds();
+    EXPECT_GE(b, a);
+    EXPECT_GE(a, 0.0);
+}
+
+TEST(Timer, SectionTimerAccumulates) {
+    SectionTimer t;
+    t.begin();
+    t.end();
+    t.begin();
+    t.end();
+    EXPECT_EQ(t.count(), 2u);
+    EXPECT_GE(t.total_seconds(), 0.0);
+    t.clear();
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_EQ(t.total_seconds(), 0.0);
+}
+
+TEST(Timer, EndWithoutBeginIsIgnored) {
+    SectionTimer t;
+    t.end();
+    EXPECT_EQ(t.count(), 0u);
+}
+
+} // namespace
+} // namespace scgnn

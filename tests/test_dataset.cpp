@@ -1,0 +1,161 @@
+// Unit tests for the dataset presets and the synthetic dataset factory.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scgnn/graph/dataset.hpp"
+
+namespace scgnn::graph {
+namespace {
+
+TEST(Dataset, AllPresetsProduceConsistentData) {
+    for (DatasetPreset p : all_presets()) {
+        const Dataset d = make_dataset(p, 0.1, 1);
+        EXPECT_EQ(d.features.rows(), d.graph.num_nodes());
+        EXPECT_EQ(d.labels.size(), d.graph.num_nodes());
+        EXPECT_GE(d.num_classes, 2u);
+        for (std::int32_t l : d.labels) {
+            EXPECT_GE(l, 0);
+            EXPECT_LT(l, static_cast<std::int32_t>(d.num_classes));
+        }
+        EXPECT_FALSE(d.train_mask.empty());
+        EXPECT_FALSE(d.test_mask.empty());
+        EXPECT_EQ(d.name, preset_name(p));
+    }
+}
+
+TEST(Dataset, SplitsAreDisjointAndCoverAllNodes) {
+    const Dataset d = make_dataset(DatasetPreset::kPubMedSim, 0.2, 5);
+    std::set<std::uint32_t> seen;
+    for (auto m : {&d.train_mask, &d.val_mask, &d.test_mask})
+        for (std::uint32_t u : *m) {
+            EXPECT_TRUE(seen.insert(u).second) << "node in two splits";
+            EXPECT_LT(u, d.graph.num_nodes());
+        }
+    EXPECT_EQ(seen.size(), d.graph.num_nodes());
+}
+
+TEST(Dataset, DeterministicBySeed) {
+    const Dataset a = make_dataset(DatasetPreset::kYelpSim, 0.1, 9);
+    const Dataset b = make_dataset(DatasetPreset::kYelpSim, 0.1, 9);
+    EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+    EXPECT_TRUE(a.features == b.features);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_EQ(a.train_mask, b.train_mask);
+}
+
+TEST(Dataset, DifferentSeedsDiffer) {
+    const Dataset a = make_dataset(DatasetPreset::kYelpSim, 0.1, 1);
+    const Dataset b = make_dataset(DatasetPreset::kYelpSim, 0.1, 2);
+    EXPECT_FALSE(a.features == b.features);
+}
+
+TEST(Dataset, ScaleControlsNodeCount) {
+    const Dataset small = make_dataset(DatasetPreset::kRedditSim, 0.05, 1);
+    const Dataset big = make_dataset(DatasetPreset::kRedditSim, 0.2, 1);
+    EXPECT_LT(small.graph.num_nodes(), big.graph.num_nodes());
+    EXPECT_NEAR(static_cast<double>(big.graph.num_nodes()) /
+                    small.graph.num_nodes(),
+                4.0, 0.5);
+}
+
+TEST(Dataset, PresetDegreeOrderingMatchesPaper) {
+    // Paper §5.4: Reddit's average degree dwarfs the others; PubMed is the
+    // sparsest.
+    const double reddit =
+        make_dataset(DatasetPreset::kRedditSim, 0.25, 3).graph.average_degree();
+    const double yelp =
+        make_dataset(DatasetPreset::kYelpSim, 0.25, 3).graph.average_degree();
+    const double ogbn = make_dataset(DatasetPreset::kOgbnProductsSim, 0.25, 3)
+                            .graph.average_degree();
+    const double pubmed =
+        make_dataset(DatasetPreset::kPubMedSim, 0.25, 3).graph.average_degree();
+    EXPECT_GT(reddit, 3 * yelp);
+    EXPECT_GT(reddit, 3 * ogbn);
+    EXPECT_GT(yelp, pubmed);
+    EXPECT_GT(ogbn, pubmed);
+    EXPECT_LT(pubmed, 7.0);
+}
+
+TEST(Dataset, LabelNoiseFlipsRoughlyTheConfiguredFraction) {
+    DatasetSpec spec = preset_spec(DatasetPreset::kYelpSim);
+    spec.topology.nodes = 4000;
+    const Dataset d = make_synthetic_dataset(spec, 21);
+    // Count nodes whose label disagrees with the planted community (node i
+    // belongs to community i % k by construction of the generator).
+    std::size_t flipped = 0;
+    for (std::uint32_t i = 0; i < d.graph.num_nodes(); ++i)
+        if (d.labels[i] != static_cast<std::int32_t>(i % d.num_classes))
+            ++flipped;
+    const double frac = static_cast<double>(flipped) / d.graph.num_nodes();
+    // flips that land on the true class don't count → (1-1/C)·noise expected
+    const double expected = spec.label_noise * (1.0 - 1.0 / d.num_classes);
+    EXPECT_NEAR(frac, expected, 0.05);
+}
+
+TEST(Dataset, FeaturesClusterAroundTrueCommunityCentroids) {
+    DatasetSpec spec = preset_spec(DatasetPreset::kRedditSim);
+    spec.topology.nodes = 1000;
+    spec.feature_noise = 0.1;  // tight clusters for the test
+    const Dataset d = make_synthetic_dataset(spec, 22);
+    // Mean intra-community feature distance must be far below the
+    // cross-community distance.
+    const std::uint32_t k = d.num_classes;
+    tensor::Matrix centroid(k, d.features.cols());
+    std::vector<std::uint32_t> count(k, 0);
+    for (std::uint32_t i = 0; i < d.graph.num_nodes(); ++i) {
+        const std::uint32_t c = i % k;
+        ++count[c];
+        for (std::size_t j = 0; j < d.features.cols(); ++j)
+            centroid(c, j) += d.features(i, j);
+    }
+    for (std::uint32_t c = 0; c < k; ++c)
+        for (std::size_t j = 0; j < d.features.cols(); ++j)
+            centroid(c, j) /= static_cast<float>(count[c]);
+    double intra = 0.0, inter = 0.0;
+    std::size_t n_intra = 0, n_inter = 0;
+    for (std::uint32_t i = 0; i < 200; ++i) {
+        for (std::uint32_t c = 0; c < k; ++c) {
+            double dist = 0.0;
+            for (std::size_t j = 0; j < d.features.cols(); ++j) {
+                const double diff = d.features(i, j) - centroid(c, j);
+                dist += diff * diff;
+            }
+            if (c == i % k) {
+                intra += dist;
+                ++n_intra;
+            } else {
+                inter += dist;
+                ++n_inter;
+            }
+        }
+    }
+    EXPECT_LT(intra / n_intra, 0.2 * inter / n_inter);
+}
+
+TEST(Dataset, ValidatesSpec) {
+    DatasetSpec spec = preset_spec(DatasetPreset::kPubMedSim);
+    spec.num_classes = 5;  // mismatch with 3 communities
+    EXPECT_THROW((void)make_synthetic_dataset(spec, 1), Error);
+
+    spec = preset_spec(DatasetPreset::kPubMedSim);
+    spec.train_fraction = 0.9;
+    spec.val_fraction = 0.2;
+    EXPECT_THROW((void)make_synthetic_dataset(spec, 1), Error);
+
+    spec = preset_spec(DatasetPreset::kPubMedSim);
+    spec.label_noise = 1.5;
+    EXPECT_THROW((void)make_synthetic_dataset(spec, 1), Error);
+
+    EXPECT_THROW((void)make_dataset(DatasetPreset::kPubMedSim, 0.0, 1), Error);
+}
+
+TEST(Dataset, TinyScaleClampsDegree) {
+    // Reddit preset wants degree 120; at 64 nodes that must clamp safely.
+    const Dataset d = make_dataset(DatasetPreset::kRedditSim, 0.001, 2);
+    EXPECT_GE(d.graph.num_nodes(), 64u);
+    EXPECT_LT(d.graph.average_degree(), d.graph.num_nodes());
+}
+
+} // namespace
+} // namespace scgnn::graph

@@ -1,0 +1,154 @@
+// Unit tests for DistContext: local graphs, halo indexing, exchange plans,
+// and the per-edge vanilla volume accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scgnn/dist/context.hpp"
+
+namespace scgnn::dist {
+namespace {
+
+using graph::Edge;
+
+graph::Dataset hand_dataset() {
+    // 0-1-2 | 3-4-5 with cross edges 2-3 and 0-5 and 1-3.
+    graph::Dataset d;
+    d.name = "hand";
+    d.graph = graph::Graph(
+        6, std::vector<Edge>{{0, 1}, {1, 2}, {3, 4}, {4, 5},
+                             {2, 3}, {0, 5}, {1, 3}});
+    d.features = tensor::Matrix(6, 4, 1.0f);
+    d.labels = {0, 1, 0, 1, 0, 1};
+    d.num_classes = 2;
+    d.train_mask = {0, 1, 2, 3};
+    d.test_mask = {4, 5};
+    return d;
+}
+
+partition::Partitioning half_split() {
+    partition::Partitioning p;
+    p.num_parts = 2;
+    p.part_of = {0, 0, 0, 1, 1, 1};
+    return p;
+}
+
+TEST(DistContext, LocalNodesAndOwnership) {
+    const graph::Dataset d = hand_dataset();
+    const DistContext ctx(d, half_split(), gnn::AdjNorm::kSymmetric);
+    EXPECT_EQ(ctx.num_parts(), 2u);
+    EXPECT_EQ(ctx.local_nodes(0).size(), 3u);
+    EXPECT_EQ(ctx.local_nodes(1).size(), 3u);
+    EXPECT_EQ(ctx.owner(4), 1u);
+    EXPECT_EQ(ctx.local_index(4), 1u);  // 4 is the 2nd node of partition 1
+    EXPECT_EQ(ctx.feature_dim(), 4u);
+}
+
+TEST(DistContext, HaloContainsExactlyRemoteNeighbours) {
+    const graph::Dataset d = hand_dataset();
+    const DistContext ctx(d, half_split(), gnn::AdjNorm::kSymmetric);
+    // Partition 0 references remote nodes {3 (from 2 and 1), 5 (from 0)}.
+    const auto h0 = ctx.halo(0);
+    EXPECT_EQ(std::vector<std::uint32_t>(h0.begin(), h0.end()),
+              (std::vector<std::uint32_t>{3, 5}));
+    const auto o0 = ctx.halo_owner(0);
+    EXPECT_EQ(o0[0], 1u);
+    EXPECT_EQ(o0[1], 1u);
+    // Partition 1 references {0, 1, 2}.
+    EXPECT_EQ(ctx.halo(1).size(), 3u);
+}
+
+TEST(DistContext, LocalAdjShapeAndGlobalValueMatch) {
+    const graph::Dataset d = hand_dataset();
+    const DistContext ctx(d, half_split(), gnn::AdjNorm::kSymmetric);
+    const auto& a0 = ctx.local_adj(0);
+    EXPECT_EQ(a0.rows(), 3u);
+    EXPECT_EQ(a0.cols(), 5u);  // 3 local + 2 halo
+    const auto global = gnn::normalized_adjacency(d.graph,
+                                                  gnn::AdjNorm::kSymmetric);
+    // Row of node 2 (local row 2): local col of 1 is 1; halo col of 3 is 3.
+    EXPECT_FLOAT_EQ(a0.coeff(2, 1), global.coeff(2, 1));
+    EXPECT_FLOAT_EQ(a0.coeff(2, 3), global.coeff(2, 3));
+    EXPECT_FLOAT_EQ(a0.coeff(2, 2), global.coeff(2, 2));  // self-loop
+}
+
+TEST(DistContext, PlansCoverEveryCrossEdgeOnce) {
+    const graph::Dataset d = hand_dataset();
+    const DistContext ctx(d, half_split(), gnn::AdjNorm::kSymmetric);
+    // 3 undirected cross edges → 3 per direction.
+    EXPECT_EQ(ctx.total_cross_edges(), 6u);
+    EXPECT_EQ(ctx.plans().size(), 2u);
+    for (const PairPlan& plan : ctx.plans()) {
+        EXPECT_EQ(plan.num_edges(), 3u);
+        EXPECT_EQ(plan.src_local_rows.size(), plan.num_rows());
+        EXPECT_EQ(plan.dst_halo_slots.size(), plan.num_rows());
+    }
+}
+
+TEST(DistContext, PlanRowsMapToHaloSlots) {
+    const graph::Dataset d = hand_dataset();
+    const DistContext ctx(d, half_split(), gnn::AdjNorm::kSymmetric);
+    for (const PairPlan& plan : ctx.plans()) {
+        const auto halo = ctx.halo(plan.dst_part);
+        for (std::size_t i = 0; i < plan.dbg.src_nodes.size(); ++i) {
+            // The halo slot must hold exactly the boundary node's global id.
+            EXPECT_EQ(halo[plan.dst_halo_slots[i]], plan.dbg.src_nodes[i]);
+            // And src_local_rows must be its local index at the owner.
+            EXPECT_EQ(ctx.local_index(plan.dbg.src_nodes[i]),
+                      plan.src_local_rows[i]);
+        }
+    }
+}
+
+TEST(DistContext, EachHaloSlotFedByExactlyOnePlan) {
+    const graph::Dataset d = hand_dataset();
+    const DistContext ctx(d, half_split(), gnn::AdjNorm::kSymmetric);
+    for (std::uint32_t p = 0; p < ctx.num_parts(); ++p) {
+        std::set<std::uint32_t> fed;
+        for (const PairPlan& plan : ctx.plans()) {
+            if (plan.dst_part != p) continue;
+            for (std::uint32_t slot : plan.dst_halo_slots)
+                EXPECT_TRUE(fed.insert(slot).second)
+                    << "halo slot fed twice";
+        }
+        EXPECT_EQ(fed.size(), ctx.halo(p).size()) << "halo slot unfed";
+    }
+}
+
+TEST(DistContext, VanillaExchangeBytesPerEdgeModel) {
+    const graph::Dataset d = hand_dataset();
+    const DistContext ctx(d, half_split(), gnn::AdjNorm::kSymmetric);
+    EXPECT_EQ(ctx.vanilla_exchange_bytes(4), 6u * 4u * 4u);
+}
+
+TEST(DistContext, ValidatesInput) {
+    const graph::Dataset d = hand_dataset();
+    partition::Partitioning bad = half_split();
+    bad.part_of.pop_back();
+    EXPECT_THROW(DistContext(d, bad, gnn::AdjNorm::kSymmetric), Error);
+    partition::Partitioning one;
+    one.num_parts = 1;
+    one.part_of.assign(6, 0);
+    EXPECT_THROW(DistContext(d, one, gnn::AdjNorm::kSymmetric), Error);
+    const DistContext ctx(d, half_split(), gnn::AdjNorm::kSymmetric);
+    EXPECT_THROW((void)ctx.local_nodes(2), Error);
+    EXPECT_THROW((void)ctx.owner(6), Error);
+}
+
+TEST(DistContext, FourPartitionsOnPreset) {
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, 0.2, 5);
+    const auto parts = partition::make_partitioning(
+        partition::PartitionAlgo::kNodeCut, d.graph, 4, 3);
+    const DistContext ctx(d, parts, gnn::AdjNorm::kSymmetric);
+    std::size_t local_total = 0;
+    for (std::uint32_t p = 0; p < 4; ++p)
+        local_total += ctx.local_nodes(p).size();
+    EXPECT_EQ(local_total, d.graph.num_nodes());
+    // Cross-edge conservation: sum of plan edges equals twice the cut.
+    const auto q = partition::evaluate(d.graph, parts);
+    EXPECT_EQ(ctx.total_cross_edges(), 2 * q.cut_edges);
+}
+
+} // namespace
+} // namespace scgnn::dist

@@ -1,0 +1,238 @@
+// Integration tests for the distributed trainer. The key invariant: with
+// the vanilla exchange, the distributed aggregate and the whole training
+// trajectory must match the single-device reference to float tolerance.
+#include <gtest/gtest.h>
+
+#include "scgnn/dist/trainer.hpp"
+#include "scgnn/tensor/ops.hpp"
+
+namespace scgnn::dist {
+namespace {
+
+graph::Dataset data_small(std::uint64_t seed = 3) {
+    return graph::make_dataset(graph::DatasetPreset::kPubMedSim, 0.25, seed);
+}
+
+partition::Partitioning parts_for(const graph::Dataset& d, std::uint32_t k) {
+    return partition::make_partitioning(partition::PartitionAlgo::kNodeCut,
+                                        d.graph, k, 17);
+}
+
+gnn::GnnConfig model_for(const graph::Dataset& d) {
+    return gnn::GnnConfig{
+        .in_dim = static_cast<std::uint32_t>(d.features.cols()),
+        .hidden_dim = 16,
+        .out_dim = d.num_classes,
+        .seed = 11};
+}
+
+TEST(DistAggregator, VanillaForwardMatchesGlobalSpmm) {
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 3);
+    const DistContext ctx(d, parts, gnn::AdjNorm::kSymmetric);
+    comm::Fabric fabric(3);
+    VanillaExchange vanilla;
+    DistAggregator agg(ctx, fabric, vanilla);
+
+    const auto global = gnn::normalized_adjacency(d.graph,
+                                                  gnn::AdjNorm::kSymmetric);
+    Rng rng(5);
+    const tensor::Matrix h =
+        tensor::Matrix::randn(d.graph.num_nodes(), 8, rng);
+    const tensor::Matrix expect = tensor::spmm(global, h);
+    const tensor::Matrix got = agg.forward(h, 0);
+    EXPECT_LT(tensor::max_abs_diff(expect, got), 1e-4f);
+}
+
+TEST(DistAggregator, VanillaBackwardMatchesGlobalSpmmT) {
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 3);
+    const DistContext ctx(d, parts, gnn::AdjNorm::kRowMean);
+    comm::Fabric fabric(3);
+    VanillaExchange vanilla;
+    DistAggregator agg(ctx, fabric, vanilla);
+
+    const auto global =
+        gnn::normalized_adjacency(d.graph, gnn::AdjNorm::kRowMean);
+    Rng rng(6);
+    const tensor::Matrix g =
+        tensor::Matrix::randn(d.graph.num_nodes(), 8, rng);
+    const tensor::Matrix expect = tensor::spmm_transposed(global, g);
+    const tensor::Matrix got = agg.backward(g, 1);
+    EXPECT_LT(tensor::max_abs_diff(expect, got), 1e-4f);
+}
+
+TEST(DistAggregator, RecordsTrafficOnFabric) {
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 2);
+    const DistContext ctx(d, parts, gnn::AdjNorm::kSymmetric);
+    comm::Fabric fabric(2);
+    VanillaExchange vanilla;
+    DistAggregator agg(ctx, fabric, vanilla);
+    Rng rng(7);
+    (void)agg.forward(tensor::Matrix::randn(d.graph.num_nodes(), 8, rng), 0);
+    EXPECT_EQ(fabric.epoch_stats().bytes, ctx.vanilla_exchange_bytes(8));
+    EXPECT_EQ(fabric.epoch_stats().messages, ctx.plans().size());
+}
+
+TEST(DistTrainer, VanillaMatchesSingleDeviceTrajectory) {
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 4);
+
+    gnn::TrainConfig single_cfg;
+    single_cfg.epochs = 15;
+    const gnn::TrainResult single =
+        gnn::train_single_device(d, model_for(d), single_cfg);
+
+    DistTrainConfig dist_cfg;
+    dist_cfg.epochs = 15;
+    VanillaExchange vanilla;
+    const DistTrainResult dist =
+        train_distributed(d, parts, model_for(d), dist_cfg, vanilla);
+
+    ASSERT_EQ(dist.epoch_metrics.size(), 15u);
+    for (std::size_t e = 0; e < 15; ++e)
+        EXPECT_NEAR(dist.epoch_metrics[e].loss, single.losses[e], 2e-3)
+            << "epoch " << e;
+    EXPECT_NEAR(dist.test_accuracy, single.test_accuracy, 0.02);
+}
+
+TEST(DistTrainer, EpochMetricsAreConsistent) {
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 2);
+    DistTrainConfig cfg;
+    cfg.epochs = 5;
+    VanillaExchange vanilla;
+    const DistTrainResult r =
+        train_distributed(d, parts, model_for(d), cfg, vanilla);
+    for (const EpochMetrics& m : r.epoch_metrics) {
+        EXPECT_GT(m.comm_mb, 0.0);
+        EXPECT_GT(m.comm_ms, 0.0);
+        EXPECT_GT(m.compute_ms, 0.0);
+        EXPECT_NEAR(m.epoch_ms, m.comm_ms + m.compute_ms, 1e-9);
+    }
+    EXPECT_NEAR(r.total_comm_mb, r.mean_comm_mb * 5.0, 1e-9);
+}
+
+TEST(DistTrainer, CommVolumeIsThreeExchangesPerEpoch) {
+    // 2-layer GCN: forward X, forward H1, backward dH1 — all same width
+    // when in_dim == hidden_dim.
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 2);
+    const DistContext ctx(d, parts, gnn::AdjNorm::kSymmetric);
+    gnn::GnnConfig mc = model_for(d);
+    mc.hidden_dim = mc.in_dim;
+    DistTrainConfig cfg;
+    cfg.epochs = 1;
+    VanillaExchange vanilla;
+    const DistTrainResult r = train_distributed(d, parts, mc, cfg, vanilla);
+    const double expected_mb =
+        3.0 * static_cast<double>(ctx.vanilla_exchange_bytes(mc.in_dim)) / 1e6;
+    EXPECT_NEAR(r.mean_comm_mb, expected_mb, expected_mb * 1e-6);
+}
+
+TEST(DistTrainer, MorePartitionsMoreTraffic) {
+    const graph::Dataset d = data_small();
+    DistTrainConfig cfg;
+    cfg.epochs = 2;
+    VanillaExchange v1, v2;
+    const DistTrainResult r2 =
+        train_distributed(d, parts_for(d, 2), model_for(d), cfg, v1);
+    const DistTrainResult r8 =
+        train_distributed(d, parts_for(d, 8), model_for(d), cfg, v2);
+    EXPECT_GT(r8.mean_comm_mb, r2.mean_comm_mb);
+}
+
+TEST(DistTrainer, EarlyStoppingHaltsAndKeepsMetricsConsistent) {
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 2);
+    DistTrainConfig cfg;
+    cfg.epochs = 200;
+    cfg.patience = 3;
+    VanillaExchange vanilla;
+    const DistTrainResult r =
+        train_distributed(d, parts, model_for(d), cfg, vanilla);
+    EXPECT_LT(r.epochs_run, 200u);
+    EXPECT_EQ(r.epoch_metrics.size(), r.epochs_run);
+    EXPECT_GT(r.best_val_accuracy, 1.0 / d.num_classes);
+    EXPECT_NEAR(r.total_comm_mb, r.mean_comm_mb * r.epochs_run, 1e-9);
+}
+
+TEST(DistTrainer, ThreeLayerVanillaMatchesSingleDevice) {
+    // Deeper models perform more exchanges (L forward + L−1 backward); the
+    // equivalence must hold for them too.
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 3);
+    gnn::GnnConfig mc = model_for(d);
+    mc.num_layers = 3;
+
+    gnn::TrainConfig single_cfg;
+    single_cfg.epochs = 8;
+    const gnn::TrainResult single = gnn::train_single_device(d, mc, single_cfg);
+
+    DistTrainConfig dist_cfg;
+    dist_cfg.epochs = 8;
+    VanillaExchange vanilla;
+    const DistTrainResult dist =
+        train_distributed(d, parts, mc, dist_cfg, vanilla);
+    for (std::size_t e = 0; e < 8; ++e)
+        EXPECT_NEAR(dist.epoch_metrics[e].loss, single.losses[e], 5e-3);
+}
+
+TEST(DistTrainer, WeightSyncAddsRingAllReduceVolume) {
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 4);
+    DistTrainConfig cfg;
+    cfg.epochs = 1;
+    const gnn::GnnConfig mc = model_for(d);
+
+    VanillaExchange v1, v2;
+    const auto without = train_distributed(d, parts, mc, cfg, v1);
+    cfg.count_weight_sync = true;
+    const auto with = train_distributed(d, parts, mc, cfg, v2);
+
+    // Expected ring volume: P devices × 2(P−1)/P × |params| bytes.
+    gnn::GnnModel model(mc);
+    std::uint64_t param_bytes = 0;
+    for (const tensor::Matrix* p : model.parameters())
+        param_bytes += p->payload_bytes();
+    const double expected_mb =
+        4.0 * 2.0 * 3.0 / 4.0 * static_cast<double>(param_bytes) / 1e6;
+    EXPECT_NEAR(with.mean_comm_mb - without.mean_comm_mb, expected_mb,
+                expected_mb * 0.01 + 1e-6);
+}
+
+TEST(DistTrainer, DeeperModelsMoveMoreTraffic) {
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 2);
+    DistTrainConfig cfg;
+    cfg.epochs = 1;
+    gnn::GnnConfig mc = model_for(d);
+    mc.hidden_dim = mc.in_dim;
+
+    VanillaExchange v2, v3;
+    mc.num_layers = 2;
+    const auto r2 = train_distributed(d, parts, mc, cfg, v2);
+    mc.num_layers = 3;
+    const auto r3 = train_distributed(d, parts, mc, cfg, v3);
+    // 2-layer: 3 same-width exchanges; 3-layer: 5.
+    EXPECT_NEAR(r3.mean_comm_mb / r2.mean_comm_mb, 5.0 / 3.0, 1e-3);
+}
+
+TEST(DistTrainer, ValidatesConfig) {
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 2);
+    VanillaExchange vanilla;
+    gnn::GnnConfig bad = model_for(d);
+    bad.in_dim += 1;
+    EXPECT_THROW(
+        (void)train_distributed(d, parts, bad, DistTrainConfig{}, vanilla),
+        Error);
+    DistTrainConfig cfg;
+    cfg.epochs = 0;
+    EXPECT_THROW(
+        (void)train_distributed(d, parts, model_for(d), cfg, vanilla), Error);
+}
+
+} // namespace
+} // namespace scgnn::dist

@@ -1,0 +1,99 @@
+// Unit tests for the confusion-matrix metrics module.
+#include <gtest/gtest.h>
+
+#include "scgnn/gnn/metrics.hpp"
+
+namespace scgnn::gnn {
+namespace {
+
+ConfusionMatrix sample() {
+    // 3 classes; rows true, cols predicted:
+    //   [5 1 0]
+    //   [2 3 1]
+    //   [0 0 4]
+    ConfusionMatrix cm(3);
+    auto fill = [&](std::int32_t t, std::int32_t p, int n) {
+        for (int i = 0; i < n; ++i) cm.add(t, p);
+    };
+    fill(0, 0, 5);
+    fill(0, 1, 1);
+    fill(1, 0, 2);
+    fill(1, 1, 3);
+    fill(1, 2, 1);
+    fill(2, 2, 4);
+    return cm;
+}
+
+TEST(Confusion, CountsAndTotal) {
+    const ConfusionMatrix cm = sample();
+    EXPECT_EQ(cm.classes(), 3u);
+    EXPECT_EQ(cm.at(0, 0), 5u);
+    EXPECT_EQ(cm.at(1, 2), 1u);
+    EXPECT_EQ(cm.at(2, 0), 0u);
+    EXPECT_EQ(cm.total(), 16u);
+}
+
+TEST(Confusion, Accuracy) {
+    const ConfusionMatrix cm = sample();
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 12.0 / 16.0);
+}
+
+TEST(Confusion, PrecisionRecallF1) {
+    const ConfusionMatrix cm = sample();
+    // Class 0: TP=5, FP=2 (row1 predicted 0), FN=1.
+    EXPECT_DOUBLE_EQ(cm.precision(0), 5.0 / 7.0);
+    EXPECT_DOUBLE_EQ(cm.recall(0), 5.0 / 6.0);
+    const double p = 5.0 / 7.0, r = 5.0 / 6.0;
+    EXPECT_DOUBLE_EQ(cm.f1(0), 2 * p * r / (p + r));
+    // Class 2: TP=4, FP=1, FN=0.
+    EXPECT_DOUBLE_EQ(cm.precision(2), 4.0 / 5.0);
+    EXPECT_DOUBLE_EQ(cm.recall(2), 1.0);
+}
+
+TEST(Confusion, MacroF1IsMeanOfPerClass) {
+    const ConfusionMatrix cm = sample();
+    EXPECT_NEAR(cm.macro_f1(), (cm.f1(0) + cm.f1(1) + cm.f1(2)) / 3.0, 1e-12);
+}
+
+TEST(Confusion, EmptyMatrixDefaults) {
+    ConfusionMatrix cm(2);
+    EXPECT_EQ(cm.accuracy(), 0.0);
+    EXPECT_EQ(cm.precision(0), 0.0);
+    EXPECT_EQ(cm.recall(1), 0.0);
+    EXPECT_EQ(cm.f1(0), 0.0);
+}
+
+TEST(Confusion, Validation) {
+    EXPECT_THROW(ConfusionMatrix(1), Error);
+    ConfusionMatrix cm(2);
+    EXPECT_THROW(cm.add(-1, 0), Error);
+    EXPECT_THROW(cm.add(0, 2), Error);
+    EXPECT_THROW((void)cm.at(2, 0), Error);
+    EXPECT_THROW((void)cm.precision(2), Error);
+}
+
+TEST(Confusion, StrRendersAllRows) {
+    const std::string s = sample().str();
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);  // header + 3 rows
+}
+
+TEST(Confusion, FromLogits) {
+    tensor::Matrix logits(3, 2, std::vector<float>{2, 1, 0, 3, 5, 1});
+    const std::vector<std::int32_t> labels{0, 1, 1};
+    const std::vector<std::uint32_t> mask{0, 1, 2};
+    const ConfusionMatrix cm = confusion_matrix(logits, labels, mask, 2);
+    EXPECT_EQ(cm.at(0, 0), 1u);  // row 0 → pred 0, true 0
+    EXPECT_EQ(cm.at(1, 1), 1u);  // row 1 → pred 1, true 1
+    EXPECT_EQ(cm.at(1, 0), 1u);  // row 2 → pred 0, true 1
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 2.0 / 3.0);
+}
+
+TEST(Confusion, FromLogitsValidatesShape) {
+    tensor::Matrix logits(2, 3);
+    const std::vector<std::int32_t> labels{0, 1};
+    const std::vector<std::uint32_t> mask{0};
+    EXPECT_THROW((void)confusion_matrix(logits, labels, mask, 2), Error);
+}
+
+} // namespace
+} // namespace scgnn::gnn

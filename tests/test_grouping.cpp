@@ -1,0 +1,247 @@
+// Unit tests for semantic group construction (§3.2/§3.3/§4): source
+// classification, natural O2M/M2O groups, M2M k-means pooling, L-SALSA
+// weights and the compression accounting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "scgnn/core/grouping.hpp"
+#include "scgnn/graph/dataset.hpp"
+#include "scgnn/partition/partition.hpp"
+
+namespace scgnn::core {
+namespace {
+
+using graph::ConnectionType;
+using graph::Dbg;
+
+/// Build a DBG directly from per-source sink lists.
+Dbg make_dbg(std::uint32_t num_dst,
+             const std::vector<std::vector<std::uint32_t>>& rows) {
+    Dbg d;
+    d.src_part = 0;
+    d.dst_part = 1;
+    d.src_nodes.resize(rows.size());
+    std::iota(d.src_nodes.begin(), d.src_nodes.end(), 0u);
+    d.dst_nodes.resize(num_dst);
+    std::iota(d.dst_nodes.begin(), d.dst_nodes.end(), 100u);
+    d.ptr = {0};
+    for (const auto& sinks : rows) {
+        for (std::uint32_t v : sinks) d.adj.push_back(v);
+        d.ptr.push_back(d.adj.size());
+    }
+    return d;
+}
+
+TEST(ClassifySources, AllFourClasses) {
+    // src0 → {0}    with in(0)=1            → O2O
+    // src1 → {1,2}  exclusive sinks         → O2M
+    // src2 → {3}, src3 → {3}                → M2O (shared sink 3)
+    // src4 → {4,5}, src5 → {4,5}            → M2M (fan-out + shared)
+    const Dbg d = make_dbg(6, {{0}, {1, 2}, {3}, {3}, {4, 5}, {4, 5}});
+    const auto cls = classify_sources(d);
+    EXPECT_EQ(cls[0], ConnectionType::kO2O);
+    EXPECT_EQ(cls[1], ConnectionType::kO2M);
+    EXPECT_EQ(cls[2], ConnectionType::kM2O);
+    EXPECT_EQ(cls[3], ConnectionType::kM2O);
+    EXPECT_EQ(cls[4], ConnectionType::kM2M);
+    EXPECT_EQ(cls[5], ConnectionType::kM2M);
+}
+
+TEST(Grouping, PartitionsSourcesWithoutOverlap) {
+    const Dbg d = make_dbg(6, {{0}, {1, 2}, {3}, {3}, {4, 5}, {4, 5}});
+    const Grouping g = build_grouping(d, {.kmeans_k = 2, .seed = 1});
+    std::set<std::uint32_t> seen(g.raw_rows.begin(), g.raw_rows.end());
+    for (const SemanticGroup& grp : g.groups)
+        for (std::uint32_t u : grp.members)
+            EXPECT_TRUE(seen.insert(u).second) << "source in two groups";
+    EXPECT_EQ(seen.size(), d.num_src());
+}
+
+TEST(Grouping, O2OStaysRaw) {
+    const Dbg d = make_dbg(6, {{0}, {1, 2}, {3}, {3}, {4, 5}, {4, 5}});
+    const Grouping g = build_grouping(d, {.kmeans_k = 2, .seed = 1});
+    EXPECT_EQ(g.group_of_row[0], -1);
+    EXPECT_TRUE(std::find(g.raw_rows.begin(), g.raw_rows.end(), 0u) !=
+                g.raw_rows.end());
+}
+
+TEST(Grouping, M2OFormsNaturalGroup) {
+    const Dbg d = make_dbg(6, {{0}, {1, 2}, {3}, {3}, {4, 5}, {4, 5}});
+    const Grouping g = build_grouping(d, {.kmeans_k = 2, .seed = 1});
+    // Sources 2 and 3 share one group of origin M2O.
+    ASSERT_GE(g.group_of_row[2], 0);
+    EXPECT_EQ(g.group_of_row[2], g.group_of_row[3]);
+    const SemanticGroup& grp = g.groups[g.group_of_row[2]];
+    EXPECT_EQ(grp.origin, ConnectionType::kM2O);
+    EXPECT_EQ(grp.edges, 2u);
+    EXPECT_EQ(grp.sinks, (std::vector<std::uint32_t>{3}));
+}
+
+TEST(Grouping, O2MIsItsOwnGroup) {
+    const Dbg d = make_dbg(6, {{0}, {1, 2}, {3}, {3}, {4, 5}, {4, 5}});
+    const Grouping g = build_grouping(d, {.kmeans_k = 2, .seed = 1});
+    ASSERT_GE(g.group_of_row[1], 0);
+    const SemanticGroup& grp = g.groups[g.group_of_row[1]];
+    EXPECT_EQ(grp.origin, ConnectionType::kO2M);
+    EXPECT_EQ(grp.members, (std::vector<std::uint32_t>{1}));
+    EXPECT_EQ(grp.edges, 2u);  // 2:1 compression for the fan-out
+}
+
+TEST(Grouping, M2MPoolClustered) {
+    const Dbg d = make_dbg(6, {{0}, {1, 2}, {3}, {3}, {4, 5}, {4, 5}});
+    const Grouping g = build_grouping(d, {.kmeans_k = 1, .seed = 1});
+    ASSERT_GE(g.group_of_row[4], 0);
+    EXPECT_EQ(g.group_of_row[4], g.group_of_row[5]);
+    const SemanticGroup& grp = g.groups[g.group_of_row[4]];
+    EXPECT_EQ(grp.origin, ConnectionType::kM2M);
+    EXPECT_EQ(grp.edges, 4u);
+}
+
+TEST(Grouping, LSalsaWeightsSumToOne) {
+    const Dbg d = make_dbg(8, {{0, 1, 2}, {0, 1}, {1, 2, 3}, {5}, {5}, {5}});
+    const Grouping g = build_grouping(d, {.kmeans_k = 1, .seed = 2});
+    for (const SemanticGroup& grp : g.groups) {
+        double out_sum = 0.0, in_sum = 0.0;
+        for (float w : grp.out_weights) {
+            EXPECT_GT(w, 0.0f);
+            out_sum += w;
+        }
+        for (float w : grp.in_weights) {
+            EXPECT_GT(w, 0.0f);
+            in_sum += w;
+        }
+        EXPECT_NEAR(out_sum, 1.0, 1e-5);
+        EXPECT_NEAR(in_sum, 1.0, 1e-5);
+        EXPECT_EQ(grp.members.size(), grp.out_weights.size());
+        EXPECT_EQ(grp.sinks.size(), grp.in_weights.size());
+    }
+}
+
+TEST(Grouping, LSalsaWeightsProportionalToDegree) {
+    // One M2M pool: src0 has 3 edges, src1 has 2 edges, sinks shared.
+    const Dbg d = make_dbg(3, {{0, 1, 2}, {0, 1}});
+    const Grouping g = build_grouping(d, {.kmeans_k = 1, .seed = 3});
+    ASSERT_EQ(g.groups.size(), 1u);
+    const SemanticGroup& grp = g.groups[0];
+    ASSERT_EQ(grp.members.size(), 2u);
+    EXPECT_FLOAT_EQ(grp.out_weights[0], 0.6f);  // D(u)=3, |E|=5
+    EXPECT_FLOAT_EQ(grp.out_weights[1], 0.4f);
+    // Sinks 0 and 1 receive from both (D=2); sink 2 only from src0.
+    EXPECT_FLOAT_EQ(grp.in_weights[0], 0.4f);
+    EXPECT_FLOAT_EQ(grp.in_weights[1], 0.4f);
+    EXPECT_FLOAT_EQ(grp.in_weights[2], 0.2f);
+}
+
+TEST(Grouping, CompressionAccounting) {
+    const Dbg d = make_dbg(6, {{0}, {1, 2}, {3}, {3}, {4, 5}, {4, 5}});
+    const Grouping g = build_grouping(d, {.kmeans_k = 1, .seed = 1});
+    // Groups: O2M{1}(2 edges) + M2O{2,3}(2) + M2M{4,5}(4) = 3 wire rows;
+    // raw O2O row 0 = 1 edge. Total edges = 9.
+    EXPECT_EQ(g.grouped_edges(), 8u);
+    EXPECT_EQ(g.wire_rows(d), 4u);
+    EXPECT_NEAR(g.compression_ratio(d), 9.0 / 4.0, 1e-9);
+}
+
+TEST(Grouping, EmptyDbg) {
+    Dbg d;
+    const Grouping g = build_grouping(d, {});
+    EXPECT_TRUE(g.groups.empty());
+    EXPECT_TRUE(g.raw_rows.empty());
+    EXPECT_EQ(g.compression_ratio(d), 1.0);
+}
+
+TEST(Grouping, SingletonM2MPool) {
+    // One source fanning to shared... single M2M source (out 2, one sink
+    // shared with an M2O source).
+    const Dbg d = make_dbg(3, {{0, 1}, {0}});
+    // src0: fan-out with shared sink → M2M; src1: single edge to shared → M2O
+    const auto cls = classify_sources(d);
+    EXPECT_EQ(cls[0], ConnectionType::kM2M);
+    EXPECT_EQ(cls[1], ConnectionType::kM2O);
+    const Grouping g = build_grouping(d, {.kmeans_k = 4, .seed = 5});
+    // Lone M2O source stays raw; M2M singleton becomes a group.
+    EXPECT_EQ(g.groups.size(), 1u);
+    EXPECT_EQ(g.raw_rows.size(), 1u);
+    EXPECT_EQ(g.chosen_k, 1u);
+}
+
+TEST(Grouping, AutoEepPathRuns) {
+    // Two clearly separated M2M blocks; auto-EEP (kmeans_k = 0) must find a
+    // grouping that never mixes the blocks.
+    std::vector<std::vector<std::uint32_t>> rows;
+    for (int i = 0; i < 6; ++i) rows.push_back({0, 1, 2});
+    for (int i = 0; i < 6; ++i) rows.push_back({5, 6, 7});
+    const Dbg d = make_dbg(8, rows);
+    const Grouping g = build_grouping(d, {.kmeans_k = 0, .max_k = 6, .seed = 6});
+    EXPECT_GE(g.chosen_k, 2u);
+    for (const SemanticGroup& grp : g.groups) {
+        // All members of one group share the same sink set.
+        const auto first = d.out_neighbors(grp.members[0]);
+        for (std::uint32_t u : grp.members) {
+            const auto sinks = d.out_neighbors(u);
+            EXPECT_TRUE(std::equal(first.begin(), first.end(), sinks.begin(),
+                                   sinks.end()));
+        }
+    }
+}
+
+TEST(Grouping, JaccardKindSupported) {
+    const Dbg d = make_dbg(6, {{0, 1}, {0, 1}, {4, 5}, {4, 5}});
+    const Grouping g = build_grouping(
+        d, {.kmeans_k = 2, .seed = 7, .kind = SimilarityKind::kJaccard});
+    EXPECT_EQ(g.groups.size(), 2u);
+}
+
+TEST(Grouping, CohesionGuardEvictsPrivateSinkMembers) {
+    // Four sources share sinks {0,1,2}; a fifth touches the shared sink 0
+    // (so it classifies M2M and joins the pool) but otherwise fans out to
+    // private sinks. With k=1 the k-means must pool all five, and only the
+    // cohesion guard evicts the odd one into its own singleton group.
+    const Dbg d = make_dbg(15, {{0, 1, 2}, {0, 1, 2}, {0, 1, 2}, {0, 1, 2},
+                                {0, 10, 11, 12, 13, 14}});
+    GroupingConfig gc;
+    gc.kmeans_k = 1;
+    gc.seed = 3;
+    gc.min_cohesion = 0.5;
+    const Grouping g = build_grouping(d, gc);
+    ASSERT_EQ(g.groups.size(), 2u);
+    // The singleton holds exactly the private-sink source.
+    bool found_singleton = false;
+    for (const SemanticGroup& grp : g.groups) {
+        if (grp.members.size() == 1) {
+            EXPECT_EQ(grp.members[0], 4u);
+            found_singleton = true;
+        } else {
+            EXPECT_EQ(grp.members.size(), 4u);
+        }
+    }
+    EXPECT_TRUE(found_singleton);
+
+    // Guard off: everything fuses into one group.
+    gc.min_cohesion = 0.0;
+    EXPECT_EQ(build_grouping(d, gc).groups.size(), 1u);
+    // Invalid threshold rejected.
+    gc.min_cohesion = 1.5;
+    EXPECT_THROW((void)build_grouping(d, gc), Error);
+}
+
+TEST(Grouping, RealisticPresetProducesLargeGroups) {
+    // Fig. 10's claim at reproduction scale: dense graphs yield large mean
+    // group sizes (hundreds of edges per group on the Reddit preset).
+    const auto data = graph::make_dataset(graph::DatasetPreset::kRedditSim,
+                                          0.25, 11);
+    const auto parts = partition::make_partitioning(
+        partition::PartitionAlgo::kNodeCut, data.graph, 2, 3);
+    const graph::Dbg dbg = graph::extract_dbg(data.graph, parts.part_of, 0, 1);
+    ASSERT_GT(dbg.num_edges(), 0u);
+    const Grouping g = build_grouping(dbg, {.kmeans_k = 20, .seed = 8});
+    EXPECT_GT(g.compression_ratio(dbg), 10.0);
+    const double mean_size =
+        static_cast<double>(g.grouped_edges()) / g.groups.size();
+    EXPECT_GT(mean_size, 50.0);
+}
+
+} // namespace
+} // namespace scgnn::core

@@ -1,0 +1,169 @@
+// Unit tests for similarity-driven k-means (dense and sparse DBG paths).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scgnn/core/kmeans.hpp"
+#include "scgnn/graph/graph.hpp"
+
+namespace scgnn::core {
+namespace {
+
+using tensor::Matrix;
+
+/// Two obvious blobs in row space: rows 0-3 hit sinks {0,1,2}, rows 4-7 hit
+/// sinks {5,6,7} — any sane clustering with k=2 separates them.
+Matrix two_blobs() {
+    Matrix m(8, 8);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 3; ++c) m(r, c) = 1.0f;
+    for (std::size_t r = 4; r < 8; ++r)
+        for (std::size_t c = 5; c < 8; ++c) m(r, c) = 1.0f;
+    return m;
+}
+
+TEST(KMeans, SeparatesObviousBlobs) {
+    const KMeansResult res = kmeans_rows(two_blobs(), {.k = 2, .seed = 1});
+    EXPECT_EQ(res.assignment.size(), 8u);
+    for (std::size_t r = 1; r < 4; ++r)
+        EXPECT_EQ(res.assignment[r], res.assignment[0]);
+    for (std::size_t r = 5; r < 8; ++r)
+        EXPECT_EQ(res.assignment[r], res.assignment[4]);
+    EXPECT_NE(res.assignment[0], res.assignment[4]);
+    EXPECT_NEAR(res.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeans, JaccardKindAlsoSeparatesBlobs) {
+    const KMeansResult res = kmeans_rows(
+        two_blobs(), {.k = 2, .seed = 2, .kind = SimilarityKind::kJaccard});
+    EXPECT_NE(res.assignment[0], res.assignment[4]);
+}
+
+TEST(KMeans, KClampedToRowCount) {
+    Matrix m(3, 2, std::vector<float>{1, 0, 0, 1, 1, 1});
+    const KMeansResult res = kmeans_rows(m, {.k = 10, .seed = 3});
+    std::set<std::uint32_t> used(res.assignment.begin(), res.assignment.end());
+    EXPECT_LE(used.size(), 3u);
+    EXPECT_EQ(res.centroids.rows(), 3u);
+}
+
+TEST(KMeans, KEqualsOneGivesSingleCluster) {
+    const KMeansResult res = kmeans_rows(two_blobs(), {.k = 1, .seed = 4});
+    for (auto a : res.assignment) EXPECT_EQ(a, 0u);
+    EXPECT_GT(res.inertia, 0.0);
+}
+
+TEST(KMeans, InertiaDecreasesWithK) {
+    Rng rng(5);
+    Matrix m = Matrix::randn(60, 10, rng);
+    double prev = 1e300;
+    for (std::uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
+        const KMeansResult res = kmeans_rows(m, {.k = k, .seed = 6});
+        EXPECT_LE(res.inertia, prev * 1.05);  // near-monotone
+        prev = res.inertia;
+    }
+}
+
+TEST(KMeans, DeterministicBySeed) {
+    Rng rng(7);
+    Matrix m = Matrix::randn(30, 6, rng);
+    const KMeansResult a = kmeans_rows(m, {.k = 4, .seed = 9});
+    const KMeansResult b = kmeans_rows(m, {.k = 4, .seed = 9});
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, IdenticalRowsCollapseToOneCluster) {
+    Matrix m(5, 3, 1.0f);
+    const KMeansResult res = kmeans_rows(m, {.k = 3, .seed = 10});
+    EXPECT_NEAR(res.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeans, ValidatesInput) {
+    Matrix empty;
+    EXPECT_THROW((void)kmeans_rows(empty, {.k = 2}), Error);
+    Matrix m(2, 2, 1.0f);
+    EXPECT_THROW((void)kmeans_rows(m, {.k = 0}), Error);
+}
+
+TEST(KMeans, EuclideanInertiaValidates) {
+    Matrix rows(2, 2, 1.0f);
+    Matrix cent(1, 2, 0.0f);
+    const std::vector<std::uint32_t> assign{0, 0};
+    EXPECT_DOUBLE_EQ(euclidean_inertia(rows, cent, assign), 4.0);
+    const std::vector<std::uint32_t> bad{0};
+    EXPECT_THROW((void)euclidean_inertia(rows, cent, bad), Error);
+    const std::vector<std::uint32_t> missing{1, 1};
+    EXPECT_THROW((void)euclidean_inertia(rows, cent, missing), Error);
+}
+
+// -------------------------------------------------------- sparse DBG path
+
+/// DBG with the same two-blob structure as two_blobs().
+graph::Dbg blob_dbg() {
+    graph::Dbg d;
+    d.src_part = 0;
+    d.dst_part = 1;
+    d.src_nodes.resize(8);
+    d.dst_nodes.resize(8);
+    d.ptr = {0};
+    for (std::uint32_t r = 0; r < 8; ++r) {
+        if (r < 4)
+            for (std::uint32_t c = 0; c < 3; ++c) d.adj.push_back(c);
+        else
+            for (std::uint32_t c = 5; c < 8; ++c) d.adj.push_back(c);
+        d.ptr.push_back(d.adj.size());
+    }
+    return d;
+}
+
+TEST(KMeansDbg, MatchesDenseResultOnBlobs) {
+    const graph::Dbg dbg = blob_dbg();
+    std::vector<std::uint32_t> pool{0, 1, 2, 3, 4, 5, 6, 7};
+    const KMeansResult sparse = kmeans_dbg_rows(dbg, pool, {.k = 2, .seed = 1});
+    EXPECT_NE(sparse.assignment[0], sparse.assignment[4]);
+    for (std::size_t r = 1; r < 4; ++r)
+        EXPECT_EQ(sparse.assignment[r], sparse.assignment[0]);
+    EXPECT_NEAR(sparse.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansDbg, SubsetPoolOnly) {
+    const graph::Dbg dbg = blob_dbg();
+    std::vector<std::uint32_t> pool{0, 4};
+    const KMeansResult res = kmeans_dbg_rows(dbg, pool, {.k = 2, .seed = 2});
+    EXPECT_EQ(res.assignment.size(), 2u);
+    EXPECT_NE(res.assignment[0], res.assignment[1]);
+}
+
+TEST(KMeansDbg, InertiaMatchesDenseComputation) {
+    const graph::Dbg dbg = blob_dbg();
+    std::vector<std::uint32_t> pool{0, 1, 2, 3, 4, 5, 6, 7};
+    const KMeansResult sparse = kmeans_dbg_rows(dbg, pool, {.k = 3, .seed = 5});
+    // Recompute inertia densely from returned centroids/assignment.
+    Matrix rows(8, 8);
+    for (std::size_t r = 0; r < 8; ++r) {
+        const auto dense = dbg.dense_row(static_cast<std::uint32_t>(r));
+        std::copy(dense.begin(), dense.end(), rows.row(r).begin());
+    }
+    const double dense_inertia =
+        euclidean_inertia(rows, sparse.centroids, sparse.assignment);
+    EXPECT_NEAR(sparse.inertia, dense_inertia, 1e-6);
+}
+
+TEST(KMeansDbg, ValidatesPool) {
+    const graph::Dbg dbg = blob_dbg();
+    EXPECT_THROW((void)kmeans_dbg_rows(dbg, {}, {.k = 2}), Error);
+    std::vector<std::uint32_t> bad{99};
+    EXPECT_THROW((void)kmeans_dbg_rows(dbg, bad, {.k = 2}), Error);
+}
+
+TEST(KMeansDbg, DeterministicBySeed) {
+    const graph::Dbg dbg = blob_dbg();
+    std::vector<std::uint32_t> pool{0, 1, 2, 3, 4, 5, 6, 7};
+    const auto a = kmeans_dbg_rows(dbg, pool, {.k = 3, .seed = 11});
+    const auto b = kmeans_dbg_rows(dbg, pool, {.k = 3, .seed = 11});
+    EXPECT_EQ(a.assignment, b.assignment);
+}
+
+} // namespace
+} // namespace scgnn::core

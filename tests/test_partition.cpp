@@ -1,0 +1,191 @@
+// Unit/property tests for the three partitioners and the quality metrics.
+#include <gtest/gtest.h>
+
+#include "scgnn/graph/dataset.hpp"
+#include "scgnn/partition/partition.hpp"
+
+namespace scgnn::partition {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+
+Graph community_graph(std::uint64_t seed = 3) {
+    graph::PlantedPartitionSpec spec;
+    spec.nodes = 1200;
+    spec.communities = 4;
+    spec.avg_degree = 14.0;
+    spec.homophily = 0.9;
+    Rng rng(seed);
+    return graph::planted_partition(spec, rng, nullptr);
+}
+
+class EveryAlgo : public ::testing::TestWithParam<PartitionAlgo> {};
+
+TEST_P(EveryAlgo, CoversAllNodesWithValidIds) {
+    const Graph g = community_graph();
+    const Partitioning p = make_partitioning(GetParam(), g, 4, 11);
+    EXPECT_EQ(p.num_parts, 4u);
+    ASSERT_EQ(p.part_of.size(), g.num_nodes());
+    for (std::uint32_t id : p.part_of) EXPECT_LT(id, 4u);
+}
+
+TEST_P(EveryAlgo, RoughlyBalanced) {
+    const Graph g = community_graph();
+    const Partitioning p = make_partitioning(GetParam(), g, 4, 11);
+    const PartitionQuality q = evaluate(g, p);
+    EXPECT_LT(q.balance, 1.15);
+    EXPECT_GE(q.balance, 1.0);
+}
+
+TEST_P(EveryAlgo, DeterministicBySeed) {
+    const Graph g = community_graph();
+    const Partitioning a = make_partitioning(GetParam(), g, 4, 42);
+    const Partitioning b = make_partitioning(GetParam(), g, 4, 42);
+    EXPECT_EQ(a.part_of, b.part_of);
+}
+
+TEST_P(EveryAlgo, MembersPartitionTheNodeSet) {
+    const Graph g = community_graph();
+    const Partitioning p = make_partitioning(GetParam(), g, 3, 5);
+    const auto members = p.members();
+    std::size_t total = 0;
+    for (const auto& m : members) total += m.size();
+    EXPECT_EQ(total, g.num_nodes());
+    for (std::uint32_t part = 0; part < 3; ++part)
+        EXPECT_EQ(members[part].size(), p.part_size(part));
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, EveryAlgo,
+                         ::testing::Values(PartitionAlgo::kRandomCut,
+                                           PartitionAlgo::kEdgeCut,
+                                           PartitionAlgo::kNodeCut,
+                                           PartitionAlgo::kMultilevel),
+                         [](const auto& param_info) {
+                             std::string n = to_string(param_info.param);
+                             return n.substr(0, n.find('-'));
+                         });
+
+TEST(Multilevel, BeatsOrMatchesStreamingEdgeCut) {
+    const Graph g = community_graph();
+    Rng r1(7), r2(7);
+    const auto streaming = evaluate(g, edge_cut(g, 4, r1));
+    const auto multilevel = evaluate(g, multilevel_edge_cut(g, 4, r2));
+    EXPECT_LE(multilevel.cut_edges, streaming.cut_edges * 1.1);
+    EXPECT_LT(multilevel.balance, 1.15);
+}
+
+TEST(Multilevel, RecoversPlantedCommunitiesAlmostPerfectly) {
+    graph::PlantedPartitionSpec spec;
+    spec.nodes = 2000;
+    spec.communities = 4;
+    spec.avg_degree = 16.0;
+    spec.homophily = 0.95;
+    Rng rng(5);
+    const Graph g = graph::planted_partition(spec, rng, nullptr);
+    Rng prng(9);
+    const auto q = evaluate(g, multilevel_edge_cut(g, 4, prng));
+    // With homophily 0.95 the optimal cut is ~5% of edges; the multilevel
+    // partitioner should land in that neighbourhood.
+    EXPECT_LT(q.cut_fraction, 0.12);
+}
+
+TEST(Multilevel, HandlesSinglePartitionAndEmptyGraph) {
+    Rng rng(1);
+    const Graph g = community_graph();
+    const Partitioning p1 = multilevel_edge_cut(g, 1, rng);
+    EXPECT_EQ(evaluate(g, p1).cut_edges, 0u);
+    const Partitioning p0 = multilevel_edge_cut(Graph{}, 4, rng);
+    EXPECT_TRUE(p0.part_of.empty());
+}
+
+TEST(Multilevel, WorksOnTinyGraphsBelowCoarsenTarget) {
+    const Graph g(6, std::vector<Edge>{{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+    Rng rng(2);
+    const Partitioning p = multilevel_edge_cut(g, 2, rng);
+    ASSERT_EQ(p.part_of.size(), 6u);
+    for (std::uint32_t id : p.part_of) EXPECT_LT(id, 2u);
+}
+
+TEST(Partition, EdgeCutBeatsRandomOnCommunityGraphs) {
+    const Graph g = community_graph();
+    Rng r1(7), r2(7);
+    const auto random_q = evaluate(g, random_cut(g, 4, r1));
+    const auto edge_q = evaluate(g, edge_cut(g, 4, r2));
+    EXPECT_LT(edge_q.cut_edges, random_q.cut_edges / 2);
+}
+
+TEST(Partition, NodeCutMinimisesBoundaryNodesVsRandom) {
+    const Graph g = community_graph();
+    Rng r1(7), r2(7);
+    const auto random_q = evaluate(g, random_cut(g, 4, r1));
+    const auto node_q = evaluate(g, node_cut(g, 4, r2));
+    EXPECT_LT(node_q.boundary_nodes, random_q.boundary_nodes);
+}
+
+TEST(Partition, RandomCutIsExactlyBalanced) {
+    const Graph g = community_graph();
+    Rng rng(9);
+    const Partitioning p = random_cut(g, 4, rng);
+    for (std::uint32_t part = 0; part < 4; ++part)
+        EXPECT_EQ(p.part_size(part), g.num_nodes() / 4);
+}
+
+TEST(Partition, SinglePartitionHasNoCut) {
+    const Graph g = community_graph();
+    Rng rng(1);
+    const Partitioning p = edge_cut(g, 1, rng);
+    const PartitionQuality q = evaluate(g, p);
+    EXPECT_EQ(q.cut_edges, 0u);
+    EXPECT_EQ(q.boundary_nodes, 0u);
+    EXPECT_DOUBLE_EQ(q.balance, 1.0);
+}
+
+TEST(Partition, QualityMetricsOnKnownExample) {
+    // Path 0-1-2-3 split down the middle: one cut edge, two boundary nodes.
+    const Graph g(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+    Partitioning p;
+    p.num_parts = 2;
+    p.part_of = {0, 0, 1, 1};
+    const PartitionQuality q = evaluate(g, p);
+    EXPECT_EQ(q.cut_edges, 1u);
+    EXPECT_DOUBLE_EQ(q.cut_fraction, 1.0 / 3.0);
+    EXPECT_EQ(q.boundary_nodes, 2u);
+    EXPECT_DOUBLE_EQ(q.boundary_fraction, 0.5);
+    EXPECT_DOUBLE_EQ(q.balance, 1.0);
+}
+
+TEST(Partition, EvaluateValidatesCoverage) {
+    const Graph g(3, std::vector<Edge>{{0, 1}});
+    Partitioning p;
+    p.num_parts = 2;
+    p.part_of = {0, 1};  // one node short
+    EXPECT_THROW((void)evaluate(g, p), Error);
+}
+
+TEST(Partition, HandlesDisconnectedGraphs) {
+    // Two disjoint triangles.
+    const Graph g(6, std::vector<Edge>{{0, 1}, {1, 2}, {0, 2},
+                                       {3, 4}, {4, 5}, {3, 5}});
+    Rng rng(2);
+    const Partitioning p = edge_cut(g, 2, rng);
+    const PartitionQuality q = evaluate(g, p);
+    // Perfect split keeps both triangles whole.
+    EXPECT_EQ(q.cut_edges, 0u);
+}
+
+TEST(Partition, MorePartsMoreCut) {
+    const Graph g = community_graph();
+    const auto q2 = evaluate(g, make_partitioning(PartitionAlgo::kEdgeCut, g, 2, 3));
+    const auto q8 = evaluate(g, make_partitioning(PartitionAlgo::kEdgeCut, g, 8, 3));
+    EXPECT_LT(q2.cut_edges, q8.cut_edges);
+}
+
+TEST(Partition, ValidatesPartCount) {
+    const Graph g(2, std::vector<Edge>{{0, 1}});
+    Rng rng(1);
+    EXPECT_THROW((void)random_cut(g, 0, rng), Error);
+}
+
+} // namespace
+} // namespace scgnn::partition

@@ -1,0 +1,142 @@
+// Unit tests for the 2-component PCA and the Fig. 6 cluster-separation
+// metric.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scgnn/core/pca.hpp"
+
+namespace scgnn::core {
+namespace {
+
+using tensor::Matrix;
+
+/// Points stretched along a known direction in 5-D.
+Matrix anisotropic_cloud(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    Matrix m(n, 5);
+    for (std::size_t r = 0; r < n; ++r) {
+        const double t = rng.normal() * 10.0;   // dominant axis: (1,1,0,0,0)/√2
+        const double s = rng.normal() * 1.0;    // secondary: (0,0,1,0,0)
+        m(r, 0) = static_cast<float>(t + rng.normal() * 0.01);
+        m(r, 1) = static_cast<float>(t + rng.normal() * 0.01);
+        m(r, 2) = static_cast<float>(s);
+        m(r, 3) = static_cast<float>(rng.normal() * 0.01);
+        m(r, 4) = static_cast<float>(rng.normal() * 0.01);
+    }
+    return m;
+}
+
+TEST(Pca, RecoversDominantDirection) {
+    const Matrix cloud = anisotropic_cloud(400, 1);
+    const PcaResult res = pca_2d(cloud);
+    // First component ≈ ±(1,1,0,0,0)/√2.
+    const float a = std::abs(res.components(0, 0));
+    const float b = std::abs(res.components(0, 1));
+    EXPECT_NEAR(a, 1.0f / std::sqrt(2.0f), 0.05f);
+    EXPECT_NEAR(b, 1.0f / std::sqrt(2.0f), 0.05f);
+    EXPECT_LT(std::abs(res.components(0, 2)), 0.1f);
+}
+
+TEST(Pca, ComponentsAreOrthonormal) {
+    const Matrix cloud = anisotropic_cloud(300, 2);
+    const PcaResult res = pca_2d(cloud);
+    double n0 = 0, n1 = 0, dot = 0;
+    for (std::size_t j = 0; j < 5; ++j) {
+        n0 += static_cast<double>(res.components(0, j)) * res.components(0, j);
+        n1 += static_cast<double>(res.components(1, j)) * res.components(1, j);
+        dot += static_cast<double>(res.components(0, j)) * res.components(1, j);
+    }
+    EXPECT_NEAR(n0, 1.0, 1e-4);
+    EXPECT_NEAR(n1, 1.0, 1e-4);
+    EXPECT_NEAR(dot, 0.0, 1e-3);
+}
+
+TEST(Pca, ExplainedVarianceOrdered) {
+    const Matrix cloud = anisotropic_cloud(300, 3);
+    const PcaResult res = pca_2d(cloud);
+    ASSERT_EQ(res.explained_variance.size(), 2u);
+    EXPECT_GT(res.explained_variance[0], res.explained_variance[1]);
+    EXPECT_GT(res.explained_variance[0], 50.0);  // dominant axis var ≈ 200
+}
+
+TEST(Pca, ProjectionShapeAndCentring) {
+    const Matrix cloud = anisotropic_cloud(100, 4);
+    const PcaResult res = pca_2d(cloud);
+    EXPECT_EQ(res.projected.rows(), 100u);
+    EXPECT_EQ(res.projected.cols(), 2u);
+    // Projections of centred data have ~zero mean.
+    double mx = 0, my = 0;
+    for (std::size_t r = 0; r < 100; ++r) {
+        mx += res.projected(r, 0);
+        my += res.projected(r, 1);
+    }
+    EXPECT_NEAR(mx / 100.0, 0.0, 1e-3);
+    EXPECT_NEAR(my / 100.0, 0.0, 1e-3);
+}
+
+TEST(Pca, DeterministicBySeed) {
+    const Matrix cloud = anisotropic_cloud(50, 5);
+    const PcaResult a = pca_2d(cloud, 9);
+    const PcaResult b = pca_2d(cloud, 9);
+    EXPECT_TRUE(a.projected == b.projected);
+}
+
+TEST(Pca, ValidatesInput) {
+    EXPECT_THROW((void)pca_2d(Matrix(1, 3)), Error);
+    EXPECT_THROW((void)pca_2d(Matrix()), Error);
+}
+
+TEST(Pca, DegenerateConstantDataIsHandled) {
+    Matrix m(10, 3, 2.0f);
+    const PcaResult res = pca_2d(m);
+    for (std::size_t r = 0; r < 10; ++r) {
+        EXPECT_NEAR(res.projected(r, 0), 0.0f, 1e-4f);
+        EXPECT_NEAR(res.projected(r, 1), 0.0f, 1e-4f);
+    }
+}
+
+TEST(ClusterSeparation, TightClustersScoreHigh) {
+    // Two well-separated blobs in 2-D.
+    Rng rng(6);
+    Matrix proj(40, 2);
+    std::vector<std::uint32_t> labels(40);
+    for (std::size_t r = 0; r < 40; ++r) {
+        const bool left = r < 20;
+        labels[r] = left ? 0 : 1;
+        proj(r, 0) = (left ? -10.0f : 10.0f) +
+                     static_cast<float>(rng.normal(0.0, 0.2));
+        proj(r, 1) = static_cast<float>(rng.normal(0.0, 0.2));
+    }
+    EXPECT_GT(cluster_separation(proj, labels), 10.0);
+}
+
+TEST(ClusterSeparation, MixedClustersScoreLow) {
+    Rng rng(7);
+    Matrix proj(40, 2);
+    std::vector<std::uint32_t> labels(40);
+    for (std::size_t r = 0; r < 40; ++r) {
+        labels[r] = static_cast<std::uint32_t>(r % 2);  // labels ⟂ geometry
+        proj(r, 0) = static_cast<float>(rng.normal());
+        proj(r, 1) = static_cast<float>(rng.normal());
+    }
+    EXPECT_LT(cluster_separation(proj, labels), 2.0);
+}
+
+TEST(ClusterSeparation, SingleClusterIsZero) {
+    Matrix proj(5, 2, 1.0f);
+    const std::vector<std::uint32_t> labels(5, 0);
+    EXPECT_EQ(cluster_separation(proj, labels), 0.0);
+}
+
+TEST(ClusterSeparation, Validates) {
+    Matrix proj(4, 2);
+    const std::vector<std::uint32_t> labels{0, 1};
+    EXPECT_THROW((void)cluster_separation(proj, labels), Error);
+    Matrix bad(4, 3);
+    const std::vector<std::uint32_t> four{0, 1, 0, 1};
+    EXPECT_THROW((void)cluster_separation(bad, four), Error);
+}
+
+} // namespace
+} // namespace scgnn::core

@@ -1,0 +1,226 @@
+// Property-based tests: random DBGs and datasets across many seeds, with
+// the library's core invariants checked on every draw —
+//   * groupings partition the source set,
+//   * L-SALSA weights are normalised,
+//   * the semantic aggregate preserves group mass and is exact on full maps,
+//   * compression never inflates volume,
+//   * the compressed backward stays the adjoint of the compressed forward,
+//   * quantisation round-trips within its step bound.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "scgnn/core/semantic_aggregate.hpp"
+#include "scgnn/core/semantic_compressor.hpp"
+#include "scgnn/tensor/ops.hpp"
+#include "scgnn/tensor/quantize.hpp"
+
+namespace scgnn::core {
+namespace {
+
+/// Random bipartite structure: every source gets 1..max_deg distinct sinks.
+graph::Dbg random_dbg(Rng& rng, std::uint32_t num_src, std::uint32_t num_dst,
+                      std::uint32_t max_deg) {
+    graph::Dbg d;
+    d.src_part = 0;
+    d.dst_part = 1;
+    d.src_nodes.resize(num_src);
+    std::iota(d.src_nodes.begin(), d.src_nodes.end(), 0u);
+    d.dst_nodes.resize(num_dst);
+    std::iota(d.dst_nodes.begin(), d.dst_nodes.end(), 0u);
+    d.ptr = {0};
+    for (std::uint32_t u = 0; u < num_src; ++u) {
+        const auto deg = static_cast<std::uint32_t>(
+            1 + rng.uniform_u64(std::min(max_deg, num_dst)));
+        auto sinks = rng.sample_without_replacement(num_dst, deg);
+        std::sort(sinks.begin(), sinks.end());
+        for (std::uint32_t v : sinks) d.adj.push_back(v);
+        d.ptr.push_back(d.adj.size());
+    }
+    return d;
+}
+
+class FuzzSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeed, GroupingInvariants) {
+    Rng rng(GetParam());
+    const graph::Dbg d = random_dbg(rng, 40, 30, 6);
+    for (std::uint32_t k : {1u, 3u, 8u}) {
+        const Grouping g = build_grouping(d, {.kmeans_k = k,
+                                              .seed = GetParam()});
+        // Sources partitioned.
+        std::set<std::uint32_t> seen(g.raw_rows.begin(), g.raw_rows.end());
+        for (const SemanticGroup& grp : g.groups) {
+            EXPECT_FALSE(grp.members.empty());
+            EXPECT_GT(grp.edges, 0u);
+            double out_sum = 0.0, in_sum = 0.0;
+            for (float w : grp.out_weights) out_sum += w;
+            for (float w : grp.in_weights) in_sum += w;
+            EXPECT_NEAR(out_sum, 1.0, 1e-4);
+            EXPECT_NEAR(in_sum, 1.0, 1e-4);
+            for (std::uint32_t u : grp.members)
+                EXPECT_TRUE(seen.insert(u).second);
+        }
+        EXPECT_EQ(seen.size(), d.num_src());
+        // Compression never inflates (wire rows ≤ per-edge rows).
+        EXPECT_LE(g.wire_rows(d), d.num_edges());
+        EXPECT_GE(g.compression_ratio(d), 1.0);
+        // group_of_row index is consistent.
+        for (std::uint32_t u = 0; u < d.num_src(); ++u) {
+            const std::int32_t gi = g.group_of_row[u];
+            if (gi < 0) {
+                EXPECT_TRUE(std::find(g.raw_rows.begin(), g.raw_rows.end(),
+                                      u) != g.raw_rows.end());
+            } else {
+                const auto& m = g.groups[gi].members;
+                EXPECT_TRUE(std::find(m.begin(), m.end(), u) != m.end());
+            }
+        }
+    }
+}
+
+TEST_P(FuzzSeed, SemanticAggregateMassConservation) {
+    Rng rng(GetParam() ^ 0x1111);
+    const graph::Dbg d = random_dbg(rng, 30, 20, 5);
+    const Grouping g = build_grouping(d, {.kmeans_k = 4, .seed = GetParam()});
+    const tensor::Matrix src = tensor::Matrix::randn(d.num_src(), 6, rng);
+    const AggregateResult exact = traditional_aggregate(d, src);
+    const AggregateResult approx = semantic_aggregate(d, g, src);
+    for (std::size_t c = 0; c < 6; ++c) {
+        double me = 0.0, ma = 0.0;
+        for (std::uint32_t v = 0; v < d.num_dst(); ++v) {
+            me += exact.sink_values(v, c);
+            ma += approx.sink_values(v, c);
+        }
+        EXPECT_NEAR(me, ma, 1e-3 * (1.0 + std::abs(me)));
+    }
+    EXPECT_EQ(approx.rows_transmitted, g.wire_rows(d));
+}
+
+TEST_P(FuzzSeed, FullMapDbgIsExact) {
+    Rng rng(GetParam() ^ 0x2222);
+    // Every source connects to every sink: the approximation must be exact.
+    const std::uint32_t ns = 2 + static_cast<std::uint32_t>(rng.uniform_u64(6));
+    const std::uint32_t nd = 2 + static_cast<std::uint32_t>(rng.uniform_u64(6));
+    graph::Dbg d;
+    d.src_part = 0;
+    d.dst_part = 1;
+    d.src_nodes.resize(ns);
+    std::iota(d.src_nodes.begin(), d.src_nodes.end(), 0u);
+    d.dst_nodes.resize(nd);
+    std::iota(d.dst_nodes.begin(), d.dst_nodes.end(), 0u);
+    d.ptr = {0};
+    for (std::uint32_t u = 0; u < ns; ++u) {
+        for (std::uint32_t v = 0; v < nd; ++v) d.adj.push_back(v);
+        d.ptr.push_back(d.adj.size());
+    }
+    const Grouping g = build_grouping(d, {.kmeans_k = 1, .seed = GetParam()});
+    const tensor::Matrix src = tensor::Matrix::randn(ns, 4, rng);
+    EXPECT_LT(approximation_error(d, g, src), 1e-4);
+    EXPECT_EQ(g.wire_rows(d), 1u);
+}
+
+TEST_P(FuzzSeed, CompressedBackwardIsAdjoint) {
+    Rng rng(GetParam() ^ 0x3333);
+    const graph::Dataset data =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, 0.1, GetParam());
+    const auto parts = partition::make_partitioning(
+        partition::PartitionAlgo::kRandomCut, data.graph, 2, GetParam());
+    const dist::DistContext ctx(data, parts, gnn::AdjNorm::kSymmetric);
+    if (ctx.plans().empty()) GTEST_SKIP();
+
+    SemanticCompressorConfig sc;
+    sc.grouping.kmeans_k = 5;
+    SemanticCompressor comp(sc);
+    comp.setup(ctx);
+    for (std::size_t pi = 0; pi < ctx.plans().size(); ++pi) {
+        const auto rows = ctx.plans()[pi].num_rows();
+        const tensor::Matrix x = tensor::Matrix::randn(rows, 3, rng);
+        const tensor::Matrix y = tensor::Matrix::randn(rows, 3, rng);
+        tensor::Matrix fx, bty;
+        (void)comp.forward_rows(ctx, pi, 0, x, fx);
+        (void)comp.backward_rows(ctx, pi, 1, y, bty);
+        double lhs = 0.0, rhs = 0.0;
+        for (std::size_t i = 0; i < fx.size(); ++i) {
+            lhs += static_cast<double>(fx.flat()[i]) * y.flat()[i];
+            rhs += static_cast<double>(x.flat()[i]) * bty.flat()[i];
+        }
+        EXPECT_NEAR(lhs, rhs, 1e-3 * (std::abs(lhs) + 1.0)) << "plan " << pi;
+    }
+}
+
+TEST_P(FuzzSeed, DistContextInvariants) {
+    Rng rng(GetParam() ^ 0x5555);
+    graph::PlantedPartitionSpec spec;
+    spec.nodes = 150 + static_cast<std::uint32_t>(rng.uniform_u64(150));
+    spec.communities = 3;
+    spec.avg_degree = 4.0 + rng.uniform() * 12.0;
+    graph::Dataset d;
+    d.name = "fuzz";
+    d.graph = graph::planted_partition(spec, rng, nullptr);
+    d.features = tensor::Matrix(d.graph.num_nodes(), 4);
+    d.labels.assign(d.graph.num_nodes(), 0);
+    d.num_classes = 2;
+    d.train_mask = {0};
+    d.test_mask = {1};
+
+    const std::uint32_t parts_n =
+        2 + static_cast<std::uint32_t>(rng.uniform_u64(4));
+    const auto parts = partition::make_partitioning(
+        partition::PartitionAlgo::kRandomCut, d.graph, parts_n, GetParam());
+    const dist::DistContext ctx(d, parts, gnn::AdjNorm::kSymmetric);
+
+    // Local nodes partition the graph.
+    std::size_t total_local = 0;
+    for (std::uint32_t p = 0; p < parts_n; ++p) {
+        total_local += ctx.local_nodes(p).size();
+        // Halo slots hold remote nodes only, sorted ascending.
+        const auto halo = ctx.halo(p);
+        for (std::size_t i = 0; i < halo.size(); ++i) {
+            EXPECT_NE(ctx.owner(halo[i]), p);
+            if (i != 0) {
+                EXPECT_LT(halo[i - 1], halo[i]);
+            }
+        }
+        // Local adjacency covers local rows and (local+halo) columns.
+        EXPECT_EQ(ctx.local_adj(p).rows(), ctx.local_nodes(p).size());
+        EXPECT_EQ(ctx.local_adj(p).cols(),
+                  ctx.local_nodes(p).size() + halo.size());
+    }
+    EXPECT_EQ(total_local, d.graph.num_nodes());
+
+    // Every halo slot fed exactly once; plan edges sum to the cut × 2.
+    std::uint64_t plan_edges = 0;
+    std::vector<std::set<std::uint32_t>> fed(parts_n);
+    for (const dist::PairPlan& plan : ctx.plans()) {
+        plan_edges += plan.num_edges();
+        for (std::uint32_t slot : plan.dst_halo_slots)
+            EXPECT_TRUE(fed[plan.dst_part].insert(slot).second);
+    }
+    for (std::uint32_t p = 0; p < parts_n; ++p)
+        EXPECT_EQ(fed[p].size(), ctx.halo(p).size());
+    EXPECT_EQ(plan_edges,
+              2 * partition::evaluate(d.graph, parts).cut_edges);
+}
+
+TEST_P(FuzzSeed, QuantRoundTripBound) {
+    Rng rng(GetParam() ^ 0x4444);
+    const auto rows = 1 + rng.index(20);
+    const auto cols = 1 + rng.index(20);
+    const tensor::Matrix m = tensor::Matrix::randn(
+        rows, cols, rng, static_cast<float>(rng.normal(0.0, 3.0)),
+        static_cast<float>(0.1 + rng.uniform() * 5.0));
+    for (int bits : {4, 8, 16}) {
+        const auto q = tensor::quantize_per_tensor(m, bits);
+        EXPECT_LE(tensor::max_abs_diff(m, tensor::dequantize(q)),
+                  q.scale * 0.5f + 1e-5f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u,
+                                           0xdeadbeefu));
+
+} // namespace
+} // namespace scgnn::core

@@ -1,0 +1,148 @@
+// Unit tests pinning the Fig. 7 algebra: traditional per-edge aggregation
+// vs the semantic group aggregate, including the exactness guarantees
+// (mass preservation, full-map exactness) and the wire-row accounting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "scgnn/core/semantic_aggregate.hpp"
+
+namespace scgnn::core {
+namespace {
+
+using tensor::Matrix;
+
+graph::Dbg make_dbg(std::uint32_t num_dst,
+                    const std::vector<std::vector<std::uint32_t>>& rows) {
+    graph::Dbg d;
+    d.src_part = 0;
+    d.dst_part = 1;
+    d.src_nodes.resize(rows.size());
+    std::iota(d.src_nodes.begin(), d.src_nodes.end(), 0u);
+    d.dst_nodes.resize(num_dst);
+    std::iota(d.dst_nodes.begin(), d.dst_nodes.end(), 50u);
+    d.ptr = {0};
+    for (const auto& sinks : rows) {
+        for (std::uint32_t v : sinks) d.adj.push_back(v);
+        d.ptr.push_back(d.adj.size());
+    }
+    return d;
+}
+
+TEST(TraditionalAggregate, SumsPerSinkAndCountsEdges) {
+    const graph::Dbg d = make_dbg(2, {{0}, {0, 1}});
+    Matrix src(2, 2, std::vector<float>{1, 2, 10, 20});
+    const AggregateResult r = traditional_aggregate(d, src);
+    EXPECT_EQ(r.rows_transmitted, 3u);
+    EXPECT_FLOAT_EQ(r.sink_values(0, 0), 11.0f);
+    EXPECT_FLOAT_EQ(r.sink_values(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(r.sink_values(1, 0), 10.0f);
+}
+
+TEST(TraditionalAggregate, ValidatesShape) {
+    const graph::Dbg d = make_dbg(2, {{0}});
+    EXPECT_THROW((void)traditional_aggregate(d, Matrix(2, 2)), Error);
+}
+
+TEST(SemanticAggregate, ExactOnFullMapGroups) {
+    // Full 3×2 bipartite map: the semantic approximation is EXACT.
+    const graph::Dbg d = make_dbg(2, {{0, 1}, {0, 1}, {0, 1}});
+    const Grouping g = build_grouping(d, {.kmeans_k = 1, .seed = 1});
+    Rng rng(2);
+    const Matrix src = Matrix::randn(3, 4, rng);
+    const AggregateResult exact = traditional_aggregate(d, src);
+    const AggregateResult approx = semantic_aggregate(d, g, src);
+    EXPECT_LT(tensor::max_abs_diff(exact.sink_values, approx.sink_values),
+              1e-5f);
+    EXPECT_EQ(approx.rows_transmitted, 1u);  // 6 edges → 1 semantic row
+    EXPECT_EQ(exact.rows_transmitted, 6u);
+}
+
+TEST(SemanticAggregate, MassIsPreservedPerGroup) {
+    // Non-full map: approximation is lossy but total delivered mass equals
+    // Σ_u D(u)·h_u exactly.
+    const graph::Dbg d = make_dbg(4, {{0, 1, 2}, {1, 3}, {2, 3}});
+    const Grouping g = build_grouping(d, {.kmeans_k = 1, .seed = 3});
+    Rng rng(4);
+    const Matrix src = Matrix::randn(3, 5, rng);
+    const AggregateResult exact = traditional_aggregate(d, src);
+    const AggregateResult approx = semantic_aggregate(d, g, src);
+    for (std::size_t c = 0; c < 5; ++c) {
+        double exact_mass = 0.0, approx_mass = 0.0;
+        for (std::size_t v = 0; v < 4; ++v) {
+            exact_mass += exact.sink_values(v, c);
+            approx_mass += approx.sink_values(v, c);
+        }
+        EXPECT_NEAR(exact_mass, approx_mass, 1e-4);
+    }
+}
+
+TEST(SemanticAggregate, IdenticalSourcesAreExactEvenOffFullMap) {
+    // When every group member carries the same embedding, disassembly by
+    // in-degree reproduces the exact sums regardless of the map shape.
+    const graph::Dbg d = make_dbg(4, {{0, 1}, {1, 2, 3}, {0, 3}});
+    const Grouping g = build_grouping(d, {.kmeans_k = 1, .seed = 5});
+    Matrix src(3, 3);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c) src(r, c) = static_cast<float>(c + 1);
+    const AggregateResult exact = traditional_aggregate(d, src);
+    const AggregateResult approx = semantic_aggregate(d, g, src);
+    EXPECT_LT(tensor::max_abs_diff(exact.sink_values, approx.sink_values),
+              1e-5f);
+}
+
+TEST(SemanticAggregate, RawRowsPassThroughExactly) {
+    // O2O row: must arrive untouched.
+    const graph::Dbg d = make_dbg(3, {{0}, {1, 2}, {1, 2}});
+    const Grouping g = build_grouping(d, {.kmeans_k = 1, .seed = 6});
+    ASSERT_EQ(g.raw_rows.size(), 1u);
+    Rng rng(7);
+    const Matrix src = Matrix::randn(3, 2, rng);
+    const AggregateResult approx = semantic_aggregate(d, g, src);
+    EXPECT_FLOAT_EQ(approx.sink_values(0, 0), src(0, 0));
+    EXPECT_FLOAT_EQ(approx.sink_values(0, 1), src(0, 1));
+}
+
+TEST(SemanticAggregate, WireRowsMatchGroupingAccounting) {
+    const graph::Dbg d =
+        make_dbg(6, {{0}, {1, 2}, {3}, {3}, {4, 5}, {4, 5}});
+    const Grouping g = build_grouping(d, {.kmeans_k = 1, .seed = 8});
+    Rng rng(9);
+    const Matrix src = Matrix::randn(6, 3, rng);
+    const AggregateResult approx = semantic_aggregate(d, g, src);
+    EXPECT_EQ(approx.rows_transmitted, g.wire_rows(d));
+}
+
+TEST(ApproximationError, ZeroOnFullMapPositiveOtherwise) {
+    const graph::Dbg full = make_dbg(2, {{0, 1}, {0, 1}});
+    const Grouping gf = build_grouping(full, {.kmeans_k = 1, .seed = 10});
+    Rng rng(11);
+    const Matrix src = Matrix::randn(2, 4, rng);
+    EXPECT_LT(approximation_error(full, gf, src), 1e-5);
+
+    const graph::Dbg partial = make_dbg(3, {{0, 1}, {1, 2}});
+    const Grouping gp = build_grouping(partial, {.kmeans_k = 1, .seed = 10});
+    EXPECT_GT(approximation_error(partial, gp, src), 1e-4);
+}
+
+TEST(ApproximationError, FinerGroupingLowersError) {
+    // Two dissimilar blocks: k=2 separates them (low error), k=1 mixes
+    // them (high error).
+    std::vector<std::vector<std::uint32_t>> rows;
+    for (int i = 0; i < 5; ++i) rows.push_back({0, 1});
+    for (int i = 0; i < 5; ++i) rows.push_back({4, 5});
+    const graph::Dbg d = make_dbg(6, rows);
+    Rng rng(12);
+    Matrix src(10, 4);
+    for (std::size_t r = 0; r < 10; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            src(r, c) = (r < 5 ? 1.0f : -1.0f) +
+                        static_cast<float>(rng.normal(0.0, 0.1));
+    const Grouping g1 = build_grouping(d, {.kmeans_k = 1, .seed = 13});
+    const Grouping g2 = build_grouping(d, {.kmeans_k = 2, .seed = 13});
+    EXPECT_LT(approximation_error(d, g2, src),
+              approximation_error(d, g1, src) * 0.5);
+}
+
+} // namespace
+} // namespace scgnn::core

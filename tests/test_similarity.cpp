@@ -1,0 +1,138 @@
+// Unit tests for Jaccard and semantic similarity (Eq. (1)/(2)), including
+// the paper's Fig. 3(b) distinguishing example and the window-sliding
+// cohesion-highlight property of Fig. 4(a).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scgnn/core/similarity.hpp"
+
+namespace scgnn::core {
+namespace {
+
+using U32s = std::vector<std::uint32_t>;
+
+TEST(Similarity, IntersectionSize) {
+    const U32s a{1, 3, 5, 7}, b{3, 4, 5, 9};
+    EXPECT_EQ(intersection_size(a, b), 2u);
+    EXPECT_EQ(intersection_size(a, {}), 0u);
+    EXPECT_EQ(intersection_size(a, a), 4u);
+}
+
+TEST(Similarity, JaccardBasics) {
+    const U32s a{1, 2}, b{2, 3};
+    EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(jaccard_similarity(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(jaccard_similarity(a, {}), 0.0);
+    EXPECT_DOUBLE_EQ(jaccard_similarity({}, {}), 0.0);
+}
+
+TEST(Similarity, SemanticDefinition) {
+    // S = |∩|² / (|A| + |B|)
+    const U32s a{1, 2, 3}, b{2, 3, 4};
+    EXPECT_DOUBLE_EQ(semantic_similarity(a, b), 4.0 / 6.0);
+    EXPECT_DOUBLE_EQ(semantic_similarity(a, a), 9.0 / 6.0);
+    EXPECT_DOUBLE_EQ(semantic_similarity({}, {}), 0.0);
+}
+
+TEST(Similarity, Fig3bJaccardCannotDistinguishFullDbgs) {
+    // "2-to-2" full DBG: both sources see {0,1}; "2-to-3": both see {0,1,2}.
+    const U32s two{0, 1}, three{0, 1, 2};
+    EXPECT_DOUBLE_EQ(jaccard_similarity(two, two),
+                     jaccard_similarity(three, three));  // both 1.0
+}
+
+TEST(Similarity, Fig3bSemanticDistinguishesFullDbgs) {
+    const U32s two{0, 1}, three{0, 1, 2};
+    const double s22 = semantic_similarity(two, two);      // 4/4 = 1
+    const double s23 = semantic_similarity(three, three);  // 9/6 = 1.5
+    EXPECT_GT(s23, s22);  // richer full map ⇒ stronger cohesion
+}
+
+TEST(Similarity, NonCohesionIsStillZero) {
+    const U32s a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_DOUBLE_EQ(semantic_similarity(a, b), 0.0);
+    EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), 0.0);
+}
+
+TEST(Similarity, VectorisedMatchesSetFormOnBinaryRows) {
+    // a = {0,2,3}, b = {2,3,5} over 6 sinks.
+    const std::vector<float> va{1, 0, 1, 1, 0, 0}, vb{0, 0, 1, 1, 0, 1};
+    const U32s sa{0, 2, 3}, sb{2, 3, 5};
+    EXPECT_DOUBLE_EQ(semantic_similarity_vec(va, vb, 3.0, 3.0),
+                     semantic_similarity(sa, sb));
+    EXPECT_DOUBLE_EQ(jaccard_similarity_vec(va, vb, 3.0, 3.0),
+                     jaccard_similarity(sa, sb));
+}
+
+TEST(Similarity, VectorisedValidatesWidths) {
+    const std::vector<float> a{1, 0}, b{1, 0, 1};
+    EXPECT_THROW((void)semantic_similarity_vec(a, b, 1, 2), Error);
+}
+
+TEST(Similarity, CollectionVectorIsRowSums) {
+    tensor::Matrix m(2, 3, std::vector<float>{1, 0, 1, 0.5f, 0.5f, 0});
+    const auto c = collection_vector(m);
+    EXPECT_DOUBLE_EQ(c[0], 2.0);
+    EXPECT_DOUBLE_EQ(c[1], 1.0);
+}
+
+TEST(Similarity, DispatchByKind) {
+    const std::vector<float> a{1, 1, 0}, b{1, 1, 1};
+    EXPECT_DOUBLE_EQ(similarity_vec(SimilarityKind::kSemantic, a, b, 2, 3),
+                     semantic_similarity_vec(a, b, 2, 3));
+    EXPECT_DOUBLE_EQ(similarity_vec(SimilarityKind::kJaccard, a, b, 2, 3),
+                     jaccard_similarity_vec(a, b, 2, 3));
+    EXPECT_STREQ(to_string(SimilarityKind::kJaccard), "jaccard");
+    EXPECT_STREQ(to_string(SimilarityKind::kSemantic), "semantic");
+}
+
+/// Fig. 4(a): slide a window of valid bits across a fixed row; the semantic
+/// measure must amplify the high-overlap middle far more than Jaccard.
+TEST(Similarity, WindowSlidingCohesionHighlight) {
+    const std::size_t width = 64, window = 16;
+    std::vector<std::uint32_t> fixed;
+    for (std::uint32_t i = 24; i < 24 + window; ++i) fixed.push_back(i);
+
+    double peak_sem = 0.0, peak_jac = 0.0;
+    double edge_sem = -1.0, edge_jac = -1.0;
+    for (std::uint32_t off = 0; off + window <= width; ++off) {
+        std::vector<std::uint32_t> sliding;
+        for (std::uint32_t i = off; i < off + window; ++i) sliding.push_back(i);
+        const double s = semantic_similarity(fixed, sliding);
+        const double j = jaccard_similarity(fixed, sliding);
+        peak_sem = std::max(peak_sem, s);
+        peak_jac = std::max(peak_jac, j);
+        if (off == 0) {
+            edge_sem = s;
+            edge_jac = j;
+        }
+    }
+    // Full overlap: semantic = 16²/32 = 8, Jaccard = 1.
+    EXPECT_DOUBLE_EQ(peak_sem, 8.0);
+    EXPECT_DOUBLE_EQ(peak_jac, 1.0);
+    // No overlap at the far edge for both.
+    EXPECT_DOUBLE_EQ(edge_sem, 0.0);
+    EXPECT_DOUBLE_EQ(edge_jac, 0.0);
+    // Super-linear amplification of the peak relative to half-overlap.
+    std::vector<std::uint32_t> half;
+    for (std::uint32_t i = 32; i < 32 + window; ++i) half.push_back(i);
+    const double half_sem = semantic_similarity(fixed, half);  // 8²/32 = 2
+    EXPECT_GT(peak_sem / half_sem, peak_jac / jaccard_similarity(fixed, half));
+}
+
+TEST(Similarity, SemanticIsSymmetric) {
+    const U32s a{1, 5, 9}, b{2, 5, 9, 11};
+    EXPECT_DOUBLE_EQ(semantic_similarity(a, b), semantic_similarity(b, a));
+    EXPECT_DOUBLE_EQ(jaccard_similarity(a, b), jaccard_similarity(b, a));
+}
+
+TEST(Similarity, MoreCommonNeighborsMoreSimilar) {
+    const U32s base{1, 2, 3, 4};
+    const U32s one_common{1, 10, 11, 12}, three_common{1, 2, 3, 12};
+    EXPECT_GT(semantic_similarity(base, three_common),
+              semantic_similarity(base, one_common));
+}
+
+} // namespace
+} // namespace scgnn::core

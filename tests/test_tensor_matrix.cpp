@@ -1,0 +1,136 @@
+// Unit tests for the dense Matrix type.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scgnn/tensor/matrix.hpp"
+
+namespace scgnn::tensor {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+    Matrix m;
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ZeroInitialised) {
+    Matrix m(3, 4);
+    for (float v : m.flat()) EXPECT_EQ(v, 0.0f);
+    EXPECT_EQ(m.size(), 12u);
+    EXPECT_EQ(m.payload_bytes(), 48u);
+}
+
+TEST(Matrix, FillConstructor) {
+    Matrix m(2, 2, 7.0f);
+    for (float v : m.flat()) EXPECT_EQ(v, 7.0f);
+}
+
+TEST(Matrix, FromDataValidatesSize) {
+    EXPECT_NO_THROW(Matrix(2, 2, std::vector<float>{1, 2, 3, 4}));
+    EXPECT_THROW(Matrix(2, 2, std::vector<float>{1, 2, 3}), Error);
+}
+
+TEST(Matrix, RowMajorLayout) {
+    Matrix m(2, 3, std::vector<float>{1, 2, 3, 4, 5, 6});
+    EXPECT_EQ(m(0, 0), 1.0f);
+    EXPECT_EQ(m(0, 2), 3.0f);
+    EXPECT_EQ(m(1, 0), 4.0f);
+    EXPECT_EQ(m.at(1, 2), 6.0f);
+}
+
+TEST(Matrix, CheckedAccessThrows) {
+    Matrix m(2, 2);
+    EXPECT_THROW((void)m.at(2, 0), Error);
+    EXPECT_THROW((void)m.at(0, 2), Error);
+    EXPECT_THROW((void)m.row(2), Error);
+}
+
+TEST(Matrix, RowViewWritesThrough) {
+    Matrix m(2, 3);
+    auto r = m.row(1);
+    r[2] = 9.0f;
+    EXPECT_EQ(m(1, 2), 9.0f);
+    EXPECT_EQ(m.row(1).size(), 3u);
+}
+
+TEST(Matrix, AddSubScale) {
+    Matrix a(2, 2, std::vector<float>{1, 2, 3, 4});
+    Matrix b(2, 2, std::vector<float>{4, 3, 2, 1});
+    a += b;
+    EXPECT_EQ(a(0, 0), 5.0f);
+    a -= b;
+    EXPECT_EQ(a(1, 1), 4.0f);
+    a *= 2.0f;
+    EXPECT_EQ(a(0, 1), 4.0f);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+    Matrix a(2, 2), b(2, 3);
+    EXPECT_THROW(a += b, Error);
+    EXPECT_THROW(a -= b, Error);
+}
+
+TEST(Matrix, EqualityIsExact) {
+    Matrix a(1, 2, std::vector<float>{1, 2});
+    Matrix b(1, 2, std::vector<float>{1, 2});
+    Matrix c(1, 2, std::vector<float>{1, 2.0001f});
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(Matrix, FillAndZero) {
+    Matrix m(2, 2, 3.0f);
+    m.zero();
+    for (float v : m.flat()) EXPECT_EQ(v, 0.0f);
+    m.fill(-1.0f);
+    for (float v : m.flat()) EXPECT_EQ(v, -1.0f);
+}
+
+TEST(Matrix, GlorotBoundsRespectLimit) {
+    Rng rng(3);
+    Matrix m = Matrix::glorot(64, 64, rng);
+    const float limit = std::sqrt(6.0f / 128.0f);
+    for (float v : m.flat()) {
+        EXPECT_GE(v, -limit);
+        EXPECT_LE(v, limit);
+    }
+}
+
+TEST(Matrix, GlorotDeterministicBySeed) {
+    Rng r1(5), r2(5);
+    EXPECT_TRUE(Matrix::glorot(4, 4, r1) == Matrix::glorot(4, 4, r2));
+}
+
+TEST(Matrix, RandnMoments) {
+    Rng rng(8);
+    Matrix m = Matrix::randn(100, 100, rng, 2.0f, 0.5f);
+    double sum = 0.0;
+    for (float v : m.flat()) sum += v;
+    EXPECT_NEAR(sum / m.size(), 2.0, 0.02);
+}
+
+TEST(Matrix, Identity) {
+    Matrix id = Matrix::identity(3);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(id(r, c), r == c ? 1.0f : 0.0f);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+    Matrix a(1, 3, std::vector<float>{1, 2, 3});
+    Matrix b(1, 3, std::vector<float>{1, 2.5f, 3});
+    EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+    Matrix c(2, 2);
+    EXPECT_THROW((void)max_abs_diff(a, c), Error);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+    Matrix a(1, 2, std::vector<float>{3, 4});
+    EXPECT_FLOAT_EQ(frobenius_norm(a), 5.0f);
+    EXPECT_FLOAT_EQ(frobenius_norm(Matrix(2, 2)), 0.0f);
+}
+
+} // namespace
+} // namespace scgnn::tensor

@@ -1,0 +1,157 @@
+// Unit tests for the CSR SparseMatrix and the SpMM aggregate kernels.
+#include <gtest/gtest.h>
+
+#include "scgnn/tensor/ops.hpp"
+#include <algorithm>
+
+#include "scgnn/tensor/sparse.hpp"
+
+namespace scgnn::tensor {
+namespace {
+
+SparseMatrix tiny() {
+    // [[1 0 2],
+    //  [0 0 0],
+    //  [3 4 0]]
+    return SparseMatrix(3, 3,
+                        {{0, 0, 1.0f}, {0, 2, 2.0f}, {2, 0, 3.0f}, {2, 1, 4.0f}});
+}
+
+TEST(Sparse, BuildAndShape) {
+    const SparseMatrix s = tiny();
+    EXPECT_EQ(s.rows(), 3u);
+    EXPECT_EQ(s.cols(), 3u);
+    EXPECT_EQ(s.nnz(), 4u);
+}
+
+TEST(Sparse, EmptyMatrix) {
+    SparseMatrix s;
+    EXPECT_EQ(s.rows(), 0u);
+    EXPECT_EQ(s.nnz(), 0u);
+}
+
+TEST(Sparse, CoeffLookup) {
+    const SparseMatrix s = tiny();
+    EXPECT_EQ(s.coeff(0, 0), 1.0f);
+    EXPECT_EQ(s.coeff(0, 1), 0.0f);
+    EXPECT_EQ(s.coeff(0, 2), 2.0f);
+    EXPECT_EQ(s.coeff(1, 1), 0.0f);
+    EXPECT_EQ(s.coeff(2, 1), 4.0f);
+    EXPECT_THROW((void)s.coeff(3, 0), Error);
+}
+
+TEST(Sparse, DuplicateTripletsAreSummed) {
+    const SparseMatrix s(2, 2, {{0, 0, 1.0f}, {0, 0, 2.5f}});
+    EXPECT_EQ(s.nnz(), 1u);
+    EXPECT_EQ(s.coeff(0, 0), 3.5f);
+}
+
+TEST(Sparse, UnorderedTripletsSortedWithinRows) {
+    const SparseMatrix s(1, 4, {{0, 3, 1.0f}, {0, 0, 2.0f}, {0, 2, 3.0f}});
+    const auto cols = s.row_cols(0);
+    EXPECT_TRUE(std::is_sorted(cols.begin(), cols.end()));
+}
+
+TEST(Sparse, OutOfRangeTripletThrows) {
+    EXPECT_THROW(SparseMatrix(2, 2, {{2, 0, 1.0f}}), Error);
+    EXPECT_THROW(SparseMatrix(2, 2, {{0, 2, 1.0f}}), Error);
+}
+
+TEST(Sparse, RowAccess) {
+    const SparseMatrix s = tiny();
+    EXPECT_EQ(s.row_cols(1).size(), 0u);
+    EXPECT_EQ(s.row_cols(2).size(), 2u);
+    EXPECT_EQ(s.row_vals(2)[1], 4.0f);
+}
+
+TEST(Sparse, ToDenseMatchesCoeff) {
+    const SparseMatrix s = tiny();
+    const Matrix d = s.to_dense();
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(d(r, c), s.coeff(r, c));
+}
+
+TEST(Sparse, TransposedMatchesDenseTranspose) {
+    const SparseMatrix s = tiny();
+    const Matrix dt = transpose(s.to_dense());
+    EXPECT_TRUE(s.transposed().to_dense() == dt);
+}
+
+TEST(Sparse, SpmmMatchesDenseMatmul) {
+    Rng rng(1);
+    const SparseMatrix s = tiny();
+    const Matrix x = Matrix::randn(3, 4, rng);
+    const Matrix expect = matmul(s.to_dense(), x);
+    EXPECT_LT(max_abs_diff(spmm(s, x), expect), 1e-5f);
+}
+
+TEST(Sparse, SpmmTransposedMatchesDense) {
+    Rng rng(2);
+    const SparseMatrix s = tiny();
+    const Matrix x = Matrix::randn(3, 4, rng);
+    const Matrix expect = matmul(transpose(s.to_dense()), x);
+    EXPECT_LT(max_abs_diff(spmm_transposed(s, x), expect), 1e-5f);
+}
+
+TEST(Sparse, SpmmShapeMismatchThrows) {
+    const SparseMatrix s = tiny();
+    const Matrix x(2, 4);
+    EXPECT_THROW((void)spmm(s, x), Error);
+    EXPECT_THROW((void)spmm_transposed(s, Matrix(2, 4)), Error);
+}
+
+TEST(Sparse, RectangularSpmm) {
+    // 2×4 matrix against a 4×3 dense block.
+    const SparseMatrix s(2, 4, {{0, 1, 2.0f}, {1, 3, -1.0f}});
+    Rng rng(3);
+    const Matrix x = Matrix::randn(4, 3, rng);
+    const Matrix y = spmm(s, x);
+    EXPECT_EQ(y.rows(), 2u);
+    for (std::size_t c = 0; c < 3; ++c) {
+        EXPECT_FLOAT_EQ(y(0, c), 2.0f * x(1, c));
+        EXPECT_FLOAT_EQ(y(1, c), -1.0f * x(3, c));
+    }
+}
+
+TEST(Sparse, ParallelSpmmMatchesSerial) {
+    Rng rng(11);
+    std::vector<Triplet> trips;
+    for (int i = 0; i < 2000; ++i)
+        trips.push_back({static_cast<std::uint32_t>(rng.uniform_u64(200)),
+                         static_cast<std::uint32_t>(rng.uniform_u64(150)),
+                         static_cast<float>(rng.normal())});
+    const SparseMatrix s(200, 150, trips);
+    const Matrix x = Matrix::randn(150, 16, rng);
+    const Matrix serial = spmm(s, x);
+    for (unsigned threads : {0u, 1u, 2u, 4u, 7u}) {
+        const Matrix parallel = spmm_parallel(s, x, threads);
+        EXPECT_TRUE(parallel == serial) << threads << " threads";
+    }
+}
+
+TEST(Sparse, ParallelSpmmTinyMatrixFallsBackToSerial) {
+    const SparseMatrix s = tiny();
+    Rng rng(12);
+    const Matrix x = Matrix::randn(3, 4, rng);
+    EXPECT_TRUE(spmm_parallel(s, x, 8) == spmm(s, x));
+    EXPECT_THROW((void)spmm_parallel(s, Matrix(2, 4), 2), Error);
+}
+
+TEST(Sparse, LargeRandomRoundTripAgainstDense) {
+    Rng rng(7);
+    std::vector<Triplet> trips;
+    for (int i = 0; i < 300; ++i)
+        trips.push_back({static_cast<std::uint32_t>(rng.uniform_u64(40)),
+                         static_cast<std::uint32_t>(rng.uniform_u64(30)),
+                         static_cast<float>(rng.normal())});
+    const SparseMatrix s(40, 30, trips);
+    const Matrix x = Matrix::randn(30, 8, rng);
+    EXPECT_LT(max_abs_diff(spmm(s, x), matmul(s.to_dense(), x)), 1e-4f);
+    const Matrix g = Matrix::randn(40, 8, rng);
+    EXPECT_LT(max_abs_diff(spmm_transposed(s, g),
+                           matmul(transpose(s.to_dense()), g)),
+              1e-4f);
+}
+
+} // namespace
+} // namespace scgnn::tensor
