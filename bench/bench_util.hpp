@@ -4,10 +4,11 @@
 ///        dataset construction, standard model/train configs, and the
 ///        traffic-equalisation solver of §5.2.
 ///
-/// Every bench accepts two optional CLI args: `--scale <f>` (dataset size
-/// multiplier, default 0.35) and `--epochs <n>` (training epochs, default
-/// 30), so the full suite stays minutes-scale while remaining faithful in
-/// shape. All seeds are fixed and printed.
+/// Every bench accepts optional CLI args: `--scale <f>` (dataset size
+/// multiplier, default 0.35), `--epochs <n>` (training epochs, default
+/// 30) and `--threads <n>` (worker pool width, default all cores /
+/// SCGNN_THREADS), so the full suite stays minutes-scale while remaining
+/// faithful in shape. All seeds are fixed and printed.
 
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "scgnn/common/parallel.hpp"
 #include "scgnn/common/table.hpp"
 #include "scgnn/core/framework.hpp"
 
@@ -25,6 +27,7 @@ struct Options {
     double scale = 0.35;
     std::uint32_t epochs = 30;
     std::uint64_t seed = 2024;
+    unsigned threads = 0;  ///< 0 = SCGNN_THREADS env / all cores
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -36,9 +39,14 @@ inline Options parse_options(int argc, char** argv) {
             opt.epochs = static_cast<std::uint32_t>(std::atoi(argv[++i]));
         else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
             opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            opt.threads = static_cast<unsigned>(std::atoi(argv[++i]));
     }
-    std::printf("# options: scale=%.2f epochs=%u seed=%llu\n", opt.scale,
-                opt.epochs, static_cast<unsigned long long>(opt.seed));
+    set_num_threads(opt.threads);
+    opt.threads = num_threads();
+    std::printf("# options: scale=%.2f epochs=%u seed=%llu threads=%u\n",
+                opt.scale, opt.epochs,
+                static_cast<unsigned long long>(opt.seed), opt.threads);
     return opt;
 }
 

@@ -9,7 +9,7 @@
 //             [--partition node|edge|multilevel|random]
 //             [--rate <f>] [--bits <4|8|16>] [--tau <n>] [--groups <k>]
 //             [--drop-o2o] [--sage|--gin] [--dropout <p>] [--seed <n>]
-//             [--save <dir>]
+//             [--threads <n>] [--save <dir>]
 //
 // Examples:
 //   scgnn_cli --dataset reddit --parts 4 --method ours --drop-o2o
@@ -19,6 +19,7 @@
 #include <cstring>
 #include <string>
 
+#include "scgnn/common/parallel.hpp"
 #include "scgnn/common/table.hpp"
 #include "scgnn/core/framework.hpp"
 #include "scgnn/graph/io.hpp"
@@ -109,6 +110,9 @@ int main(int argc, char** argv) {
             cfg.model.dropout = static_cast<float>(std::atof(need("--dropout")));
         else if (!std::strcmp(argv[i], "--seed"))
             seed = std::atoll(need("--seed"));
+        else if (!std::strcmp(argv[i], "--threads"))
+            scgnn::set_num_threads(
+                static_cast<unsigned>(std::atoi(need("--threads"))));
         else
             usage((std::string("unknown flag ") + argv[i]).c_str());
     }
@@ -131,12 +135,12 @@ int main(int argc, char** argv) {
         cfg.train.norm = gnn::AdjNorm::kSum;
 
     std::printf("%s | %u nodes | %llu edges | avg degree %.1f | %u parts | "
-                "%s | %s partition\n",
+                "%s | %s partition | %u threads\n",
                 data.name.c_str(), data.graph.num_nodes(),
                 static_cast<unsigned long long>(data.graph.num_edges()),
                 data.graph.average_degree(), cfg.num_parts,
                 core::to_string(cfg.method.method),
-                partition::to_string(cfg.algo));
+                partition::to_string(cfg.algo), scgnn::num_threads());
 
     const core::PipelineResult res = core::run_pipeline(data, cfg);
     Table t({"metric", "value"});

@@ -14,12 +14,24 @@ enum class AdjNorm {
     kSum,        ///< Â = A (no self-loops, unit weights) — GIN sum aggregator
 };
 
-/// Build the normalised aggregation matrix of `g`. kSymmetric/kRowMean add
-/// self-loops; kSum is the raw adjacency (GIN handles the self term with
-/// its (1+ε) factor). kSymmetric and kSum are symmetric (forward and
-/// backward aggregation coincide); kRowMean is not, so the backward pass
-/// uses Âᵀ.
-[[nodiscard]] tensor::SparseMatrix normalized_adjacency(const graph::Graph& g,
-                                                        AdjNorm norm);
+/// Whether the aggregation matrix carries the diagonal (self-loop) term.
+/// The three norms historically disagreed implicitly — kSymmetric and
+/// kRowMean added self-loops while kSum silently omitted them — so the
+/// choice is now an explicit, documented parameter.
+enum class SelfLoop {
+    kAuto,  ///< per-norm default: add for kSymmetric/kRowMean (the GCN and
+            ///< SAGE formulations require the I term), omit for kSum (GIN
+            ///< supplies the self term through its (1+ε) factor)
+    kAdd,   ///< force the diagonal in (unit weight under kSum)
+    kNone,  ///< force the diagonal out (degrees then exclude the self edge)
+};
+
+/// Build the normalised aggregation matrix of `g`. With SelfLoop::kAuto
+/// the historical defaults hold: kSymmetric/kRowMean add self-loops, kSum
+/// is the raw adjacency (GIN handles the self term with its (1+ε)
+/// factor). kSymmetric and kSum are symmetric (forward and backward
+/// aggregation coincide); kRowMean is not, so the backward pass uses Âᵀ.
+[[nodiscard]] tensor::SparseMatrix normalized_adjacency(
+    const graph::Graph& g, AdjNorm norm, SelfLoop self = SelfLoop::kAuto);
 
 } // namespace scgnn::gnn

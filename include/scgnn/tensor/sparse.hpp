@@ -80,16 +80,19 @@ private:
 };
 
 /// y = S · x, the SpMM aggregate: (rows×cols)·(cols×f) → (rows×f).
+/// Runs row-parallel on the global thread pool (see common/parallel.hpp);
+/// each output row is owned by one worker, so the result is bitwise
+/// identical at every thread count.
 [[nodiscard]] Matrix spmm(const SparseMatrix& s, const Matrix& x);
 
 /// y = Sᵀ · x without materialising the transpose: (cols×f) output.
 /// Used by the backward pass of the aggregation.
 [[nodiscard]] Matrix spmm_transposed(const SparseMatrix& s, const Matrix& x);
 
-/// Multi-threaded spmm: rows are split across `threads` workers (each row
-/// of the output is owned by exactly one worker, so no synchronisation is
-/// needed). threads == 0 picks the hardware concurrency; threads == 1
-/// falls back to the serial kernel. Bit-identical to spmm().
+/// spmm() pinned to an explicit pool width for the duration of the call
+/// (thread-scaling benches, legacy callers). threads == 0 restores the
+/// SCGNN_THREADS/hardware default; threads == 1 runs the serial kernel.
+/// Bit-identical to spmm().
 [[nodiscard]] Matrix spmm_parallel(const SparseMatrix& s, const Matrix& x,
                                    unsigned threads = 0);
 

@@ -1,0 +1,196 @@
+#include "scgnn/common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "scgnn/common/error.hpp"
+
+namespace scgnn {
+namespace {
+
+thread_local bool tl_in_region = false;
+
+/// Persistent worker pool. One top-level parallel region runs at a time
+/// (`run_mu_`); workers sleep between regions and are woken by a
+/// generation bump. The calling thread always participates in the region,
+/// so a width-1 pool needs no workers at all. All task state (`fn_`,
+/// `ctx_`, `total_`) is published under `mu_` before the generation bump
+/// each worker synchronises on, so plain reads inside the region are
+/// race-free.
+class Pool {
+public:
+    static Pool& instance() {
+        static Pool pool;
+        return pool;
+    }
+
+    unsigned width() {
+        unsigned w = width_.load(std::memory_order_acquire);
+        if (w == 0) {
+            // Lazy first resolution from the environment/hardware.
+            std::lock_guard<std::mutex> lk(run_mu_);
+            w = width_.load(std::memory_order_acquire);
+            if (w == 0) {
+                w = default_num_threads();
+                width_.store(w, std::memory_order_release);
+            }
+        }
+        return w;
+    }
+
+    void set_width(unsigned n) {
+        SCGNN_CHECK(!tl_in_region,
+                    "set_num_threads must not be called from inside a "
+                    "parallel region");
+        // Same cap as SCGNN_THREADS: a mistyped width must not fork
+        // thousands of workers.
+        const unsigned w = n == 0 ? default_num_threads()
+                                  : std::min(n, 1024u);
+        std::lock_guard<std::mutex> lk(run_mu_);
+        if (w == width_.load(std::memory_order_acquire)) return;
+        stop_workers();
+        width_.store(w, std::memory_order_release);
+    }
+
+    void run(std::size_t num_chunks, void (*chunk_fn)(void*, std::size_t),
+             void* ctx) {
+        std::lock_guard<std::mutex> run_lk(run_mu_);
+        const unsigned w = width_.load(std::memory_order_acquire);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            ensure_workers(w);
+            fn_ = chunk_fn;
+            ctx_ = ctx;
+            total_ = num_chunks;
+            next_.store(0, std::memory_order_relaxed);
+            pending_ = static_cast<unsigned>(workers_.size());
+            eptr_ = nullptr;
+            ++generation_;
+        }
+        wake_cv_.notify_all();
+
+        tl_in_region = true;
+        drain();
+        tl_in_region = false;
+
+        std::unique_lock<std::mutex> lk(mu_);
+        done_cv_.wait(lk, [&] { return pending_ == 0; });
+        if (eptr_) {
+            std::exception_ptr e = eptr_;
+            eptr_ = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
+
+private:
+    Pool() = default;
+
+    ~Pool() {
+        std::lock_guard<std::mutex> run_lk(run_mu_);
+        stop_workers();
+    }
+
+    /// Grab chunk indices until exhausted; record the first exception.
+    void drain() {
+        for (;;) {
+            const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total_) break;
+            try {
+                fn_(ctx_, i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(mu_);
+                if (!eptr_) eptr_ = std::current_exception();
+            }
+        }
+    }
+
+    void worker_main() {
+        tl_in_region = true;
+        std::uint64_t seen = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                wake_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+                if (stop_) return;
+                seen = generation_;
+            }
+            drain();
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                if (--pending_ == 0) done_cv_.notify_all();
+            }
+        }
+    }
+
+    /// Spawn workers up to width-1 (caller is the width-th participant).
+    /// Called under mu_ with no region in flight.
+    void ensure_workers(unsigned w) {
+        const std::size_t want = w == 0 ? 0 : w - 1;
+        while (workers_.size() < want)
+            workers_.emplace_back([this] { worker_main(); });
+    }
+
+    /// Retire all workers. Called under run_mu_ with no region in flight.
+    void stop_workers() {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (workers_.empty()) return;
+            stop_ = true;
+        }
+        wake_cv_.notify_all();
+        for (std::thread& t : workers_) t.join();
+        workers_.clear();
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = false;
+    }
+
+    std::mutex run_mu_;  ///< serialises top-level regions and resizes
+    std::mutex mu_;      ///< guards task state and worker lifecycle
+    std::condition_variable wake_cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::thread> workers_;
+    std::atomic<unsigned> width_{0};  ///< 0 = not yet resolved
+    bool stop_ = false;
+
+    // State of the region in flight.
+    void (*fn_)(void*, std::size_t) = nullptr;
+    void* ctx_ = nullptr;
+    std::size_t total_ = 0;
+    std::atomic<std::size_t> next_{0};
+    unsigned pending_ = 0;
+    std::uint64_t generation_ = 0;
+    std::exception_ptr eptr_;
+};
+
+} // namespace
+
+unsigned default_num_threads() {
+    if (const char* s = std::getenv("SCGNN_THREADS")) {
+        const long v = std::strtol(s, nullptr, 10);
+        if (v >= 1) return static_cast<unsigned>(std::min(v, 1024L));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+}
+
+unsigned num_threads() { return Pool::instance().width(); }
+
+void set_num_threads(unsigned n) { Pool::instance().set_width(n); }
+
+bool in_parallel_region() noexcept { return tl_in_region; }
+
+namespace detail {
+
+void pool_run(std::size_t num_chunks, void (*chunk_fn)(void*, std::size_t),
+              void* ctx) {
+    if (num_chunks == 0) return;
+    Pool::instance().run(num_chunks, chunk_fn, ctx);
+}
+
+} // namespace detail
+} // namespace scgnn

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "scgnn/common/parallel.hpp"
 #include "scgnn/common/rng.hpp"
 
 namespace scgnn::core {
@@ -87,28 +88,39 @@ KMeansResult kmeans_rows(const tensor::Matrix& rows, const KMeansConfig& cfg) {
         ++res.iterations;
         // Assign: maximise similarity; break ties (and the all-zero case)
         // by Euclidean distance so the result is always well-defined.
-        bool changed = false;
-        for (std::size_t r = 0; r < n; ++r) {
-            std::uint32_t best = 0;
-            double best_sim = -1.0;
-            double best_d2 = std::numeric_limits<double>::infinity();
-            for (std::uint32_t c = 0; c < k; ++c) {
-                const double sim = similarity_vec(cfg.kind, rows.row(r),
-                                                  res.centroids.row(c),
-                                                  c_rows[r], c_cent[c]);
-                const double d2 = sq_dist(rows.row(r), res.centroids.row(c));
-                if (sim > best_sim + 1e-12 ||
-                    (std::abs(sim - best_sim) <= 1e-12 && d2 < best_d2)) {
-                    best = c;
-                    best_sim = sim;
-                    best_d2 = d2;
+        // Row-parallel: each row's assignment is independent, and the
+        // changed flags OR together exactly, so the outcome is identical
+        // at every thread count.
+        const bool changed = parallel_reduce(
+            std::size_t{0}, n, grain_for(2 * k * rows.cols()), false,
+            [&](std::size_t lo, std::size_t hi) {
+                bool any = false;
+                for (std::size_t r = lo; r < hi; ++r) {
+                    std::uint32_t best = 0;
+                    double best_sim = -1.0;
+                    double best_d2 = std::numeric_limits<double>::infinity();
+                    for (std::uint32_t c = 0; c < k; ++c) {
+                        const double sim = similarity_vec(
+                            cfg.kind, rows.row(r), res.centroids.row(c),
+                            c_rows[r], c_cent[c]);
+                        const double d2 =
+                            sq_dist(rows.row(r), res.centroids.row(c));
+                        if (sim > best_sim + 1e-12 ||
+                            (std::abs(sim - best_sim) <= 1e-12 &&
+                             d2 < best_d2)) {
+                            best = c;
+                            best_sim = sim;
+                            best_d2 = d2;
+                        }
+                    }
+                    if (res.assignment[r] != best) {
+                        res.assignment[r] = best;
+                        any = true;
+                    }
                 }
-            }
-            if (res.assignment[r] != best) {
-                res.assignment[r] = best;
-                changed = true;
-            }
-        }
+                return any;
+            },
+            [](bool a, bool b) { return a || b; });
         if (!changed && iter > 0) break;
 
         // Update: member means; empty clusters reseed to the row farthest
@@ -231,39 +243,52 @@ KMeansResult kmeans_dbg_rows(const graph::Dbg& dbg,
     std::vector<double> row_d2(n, 0.0);
     for (std::uint32_t iter = 0; iter < cfg.max_iters; ++iter) {
         ++res.iterations;
-        bool changed = false;
-        for (std::size_t i = 0; i < n; ++i) {
-            const auto row = dbg.out_neighbors(pool[i]);
-            const auto c_row = static_cast<double>(row.size());
-            std::uint32_t best = 0;
-            double best_sim = -1.0;
-            double best_d2 = std::numeric_limits<double>::infinity();
-            for (std::uint32_t c = 0; c < k; ++c) {
-                const auto cent = res.centroids.row(c);
-                double dot = 0.0;
-                for (std::uint32_t v : row) dot += cent[v];
-                double sim;
-                if (cfg.kind == SimilarityKind::kJaccard) {
-                    const double denom = c_row + c_cent[c] - dot;
-                    sim = denom <= 0.0 ? 0.0 : dot / denom;
-                } else {
-                    const double denom = c_row + c_cent[c];
-                    sim = denom <= 0.0 ? 0.0 : dot * dot / denom;
+        // Row-parallel assignment (assignment[i] and row_d2[i] are private
+        // to their row; the changed flags OR together exactly).
+        const std::size_t avg_row_work =
+            k * (dbg.num_src() == 0
+                     ? 1
+                     : dbg.num_edges() / dbg.num_src() + 1);
+        const bool changed = parallel_reduce(
+            std::size_t{0}, n, grain_for(avg_row_work), false,
+            [&](std::size_t lo, std::size_t hi) {
+                bool any = false;
+                for (std::size_t i = lo; i < hi; ++i) {
+                    const auto row = dbg.out_neighbors(pool[i]);
+                    const auto c_row = static_cast<double>(row.size());
+                    std::uint32_t best = 0;
+                    double best_sim = -1.0;
+                    double best_d2 = std::numeric_limits<double>::infinity();
+                    for (std::uint32_t c = 0; c < k; ++c) {
+                        const auto cent = res.centroids.row(c);
+                        double dot = 0.0;
+                        for (std::uint32_t v : row) dot += cent[v];
+                        double sim;
+                        if (cfg.kind == SimilarityKind::kJaccard) {
+                            const double denom = c_row + c_cent[c] - dot;
+                            sim = denom <= 0.0 ? 0.0 : dot / denom;
+                        } else {
+                            const double denom = c_row + c_cent[c];
+                            sim = denom <= 0.0 ? 0.0 : dot * dot / denom;
+                        }
+                        const double d2 = c_row - 2.0 * dot + cent_sq[c];
+                        if (sim > best_sim + 1e-12 ||
+                            (std::abs(sim - best_sim) <= 1e-12 &&
+                             d2 < best_d2)) {
+                            best = c;
+                            best_sim = sim;
+                            best_d2 = d2;
+                        }
+                    }
+                    row_d2[i] = best_d2;
+                    if (res.assignment[i] != best) {
+                        res.assignment[i] = best;
+                        any = true;
+                    }
                 }
-                const double d2 = c_row - 2.0 * dot + cent_sq[c];
-                if (sim > best_sim + 1e-12 ||
-                    (std::abs(sim - best_sim) <= 1e-12 && d2 < best_d2)) {
-                    best = c;
-                    best_sim = sim;
-                    best_d2 = d2;
-                }
-            }
-            row_d2[i] = best_d2;
-            if (res.assignment[i] != best) {
-                res.assignment[i] = best;
-                changed = true;
-            }
-        }
+                return any;
+            },
+            [](bool a, bool b) { return a || b; });
         if (!changed && iter > 0) break;
 
         res.centroids.zero();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "scgnn/common/error.hpp"
+#include "scgnn/common/parallel.hpp"
 #include "scgnn/common/rng.hpp"
 
 namespace scgnn::core {
@@ -46,18 +47,27 @@ std::pair<std::vector<double>, double> dominant_direction(
     double eigen = 0.0;
     for (int iter = 0; iter < 100; ++iter) {
         // next = Xᵀ(Xv) — one covariance-matrix application without
-        // materialising the d×d covariance.
-        for (std::size_t r = 0; r < n; ++r) {
-            const auto row = x.row(r);
-            double acc = 0.0;
-            for (std::size_t j = 0; j < d; ++j) acc += row[j] * v[j];
-            xv[r] = acc;
-        }
-        std::fill(next.begin(), next.end(), 0.0);
-        for (std::size_t r = 0; r < n; ++r) {
-            const auto row = x.row(r);
-            for (std::size_t j = 0; j < d; ++j) next[j] += xv[r] * row[j];
-        }
+        // materialising the d×d covariance. Both matvecs run on the pool
+        // with disjoint writes: the Xv pass owns one xv entry per row, and
+        // the Xᵀ pass owns one next entry per column, each accumulated in
+        // ascending row order exactly as the serial loops did — so the
+        // iterate is bitwise identical at every thread count.
+        parallel_for(0, n, grain_for(d), [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t r = lo; r < hi; ++r) {
+                const auto row = x.row(r);
+                double acc = 0.0;
+                for (std::size_t j = 0; j < d; ++j) acc += row[j] * v[j];
+                xv[r] = acc;
+            }
+        });
+        parallel_for(0, d, grain_for(n), [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t j = lo; j < hi; ++j) {
+                double acc = 0.0;
+                for (std::size_t r = 0; r < n; ++r)
+                    acc += xv[r] * x.data()[r * d + j];
+                next[j] = acc;
+            }
+        });
         double norm = 0.0;
         for (double e : next) norm += e * e;
         norm = std::sqrt(norm);
@@ -108,15 +118,17 @@ PcaResult pca_2d(const Matrix& rows, std::uint64_t seed) {
     }
 
     res.projected = Matrix(n, 2);
-    for (std::size_t r = 0; r < n; ++r) {
-        const auto row = x.row(r);
-        for (int c = 0; c < 2; ++c) {
-            double acc = 0.0;
-            for (std::size_t j = 0; j < d; ++j)
-                acc += static_cast<double>(row[j]) * res.components(c, j);
-            res.projected(r, c) = static_cast<float>(acc);
+    parallel_for(0, n, grain_for(2 * d), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+            const auto row = x.row(r);
+            for (int c = 0; c < 2; ++c) {
+                double acc = 0.0;
+                for (std::size_t j = 0; j < d; ++j)
+                    acc += static_cast<double>(row[j]) * res.components(c, j);
+                res.projected(r, c) = static_cast<float>(acc);
+            }
         }
-    }
+    });
     return res;
 }
 

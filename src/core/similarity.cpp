@@ -1,6 +1,7 @@
 #include "scgnn/core/similarity.hpp"
 
 #include "scgnn/common/error.hpp"
+#include "scgnn/common/parallel.hpp"
 
 namespace scgnn::core {
 
@@ -60,11 +61,14 @@ double jaccard_similarity_vec(std::span<const float> a,
 
 std::vector<double> collection_vector(const tensor::Matrix& rows) {
     std::vector<double> c(rows.rows(), 0.0);
-    for (std::size_t r = 0; r < rows.rows(); ++r) {
-        double acc = 0.0;
-        for (float v : rows.row(r)) acc += v;
-        c[r] = acc;
-    }
+    parallel_for(0, rows.rows(), grain_for(rows.cols()),
+                 [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+            double acc = 0.0;
+            for (float v : rows.row(r)) acc += v;
+            c[r] = acc;
+        }
+    });
     return c;
 }
 

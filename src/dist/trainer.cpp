@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "scgnn/common/parallel.hpp"
 #include "scgnn/common/timer.hpp"
 #include "scgnn/gnn/adjacency.hpp"
 #include "scgnn/gnn/checkpoint.hpp"
@@ -23,18 +24,23 @@ Matrix DistAggregator::forward(const Matrix& h, int layer) {
     const std::uint32_t parts = ctx.num_parts();
     const std::size_t f = h.cols();
 
-    // Per-partition stacked inputs [local ; halo].
+    // Per-partition stacked inputs [local ; halo]. The P simulated devices
+    // are independent, so partitions fan out across the pool (each owns
+    // its stacked matrix) — the halo exchange below stays serial because
+    // it mutates shared compressor and fabric state.
     std::vector<Matrix> stacked(parts);
-    for (std::uint32_t p = 0; p < parts; ++p) {
-        const auto locals = ctx.local_nodes(p);
-        const auto halo = ctx.halo(p);
-        stacked[p] = Matrix(locals.size() + halo.size(), f);
-        for (std::size_t i = 0; i < locals.size(); ++i) {
-            const auto srow = h.row(locals[i]);
-            auto drow = stacked[p].row(i);
-            std::copy(srow.begin(), srow.end(), drow.begin());
+    parallel_for(0, parts, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t p = lo; p < hi; ++p) {
+            const auto locals = ctx.local_nodes(static_cast<std::uint32_t>(p));
+            const auto halo = ctx.halo(static_cast<std::uint32_t>(p));
+            stacked[p] = Matrix(locals.size() + halo.size(), f);
+            for (std::size_t i = 0; i < locals.size(); ++i) {
+                const auto srow = h.row(locals[i]);
+                auto drow = stacked[p].row(i);
+                std::copy(srow.begin(), srow.end(), drow.begin());
+            }
         }
-    }
+    });
 
     // Halo exchange, plan by plan.
     const auto plans = ctx.plans();
@@ -61,16 +67,21 @@ Matrix DistAggregator::forward(const Matrix& h, int layer) {
     }
 
     // Per-partition local SpMM, results written back in global order.
+    // Partitions own disjoint local-node sets, so the write-back rows
+    // never overlap; the inner spmm runs serially inside the region.
     Matrix out(h.rows(), f);
-    for (std::uint32_t p = 0; p < parts; ++p) {
-        const Matrix agg = tensor::spmm(ctx.local_adj(p), stacked[p]);
-        const auto locals = ctx.local_nodes(p);
-        for (std::size_t i = 0; i < locals.size(); ++i) {
-            const auto srow = agg.row(i);
-            auto drow = out.row(locals[i]);
-            std::copy(srow.begin(), srow.end(), drow.begin());
+    parallel_for(0, parts, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t p = lo; p < hi; ++p) {
+            const auto part = static_cast<std::uint32_t>(p);
+            const Matrix agg = tensor::spmm(ctx.local_adj(part), stacked[p]);
+            const auto locals = ctx.local_nodes(part);
+            for (std::size_t i = 0; i < locals.size(); ++i) {
+                const auto srow = agg.row(i);
+                auto drow = out.row(locals[i]);
+                std::copy(srow.begin(), srow.end(), drow.begin());
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -81,24 +92,30 @@ Matrix DistAggregator::backward(const Matrix& g, int layer) {
 
     Matrix out(g.rows(), f);
     // Per-partition transposed SpMM; the halo block of the result is the
-    // gradient that must travel back to the owners.
+    // gradient that must travel back to the owners. Partitions fan out
+    // across the pool — each owns stacked_grad[p] and its disjoint local
+    // rows of `out`; the cross-partition gradient exchange below stays
+    // serial (compressor/fabric state, overlapping destination rows).
     std::vector<Matrix> stacked_grad(parts);
-    for (std::uint32_t p = 0; p < parts; ++p) {
-        const auto locals = ctx.local_nodes(p);
-        Matrix gp(locals.size(), f);
-        for (std::size_t i = 0; i < locals.size(); ++i) {
-            const auto srow = g.row(locals[i]);
-            auto drow = gp.row(i);
-            std::copy(srow.begin(), srow.end(), drow.begin());
+    parallel_for(0, parts, 1, [&](std::size_t plo, std::size_t phi) {
+        for (std::size_t p = plo; p < phi; ++p) {
+            const auto part = static_cast<std::uint32_t>(p);
+            const auto locals = ctx.local_nodes(part);
+            Matrix gp(locals.size(), f);
+            for (std::size_t i = 0; i < locals.size(); ++i) {
+                const auto srow = g.row(locals[i]);
+                auto drow = gp.row(i);
+                std::copy(srow.begin(), srow.end(), drow.begin());
+            }
+            stacked_grad[p] = tensor::spmm_transposed(ctx.local_adj(part), gp);
+            // Local block accumulates directly.
+            for (std::size_t i = 0; i < locals.size(); ++i) {
+                const auto srow = stacked_grad[p].row(i);
+                auto drow = out.row(locals[i]);
+                for (std::size_t c = 0; c < f; ++c) drow[c] += srow[c];
+            }
         }
-        stacked_grad[p] = tensor::spmm_transposed(ctx.local_adj(p), gp);
-        // Local block accumulates directly.
-        for (std::size_t i = 0; i < locals.size(); ++i) {
-            const auto srow = stacked_grad[p].row(i);
-            auto drow = out.row(locals[i]);
-            for (std::size_t c = 0; c < f; ++c) drow[c] += srow[c];
-        }
-    }
+    });
 
     // Gradient exchange: the reverse of every forward plan. For plan
     // (q → p) the receiver p now returns gradients for q's boundary rows.

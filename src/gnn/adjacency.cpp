@@ -4,21 +4,28 @@
 
 namespace scgnn::gnn {
 
-tensor::SparseMatrix normalized_adjacency(const graph::Graph& g, AdjNorm norm) {
+tensor::SparseMatrix normalized_adjacency(const graph::Graph& g, AdjNorm norm,
+                                          SelfLoop self) {
     const std::uint32_t n = g.num_nodes();
     std::vector<tensor::Triplet> trips;
     trips.reserve(2 * g.num_edges() + n);
 
+    const bool with_self =
+        self == SelfLoop::kAdd ||
+        (self == SelfLoop::kAuto && norm != AdjNorm::kSum);
+
     if (norm == AdjNorm::kSum) {
-        for (std::uint32_t u = 0; u < n; ++u)
+        for (std::uint32_t u = 0; u < n; ++u) {
+            if (with_self) trips.push_back({u, u, 1.0f});
             for (std::uint32_t v : g.neighbors(u))
                 trips.push_back({u, v, 1.0f});
+        }
         return tensor::SparseMatrix(n, n, std::move(trips));
     }
 
     std::vector<double> deg(n);
     for (std::uint32_t u = 0; u < n; ++u)
-        deg[u] = static_cast<double>(g.degree(u)) + 1.0;  // self-loop
+        deg[u] = static_cast<double>(g.degree(u)) + (with_self ? 1.0 : 0.0);
 
     auto weight = [&](std::uint32_t r, std::uint32_t c) -> float {
         if (norm == AdjNorm::kSymmetric)
@@ -26,7 +33,7 @@ tensor::SparseMatrix normalized_adjacency(const graph::Graph& g, AdjNorm norm) {
         return static_cast<float>(1.0 / deg[r]);
     };
     for (std::uint32_t u = 0; u < n; ++u) {
-        trips.push_back({u, u, weight(u, u)});
+        if (with_self && deg[u] > 0.0) trips.push_back({u, u, weight(u, u)});
         for (std::uint32_t v : g.neighbors(u)) trips.push_back({u, v, weight(u, v)});
     }
     return tensor::SparseMatrix(n, n, std::move(trips));

@@ -3,22 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "scgnn/common/parallel.hpp"
+
 namespace scgnn::tensor {
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
     SCGNN_CHECK(a.cols() == b.rows(), "matmul inner dimensions must agree");
     Matrix c(a.rows(), b.cols());
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-    for (std::size_t i = 0; i < m; ++i) {
-        float* ci = c.data() + i * n;
-        const float* ai = a.data() + i * k;
-        for (std::size_t p = 0; p < k; ++p) {
-            const float aip = ai[p];
-            if (aip == 0.0f) continue;
-            const float* bp = b.data() + p * n;
-            for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    // Row-block parallel: each output row is owned by one chunk, and its
+    // k-accumulation order matches the serial kernel, so the result is
+    // bitwise identical at every thread count.
+    parallel_for(0, m, grain_for(k * n), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            float* ci = c.data() + i * n;
+            const float* ai = a.data() + i * k;
+            for (std::size_t p = 0; p < k; ++p) {
+                const float aip = ai[p];
+                if (aip == 0.0f) continue;
+                const float* bp = b.data() + p * n;
+                for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -26,16 +33,27 @@ Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
     SCGNN_CHECK(a.rows() == b.rows(), "matmul_at_b outer dimensions must agree");
     Matrix c(a.cols(), b.cols());
     const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-    for (std::size_t p = 0; p < k; ++p) {
-        const float* ap = a.data() + p * m;
-        const float* bp = b.data() + p * n;
-        for (std::size_t i = 0; i < m; ++i) {
-            const float api = ap[i];
-            if (api == 0.0f) continue;
-            float* ci = c.data() + i * n;
-            for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    // Output rows (columns of A) are split across chunks; within a chunk
+    // the k dimension is tiled so a block of B rows stays cache-hot while
+    // the chunk's C rows are swept, instead of streaming the whole C
+    // matrix once per k iteration as the old k-outer kernel did. Each
+    // C(i,j) still accumulates over p in ascending order with the same
+    // zero-skip, so the result is bitwise identical to the serial kernel.
+    constexpr std::size_t kTile = 128;
+    parallel_for(0, m, grain_for(k * n), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t p0 = 0; p0 < k; p0 += kTile) {
+            const std::size_t p1 = std::min(k, p0 + kTile);
+            for (std::size_t i = lo; i < hi; ++i) {
+                float* ci = c.data() + i * n;
+                for (std::size_t p = p0; p < p1; ++p) {
+                    const float api = a.data()[p * m + i];
+                    if (api == 0.0f) continue;
+                    const float* bp = b.data() + p * n;
+                    for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+                }
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -43,16 +61,18 @@ Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
     SCGNN_CHECK(a.cols() == b.cols(), "matmul_a_bt inner dimensions must agree");
     Matrix c(a.rows(), b.rows());
     const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-    for (std::size_t i = 0; i < m; ++i) {
-        const float* ai = a.data() + i * k;
-        float* ci = c.data() + i * n;
-        for (std::size_t j = 0; j < n; ++j) {
-            const float* bj = b.data() + j * k;
-            float acc = 0.0f;
-            for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-            ci[j] = acc;
+    parallel_for(0, m, grain_for(k * n), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const float* ai = a.data() + i * k;
+            float* ci = c.data() + i * n;
+            for (std::size_t j = 0; j < n; ++j) {
+                const float* bj = b.data() + j * k;
+                float acc = 0.0f;
+                for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+                ci[j] = acc;
+            }
         }
-    }
+    });
     return c;
 }
 

@@ -1,7 +1,8 @@
 #include "scgnn/tensor/sparse.hpp"
 
 #include <algorithm>
-#include <thread>
+
+#include "scgnn/common/parallel.hpp"
 
 namespace scgnn::tensor {
 
@@ -79,28 +80,16 @@ Matrix spmm(const SparseMatrix& s, const Matrix& x) {
     SCGNN_CHECK(s.cols() == x.rows(), "spmm inner dimensions must agree");
     Matrix y(s.rows(), x.cols());
     const std::size_t f = x.cols();
-    for (std::size_t r = 0; r < s.rows(); ++r) {
-        const auto cols = s.row_cols(r);
-        const auto vals = s.row_vals(r);
-        float* yr = y.data() + r * f;
-        for (std::size_t i = 0; i < cols.size(); ++i) {
-            const float v = vals[i];
-            const float* xr = x.data() + static_cast<std::size_t>(cols[i]) * f;
-            for (std::size_t j = 0; j < f; ++j) yr[j] += v * xr[j];
-        }
-    }
-    return y;
-}
-
-Matrix spmm_parallel(const SparseMatrix& s, const Matrix& x, unsigned threads) {
-    SCGNN_CHECK(s.cols() == x.rows(), "spmm inner dimensions must agree");
-    if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-    if (threads == 1 || s.rows() < 2 * threads) return spmm(s, x);
-
-    Matrix y(s.rows(), x.cols());
-    const std::size_t f = x.cols();
-    auto worker = [&](std::size_t row_lo, std::size_t row_hi) {
-        for (std::size_t r = row_lo; r < row_hi; ++r) {
+    // Row-parallel on the global pool: each output row is owned by exactly
+    // one chunk, so no synchronisation is needed and the result is bitwise
+    // identical at every thread count. The grain is sized from the average
+    // row cost so ragged degree distributions still balance via the pool's
+    // dynamic chunk hand-out.
+    const std::size_t avg_row_work =
+        s.rows() == 0 ? 0 : (s.nnz() / s.rows() + 1) * f;
+    parallel_for(0, s.rows(), grain_for(avg_row_work),
+                 [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
             const auto cols = s.row_cols(r);
             const auto vals = s.row_vals(r);
             float* yr = y.data() + r * f;
@@ -111,17 +100,18 @@ Matrix spmm_parallel(const SparseMatrix& s, const Matrix& x, unsigned threads) {
                 for (std::size_t j = 0; j < f; ++j) yr[j] += v * xr[j];
             }
         }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    const std::size_t chunk = (s.rows() + threads - 1) / threads;
-    for (unsigned t = 0; t < threads; ++t) {
-        const std::size_t lo = std::min<std::size_t>(t * chunk, s.rows());
-        const std::size_t hi = std::min<std::size_t>(lo + chunk, s.rows());
-        if (lo < hi) pool.emplace_back(worker, lo, hi);
-    }
-    for (auto& th : pool) th.join();
+    });
     return y;
+}
+
+Matrix spmm_parallel(const SparseMatrix& s, const Matrix& x, unsigned threads) {
+    SCGNN_CHECK(s.cols() == x.rows(), "spmm inner dimensions must agree");
+    // spmm() itself now runs on the shared pool; this wrapper only pins an
+    // explicit width for the duration of the call (thread-scaling benches,
+    // legacy callers). threads == 0 restores the SCGNN_THREADS/hardware
+    // default via the guard.
+    ThreadCountGuard guard(threads);
+    return spmm(s, x);
 }
 
 Matrix spmm_transposed(const SparseMatrix& s, const Matrix& x) {

@@ -1,0 +1,80 @@
+// Regression guards for the self-loop semantics of normalized_adjacency:
+// the kSum branch historically omitted the self-loop that the symmetric
+// and row-mean branches add. That asymmetry is now an explicit, documented
+// SelfLoop parameter whose kAuto default preserves each norm's historical
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scgnn/common/rng.hpp"
+#include "scgnn/gnn/adjacency.hpp"
+#include "scgnn/graph/generators.hpp"
+
+namespace scgnn::gnn {
+namespace {
+
+graph::Graph path3() {
+    // 0 - 1 - 2
+    const graph::Edge edges[] = {{0, 1}, {1, 2}};
+    return graph::Graph(3, edges);
+}
+
+graph::Graph random_graph(std::uint32_t n, std::uint64_t m,
+                          std::uint64_t seed) {
+    Rng rng(seed);
+    return graph::erdos_renyi(n, m, rng);
+}
+
+TEST(Adjacency, SumOmitsSelfLoopByDefault) {
+    const graph::Graph g = path3();
+    const auto a = normalized_adjacency(g, AdjNorm::kSum);
+    for (std::uint32_t u = 0; u < 3; ++u) EXPECT_EQ(a.coeff(u, u), 0.0f);
+    EXPECT_EQ(a.coeff(0, 1), 1.0f);
+    EXPECT_EQ(a.coeff(1, 0), 1.0f);
+    EXPECT_EQ(a.nnz(), 4u);  // the raw adjacency, nothing more
+}
+
+TEST(Adjacency, SumWithForcedSelfLoopAddsUnitDiagonal) {
+    const graph::Graph g = path3();
+    const auto a = normalized_adjacency(g, AdjNorm::kSum, SelfLoop::kAdd);
+    for (std::uint32_t u = 0; u < 3; ++u) EXPECT_EQ(a.coeff(u, u), 1.0f);
+    EXPECT_EQ(a.nnz(), 7u);
+}
+
+TEST(Adjacency, AutoMatchesExplicitAddForSymmetricAndRowMean) {
+    const graph::Graph g = random_graph(40, 90, 11);
+    for (const AdjNorm norm : {AdjNorm::kSymmetric, AdjNorm::kRowMean}) {
+        const auto auto_a = normalized_adjacency(g, norm);
+        const auto add_a = normalized_adjacency(g, norm, SelfLoop::kAdd);
+        ASSERT_EQ(auto_a.nnz(), add_a.nnz());
+        for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+            EXPECT_GT(auto_a.coeff(u, u), 0.0f);
+            EXPECT_EQ(auto_a.coeff(u, u), add_a.coeff(u, u));
+        }
+    }
+}
+
+TEST(Adjacency, SymmetricWithoutSelfLoopExcludesDiagonal) {
+    const graph::Graph g = path3();
+    const auto a = normalized_adjacency(g, AdjNorm::kSymmetric, SelfLoop::kNone);
+    for (std::uint32_t u = 0; u < 3; ++u) EXPECT_EQ(a.coeff(u, u), 0.0f);
+    // Degrees now exclude the self edge: weight(0,1) = 1/sqrt(1*2).
+    EXPECT_NEAR(a.coeff(0, 1), 1.0f / std::sqrt(2.0f), 1e-6f);
+}
+
+TEST(Adjacency, RowMeanRowsSumToOneWithAndWithoutSelfLoop) {
+    const graph::Graph g = random_graph(30, 60, 5);
+    for (const SelfLoop self : {SelfLoop::kAuto, SelfLoop::kNone}) {
+        const auto a = normalized_adjacency(g, AdjNorm::kRowMean, self);
+        for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+            if (g.degree(u) == 0 && self == SelfLoop::kNone) continue;
+            double row_sum = 0.0;
+            for (const float v : a.row_vals(u)) row_sum += v;
+            EXPECT_NEAR(row_sum, 1.0, 1e-5);
+        }
+    }
+}
+
+} // namespace
+} // namespace scgnn::gnn

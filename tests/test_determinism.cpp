@@ -4,6 +4,7 @@
 // test scale so refactors cannot silently regress the reproduction.
 #include <gtest/gtest.h>
 
+#include "scgnn/common/parallel.hpp"
 #include "scgnn/core/framework.hpp"
 
 namespace scgnn::core {
@@ -35,6 +36,37 @@ TEST(Determinism, IdenticalSeedsIdenticalPipeline) {
     for (std::size_t e = 0; e < a.train.epoch_metrics.size(); ++e)
         EXPECT_EQ(a.train.epoch_metrics[e].loss,
                   b.train.epoch_metrics[e].loss);
+}
+
+TEST(Determinism, ThreadCountDoesNotChangeAnyResult) {
+    // The threading substrate's core promise: every parallelised kernel
+    // (dense matmuls, SpMM, k-means grouping, the per-partition
+    // distributed loops) decomposes work identically at every pool width,
+    // so the whole pipeline is bitwise reproducible at 1, 2 and 4 threads.
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kYelpSim, 0.15, 7);
+    PipelineConfig cfg = cfg_for(d);
+    cfg.train.epochs = 6;
+
+    auto run_at = [&](unsigned threads) {
+        ThreadCountGuard guard(threads);
+        return run_pipeline(d, cfg);
+    };
+    const PipelineResult base = run_at(1);
+    for (const unsigned threads : {2u, 4u}) {
+        const PipelineResult r = run_at(threads);
+        EXPECT_EQ(base.train.final_loss, r.train.final_loss);
+        EXPECT_EQ(base.train.test_accuracy, r.train.test_accuracy);
+        EXPECT_EQ(base.train.mean_comm_mb, r.train.mean_comm_mb);
+        EXPECT_EQ(base.compression_ratio, r.compression_ratio);
+        EXPECT_EQ(base.wire_rows, r.wire_rows);
+        EXPECT_EQ(base.num_groups, r.num_groups);
+        ASSERT_EQ(base.train.epoch_metrics.size(),
+                  r.train.epoch_metrics.size());
+        for (std::size_t e = 0; e < base.train.epoch_metrics.size(); ++e)
+            EXPECT_EQ(base.train.epoch_metrics[e].loss,
+                      r.train.epoch_metrics[e].loss);
+    }
 }
 
 TEST(Determinism, DifferentPartitionSeedChangesLayoutNotLearnability) {

@@ -1,0 +1,182 @@
+// Contract tests for the shared threading substrate: pool reuse across
+// many regions and resizes, exception propagation out of parallel_for,
+// empty/tiny ranges, nested-call safety, and the chunk-ordered determinism
+// of parallel_reduce at every pool width.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "scgnn/common/error.hpp"
+#include "scgnn/common/parallel.hpp"
+
+namespace scgnn {
+namespace {
+
+TEST(Parallel, DefaultWidthIsAtLeastOne) {
+    EXPECT_GE(default_num_threads(), 1u);
+    EXPECT_GE(num_threads(), 1u);
+}
+
+TEST(Parallel, ForCoversEveryIndexExactlyOnce) {
+    ThreadCountGuard guard(4);
+    std::vector<std::uint32_t> hits(1000, 0);
+    parallel_for(0, hits.size(), 7, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+    });
+    for (const std::uint32_t h : hits) EXPECT_EQ(h, 1u);
+}
+
+TEST(Parallel, EmptyAndReversedRangesAreNoOps) {
+    ThreadCountGuard guard(4);
+    std::atomic<int> calls{0};
+    parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+    parallel_for(9, 3, 1, [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+    EXPECT_EQ(parallel_reduce(
+                  5, 5, 1, 17, [](std::size_t, std::size_t) { return 1; },
+                  [](int a, int b) { return a + b; }),
+              17);
+}
+
+TEST(Parallel, TinyRangeRunsInlineAsOneChunk) {
+    ThreadCountGuard guard(4);
+    int calls = 0;  // deliberately unsynchronised: must stay on this thread
+    parallel_for(0, 3, 8, [&](std::size_t lo, std::size_t hi) {
+        ++calls;
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 3u);
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, PoolIsReusedAcrossManyRegionsAndResizes) {
+    for (const unsigned width : {2u, 4u, 1u, 3u}) {
+        ThreadCountGuard guard(width);
+        EXPECT_EQ(num_threads(), width);
+        for (int rep = 0; rep < 50; ++rep) {
+            std::vector<std::uint64_t> out(257, 0);
+            parallel_for(0, out.size(), 16,
+                         [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) out[i] = i * i;
+            });
+            for (std::size_t i = 0; i < out.size(); ++i)
+                ASSERT_EQ(out[i], i * i);
+        }
+    }
+}
+
+TEST(Parallel, ExceptionPropagatesAndPoolSurvives) {
+    ThreadCountGuard guard(4);
+    EXPECT_THROW(
+        parallel_for(0, 1000, 8, [&](std::size_t lo, std::size_t) {
+            if (lo >= 500) throw Error("boom from a worker chunk");
+        }),
+        Error);
+    // The pool must remain fully usable after an exceptional region.
+    std::atomic<std::uint64_t> sum{0};
+    parallel_for(0, 100, 4, [&](std::size_t lo, std::size_t hi) {
+        std::uint64_t local = 0;
+        for (std::size_t i = lo; i < hi; ++i) local += i;
+        sum += local;
+    });
+    EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(Parallel, NestedCallsRunInlineAndStayCorrect) {
+    ThreadCountGuard guard(4);
+    std::vector<std::uint32_t> hits(64 * 64, 0);
+    parallel_for(0, 64, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            EXPECT_TRUE(in_parallel_region());
+            // The inner region must not deadlock or widen: it runs inline.
+            parallel_for(0, 64, 1, [&](std::size_t jlo, std::size_t jhi) {
+                for (std::size_t j = jlo; j < jhi; ++j) ++hits[i * 64 + j];
+            });
+        }
+    });
+    for (const std::uint32_t h : hits) ASSERT_EQ(h, 1u);
+}
+
+TEST(Parallel, SetNumThreadsInsideRegionIsRejected) {
+    ThreadCountGuard guard(2);
+    EXPECT_THROW(parallel_for(0, 100, 1,
+                              [&](std::size_t, std::size_t) {
+                                  set_num_threads(3);
+                              }),
+                 Error);
+}
+
+TEST(Parallel, ReduceIsBitwiseIdenticalAcrossThreadCounts) {
+    // Chunk-ordered combination: the double sum must match bit-for-bit at
+    // every pool width, including 1.
+    std::vector<double> xs(10007);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        xs[i] = 1.0 / static_cast<double>(i + 1);
+    auto sum_at = [&](unsigned width) {
+        ThreadCountGuard guard(width);
+        return parallel_reduce(
+            0, xs.size(), 64, 0.0,
+            [&](std::size_t lo, std::size_t hi) {
+                double acc = 0.0;
+                for (std::size_t i = lo; i < hi; ++i) acc += xs[i];
+                return acc;
+            },
+            [](double a, double b) { return a + b; });
+    };
+    const double base = sum_at(1);
+    EXPECT_EQ(base, sum_at(2));
+    EXPECT_EQ(base, sum_at(4));
+    EXPECT_EQ(base, sum_at(8));
+}
+
+TEST(Parallel, ReduceSingleChunkMatchesSerialFold) {
+    // n <= grain degenerates to one map over the whole range — the
+    // historical serial evaluation.
+    std::vector<double> xs{0.1, 0.2, 0.3, 0.4};
+    double serial = 0.0;
+    for (const double v : xs) serial += v;
+    ThreadCountGuard guard(4);
+    const double chunked = parallel_reduce(
+        0, xs.size(), xs.size(), 0.0,
+        [&](std::size_t lo, std::size_t hi) {
+            double acc = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) acc += xs[i];
+            return acc;
+        },
+        [](double a, double b) { return a + b; });
+    EXPECT_EQ(serial, chunked);
+}
+
+TEST(Parallel, ThreadCountGuardRestoresPreviousWidth) {
+    const unsigned before = num_threads();
+    {
+        ThreadCountGuard guard(before + 3);
+        EXPECT_EQ(num_threads(), before + 3);
+        {
+            ThreadCountGuard inner(1);
+            EXPECT_EQ(num_threads(), 1u);
+        }
+        EXPECT_EQ(num_threads(), before + 3);
+    }
+    EXPECT_EQ(num_threads(), before);
+}
+
+TEST(Parallel, SetNumThreadsZeroRestoresDefault) {
+    set_num_threads(3);
+    EXPECT_EQ(num_threads(), 3u);
+    set_num_threads(0);
+    EXPECT_EQ(num_threads(), default_num_threads());
+}
+
+TEST(Parallel, GrainForIsShapeDrivenAndAtLeastOne) {
+    EXPECT_EQ(grain_for(0), 32768u);
+    EXPECT_EQ(grain_for(1, 64), 64u);
+    EXPECT_EQ(grain_for(1000000), 1u);
+    EXPECT_EQ(grain_for(64, 32768), 512u);
+}
+
+} // namespace
+} // namespace scgnn
