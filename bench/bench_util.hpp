@@ -6,9 +6,12 @@
 ///
 /// Every bench accepts optional CLI args: `--scale <f>` (dataset size
 /// multiplier, default 0.35), `--epochs <n>` (training epochs, default
-/// 30) and `--threads <n>` (worker pool width, default all cores /
-/// SCGNN_THREADS), so the full suite stays minutes-scale while remaining
-/// faithful in shape. All seeds are fixed and printed.
+/// 30), `--threads <n>` (worker pool width, default all cores /
+/// SCGNN_THREADS), `--log-level <debug|info|warn|error>` and
+/// `--obs-out <prefix>` (enable observability; write `<prefix>.trace.json`
+/// and `<prefix>.report.json` at exit), so the full suite stays
+/// minutes-scale while remaining faithful in shape. All seeds are fixed
+/// and printed.
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,18 +19,42 @@
 #include <string>
 #include <vector>
 
+#include "scgnn/common/log.hpp"
 #include "scgnn/common/parallel.hpp"
 #include "scgnn/common/table.hpp"
 #include "scgnn/core/framework.hpp"
+#include "scgnn/obs/obs.hpp"
 
 namespace scgnn::benchutil {
+
+/// Parse a `--log-level` value; returns false on an unknown name.
+inline bool parse_log_level(const char* s, LogLevel& out) {
+    if (std::strcmp(s, "debug") == 0) out = LogLevel::kDebug;
+    else if (std::strcmp(s, "info") == 0) out = LogLevel::kInfo;
+    else if (std::strcmp(s, "warn") == 0) out = LogLevel::kWarn;
+    else if (std::strcmp(s, "error") == 0) out = LogLevel::kError;
+    else return false;
+    return true;
+}
+
+/// Printable name of a log level.
+inline const char* log_level_name(LogLevel l) {
+    switch (l) {
+        case LogLevel::kDebug: return "debug";
+        case LogLevel::kInfo: return "info";
+        case LogLevel::kWarn: return "warn";
+        case LogLevel::kError: return "error";
+    }
+    return "?";
+}
 
 /// Parsed common CLI options.
 struct Options {
     double scale = 0.35;
     std::uint32_t epochs = 30;
     std::uint64_t seed = 2024;
-    unsigned threads = 0;  ///< 0 = SCGNN_THREADS env / all cores
+    unsigned threads = 0;   ///< 0 = SCGNN_THREADS env / all cores
+    std::string obs_out;    ///< non-empty = obs enabled, output prefix
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -41,12 +68,33 @@ inline Options parse_options(int argc, char** argv) {
             opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
         else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
             opt.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
+            LogLevel level;
+            if (parse_log_level(argv[++i], level)) {
+                set_log_level(level);
+            } else {
+                std::fprintf(stderr,
+                             "unknown --log-level '%s' "
+                             "(expected debug|info|warn|error)\n",
+                             argv[i]);
+                std::exit(2);
+            }
+        } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+            opt.obs_out = argv[++i];
+        }
+    }
+    if (!opt.obs_out.empty()) {
+        obs::set_enabled(true);
+        obs::set_output_prefix(opt.obs_out);  // arms write-at-exit
     }
     set_num_threads(opt.threads);
     opt.threads = num_threads();
-    std::printf("# options: scale=%.2f epochs=%u seed=%llu threads=%u\n",
-                opt.scale, opt.epochs,
-                static_cast<unsigned long long>(opt.seed), opt.threads);
+    std::printf(
+        "# options: scale=%.2f epochs=%u seed=%llu threads=%u "
+        "log-level=%s obs=%s\n",
+        opt.scale, opt.epochs, static_cast<unsigned long long>(opt.seed),
+        opt.threads, log_level_name(log_level()),
+        opt.obs_out.empty() ? "off" : opt.obs_out.c_str());
     return opt;
 }
 

@@ -10,19 +10,27 @@
 //             [--rate <f>] [--bits <4|8|16>] [--tau <n>] [--groups <k>]
 //             [--drop-o2o] [--sage|--gin] [--dropout <p>] [--seed <n>]
 //             [--threads <n>] [--save <dir>]
+//             [--log-level debug|info|warn|error] [--obs-out <prefix>]
+//
+// `--obs-out run` turns on observability and writes `run.trace.json`
+// (Chrome trace_event — open in about://tracing or ui.perfetto.dev) and
+// `run.report.json` (per-run telemetry ledger) when the run finishes.
 //
 // Examples:
 //   scgnn_cli --dataset reddit --parts 4 --method ours --drop-o2o
 //   scgnn_cli --dataset yelp --method sampling --rate 0.1
+//   scgnn_cli --dataset pubmed --method ours --obs-out run
 //   scgnn_cli --dataset pubmed --save /tmp/pubmed && scgnn_cli --load /tmp/pubmed
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "scgnn/common/log.hpp"
 #include "scgnn/common/parallel.hpp"
 #include "scgnn/common/table.hpp"
 #include "scgnn/core/framework.hpp"
 #include "scgnn/graph/io.hpp"
+#include "scgnn/obs/obs.hpp"
 
 namespace {
 
@@ -59,6 +67,14 @@ partition::PartitionAlgo parse_partition(const std::string& s) {
     usage("unknown partitioner (use node|edge|multilevel|random)");
 }
 
+LogLevel parse_level(const std::string& s) {
+    if (s == "debug") return LogLevel::kDebug;
+    if (s == "info") return LogLevel::kInfo;
+    if (s == "warn") return LogLevel::kWarn;
+    if (s == "error") return LogLevel::kError;
+    usage("unknown log level (use debug|info|warn|error)");
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -70,6 +86,7 @@ int main(int argc, char** argv) {
     cfg.method.method = core::Method::kSemantic;
     cfg.method.semantic.grouping.kmeans_k = 20;
     std::uint64_t seed = 2024;
+    std::string obs_out;
 
     for (int i = 1; i < argc; ++i) {
         auto need = [&](const char* flag) -> const char* {
@@ -113,8 +130,17 @@ int main(int argc, char** argv) {
         else if (!std::strcmp(argv[i], "--threads"))
             scgnn::set_num_threads(
                 static_cast<unsigned>(std::atoi(need("--threads"))));
+        else if (!std::strcmp(argv[i], "--log-level"))
+            scgnn::set_log_level(parse_level(need("--log-level")));
+        else if (!std::strcmp(argv[i], "--obs-out"))
+            obs_out = need("--obs-out");
         else
             usage((std::string("unknown flag ") + argv[i]).c_str());
+    }
+
+    if (!obs_out.empty()) {
+        obs::set_enabled(true);
+        obs::set_output_prefix(obs_out);
     }
 
     graph::Dataset data = load_dir.empty()
@@ -157,5 +183,9 @@ int main(int argc, char** argv) {
     t.add_row({"semantic groups", Table::num(std::uint64_t{res.num_groups})});
     t.add_row({"mean group size", Table::num(res.mean_group_size, 1)});
     std::printf("%s", t.str().c_str());
+
+    if (!obs_out.empty() && obs::finish())
+        std::printf("observability: wrote %s.trace.json and %s.report.json\n",
+                    obs_out.c_str(), obs_out.c_str());
     return 0;
 }

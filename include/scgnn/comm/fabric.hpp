@@ -101,10 +101,16 @@ public:
     /// Modelled comm seconds of closed epoch `e`.
     [[nodiscard]] double epoch_history_seconds(std::size_t e) const;
 
-    /// Reset everything (counters and history).
+    /// Reset everything: counters, history and per-link cost-model
+    /// overrides (a cleared fabric behaves like a freshly constructed
+    /// one; end_epoch(), by contrast, keeps the overrides in force).
     void clear();
 
 private:
+    /// Push this epoch's fabric/link metrics into the obs registry.
+    /// Called from end_epoch() only when observability is enabled.
+    void publish_epoch_metrics() const;
+
     [[nodiscard]] std::size_t idx(std::uint32_t src, std::uint32_t dst) const {
         SCGNN_CHECK(src < n_ && dst < n_, "device id out of range");
         SCGNN_CHECK(src != dst, "self-sends do not cross the fabric");

@@ -71,6 +71,15 @@ void pool_run(std::size_t num_chunks, void (*chunk_fn)(void*, std::size_t),
 
 } // namespace detail
 
+/// Observer hooks bracketing every top-level pool region, called on the
+/// calling thread (begin receives the chunk count; end also runs when the
+/// region rethrows). Installed by `scgnn::obs` to count tasks and record
+/// a trace span per `parallel_for`/`parallel_reduce` region without the
+/// threading substrate depending on the observability library. Both null
+/// by default — the uninstrumented cost is two relaxed loads per region.
+void set_pool_observer(void (*region_begin)(std::size_t num_chunks) noexcept,
+                       void (*region_end)() noexcept) noexcept;
+
 /// Invoke `body(lo, hi)` over [begin, end) split into fixed chunks of
 /// `grain` items. Writes performed by `body` must be disjoint across
 /// iterations; under that contract the result is bitwise identical for
@@ -118,18 +127,25 @@ template <typename T, typename Map, typename Combine>
     const std::size_t g = grain == 0 ? 1 : grain;
     if (n <= g) return combine(std::move(identity), map(begin, end));
     const std::size_t chunks = (n + g - 1) / g;
-    std::vector<T> partials(chunks, identity);
+    // Partials are boxed one-per-struct: a bare std::vector<bool> is
+    // bit-packed, so concurrent writes to distinct indices would race on
+    // shared words. Boxing guarantees each slot is its own memory location
+    // for every T.
+    struct Slot {
+        T v;
+    };
+    std::vector<Slot> partials(chunks, Slot{identity});
     if (in_parallel_region() || num_threads() == 1) {
         for (std::size_t i = 0; i < chunks; ++i) {
             const std::size_t lo = begin + i * g;
             const std::size_t hi = lo + g < end ? lo + g : end;
-            partials[i] = map(lo, hi);
+            partials[i].v = map(lo, hi);
         }
     } else {
         struct Ctx {
             std::size_t begin, end, grain;
             Map* map;
-            std::vector<T>* partials;
+            std::vector<Slot>* partials;
         } ctx{begin, end, g, &map, &partials};
         detail::pool_run(
             chunks,
@@ -138,13 +154,13 @@ template <typename T, typename Map, typename Combine>
                 const std::size_t lo = c->begin + i * c->grain;
                 const std::size_t hi =
                     lo + c->grain < c->end ? lo + c->grain : c->end;
-                (*c->partials)[i] = (*c->map)(lo, hi);
+                (*c->partials)[i].v = (*c->map)(lo, hi);
             },
             &ctx);
     }
     T acc = std::move(identity);
     for (std::size_t i = 0; i < chunks; ++i)
-        acc = combine(std::move(acc), std::move(partials[i]));
+        acc = combine(std::move(acc), std::move(partials[i].v));
     return acc;
 }
 

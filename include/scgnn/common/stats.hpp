@@ -82,6 +82,10 @@ public:
     /// Total observations folded in.
     [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
 
+    /// Fold another histogram's counts into this one. Requires identical
+    /// [lo, hi) range and bin count.
+    void merge(const Histogram& other);
+
     /// Render a compact ASCII bar chart (one line per bin), used by bench
     /// binaries to print the paper's distribution figures.
     [[nodiscard]] std::string ascii(std::size_t width = 40) const;

@@ -34,9 +34,19 @@ private:
 /// time per epoch split from communication time).
 class SectionTimer {
 public:
-    /// Begin a timed section; nested begins are a precondition violation in
-    /// spirit but are tolerated by restarting the section.
-    void begin() noexcept { section_.reset(); running_ = true; }
+    /// Begin a timed section. Calling begin() while a section is already
+    /// running closes the in-flight section first (folding its time into
+    /// the total, as end() would) rather than silently discarding it —
+    /// begin/begin/end therefore accounts for all wall time between the
+    /// first begin() and the end().
+    void begin() noexcept {
+        if (running_) {
+            total_ += section_.seconds();
+            ++count_;
+        }
+        section_.reset();
+        running_ = true;
+    }
 
     /// End the current section, folding its duration into the total.
     void end() noexcept {

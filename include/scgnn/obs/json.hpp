@@ -1,0 +1,68 @@
+#pragma once
+/// \file json.hpp
+/// \brief Minimal streaming JSON writer used by the observability sinks
+///        (Chrome trace export and the run-ledger report). Emits compact,
+///        valid JSON; doubles round-trip exactly (printed with %.17g) so
+///        ledger values can be compared bit-for-bit against in-process
+///        results. Not a parser — the repo only ever *writes* JSON.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scgnn::obs {
+
+/// Escape `s` for embedding inside a JSON string literal (quotes not
+/// included). Control characters become \uXXXX.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Format a double as a JSON number that parses back to the same bits
+/// (%.17g); NaN and infinities — not representable in JSON — become null.
+[[nodiscard]] std::string json_number(double v);
+
+/// Stack-based writer: begin_object/begin_array push a scope, key() names
+/// the next value inside an object, value() emits a scalar. Commas and
+/// quoting are handled automatically. Misuse (value without key inside an
+/// object, unbalanced end) throws scgnn::Error.
+class JsonWriter {
+public:
+    JsonWriter();
+
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+
+    /// Name the next value of the enclosing object.
+    JsonWriter& key(std::string_view k);
+
+    JsonWriter& value(std::string_view v);
+    JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+    JsonWriter& value(double v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(bool v);
+    JsonWriter& null();
+
+    /// Shorthand: key + scalar value.
+    template <typename T>
+    JsonWriter& kv(std::string_view k, T v) {
+        key(k);
+        return value(v);
+    }
+
+    /// The document so far. Valid JSON once every scope is closed.
+    [[nodiscard]] const std::string& str() const;
+
+private:
+    void before_value();
+
+    enum class Scope : std::uint8_t { kObject, kArray };
+    std::string out_;
+    std::vector<Scope> stack_;
+    bool need_comma_ = false;
+    bool have_key_ = false;
+};
+
+} // namespace scgnn::obs

@@ -1,0 +1,99 @@
+#pragma once
+/// \file ledger.hpp
+/// \brief Per-run telemetry ledger: run configuration, one registry
+///        snapshot per epoch (plus the trainer's exact epoch figures),
+///        and final results, serialisable to a machine-readable JSON
+///        report.
+///
+/// The ledger is the durable record Table 1 / Fig. 1-style breakdowns are
+/// built from: the distributed trainer feeds it the same EpochMetrics
+/// values it returns in DistTrainResult (so report and in-process result
+/// match bit-for-bit; doubles are serialised with %.17g), and every epoch
+/// entry additionally captures the merged metrics registry, which is
+/// where the fabric/compressor/kernel counters live.
+///
+/// JSON schema ("scgnn.obs.run/1"):
+/// {
+///   "schema": "scgnn.obs.run/1",
+///   "config": {"<key>": "<string>" | <number>, ...},
+///   "epochs": [
+///     {"epoch": 0, "loss": ..., "comm_mb": ..., "comm_ms": ...,
+///      "compute_ms": ..., "epoch_ms": ...,
+///      "metrics": {"<name>": {"kind": "counter"|"gauge"|"histogram",
+///                             "value": ..., ["count","mean","min","max"]}}},
+///     ...],
+///   "final": {"<key>": <number>, ...},
+///   "metrics": { ...cumulative registry at serialisation time... }
+/// }
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "scgnn/obs/metrics.hpp"
+
+namespace scgnn::obs {
+
+/// One per-epoch entry: the trainer's exact figures plus a registry
+/// snapshot taken when the epoch closed.
+struct EpochRecord {
+    std::uint32_t epoch = 0;
+    double loss = 0.0;
+    double comm_mb = 0.0;
+    double comm_ms = 0.0;
+    double compute_ms = 0.0;
+    double epoch_ms = 0.0;
+    std::vector<MetricSample> metrics;
+};
+
+/// Thread-safe per-run ledger. One global instance (`ledger()`) is shared
+/// by the trainer and the CLI/bench harnesses; clear() starts a new run.
+class RunLedger {
+public:
+    /// Record a configuration key (string or numeric form).
+    void set_config(std::string key, std::string value);
+    void set_config(std::string key, double value);
+
+    /// Close epoch `epoch` with the trainer's exact figures; captures a
+    /// snapshot of the global metrics registry alongside.
+    void record_epoch(std::uint32_t epoch, double loss, double comm_mb,
+                      double comm_ms, double compute_ms, double epoch_ms);
+
+    /// Record a final (end-of-run) numeric result.
+    void record_final(std::string key, double value);
+
+    [[nodiscard]] std::size_t num_epochs() const;
+    [[nodiscard]] EpochRecord epoch(std::size_t i) const;
+    [[nodiscard]] double final_value(const std::string& key) const;
+
+    /// Serialise the whole run (see schema above).
+    [[nodiscard]] std::string to_json() const;
+
+    /// Write to_json() to `path`. Throws scgnn::Error on I/O error.
+    void write_report(const std::string& path) const;
+
+    /// Drop everything recorded so far.
+    void clear();
+
+private:
+    mutable std::mutex mu_;
+    std::vector<std::pair<std::string, std::string>> config_str_;
+    std::vector<std::pair<std::string, double>> config_num_;
+    std::vector<EpochRecord> epochs_;
+    std::vector<std::pair<std::string, double>> final_;
+};
+
+/// The process-wide run ledger.
+[[nodiscard]] RunLedger& ledger();
+
+/// Convenience guards: forward to ledger() only when obs is enabled, so
+/// instrumentation sites stay one-liners.
+void epoch_snapshot(std::uint32_t epoch, double loss, double comm_mb,
+                    double comm_ms, double compute_ms, double epoch_ms);
+void record_config(std::string key, std::string value);
+void record_config(std::string key, double value);
+void record_final(std::string key, double value);
+
+} // namespace scgnn::obs

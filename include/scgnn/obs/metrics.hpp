@@ -1,0 +1,180 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Process-wide metrics registry: named counters, gauges and
+///        fixed-bin histograms addressable by hierarchical dotted names
+///        ("fabric.bytes_sent", "kmeans.iterations").
+///
+/// Hot-path writes are cheap: counters stride across cache-line-padded
+/// shards indexed by a per-thread slot (one relaxed atomic add, no
+/// contention between pool workers), histograms keep one mutex-protected
+/// (Histogram, RunningStat) pair per shard, and reads merge the shards.
+/// Lookup by name takes the registry mutex — instrumentation sites cache
+/// the returned reference (metrics are never deallocated, and reset()
+/// zeroes values in place), so the map is consulted once per site.
+///
+/// The registry only *stores* numbers; whether instrumentation sites feed
+/// it at all is gated by `scgnn::obs::enabled()` (see obs.hpp), keeping
+/// the subsystem zero-cost when observability is off.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scgnn/common/stats.hpp"
+
+namespace scgnn::obs {
+
+namespace detail {
+/// Small per-thread slot used to spread writers across metric shards.
+/// Assigned round-robin at first use, so the first `kMetricShards`
+/// threads never collide.
+[[nodiscard]] unsigned shard_slot() noexcept;
+} // namespace detail
+
+inline constexpr unsigned kMetricShards = 16;
+
+/// Monotonically increasing 64-bit counter, sharded per thread.
+class Counter {
+public:
+    /// Fold `v` into the calling thread's shard (relaxed; merged on read).
+    void add(std::uint64_t v = 1) noexcept {
+        shards_[detail::shard_slot() % kMetricShards].v.fetch_add(
+            v, std::memory_order_relaxed);
+    }
+
+    /// Sum over all shards.
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        std::uint64_t total = 0;
+        for (const Shard& s : shards_)
+            total += s.v.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    /// Zero every shard (run isolation; the counter stays registered).
+    void reset() noexcept {
+        for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    struct alignas(64) Shard {
+        std::atomic<std::uint64_t> v{0};
+    };
+    std::array<Shard, kMetricShards> shards_{};
+};
+
+/// Last-write-wins double with an accumulate mode (CAS add, so gauges can
+/// also sum fractional quantities like modelled seconds).
+class Gauge {
+public:
+    void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+
+    void add(double v) noexcept {
+        double cur = v_.load(std::memory_order_relaxed);
+        while (!v_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+        }
+    }
+
+    [[nodiscard]] double value() const noexcept {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void reset() noexcept { set(0.0); }
+
+private:
+    std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bin histogram metric: per-shard (Histogram, RunningStat) pairs
+/// behind per-shard mutexes, merged on read. Reuses the common/stats.hpp
+/// accumulators so bin semantics match the bench harnesses exactly.
+class HistogramMetric {
+public:
+    /// `bins` equal-width bins over [lo, hi); out-of-range clamps to the
+    /// edge bins (Histogram semantics).
+    HistogramMetric(double lo, double hi, std::size_t bins);
+
+    /// Fold one observation into the calling thread's shard.
+    void observe(double x) noexcept;
+
+    /// Merged bin counts + running statistics across all shards.
+    [[nodiscard]] Histogram merged() const;
+    [[nodiscard]] RunningStat stat() const;
+
+    void reset() noexcept;
+
+    [[nodiscard]] double lo() const noexcept { return lo_; }
+    [[nodiscard]] double hi() const noexcept { return hi_; }
+    [[nodiscard]] std::size_t bins() const noexcept { return bins_; }
+
+private:
+    struct Shard {
+        mutable std::mutex mu;
+        Histogram h;
+        RunningStat s;
+        explicit Shard(double lo, double hi, std::size_t bins)
+            : h(lo, hi, bins) {}
+    };
+    double lo_, hi_;
+    std::size_t bins_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// One merged reading of a metric, as captured by Registry::snapshot().
+struct MetricSample {
+    enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+    std::string name;
+    Kind kind = Kind::kCounter;
+    double value = 0.0;          ///< counter sum / gauge value / histogram sum
+    std::uint64_t count = 0;     ///< observations (histograms only)
+    double mean = 0.0, min = 0.0, max = 0.0;  ///< histograms only
+};
+
+/// Name-addressed metric store. Lookup registers on first use; the
+/// returned references stay valid for the process lifetime.
+class Registry {
+public:
+    /// The counter named `name`, created on first use. Throws if `name`
+    /// is already registered as a different kind.
+    [[nodiscard]] Counter& counter(std::string_view name);
+
+    /// The gauge named `name`, created on first use.
+    [[nodiscard]] Gauge& gauge(std::string_view name);
+
+    /// The histogram named `name`; `lo`/`hi`/`bins` apply on first use
+    /// only (later lookups return the existing metric unchanged).
+    [[nodiscard]] HistogramMetric& histogram(std::string_view name, double lo,
+                                             double hi, std::size_t bins);
+
+    /// Merged readings of every registered metric, sorted by name.
+    [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+    /// Zero every metric in place (registrations and cached references
+    /// survive).
+    void reset();
+
+    /// Number of registered metrics.
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    struct Entry {
+        MetricSample::Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<HistogramMetric> histogram;
+    };
+    mutable std::mutex mu_;
+    // std::map keeps snapshots name-sorted and nodes address-stable.
+    std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// The process-wide registry all instrumentation writes to.
+[[nodiscard]] Registry& registry();
+
+} // namespace scgnn::obs

@@ -1,0 +1,66 @@
+#pragma once
+/// \file obs.hpp
+/// \brief Master switch and sinks of the observability subsystem.
+///
+/// `scgnn::obs` is a single source of truth for run telemetry:
+///
+///   * metrics.hpp — a registry of named counters/gauges/histograms
+///     ("fabric.bytes_sent", "kmeans.iterations", ...);
+///   * trace.hpp  — scoped spans (`SCGNN_TRACE_SPAN`) with Chrome-trace
+///     JSON export;
+///   * ledger.hpp — a per-run ledger snapshotting the registry each epoch
+///     and serialising the whole run to a JSON report.
+///
+/// Everything is gated on one process-wide flag. Instrumentation sites
+/// check `enabled()` (one relaxed atomic load) before touching any
+/// observability state, so a disabled build path costs nothing
+/// measurable and — by construction — never perturbs numeric results
+/// (pinned by Determinism.ObservabilityDoesNotPerturbResults).
+///
+/// Activation:
+///   * programmatic: `obs::set_enabled(true)`, optionally
+///     `obs::set_output_prefix("run1")` then `obs::finish()` to write
+///     `run1.trace.json` + `run1.report.json`;
+///   * environment:  `SCGNN_OBS=1` collects in-process only,
+///     `SCGNN_OBS=<prefix>` also writes both files at process exit;
+///   * CLI:          `--obs-out <prefix>` on every bench and scgnn_cli.
+
+#include <atomic>
+#include <string>
+
+namespace scgnn::obs {
+
+namespace detail {
+/// Defined in obs.cpp (deliberately not inline: referencing it pulls the
+/// obs translation unit — and with it the SCGNN_OBS env handling and the
+/// thread-pool hooks — into any binary that checks the flag).
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/// True when observability is collecting. Hot-path gate: one relaxed load.
+[[nodiscard]] inline bool enabled() noexcept {
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turn collection on/off. Existing metrics/trace/ledger contents are
+/// kept; combine with reset() for a fresh run.
+void set_enabled(bool on) noexcept;
+
+/// Output path prefix for finish(); empty (default) disables file sinks.
+void set_output_prefix(std::string prefix);
+[[nodiscard]] std::string output_prefix();
+
+/// Apply the SCGNN_OBS environment variable (see file header). Runs
+/// automatically at static-initialisation time; idempotent.
+void init_from_env();
+
+/// When an output prefix is set, write `<prefix>.trace.json` and
+/// `<prefix>.report.json` and return true (once per prefix — repeated
+/// calls, e.g. an explicit call plus the atexit hook, write only once).
+bool finish();
+
+/// Clear every observability store (metrics zeroed in place, trace rings
+/// emptied, ledger cleared) for run isolation. Does not change enabled().
+void reset();
+
+} // namespace scgnn::obs

@@ -1,0 +1,101 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Scoped trace spans recorded into lock-light per-thread ring
+///        buffers, exportable as Chrome `trace_event` JSON (load the file
+///        in about://tracing or ui.perfetto.dev).
+///
+/// Usage: `SCGNN_TRACE_SPAN("dist.forward");` at the top of a scope
+/// records one complete ("ph":"X") event with begin/end timestamps and a
+/// stable per-thread id. Span names must be string literals (or otherwise
+/// outlive the trace buffer) — only the pointer is stored.
+///
+/// When observability is off (`scgnn::obs::enabled()` false) a span costs
+/// one relaxed atomic load; when on, two steady_clock reads plus a push
+/// into the calling thread's own ring under an uncontended mutex. Each
+/// thread's ring holds the most recent `trace_capacity()` events; older
+/// events are overwritten and counted as dropped.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scgnn/obs/obs.hpp"
+
+namespace scgnn::obs {
+
+/// One completed span. Timestamps are nanoseconds on the steady clock,
+/// relative to the process's trace epoch (first obs use).
+struct TraceEvent {
+    const char* name = nullptr;
+    std::uint64_t t0_ns = 0;
+    std::uint64_t t1_ns = 0;
+    std::uint32_t tid = 0;  ///< stable small id per recording thread
+};
+
+namespace detail {
+/// Nanoseconds since the trace epoch.
+[[nodiscard]] std::uint64_t trace_now_ns() noexcept;
+
+/// Append one completed span to the calling thread's ring.
+void trace_record(const char* name, std::uint64_t t0_ns,
+                  std::uint64_t t1_ns) noexcept;
+} // namespace detail
+
+/// RAII span: records [construction, destruction) when observability is
+/// enabled at construction time.
+class ScopedSpan {
+public:
+    explicit ScopedSpan(const char* name) noexcept {
+        if (enabled()) {
+            name_ = name;
+            t0_ = detail::trace_now_ns();
+        }
+    }
+    ~ScopedSpan() {
+        if (name_ != nullptr)
+            detail::trace_record(name_, t0_, detail::trace_now_ns());
+    }
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+    const char* name_ = nullptr;
+    std::uint64_t t0_ = 0;
+};
+
+/// Record a span with explicit endpoints (used by the pool hooks, where
+/// construction/destruction does not bracket the region).
+void record_span(const char* name, std::uint64_t t0_ns,
+                 std::uint64_t t1_ns) noexcept;
+
+/// Per-thread ring capacity (events). Applies to rings created after the
+/// call; default 1 << 16.
+void set_trace_capacity(std::size_t events);
+[[nodiscard]] std::size_t trace_capacity() noexcept;
+
+/// All recorded events merged across threads, ordered by begin time.
+[[nodiscard]] std::vector<TraceEvent> trace_events();
+
+/// Spans overwritten because a ring wrapped (summed across threads).
+[[nodiscard]] std::uint64_t trace_dropped() noexcept;
+
+/// Discard every recorded event (rings stay allocated).
+void clear_trace();
+
+/// Render the merged events as Chrome trace_event JSON
+/// (`{"traceEvents":[...]}`, complete "X" events, microsecond units).
+[[nodiscard]] std::string chrome_trace_json();
+
+/// Write chrome_trace_json() to `path`. Throws scgnn::Error on I/O error.
+void write_chrome_trace(const std::string& path);
+
+} // namespace scgnn::obs
+
+#define SCGNN_OBS_CONCAT_INNER(a, b) a##b
+#define SCGNN_OBS_CONCAT(a, b) SCGNN_OBS_CONCAT_INNER(a, b)
+
+/// Open a trace span covering the rest of the enclosing scope.
+#define SCGNN_TRACE_SPAN(name)          \
+    ::scgnn::obs::ScopedSpan SCGNN_OBS_CONCAT(scgnn_obs_span_, __LINE__) { \
+        name                            \
+    }

@@ -1,6 +1,11 @@
 #include "scgnn/comm/fabric.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "scgnn/obs/ledger.hpp"
+#include "scgnn/obs/metrics.hpp"
+#include "scgnn/obs/obs.hpp"
 
 namespace scgnn::comm {
 
@@ -35,6 +40,14 @@ void Fabric::record(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes,
     auto& slot = pair_[idx(src, dst)];
     slot.bytes += bytes;
     slot.messages += messages;
+    if (obs::enabled()) {
+        static obs::Counter& bytes_c =
+            obs::registry().counter("fabric.bytes_sent");
+        static obs::Counter& msg_c =
+            obs::registry().counter("fabric.messages_sent");
+        bytes_c.add(bytes);
+        msg_c.add(messages);
+    }
 }
 
 TrafficStats Fabric::epoch_stats() const noexcept {
@@ -78,7 +91,30 @@ double Fabric::epoch_comm_seconds() const noexcept {
 void Fabric::end_epoch() {
     history_.push_back(epoch_stats());
     history_seconds_.push_back(epoch_comm_seconds());
+    if (obs::enabled()) publish_epoch_metrics();
     std::fill(pair_.begin(), pair_.end(), TrafficStats{});
+}
+
+void Fabric::publish_epoch_metrics() const {
+    // Cold path (once per epoch): fabric-level roll-ups plus per-link
+    // bytes / messages / modelled seconds under "fabric.link.<s>-><d>.*".
+    obs::Registry& reg = obs::registry();
+    reg.counter("fabric.epochs").add(1);
+    reg.histogram("fabric.epoch_comm_ms", 0.0, 1e4, 50)
+        .observe(history_seconds_.back() * 1e3);
+    for (std::uint32_t s = 0; s < n_; ++s) {
+        for (std::uint32_t d = 0; d < n_; ++d) {
+            if (s == d) continue;
+            const TrafficStats& t = pair_[static_cast<std::size_t>(s) * n_ + d];
+            if (t.bytes == 0 && t.messages == 0) continue;
+            const std::string link = "fabric.link." + std::to_string(s) +
+                                     "->" + std::to_string(d);
+            reg.counter(link + ".bytes").add(t.bytes);
+            reg.counter(link + ".messages").add(t.messages);
+            reg.gauge(link + ".modelled_s")
+                .add(link_model(s, d).seconds(t.bytes, t.messages));
+        }
+    }
 }
 
 const TrafficStats& Fabric::epoch_history(std::size_t e) const {
@@ -95,6 +131,8 @@ void Fabric::clear() {
     std::fill(pair_.begin(), pair_.end(), TrafficStats{});
     history_.clear();
     history_seconds_.clear();
+    std::fill(has_override_.begin(), has_override_.end(), char{0});
+    std::fill(override_.begin(), override_.end(), model_);
 }
 
 } // namespace scgnn::comm

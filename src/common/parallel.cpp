@@ -167,7 +167,25 @@ private:
     std::exception_ptr eptr_;
 };
 
+std::atomic<void (*)(std::size_t) noexcept> g_region_begin{nullptr};
+std::atomic<void (*)() noexcept> g_region_end{nullptr};
+
+/// Calls the region-end hook on scope exit so it also fires when the
+/// region rethrows a body exception.
+struct RegionEndGuard {
+    void (*end)() noexcept;
+    ~RegionEndGuard() {
+        if (end != nullptr) end();
+    }
+};
+
 } // namespace
+
+void set_pool_observer(void (*region_begin)(std::size_t) noexcept,
+                       void (*region_end)() noexcept) noexcept {
+    g_region_begin.store(region_begin, std::memory_order_release);
+    g_region_end.store(region_end, std::memory_order_release);
+}
 
 unsigned default_num_threads() {
     if (const char* s = std::getenv("SCGNN_THREADS")) {
@@ -189,6 +207,9 @@ namespace detail {
 void pool_run(std::size_t num_chunks, void (*chunk_fn)(void*, std::size_t),
               void* ctx) {
     if (num_chunks == 0) return;
+    auto* begin = g_region_begin.load(std::memory_order_acquire);
+    if (begin != nullptr) begin(num_chunks);
+    RegionEndGuard guard{g_region_end.load(std::memory_order_acquire)};
     Pool::instance().run(num_chunks, chunk_fn, ctx);
 }
 

@@ -68,6 +68,15 @@ void Histogram::add(double x) noexcept {
     ++total_;
 }
 
+void Histogram::merge(const Histogram& other) {
+    SCGNN_CHECK(lo_ == other.lo_ && hi_ == other.hi_ &&
+                    counts_.size() == other.counts_.size(),
+                "histogram merge requires identical binning");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
 std::uint64_t Histogram::bin_count(std::size_t i) const {
     SCGNN_CHECK(i < counts_.size(), "histogram bin out of range");
     return counts_[i];

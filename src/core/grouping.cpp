@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "scgnn/obs/metrics.hpp"
+#include "scgnn/obs/trace.hpp"
+
 namespace scgnn::core {
 
 using graph::ConnectionType;
@@ -82,6 +85,7 @@ double Grouping::compression_ratio(const Dbg& dbg) const {
 }
 
 Grouping build_grouping(const Dbg& dbg, const GroupingConfig& cfg) {
+    SCGNN_TRACE_SPAN("core.grouping");
     Grouping out;
     out.group_of_row.assign(dbg.num_src(), -1);
     if (dbg.num_src() == 0) return out;
@@ -200,6 +204,12 @@ Grouping build_grouping(const Dbg& dbg, const GroupingConfig& cfg) {
     for (const SemanticGroup& g : out.groups) covered += g.members.size();
     SCGNN_ASSERT(covered == dbg.num_src(),
                  "grouping must partition the source rows");
+    if (obs::enabled()) {
+        obs::Registry& reg = obs::registry();
+        reg.counter("grouping.builds").add(1);
+        reg.counter("grouping.groups").add(out.groups.size());
+        reg.counter("grouping.raw_rows").add(out.raw_rows.size());
+    }
     return out;
 }
 

@@ -6,9 +6,21 @@
 
 #include "scgnn/common/parallel.hpp"
 #include "scgnn/common/rng.hpp"
+#include "scgnn/obs/metrics.hpp"
+#include "scgnn/obs/trace.hpp"
 
 namespace scgnn::core {
 namespace {
+
+/// Count one finished k-means run (both the dense and the DBG entry point
+/// funnel through here).
+void note_kmeans(const KMeansResult& res) {
+    if (!obs::enabled()) return;
+    static obs::Counter& runs = obs::registry().counter("kmeans.runs");
+    static obs::Counter& iters = obs::registry().counter("kmeans.iterations");
+    runs.add(1);
+    iters.add(res.iterations);
+}
 
 double sq_dist(std::span<const float> a, std::span<const float> b) {
     double acc = 0.0;
@@ -61,6 +73,7 @@ tensor::Matrix seed_centroids(const tensor::Matrix& rows, std::uint32_t k,
 } // namespace
 
 KMeansResult kmeans_rows(const tensor::Matrix& rows, const KMeansConfig& cfg) {
+    SCGNN_TRACE_SPAN("core.kmeans");
     SCGNN_CHECK(rows.rows() >= 1, "k-means needs at least one row");
     SCGNN_CHECK(cfg.k >= 1, "k must be at least 1");
     const std::size_t n = rows.rows();
@@ -161,12 +174,14 @@ KMeansResult kmeans_rows(const tensor::Matrix& rows, const KMeansConfig& cfg) {
     }
 
     res.inertia = euclidean_inertia(rows, res.centroids, res.assignment);
+    note_kmeans(res);
     return res;
 }
 
 KMeansResult kmeans_dbg_rows(const graph::Dbg& dbg,
                              std::span<const std::uint32_t> pool,
                              const KMeansConfig& cfg) {
+    SCGNN_TRACE_SPAN("core.kmeans");
     SCGNN_CHECK(!pool.empty(), "k-means needs at least one row");
     SCGNN_CHECK(cfg.k >= 1, "k must be at least 1");
     for (std::uint32_t u : pool)
@@ -327,6 +342,7 @@ KMeansResult kmeans_dbg_rows(const graph::Dbg& dbg,
                    cent_sq[res.assignment[i]];
     }
     res.inertia = std::max(0.0, inertia);
+    note_kmeans(res);
     return res;
 }
 

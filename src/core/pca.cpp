@@ -5,6 +5,7 @@
 #include "scgnn/common/error.hpp"
 #include "scgnn/common/parallel.hpp"
 #include "scgnn/common/rng.hpp"
+#include "scgnn/obs/trace.hpp"
 
 namespace scgnn::core {
 
@@ -87,6 +88,7 @@ std::pair<std::vector<double>, double> dominant_direction(
 } // namespace
 
 PcaResult pca_2d(const Matrix& rows, std::uint64_t seed) {
+    SCGNN_TRACE_SPAN("core.pca");
     SCGNN_CHECK(rows.rows() >= 2, "PCA needs at least two rows");
     SCGNN_CHECK(rows.cols() >= 1, "PCA needs at least one column");
     const std::size_t n = rows.rows(), d = rows.cols();

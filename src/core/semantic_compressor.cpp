@@ -1,5 +1,8 @@
 #include "scgnn/core/semantic_compressor.hpp"
 
+#include "scgnn/obs/metrics.hpp"
+#include "scgnn/obs/trace.hpp"
+
 namespace scgnn::core {
 
 using dist::DistContext;
@@ -10,6 +13,9 @@ SemanticCompressor::SemanticCompressor(SemanticCompressorConfig config)
     : cfg_(config) {}
 
 void SemanticCompressor::setup(const DistContext& ctx) {
+    SCGNN_TRACE_SPAN("compress.setup");
+    const std::uint64_t setup_t0 =
+        obs::enabled() ? obs::detail::trace_now_ns() : 0;
     plans_.clear();
     plans_.reserve(ctx.plans().size());
     GroupingConfig gc = cfg_.grouping;
@@ -35,6 +41,14 @@ void SemanticCompressor::setup(const DistContext& ctx) {
                 state.wire_rows +=
                     plan.dbg.out_degree(state.grouping.raw_rows[i]);
         plans_.push_back(std::move(state));
+    }
+    if (obs::enabled()) {
+        obs::Registry& reg = obs::registry();
+        reg.counter("compress.setups").add(1);
+        reg.counter("compress.setup_plans").add(plans_.size());
+        reg.gauge("compress.setup_seconds")
+            .add(static_cast<double>(obs::detail::trace_now_ns() - setup_t0) *
+                 1e-9);
     }
 }
 

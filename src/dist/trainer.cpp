@@ -6,11 +6,32 @@
 #include "scgnn/common/timer.hpp"
 #include "scgnn/gnn/adjacency.hpp"
 #include "scgnn/gnn/checkpoint.hpp"
+#include "scgnn/obs/ledger.hpp"
+#include "scgnn/obs/metrics.hpp"
+#include "scgnn/obs/trace.hpp"
 #include "scgnn/tensor/ops.hpp"
 
 namespace scgnn::dist {
 
 using tensor::Matrix;
+
+namespace {
+
+/// Per-direction compressor accounting: wall time of the compress /
+/// reconstruct round-trip, wire bytes, and the vanilla per-edge bytes the
+/// same exchange would have cost (the live compression-ratio numerator).
+/// One choke point covers every BoundaryCompressor uniformly.
+void note_exchange(const char* dir, double seconds, std::uint64_t wire_bytes,
+                   std::uint64_t vanilla_bytes) {
+    obs::Registry& reg = obs::registry();
+    const std::string base = std::string("compress.") + dir;
+    reg.counter(base + ".calls").add(1);
+    reg.gauge(base + ".seconds").add(seconds);
+    reg.counter(base + ".wire_bytes").add(wire_bytes);
+    reg.counter(base + ".vanilla_bytes").add(vanilla_bytes);
+}
+
+} // namespace
 
 DistAggregator::DistAggregator(const DistContext& ctx, comm::Fabric& fabric,
                                BoundaryCompressor& compressor)
@@ -20,6 +41,7 @@ DistAggregator::DistAggregator(const DistContext& ctx, comm::Fabric& fabric,
 }
 
 Matrix DistAggregator::forward(const Matrix& h, int layer) {
+    SCGNN_TRACE_SPAN("dist.forward");
     const DistContext& ctx = *ctx_;
     const std::uint32_t parts = ctx.num_parts();
     const std::size_t f = h.cols();
@@ -43,27 +65,45 @@ Matrix DistAggregator::forward(const Matrix& h, int layer) {
     });
 
     // Halo exchange, plan by plan.
-    const auto plans = ctx.plans();
-    for (std::size_t pi = 0; pi < plans.size(); ++pi) {
-        const PairPlan& plan = plans[pi];
-        Matrix src(plan.num_rows(), f);
-        for (std::size_t i = 0; i < plan.dbg.src_nodes.size(); ++i) {
-            const auto srow = h.row(plan.dbg.src_nodes[i]);
-            auto drow = src.row(i);
-            std::copy(srow.begin(), srow.end(), drow.begin());
-        }
-        Matrix recon(plan.num_rows(), f);
-        const std::uint64_t bytes =
-            comp_->forward_rows(ctx, pi, layer, src, recon);
-        fabric_->record(plan.src_part, plan.dst_part, bytes);
+    {
+        SCGNN_TRACE_SPAN("dist.comm.forward");
+        const bool obs_on = obs::enabled();
+        double comp_s = 0.0;
+        std::uint64_t wire = 0, vanilla = 0;
+        const auto plans = ctx.plans();
+        for (std::size_t pi = 0; pi < plans.size(); ++pi) {
+            const PairPlan& plan = plans[pi];
+            Matrix src(plan.num_rows(), f);
+            for (std::size_t i = 0; i < plan.dbg.src_nodes.size(); ++i) {
+                const auto srow = h.row(plan.dbg.src_nodes[i]);
+                auto drow = src.row(i);
+                std::copy(srow.begin(), srow.end(), drow.begin());
+            }
+            Matrix recon(plan.num_rows(), f);
+            const std::uint64_t t0 =
+                obs_on ? obs::detail::trace_now_ns() : 0;
+            const std::uint64_t bytes =
+                comp_->forward_rows(ctx, pi, layer, src, recon);
+            if (obs_on) {
+                const std::uint64_t t1 = obs::detail::trace_now_ns();
+                obs::record_span("compress.forward", t0, t1);
+                comp_s += static_cast<double>(t1 - t0) * 1e-9;
+                wire += bytes;
+                vanilla += src.payload_bytes();
+            }
+            fabric_->record(plan.src_part, plan.dst_part, bytes);
 
-        const std::size_t halo_base = ctx.local_nodes(plan.dst_part).size();
-        Matrix& dst_stack = stacked[plan.dst_part];
-        for (std::size_t i = 0; i < plan.dst_halo_slots.size(); ++i) {
-            const auto srow = recon.row(i);
-            auto drow = dst_stack.row(halo_base + plan.dst_halo_slots[i]);
-            std::copy(srow.begin(), srow.end(), drow.begin());
+            const std::size_t halo_base =
+                ctx.local_nodes(plan.dst_part).size();
+            Matrix& dst_stack = stacked[plan.dst_part];
+            for (std::size_t i = 0; i < plan.dst_halo_slots.size(); ++i) {
+                const auto srow = recon.row(i);
+                auto drow = dst_stack.row(halo_base + plan.dst_halo_slots[i]);
+                std::copy(srow.begin(), srow.end(), drow.begin());
+            }
         }
+        if (obs_on && !plans.empty())
+            note_exchange("forward", comp_s, wire, vanilla);
     }
 
     // Per-partition local SpMM, results written back in global order.
@@ -86,6 +126,7 @@ Matrix DistAggregator::forward(const Matrix& h, int layer) {
 }
 
 Matrix DistAggregator::backward(const Matrix& g, int layer) {
+    SCGNN_TRACE_SPAN("dist.backward");
     const DistContext& ctx = *ctx_;
     const std::uint32_t parts = ctx.num_parts();
     const std::size_t f = g.cols();
@@ -119,28 +160,45 @@ Matrix DistAggregator::backward(const Matrix& g, int layer) {
 
     // Gradient exchange: the reverse of every forward plan. For plan
     // (q → p) the receiver p now returns gradients for q's boundary rows.
-    const auto plans = ctx.plans();
-    for (std::size_t pi = 0; pi < plans.size(); ++pi) {
-        const PairPlan& plan = plans[pi];
-        const std::uint32_t p = plan.dst_part;  // gradient sender
-        const std::size_t halo_base = ctx.local_nodes(p).size();
-        Matrix grad_in(plan.num_rows(), f);
-        for (std::size_t i = 0; i < plan.dst_halo_slots.size(); ++i) {
-            const auto srow =
-                stacked_grad[p].row(halo_base + plan.dst_halo_slots[i]);
-            auto drow = grad_in.row(i);
-            std::copy(srow.begin(), srow.end(), drow.begin());
-        }
-        Matrix grad_out(plan.num_rows(), f);
-        const std::uint64_t bytes =
-            comp_->backward_rows(ctx, pi, layer, grad_in, grad_out);
-        fabric_->record(plan.dst_part, plan.src_part, bytes);
+    {
+        SCGNN_TRACE_SPAN("dist.comm.backward");
+        const bool obs_on = obs::enabled();
+        double comp_s = 0.0;
+        std::uint64_t wire = 0, vanilla = 0;
+        const auto plans = ctx.plans();
+        for (std::size_t pi = 0; pi < plans.size(); ++pi) {
+            const PairPlan& plan = plans[pi];
+            const std::uint32_t p = plan.dst_part;  // gradient sender
+            const std::size_t halo_base = ctx.local_nodes(p).size();
+            Matrix grad_in(plan.num_rows(), f);
+            for (std::size_t i = 0; i < plan.dst_halo_slots.size(); ++i) {
+                const auto srow =
+                    stacked_grad[p].row(halo_base + plan.dst_halo_slots[i]);
+                auto drow = grad_in.row(i);
+                std::copy(srow.begin(), srow.end(), drow.begin());
+            }
+            Matrix grad_out(plan.num_rows(), f);
+            const std::uint64_t t0 =
+                obs_on ? obs::detail::trace_now_ns() : 0;
+            const std::uint64_t bytes =
+                comp_->backward_rows(ctx, pi, layer, grad_in, grad_out);
+            if (obs_on) {
+                const std::uint64_t t1 = obs::detail::trace_now_ns();
+                obs::record_span("compress.backward", t0, t1);
+                comp_s += static_cast<double>(t1 - t0) * 1e-9;
+                wire += bytes;
+                vanilla += grad_in.payload_bytes();
+            }
+            fabric_->record(plan.dst_part, plan.src_part, bytes);
 
-        for (std::size_t i = 0; i < plan.dbg.src_nodes.size(); ++i) {
-            const auto srow = grad_out.row(i);
-            auto drow = out.row(plan.dbg.src_nodes[i]);
-            for (std::size_t c = 0; c < f; ++c) drow[c] += srow[c];
+            for (std::size_t i = 0; i < plan.dbg.src_nodes.size(); ++i) {
+                const auto srow = grad_out.row(i);
+                auto drow = out.row(plan.dbg.src_nodes[i]);
+                for (std::size_t c = 0; c < f; ++c) drow[c] += srow[c];
+            }
         }
+        if (obs_on && !plans.empty())
+            note_exchange("backward", comp_s, wire, vanilla);
     }
     return out;
 }
@@ -167,7 +225,21 @@ DistTrainResult train_distributed(const graph::Dataset& data,
     SCGNN_CHECK(cfg.patience == 0 || !data.val_mask.empty(),
                 "early stopping needs a validation split");
 
-    compressor.setup(ctx);
+    if (obs::enabled()) {
+        obs::record_config("trainer.compressor", compressor.name());
+        obs::record_config("trainer.epochs", static_cast<double>(cfg.epochs));
+        obs::record_config("trainer.num_parts",
+                           static_cast<double>(parts.num_parts));
+        obs::record_config("trainer.num_nodes",
+                           static_cast<double>(data.graph.num_nodes()));
+        obs::record_config("trainer.feature_dim",
+                           static_cast<double>(data.features.cols()));
+    }
+
+    {
+        SCGNN_TRACE_SPAN("dist.compressor_setup");
+        compressor.setup(ctx);
+    }
 
     // Full-graph, uncompressed aggregator used for evaluation (and for the
     // early-stopping validation probes — off the fabric, untimed).
@@ -192,6 +264,7 @@ DistTrainResult train_distributed(const graph::Dataset& data,
 
     std::uint32_t stale = 0;
     for (std::uint32_t e = 0; e < cfg.epochs; ++e) {
+        SCGNN_TRACE_SPAN("dist.epoch");
         compressor.begin_epoch(e);
         WallTimer timer;
         const double loss = gnn::run_epoch(model, opt, agg, data.features,
@@ -213,6 +286,11 @@ DistTrainResult train_distributed(const graph::Dataset& data,
         m.compute_ms = wall_ms / parts.num_parts;
         m.epoch_ms = m.compute_ms + m.comm_ms;
         fabric.end_epoch();
+        // After end_epoch() so the snapshot sees the fabric's per-link
+        // publish; the values are the exact doubles pushed into
+        // result.epoch_metrics below.
+        obs::epoch_snapshot(e, m.loss, m.comm_mb, m.comm_ms, m.compute_ms,
+                            m.epoch_ms);
 
         total_epoch_ms += m.epoch_ms;
         total_comm_ms += m.comm_ms;
@@ -251,6 +329,21 @@ DistTrainResult train_distributed(const graph::Dataset& data,
         std::max(result.best_val_accuracy, result.val_accuracy);
     result.test_accuracy = gnn::evaluate_accuracy(
         model, eval_agg, data.features, data.labels, data.test_mask);
+
+    if (obs::enabled()) {
+        obs::record_final("train_accuracy", result.train_accuracy);
+        obs::record_final("val_accuracy", result.val_accuracy);
+        obs::record_final("best_val_accuracy", result.best_val_accuracy);
+        obs::record_final("test_accuracy", result.test_accuracy);
+        obs::record_final("final_loss", result.final_loss);
+        obs::record_final("epochs_run",
+                          static_cast<double>(result.epochs_run));
+        obs::record_final("mean_epoch_ms", result.mean_epoch_ms);
+        obs::record_final("mean_comm_ms", result.mean_comm_ms);
+        obs::record_final("mean_compute_ms", result.mean_compute_ms);
+        obs::record_final("mean_comm_mb", result.mean_comm_mb);
+        obs::record_final("total_comm_mb", result.total_comm_mb);
+    }
     return result;
 }
 

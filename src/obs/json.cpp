@@ -1,0 +1,149 @@
+#include "scgnn/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "scgnn/common/error.hpp"
+
+namespace scgnn::obs {
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string json_number(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+JsonWriter::JsonWriter() { out_.reserve(256); }
+
+void JsonWriter::before_value() {
+    if (!stack_.empty() && stack_.back() == Scope::kObject)
+        SCGNN_CHECK(have_key_, "JSON object value requires a key");
+    if (need_comma_ && !have_key_) out_ += ',';
+    need_comma_ = false;
+    have_key_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    before_value();
+    out_ += '{';
+    stack_.push_back(Scope::kObject);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    SCGNN_CHECK(!stack_.empty() && stack_.back() == Scope::kObject,
+                "unbalanced end_object");
+    SCGNN_CHECK(!have_key_, "dangling key at end_object");
+    out_ += '}';
+    stack_.pop_back();
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    before_value();
+    out_ += '[';
+    stack_.push_back(Scope::kArray);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    SCGNN_CHECK(!stack_.empty() && stack_.back() == Scope::kArray,
+                "unbalanced end_array");
+    out_ += ']';
+    stack_.pop_back();
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+    SCGNN_CHECK(!stack_.empty() && stack_.back() == Scope::kObject,
+                "key outside an object");
+    SCGNN_CHECK(!have_key_, "two keys in a row");
+    if (need_comma_) out_ += ',';
+    need_comma_ = false;
+    out_ += '"';
+    out_ += json_escape(k);
+    out_ += "\":";
+    have_key_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+    before_value();
+    out_ += '"';
+    out_ += json_escape(v);
+    out_ += '"';
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+    before_value();
+    out_ += json_number(v);
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+    before_value();
+    out_ += std::to_string(v);
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+    before_value();
+    out_ += std::to_string(v);
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+    before_value();
+    out_ += v ? "true" : "false";
+    need_comma_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+    before_value();
+    out_ += "null";
+    need_comma_ = true;
+    return *this;
+}
+
+const std::string& JsonWriter::str() const {
+    SCGNN_CHECK(stack_.empty(), "JSON document has unclosed scopes");
+    return out_;
+}
+
+} // namespace scgnn::obs

@@ -1,0 +1,172 @@
+#include "scgnn/obs/ledger.hpp"
+
+#include <cstdio>
+
+#include "scgnn/common/error.hpp"
+#include "scgnn/obs/json.hpp"
+#include "scgnn/obs/obs.hpp"
+
+namespace scgnn::obs {
+namespace {
+
+const char* kind_name(MetricSample::Kind k) noexcept {
+    switch (k) {
+        case MetricSample::Kind::kCounter: return "counter";
+        case MetricSample::Kind::kGauge: return "gauge";
+        case MetricSample::Kind::kHistogram: return "histogram";
+    }
+    return "?";
+}
+
+void write_samples(JsonWriter& w, const std::vector<MetricSample>& samples) {
+    w.begin_object();
+    for (const MetricSample& s : samples) {
+        w.key(s.name).begin_object();
+        w.kv("kind", kind_name(s.kind));
+        w.kv("value", s.value);
+        if (s.kind == MetricSample::Kind::kHistogram) {
+            w.kv("count", s.count);
+            w.kv("mean", s.mean);
+            w.kv("min", s.min);
+            w.kv("max", s.max);
+        }
+        w.end_object();
+    }
+    w.end_object();
+}
+
+} // namespace
+
+void RunLedger::set_config(std::string key, std::string value) {
+    std::lock_guard<std::mutex> lk(mu_);
+    config_str_.emplace_back(std::move(key), std::move(value));
+}
+
+void RunLedger::set_config(std::string key, double value) {
+    std::lock_guard<std::mutex> lk(mu_);
+    config_num_.emplace_back(std::move(key), value);
+}
+
+void RunLedger::record_epoch(std::uint32_t epoch, double loss, double comm_mb,
+                             double comm_ms, double compute_ms,
+                             double epoch_ms) {
+    EpochRecord rec;
+    rec.epoch = epoch;
+    rec.loss = loss;
+    rec.comm_mb = comm_mb;
+    rec.comm_ms = comm_ms;
+    rec.compute_ms = compute_ms;
+    rec.epoch_ms = epoch_ms;
+    rec.metrics = registry().snapshot();  // outside mu_: registry locks itself
+    std::lock_guard<std::mutex> lk(mu_);
+    epochs_.push_back(std::move(rec));
+}
+
+void RunLedger::record_final(std::string key, double value) {
+    std::lock_guard<std::mutex> lk(mu_);
+    final_.emplace_back(std::move(key), value);
+}
+
+std::size_t RunLedger::num_epochs() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return epochs_.size();
+}
+
+EpochRecord RunLedger::epoch(std::size_t i) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    SCGNN_CHECK(i < epochs_.size(), "ledger epoch index out of range");
+    return epochs_[i];
+}
+
+double RunLedger::final_value(const std::string& key) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [k, v] : final_)
+        if (k == key) return v;
+    throw Error("no such final ledger entry: " + key);
+}
+
+std::string RunLedger::to_json() const {
+    const std::vector<MetricSample> cumulative = registry().snapshot();
+    std::lock_guard<std::mutex> lk(mu_);
+    JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "scgnn.obs.run/1");
+
+    w.key("config").begin_object();
+    for (const auto& [k, v] : config_str_) w.kv(k, std::string_view(v));
+    for (const auto& [k, v] : config_num_) w.kv(k, v);
+    w.end_object();
+
+    w.key("epochs").begin_array();
+    for (const EpochRecord& e : epochs_) {
+        w.begin_object();
+        w.kv("epoch", std::uint64_t{e.epoch});
+        w.kv("loss", e.loss);
+        w.kv("comm_mb", e.comm_mb);
+        w.kv("comm_ms", e.comm_ms);
+        w.kv("compute_ms", e.compute_ms);
+        w.kv("epoch_ms", e.epoch_ms);
+        w.key("metrics");
+        write_samples(w, e.metrics);
+        w.end_object();
+    }
+    w.end_array();
+
+    w.key("final").begin_object();
+    for (const auto& [k, v] : final_) w.kv(k, v);
+    w.end_object();
+
+    w.key("metrics");
+    write_samples(w, cumulative);
+    w.end_object();
+    return w.str();
+}
+
+void RunLedger::write_report(const std::string& path) const {
+    const std::string json = to_json();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    SCGNN_CHECK(f != nullptr, "cannot open report output file");
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const int rc = std::fclose(f);
+    SCGNN_CHECK(written == json.size() && rc == 0,
+                "short write to report output file");
+}
+
+void RunLedger::clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    config_str_.clear();
+    config_num_.clear();
+    epochs_.clear();
+    final_.clear();
+}
+
+RunLedger& ledger() {
+    // Intentionally leaked so the atexit-armed finish() (see obs.cpp) can
+    // still serialise the ledger after function-local statics would have
+    // been destroyed.
+    static RunLedger* l = new RunLedger();
+    return *l;
+}
+
+void epoch_snapshot(std::uint32_t epoch, double loss, double comm_mb,
+                    double comm_ms, double compute_ms, double epoch_ms) {
+    if (!enabled()) return;
+    ledger().record_epoch(epoch, loss, comm_mb, comm_ms, compute_ms, epoch_ms);
+}
+
+void record_config(std::string key, std::string value) {
+    if (!enabled()) return;
+    ledger().set_config(std::move(key), std::move(value));
+}
+
+void record_config(std::string key, double value) {
+    if (!enabled()) return;
+    ledger().set_config(std::move(key), value);
+}
+
+void record_final(std::string key, double value) {
+    if (!enabled()) return;
+    ledger().record_final(std::move(key), value);
+}
+
+} // namespace scgnn::obs

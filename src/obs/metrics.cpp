@@ -1,0 +1,161 @@
+#include "scgnn/obs/metrics.hpp"
+
+#include "scgnn/common/error.hpp"
+
+namespace scgnn::obs {
+
+namespace detail {
+
+unsigned shard_slot() noexcept {
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned slot =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+} // namespace detail
+
+// ---------------------------------------------------------- HistogramMetric
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins) {
+    shards_.reserve(kMetricShards);
+    for (unsigned i = 0; i < kMetricShards; ++i)
+        shards_.push_back(std::make_unique<Shard>(lo, hi, bins));
+}
+
+void HistogramMetric::observe(double x) noexcept {
+    Shard& s = *shards_[detail::shard_slot() % kMetricShards];
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.h.add(x);
+    s.s.add(x);
+}
+
+Histogram HistogramMetric::merged() const {
+    Histogram out(lo_, hi_, bins_);
+    for (const auto& s : shards_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        out.merge(s->h);
+    }
+    return out;
+}
+
+RunningStat HistogramMetric::stat() const {
+    RunningStat out;
+    for (const auto& s : shards_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        out.merge(s->s);
+    }
+    return out;
+}
+
+void HistogramMetric::reset() noexcept {
+    for (auto& s : shards_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        s->h = Histogram(lo_, hi_, bins_);
+        s->s = RunningStat{};
+    }
+}
+
+// ------------------------------------------------------------------ Registry
+
+Counter& Registry::counter(std::string_view name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        Entry e;
+        e.kind = MetricSample::Kind::kCounter;
+        e.counter = std::make_unique<Counter>();
+        it = entries_.emplace(std::string(name), std::move(e)).first;
+    }
+    SCGNN_CHECK(it->second.kind == MetricSample::Kind::kCounter,
+                "metric registered with a different kind");
+    return *it->second.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        Entry e;
+        e.kind = MetricSample::Kind::kGauge;
+        e.gauge = std::make_unique<Gauge>();
+        it = entries_.emplace(std::string(name), std::move(e)).first;
+    }
+    SCGNN_CHECK(it->second.kind == MetricSample::Kind::kGauge,
+                "metric registered with a different kind");
+    return *it->second.gauge;
+}
+
+HistogramMetric& Registry::histogram(std::string_view name, double lo,
+                                     double hi, std::size_t bins) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        Entry e;
+        e.kind = MetricSample::Kind::kHistogram;
+        e.histogram = std::make_unique<HistogramMetric>(lo, hi, bins);
+        it = entries_.emplace(std::string(name), std::move(e)).first;
+    }
+    SCGNN_CHECK(it->second.kind == MetricSample::Kind::kHistogram,
+                "metric registered with a different kind");
+    return *it->second.histogram;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<MetricSample> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, e] : entries_) {
+        MetricSample s;
+        s.name = name;
+        s.kind = e.kind;
+        switch (e.kind) {
+            case MetricSample::Kind::kCounter:
+                s.value = static_cast<double>(e.counter->value());
+                s.count = e.counter->value();
+                break;
+            case MetricSample::Kind::kGauge:
+                s.value = e.gauge->value();
+                break;
+            case MetricSample::Kind::kHistogram: {
+                const RunningStat st = e.histogram->stat();
+                s.value = st.sum();
+                s.count = st.count();
+                s.mean = st.mean();
+                s.min = st.count() ? st.min() : 0.0;
+                s.max = st.count() ? st.max() : 0.0;
+                break;
+            }
+        }
+        out.push_back(std::move(s));
+    }
+    return out;  // std::map iteration is already name-sorted
+}
+
+void Registry::reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [name, e] : entries_) {
+        (void)name;
+        switch (e.kind) {
+            case MetricSample::Kind::kCounter: e.counter->reset(); break;
+            case MetricSample::Kind::kGauge: e.gauge->reset(); break;
+            case MetricSample::Kind::kHistogram: e.histogram->reset(); break;
+        }
+    }
+}
+
+std::size_t Registry::size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_.size();
+}
+
+Registry& registry() {
+    // Intentionally leaked so the atexit-armed finish() (see obs.cpp) can
+    // still read metrics after function-local statics would have been
+    // destroyed.
+    static Registry* r = new Registry();
+    return *r;
+}
+
+} // namespace scgnn::obs

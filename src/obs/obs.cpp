@@ -1,0 +1,108 @@
+#include "scgnn/obs/obs.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "scgnn/common/parallel.hpp"
+#include "scgnn/obs/ledger.hpp"
+#include "scgnn/obs/metrics.hpp"
+#include "scgnn/obs/trace.hpp"
+
+namespace scgnn::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+std::mutex g_cfg_mu;
+std::string g_prefix;        // guarded by g_cfg_mu
+bool g_finished = false;     // one finish() per prefix
+bool g_atexit_armed = false;
+
+/// Pool hooks: count scheduled chunks/regions and record one span per
+/// top-level parallel region. The begin timestamp lives in a thread_local
+/// because begin/end are separate callbacks on the calling thread.
+thread_local std::uint64_t tl_region_t0 = 0;
+
+void pool_region_begin(std::size_t num_chunks) noexcept {
+    if (!enabled()) return;
+    static Counter& regions = registry().counter("pool.regions");
+    static Counter& chunks = registry().counter("pool.chunks");
+    regions.add(1);
+    chunks.add(num_chunks);
+    tl_region_t0 = detail::trace_now_ns();
+}
+
+void pool_region_end() noexcept {
+    if (!enabled() || tl_region_t0 == 0) return;
+    record_span("pool.region", tl_region_t0, detail::trace_now_ns());
+    tl_region_t0 = 0;
+}
+
+/// Hook installation + SCGNN_OBS handling run once, at static-init time
+/// of the first binary that references any obs symbol (detail::g_enabled
+/// is deliberately non-inline so enabled() checks pull this object in).
+const bool g_static_init = [] {
+    set_pool_observer(&pool_region_begin, &pool_region_end);
+    init_from_env();
+    return true;
+}();
+
+} // namespace
+
+void set_enabled(bool on) noexcept {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_output_prefix(std::string prefix) {
+    std::lock_guard<std::mutex> lk(g_cfg_mu);
+    g_prefix = std::move(prefix);
+    g_finished = false;
+    if (!g_prefix.empty() && !g_atexit_armed) {
+        g_atexit_armed = true;
+        std::atexit([] { (void)finish(); });
+    }
+}
+
+std::string output_prefix() {
+    std::lock_guard<std::mutex> lk(g_cfg_mu);
+    return g_prefix;
+}
+
+void init_from_env() {
+    const char* v = std::getenv("SCGNN_OBS");
+    if (v == nullptr || v[0] == '\0') return;
+    if (std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0) {
+        set_enabled(false);
+        return;
+    }
+    set_enabled(true);
+    if (std::strcmp(v, "1") != 0 && std::strcmp(v, "on") != 0)
+        set_output_prefix(v);  // any other value is an output path prefix
+}
+
+bool finish() {
+    std::string prefix;
+    {
+        std::lock_guard<std::mutex> lk(g_cfg_mu);
+        if (g_prefix.empty() || g_finished) return false;
+        g_finished = true;
+        prefix = g_prefix;
+    }
+    write_chrome_trace(prefix + ".trace.json");
+    ledger().write_report(prefix + ".report.json");
+    return true;
+}
+
+void reset() {
+    registry().reset();
+    clear_trace();
+    ledger().clear();
+    std::lock_guard<std::mutex> lk(g_cfg_mu);
+    g_finished = false;
+}
+
+} // namespace scgnn::obs

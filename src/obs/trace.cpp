@@ -1,0 +1,182 @@
+#include "scgnn/obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "scgnn/common/error.hpp"
+#include "scgnn/obs/json.hpp"
+
+namespace scgnn::obs {
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// The trace epoch: fixed at first use so all timestamps share an origin.
+clock::time_point trace_epoch() noexcept {
+    static const clock::time_point epoch = clock::now();
+    return epoch;
+}
+
+std::atomic<std::size_t> g_capacity{1u << 16};
+
+/// One thread's span ring. Registered globally at creation and kept for
+/// the process lifetime (threads are few and capacity is bounded), so
+/// export never races a ring's destruction. `mu` is only ever contended
+/// by export/clear — recording threads own their ring.
+struct ThreadRing {
+    std::mutex mu;
+    std::vector<TraceEvent> events;  ///< ring storage, capacity fixed
+    std::size_t next = 0;            ///< ring cursor
+    bool wrapped = false;
+    std::uint64_t dropped = 0;
+    std::uint32_t tid = 0;
+};
+
+struct RingDirectory {
+    std::mutex mu;
+    std::vector<std::unique_ptr<ThreadRing>> rings;
+    std::uint32_t next_tid = 0;
+};
+
+RingDirectory& directory() {
+    // Intentionally leaked: finish() may run from an atexit handler that was
+    // registered (via set_output_prefix) before this singleton was first
+    // constructed, i.e. after its destructor in LIFO exit order. An immortal
+    // instance keeps the trace export exit-safe.
+    static RingDirectory* d = new RingDirectory();
+    return *d;
+}
+
+ThreadRing& local_ring() {
+    thread_local ThreadRing* ring = [] {
+        auto owned = std::make_unique<ThreadRing>();
+        owned->events.reserve(g_capacity.load(std::memory_order_relaxed));
+        ThreadRing* raw = owned.get();
+        RingDirectory& dir = directory();
+        std::lock_guard<std::mutex> lk(dir.mu);
+        raw->tid = dir.next_tid++;
+        dir.rings.push_back(std::move(owned));
+        return raw;
+    }();
+    return *ring;
+}
+
+} // namespace
+
+namespace detail {
+
+std::uint64_t trace_now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             trace_epoch())
+            .count());
+}
+
+void trace_record(const char* name, std::uint64_t t0_ns,
+                  std::uint64_t t1_ns) noexcept {
+    ThreadRing& ring = local_ring();
+    std::lock_guard<std::mutex> lk(ring.mu);
+    const std::size_t cap = g_capacity.load(std::memory_order_relaxed);
+    TraceEvent ev{name, t0_ns, t1_ns, ring.tid};
+    if (ring.events.size() < cap) {
+        ring.events.push_back(ev);
+    } else if (cap > 0) {
+        if (ring.next >= ring.events.size()) ring.next = 0;
+        ring.events[ring.next++] = ev;
+        ring.wrapped = true;
+        ++ring.dropped;
+    }
+}
+
+} // namespace detail
+
+void record_span(const char* name, std::uint64_t t0_ns,
+                 std::uint64_t t1_ns) noexcept {
+    detail::trace_record(name, t0_ns, t1_ns);
+}
+
+void set_trace_capacity(std::size_t events) {
+    SCGNN_CHECK(events >= 1, "trace capacity must be at least one event");
+    g_capacity.store(events, std::memory_order_relaxed);
+}
+
+std::size_t trace_capacity() noexcept {
+    return g_capacity.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> trace_events() {
+    std::vector<TraceEvent> out;
+    RingDirectory& dir = directory();
+    std::lock_guard<std::mutex> dlk(dir.mu);
+    for (const auto& ring : dir.rings) {
+        std::lock_guard<std::mutex> lk(ring->mu);
+        out.insert(out.end(), ring->events.begin(), ring->events.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+                  return a.tid < b.tid;
+              });
+    return out;
+}
+
+std::uint64_t trace_dropped() noexcept {
+    std::uint64_t total = 0;
+    RingDirectory& dir = directory();
+    std::lock_guard<std::mutex> dlk(dir.mu);
+    for (const auto& ring : dir.rings) {
+        std::lock_guard<std::mutex> lk(ring->mu);
+        total += ring->dropped;
+    }
+    return total;
+}
+
+void clear_trace() {
+    RingDirectory& dir = directory();
+    std::lock_guard<std::mutex> dlk(dir.mu);
+    for (const auto& ring : dir.rings) {
+        std::lock_guard<std::mutex> lk(ring->mu);
+        ring->events.clear();
+        ring->next = 0;
+        ring->wrapped = false;
+        ring->dropped = 0;
+    }
+}
+
+std::string chrome_trace_json() {
+    const std::vector<TraceEvent> events = trace_events();
+    JsonWriter w;
+    w.begin_object();
+    w.key("traceEvents").begin_array();
+    for (const TraceEvent& ev : events) {
+        w.begin_object();
+        w.kv("name", ev.name);
+        w.kv("ph", "X");
+        w.kv("ts", static_cast<double>(ev.t0_ns) / 1e3);   // microseconds
+        w.kv("dur", static_cast<double>(ev.t1_ns - ev.t0_ns) / 1e3);
+        w.kv("pid", std::uint64_t{1});
+        w.kv("tid", std::uint64_t{ev.tid});
+        w.end_object();
+    }
+    w.end_array();
+    w.kv("displayTimeUnit", "ms");
+    w.kv("droppedEvents", trace_dropped());
+    w.end_object();
+    return w.str();
+}
+
+void write_chrome_trace(const std::string& path) {
+    const std::string json = chrome_trace_json();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    SCGNN_CHECK(f != nullptr, "cannot open trace output file");
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const int rc = std::fclose(f);
+    SCGNN_CHECK(written == json.size() && rc == 0,
+                "short write to trace output file");
+}
+
+} // namespace scgnn::obs

@@ -109,6 +109,51 @@ TEST(Fabric, UniformOverridesMatchDefaultModel) {
                      overridden.epoch_comm_seconds());
 }
 
+TEST(Fabric, HeterogeneousLinkModelsComposeInEpochSeconds) {
+    // NVLink-style fast link inside a box, Ethernet-style slow link across:
+    // each directed link is charged by its own model, and the per-device
+    // serialisation max picks the loaded device.
+    CostModel base{.latency_s = 0.0, .bandwidth_bytes_per_s = 100.0};
+    Fabric f(3, base);
+    f.set_link(0, 1, CostModel{.latency_s = 0.0,
+                               .bandwidth_bytes_per_s = 1000.0});  // fast
+    f.set_link(0, 2, CostModel{.latency_s = 1.0,
+                               .bandwidth_bytes_per_s = 10.0});    // slow
+    f.record(0, 1, 1000);  // fast link: 1 s
+    f.record(0, 2, 10);    // slow link: 1 s latency + 1 s wire = 2 s
+    f.record(1, 2, 100);   // default:   1 s
+    // Device 0 serialises its two sends: 1 + 2 = 3 s. Device 1: 1 s in +
+    // 1 s out = 2 s. Device 2: 2 + 1 = 3 s in.
+    EXPECT_DOUBLE_EQ(f.epoch_comm_seconds(), 3.0);
+}
+
+TEST(Fabric, LinkOverrideSurvivesEndEpoch) {
+    CostModel base{.latency_s = 0.0, .bandwidth_bytes_per_s = 100.0};
+    Fabric f(2, base);
+    f.set_link(0, 1, CostModel{.latency_s = 0.0,
+                               .bandwidth_bytes_per_s = 10.0});
+    f.record(0, 1, 100);
+    EXPECT_DOUBLE_EQ(f.epoch_comm_seconds(), 10.0);
+    f.end_epoch();
+    // The override is part of the cluster topology: it must keep pricing
+    // the next epoch too.
+    EXPECT_DOUBLE_EQ(f.link_model(0, 1).bandwidth_bytes_per_s, 10.0);
+    f.record(0, 1, 100);
+    EXPECT_DOUBLE_EQ(f.epoch_comm_seconds(), 10.0);
+}
+
+TEST(Fabric, ClearResetsLinkOverrides) {
+    CostModel base{.latency_s = 0.0, .bandwidth_bytes_per_s = 100.0};
+    Fabric f(2, base);
+    f.set_link(0, 1, CostModel{.latency_s = 0.0,
+                               .bandwidth_bytes_per_s = 10.0});
+    f.clear();
+    // clear() restores a freshly constructed fabric, overrides included.
+    EXPECT_DOUBLE_EQ(f.link_model(0, 1).bandwidth_bytes_per_s, 100.0);
+    f.record(0, 1, 100);
+    EXPECT_DOUBLE_EQ(f.epoch_comm_seconds(), 1.0);
+}
+
 TEST(Fabric, LinkOverrideValidates) {
     Fabric f(2);
     EXPECT_THROW(f.set_link(0, 0, CostModel{}), Error);

@@ -108,6 +108,27 @@ TEST(Histogram, OutOfRangeClampsToEdgeBins) {
     EXPECT_EQ(h.total(), 2u);
 }
 
+TEST(Histogram, MergeSumsBinwise) {
+    Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+    a.add(1.0);
+    a.add(9.0);
+    b.add(1.5);
+    b.add(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.bin_count(0), 2u);
+    EXPECT_EQ(a.bin_count(2), 1u);
+    EXPECT_EQ(a.bin_count(4), 1u);
+    EXPECT_EQ(a.total(), 4u);
+    EXPECT_EQ(b.total(), 2u);  // source untouched
+}
+
+TEST(Histogram, MergeRejectsMismatchedShape) {
+    Histogram a(0.0, 10.0, 5);
+    Histogram diff_bins(0.0, 10.0, 4), diff_range(0.0, 5.0, 5);
+    EXPECT_THROW(a.merge(diff_bins), Error);
+    EXPECT_THROW(a.merge(diff_range), Error);
+}
+
 TEST(Histogram, RejectsDegenerateConstruction) {
     EXPECT_THROW(Histogram(0.0, 0.0, 5), Error);
     EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);

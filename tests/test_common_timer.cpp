@@ -1,0 +1,82 @@
+// Unit tests for the wall-clock timing helpers.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "scgnn/common/timer.hpp"
+
+namespace scgnn {
+namespace {
+
+void spin_for(std::chrono::milliseconds d) {
+    // sleep_for is enough here: we only need wall time to actually pass.
+    std::this_thread::sleep_for(d);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+    WallTimer t;
+    spin_for(std::chrono::milliseconds(5));
+    const double s = t.seconds();
+    EXPECT_GE(s, 0.004);
+    EXPECT_GE(t.millis(), s * 1e3);  // millis taken later, never smaller
+}
+
+TEST(WallTimer, ResetRestartsFromZero) {
+    WallTimer t;
+    spin_for(std::chrono::milliseconds(5));
+    t.reset();
+    EXPECT_LT(t.seconds(), 0.004);
+}
+
+TEST(SectionTimer, AccumulatesEndedSections) {
+    SectionTimer t;
+    t.begin();
+    spin_for(std::chrono::milliseconds(2));
+    t.end();
+    t.begin();
+    spin_for(std::chrono::milliseconds(2));
+    t.end();
+    EXPECT_EQ(t.count(), 2u);
+    EXPECT_GE(t.total_seconds(), 0.003);
+    EXPECT_DOUBLE_EQ(t.total_millis(), t.total_seconds() * 1e3);
+}
+
+TEST(SectionTimer, EndWithoutBeginIsNoOp) {
+    SectionTimer t;
+    t.end();
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_DOUBLE_EQ(t.total_seconds(), 0.0);
+}
+
+TEST(SectionTimer, BeginWhileRunningFoldsInFlightSection) {
+    // begin / begin / end must not discard the first section: the second
+    // begin() closes it (as end() would), so all wall time between the
+    // first begin() and the final end() is accounted for.
+    SectionTimer t;
+    t.begin();
+    spin_for(std::chrono::milliseconds(5));
+    t.begin();  // closes the 5 ms section, starts a new one
+    EXPECT_EQ(t.count(), 1u);
+    const double after_second_begin = t.total_seconds();
+    EXPECT_GE(after_second_begin, 0.004);
+    spin_for(std::chrono::milliseconds(5));
+    t.end();
+    EXPECT_EQ(t.count(), 2u);
+    EXPECT_GE(t.total_seconds(), after_second_begin + 0.004);
+}
+
+TEST(SectionTimer, ClearDiscardsEverything) {
+    SectionTimer t;
+    t.begin();
+    spin_for(std::chrono::milliseconds(1));
+    t.clear();
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_DOUBLE_EQ(t.total_seconds(), 0.0);
+    // A cleared timer is not running: end() is a no-op again.
+    t.end();
+    EXPECT_EQ(t.count(), 0u);
+}
+
+} // namespace
+} // namespace scgnn

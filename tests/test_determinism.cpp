@@ -6,6 +6,7 @@
 
 #include "scgnn/common/parallel.hpp"
 #include "scgnn/core/framework.hpp"
+#include "scgnn/obs/obs.hpp"
 
 namespace scgnn::core {
 namespace {
@@ -66,6 +67,43 @@ TEST(Determinism, ThreadCountDoesNotChangeAnyResult) {
         for (std::size_t e = 0; e < base.train.epoch_metrics.size(); ++e)
             EXPECT_EQ(base.train.epoch_metrics[e].loss,
                       r.train.epoch_metrics[e].loss);
+    }
+}
+
+TEST(Determinism, ObservabilityDoesNotPerturbResults) {
+    // The obs subsystem only *reads* timestamps and *counts* — it must
+    // never leak into the numerics. Training with SCGNN_OBS-style
+    // collection on has to be bitwise identical to training with it off.
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kYelpSim, 0.15, 7);
+    PipelineConfig cfg = cfg_for(d);
+    cfg.train.epochs = 6;
+
+    const bool was_enabled = obs::enabled();
+    obs::set_enabled(false);
+    const PipelineResult off = run_pipeline(d, cfg);
+    obs::set_enabled(true);
+    obs::reset();
+    const PipelineResult on = run_pipeline(d, cfg);
+    obs::reset();
+    obs::set_enabled(was_enabled);
+
+    EXPECT_EQ(off.train.final_loss, on.train.final_loss);
+    EXPECT_EQ(off.train.test_accuracy, on.train.test_accuracy);
+    EXPECT_EQ(off.train.val_accuracy, on.train.val_accuracy);
+    EXPECT_EQ(off.train.train_accuracy, on.train.train_accuracy);
+    EXPECT_EQ(off.train.mean_comm_mb, on.train.mean_comm_mb);
+    EXPECT_EQ(off.compression_ratio, on.compression_ratio);
+    EXPECT_EQ(off.wire_rows, on.wire_rows);
+    EXPECT_EQ(off.num_groups, on.num_groups);
+    ASSERT_EQ(off.train.epoch_metrics.size(), on.train.epoch_metrics.size());
+    for (std::size_t e = 0; e < off.train.epoch_metrics.size(); ++e) {
+        EXPECT_EQ(off.train.epoch_metrics[e].loss,
+                  on.train.epoch_metrics[e].loss);
+        EXPECT_EQ(off.train.epoch_metrics[e].comm_mb,
+                  on.train.epoch_metrics[e].comm_mb);
+        EXPECT_EQ(off.train.epoch_metrics[e].comm_ms,
+                  on.train.epoch_metrics[e].comm_ms);
     }
 }
 
