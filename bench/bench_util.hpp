@@ -6,12 +6,14 @@
 ///
 /// Every bench accepts optional CLI args: `--scale <f>` (dataset size
 /// multiplier, default 0.35), `--epochs <n>` (training epochs, default
-/// 30), `--threads <n>` (worker pool width, default all cores /
-/// SCGNN_THREADS), `--log-level <debug|info|warn|error>` and
-/// `--obs-out <prefix>` (enable observability; write `<prefix>.trace.json`
-/// and `<prefix>.report.json` at exit), so the full suite stays
-/// minutes-scale while remaining faithful in shape. All seeds are fixed
-/// and printed.
+/// 30), plus the shared CommonFlags set — `--threads <n>` (worker pool
+/// width, default all cores / SCGNN_THREADS), `--log-level
+/// <debug|info|warn|error>`, `--obs-out <prefix>` (enable observability;
+/// write `<prefix>.trace.json` and `<prefix>.report.json` at exit) and
+/// the fault-injection flags `--fault-drop/--fault-seed/
+/// --fault-link-down/--retry-max/--timeout` (see comm/fault.hpp) — so the
+/// full suite stays minutes-scale while remaining faithful in shape. All
+/// seeds are fixed and printed.
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +50,93 @@ inline const char* log_level_name(LogLevel l) {
     return "?";
 }
 
+/// The CLI flags every bench *and* scgnn_cli share, declared exactly once:
+/// `--threads <n>`, `--log-level <debug|info|warn|error>`,
+/// `--obs-out <prefix>`, plus the fault-injection set
+/// `--fault-drop <p>`, `--fault-seed <n>`,
+/// `--fault-link-down <src:dst:from:to>` (repeatable),
+/// `--retry-max <n>` and `--timeout <s>`.
+///
+/// Usage: call try_parse(argc, argv, i) inside an arg loop (it consumes
+/// the flag and its value and advances `i`), then activate() once parsing
+/// is done, and apply() on every DistTrainConfig the binary trains with.
+struct CommonFlags {
+    unsigned threads = 0;         ///< 0 = SCGNN_THREADS env / all cores
+    std::string obs_out;          ///< non-empty = obs enabled, output prefix
+    comm::FaultModel fault{};     ///< inactive unless a --fault-* flag set
+    comm::RetryPolicy retry{};
+
+    /// Consume argv[i] (and its value) when it is one of the shared
+    /// flags; returns false for flags the caller must handle itself.
+    /// Exits with code 2 on a malformed value, matching usage() errors.
+    bool try_parse(int argc, char** argv, int& i) {
+        auto value = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--threads") == 0) {
+            threads = static_cast<unsigned>(std::atoi(value("--threads")));
+        } else if (std::strcmp(argv[i], "--log-level") == 0) {
+            LogLevel level;
+            const char* s = value("--log-level");
+            if (!parse_log_level(s, level)) {
+                std::fprintf(stderr,
+                             "unknown --log-level '%s' "
+                             "(expected debug|info|warn|error)\n", s);
+                std::exit(2);
+            }
+            set_log_level(level);
+        } else if (std::strcmp(argv[i], "--obs-out") == 0) {
+            obs_out = value("--obs-out");
+        } else if (std::strcmp(argv[i], "--fault-drop") == 0) {
+            fault.drop_probability = std::atof(value("--fault-drop"));
+        } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
+            fault.seed = static_cast<std::uint64_t>(
+                std::atoll(value("--fault-seed")));
+        } else if (std::strcmp(argv[i], "--fault-link-down") == 0) {
+            const char* spec = value("--fault-link-down");
+            comm::LinkDownWindow w;
+            if (std::sscanf(spec, "%u:%u:%u:%u", &w.src, &w.dst,
+                            &w.first_epoch, &w.last_epoch) != 4) {
+                std::fprintf(stderr,
+                             "bad --fault-link-down '%s' "
+                             "(expected src:dst:first_epoch:last_epoch)\n",
+                             spec);
+                std::exit(2);
+            }
+            fault.down_windows.push_back(w);
+        } else if (std::strcmp(argv[i], "--retry-max") == 0) {
+            retry.max_attempts =
+                static_cast<std::uint32_t>(std::atoi(value("--retry-max")));
+        } else if (std::strcmp(argv[i], "--timeout") == 0) {
+            retry.timeout_s = std::atof(value("--timeout"));
+        } else {
+            return false;
+        }
+        return true;
+    }
+
+    /// Apply the side-effectful flags (obs arming, pool width). Resolves
+    /// `threads` to the actual pool width.
+    void activate() {
+        if (!obs_out.empty()) {
+            obs::set_enabled(true);
+            obs::set_output_prefix(obs_out);  // arms write-at-exit
+        }
+        set_num_threads(threads);
+        threads = num_threads();
+    }
+
+    /// Copy the fault schedule and retry policy into a train config.
+    void apply(dist::DistTrainConfig& cfg) const {
+        cfg.fault = fault;
+        cfg.retry = retry;
+    }
+};
+
 /// Parsed common CLI options.
 struct Options {
     double scale = 0.35;
@@ -55,46 +144,38 @@ struct Options {
     std::uint64_t seed = 2024;
     unsigned threads = 0;   ///< 0 = SCGNN_THREADS env / all cores
     std::string obs_out;    ///< non-empty = obs enabled, output prefix
+    CommonFlags common{};   ///< shared flags incl. fault injection
 };
 
 inline Options parse_options(int argc, char** argv) {
     Options opt;
     for (int i = 1; i < argc; ++i) {
+        if (opt.common.try_parse(argc, argv, i))
+            continue;
         if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
             opt.scale = std::atof(argv[++i]);
         else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc)
             opt.epochs = static_cast<std::uint32_t>(std::atoi(argv[++i]));
         else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
             opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-            opt.threads = static_cast<unsigned>(std::atoi(argv[++i]));
-        else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
-            LogLevel level;
-            if (parse_log_level(argv[++i], level)) {
-                set_log_level(level);
-            } else {
-                std::fprintf(stderr,
-                             "unknown --log-level '%s' "
-                             "(expected debug|info|warn|error)\n",
-                             argv[i]);
-                std::exit(2);
-            }
-        } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
-            opt.obs_out = argv[++i];
-        }
     }
-    if (!opt.obs_out.empty()) {
-        obs::set_enabled(true);
-        obs::set_output_prefix(opt.obs_out);  // arms write-at-exit
-    }
-    set_num_threads(opt.threads);
-    opt.threads = num_threads();
+    opt.common.activate();
+    opt.threads = opt.common.threads;
+    opt.obs_out = opt.common.obs_out;
     std::printf(
         "# options: scale=%.2f epochs=%u seed=%llu threads=%u "
         "log-level=%s obs=%s\n",
         opt.scale, opt.epochs, static_cast<unsigned long long>(opt.seed),
         opt.threads, log_level_name(log_level()),
         opt.obs_out.empty() ? "off" : opt.obs_out.c_str());
+    if (opt.common.fault.active())
+        std::printf("# faults: drop=%.3f seed=%llu down-windows=%zu "
+                    "retry-max=%u timeout=%gs\n",
+                    opt.common.fault.drop_probability,
+                    static_cast<unsigned long long>(opt.common.fault.seed),
+                    opt.common.fault.down_windows.size(),
+                    opt.common.retry.max_attempts,
+                    opt.common.retry.timeout_s);
     return opt;
 }
 
@@ -108,10 +189,12 @@ inline gnn::GnnConfig model_for(const graph::Dataset& d) {
         .seed = 11};
 }
 
-/// Default distributed-train config.
+/// Default distributed-train config (fault flags applied, inactive by
+/// default).
 inline dist::DistTrainConfig train_cfg(const Options& opt) {
     dist::DistTrainConfig cfg;
     cfg.epochs = opt.epochs;
+    opt.common.apply(cfg);
     return cfg;
 }
 

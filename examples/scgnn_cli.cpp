@@ -11,20 +11,31 @@
 //             [--drop-o2o] [--sage|--gin] [--dropout <p>] [--seed <n>]
 //             [--threads <n>] [--save <dir>]
 //             [--log-level debug|info|warn|error] [--obs-out <prefix>]
+//             [--fault-drop <p>] [--fault-seed <n>]
+//             [--fault-link-down <src:dst:from:to>] [--retry-max <n>]
+//             [--timeout <s>] [--max-staleness <n>]
 //
 // `--obs-out run` turns on observability and writes `run.trace.json`
 // (Chrome trace_event — open in about://tracing or ui.perfetto.dev) and
 // `run.report.json` (per-run telemetry ledger) when the run finishes.
 //
+// The `--fault-*`/`--retry-max`/`--timeout` flags inject a deterministic
+// fault schedule into the fabric (see comm/fault.hpp). Exit codes: 0 on
+// success — including a degraded run that stayed within `--max-staleness`
+// (default 0) consecutive stale epochs — and 3 when fault recovery left
+// any halo block staler than that threshold.
+//
 // Examples:
 //   scgnn_cli --dataset reddit --parts 4 --method ours --drop-o2o
 //   scgnn_cli --dataset yelp --method sampling --rate 0.1
 //   scgnn_cli --dataset pubmed --method ours --obs-out run
+//   scgnn_cli --dataset pubmed --fault-drop 0.2 --retry-max 3 --max-staleness 4
 //   scgnn_cli --dataset pubmed --save /tmp/pubmed && scgnn_cli --load /tmp/pubmed
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "bench_util.hpp"
 #include "scgnn/common/log.hpp"
 #include "scgnn/common/parallel.hpp"
 #include "scgnn/common/table.hpp"
@@ -67,14 +78,6 @@ partition::PartitionAlgo parse_partition(const std::string& s) {
     usage("unknown partitioner (use node|edge|multilevel|random)");
 }
 
-LogLevel parse_level(const std::string& s) {
-    if (s == "debug") return LogLevel::kDebug;
-    if (s == "info") return LogLevel::kInfo;
-    if (s == "warn") return LogLevel::kWarn;
-    if (s == "error") return LogLevel::kError;
-    usage("unknown log level (use debug|info|warn|error)");
-}
-
 } // namespace
 
 int main(int argc, char** argv) {
@@ -86,9 +89,11 @@ int main(int argc, char** argv) {
     cfg.method.method = core::Method::kSemantic;
     cfg.method.semantic.grouping.kmeans_k = 20;
     std::uint64_t seed = 2024;
-    std::string obs_out;
+    std::uint32_t max_staleness = 0;
+    benchutil::CommonFlags common;
 
     for (int i = 1; i < argc; ++i) {
+        if (common.try_parse(argc, argv, i)) continue;
         auto need = [&](const char* flag) -> const char* {
             if (i + 1 >= argc) usage(std::string("missing value for ")
                                          .append(flag)
@@ -127,21 +132,16 @@ int main(int argc, char** argv) {
             cfg.model.dropout = static_cast<float>(std::atof(need("--dropout")));
         else if (!std::strcmp(argv[i], "--seed"))
             seed = std::atoll(need("--seed"));
-        else if (!std::strcmp(argv[i], "--threads"))
-            scgnn::set_num_threads(
-                static_cast<unsigned>(std::atoi(need("--threads"))));
-        else if (!std::strcmp(argv[i], "--log-level"))
-            scgnn::set_log_level(parse_level(need("--log-level")));
-        else if (!std::strcmp(argv[i], "--obs-out"))
-            obs_out = need("--obs-out");
+        else if (!std::strcmp(argv[i], "--max-staleness"))
+            max_staleness =
+                static_cast<std::uint32_t>(std::atoi(need("--max-staleness")));
         else
             usage((std::string("unknown flag ") + argv[i]).c_str());
     }
 
-    if (!obs_out.empty()) {
-        obs::set_enabled(true);
-        obs::set_output_prefix(obs_out);
-    }
+    common.activate();
+    common.apply(cfg.train);
+    const std::string& obs_out = common.obs_out;
 
     graph::Dataset data = load_dir.empty()
                               ? graph::make_dataset(parse_preset(dataset),
@@ -182,10 +182,28 @@ int main(int argc, char** argv) {
     t.add_row({"compression ratio", Table::num(res.compression_ratio, 1) + "x"});
     t.add_row({"semantic groups", Table::num(std::uint64_t{res.num_groups})});
     t.add_row({"mean group size", Table::num(res.mean_group_size, 1)});
+    const dist::FaultSummary& fault = res.train.fault;
+    if (cfg.train.fault.active()) {
+        t.add_row({"fault drops", Table::num(fault.fabric.drops)});
+        t.add_row({"fault retries", Table::num(fault.fabric.retries)});
+        t.add_row({"fault failures", Table::num(fault.fabric.failures)});
+        t.add_row({"stale halo uses", Table::num(fault.stale_uses)});
+        t.add_row({"max staleness", Table::num(std::uint64_t{fault.max_staleness})});
+    }
     std::printf("%s", t.str().c_str());
 
     if (!obs_out.empty() && obs::finish())
         std::printf("observability: wrote %s.trace.json and %s.report.json\n",
                     obs_out.c_str(), obs_out.c_str());
+
+    if (fault.degraded() && fault.max_staleness > max_staleness) {
+        std::fprintf(stderr,
+                     "degraded: max staleness %u exceeded --max-staleness %u "
+                     "(%llu stale halo uses, %llu failed sends)\n",
+                     fault.max_staleness, max_staleness,
+                     static_cast<unsigned long long>(fault.stale_uses),
+                     static_cast<unsigned long long>(fault.fabric.failures));
+        return 3;
+    }
     return 0;
 }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "scgnn/comm/fault.hpp"
 #include "scgnn/common/error.hpp"
 
 namespace scgnn::comm {
@@ -61,8 +62,49 @@ public:
 
     /// Record one logical send of `bytes` bytes from device `src` to `dst`.
     /// Zero-byte sends still count a message (headers cross the wire).
+    /// Never subject to faults — use send() for fault-aware transfers.
     void record(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes,
                 std::uint64_t messages = 1);
+
+    /// Fault-aware send: runs the configured FaultModel/RetryPolicy over
+    /// the transfer. With an inactive fault model this is exactly
+    /// record() (one attempt, delivered, zero penalty). Dropped attempts
+    /// still charge their wire bytes (the payload left the NIC); attempts
+    /// into a down link charge nothing; every failed attempt adds the ack
+    /// timeout, and every retry adds exponential backoff — all folded
+    /// into the sender's modelled epoch time. The schedule is a pure
+    /// function of (fault seed, link, per-link attempt counter): bitwise
+    /// reproducible at any thread count.
+    SendOutcome send(std::uint32_t src, std::uint32_t dst,
+                     std::uint64_t bytes, std::uint64_t messages = 1);
+
+    /// Install a fault schedule (validated against the device count).
+    void set_fault_model(FaultModel model);
+
+    /// The fault schedule in force (inactive by default).
+    [[nodiscard]] const FaultModel& fault_model() const noexcept {
+        return fault_;
+    }
+
+    /// Install the retry/timeout/backoff policy used by send().
+    void set_retry_policy(RetryPolicy policy);
+
+    /// The retry policy in force.
+    [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
+        return retry_;
+    }
+
+    /// True when the directed link is inside a scheduled down window at
+    /// the fabric's current epoch (= number of closed epochs).
+    [[nodiscard]] bool link_down(std::uint32_t src, std::uint32_t dst) const;
+
+    /// Fault counters of the current (un-ended) epoch.
+    [[nodiscard]] const FaultStats& epoch_fault_stats() const noexcept {
+        return epoch_fault_;
+    }
+
+    /// Fault counters summed over all epochs including the current one.
+    [[nodiscard]] FaultStats fault_stats() const noexcept;
 
     /// Override the cost model of one directed link (heterogeneous
     /// clusters: NVLink within a box, Ethernet across boxes). Links
@@ -85,7 +127,9 @@ public:
 
     /// Modelled communication time of the current epoch: max over devices
     /// of the α–β cost of that device's in+out traffic (NIC serialisation;
-    /// different devices transfer in parallel).
+    /// different devices transfer in parallel) plus the sender-side
+    /// timeout/backoff penalties send() accumulated on that device's
+    /// out-links.
     [[nodiscard]] double epoch_comm_seconds() const noexcept;
 
     /// Close the current epoch: appends its totals to history and clears
@@ -101,15 +145,20 @@ public:
     /// Modelled comm seconds of closed epoch `e`.
     [[nodiscard]] double epoch_history_seconds(std::size_t e) const;
 
-    /// Reset everything: counters, history and per-link cost-model
-    /// overrides (a cleared fabric behaves like a freshly constructed
-    /// one; end_epoch(), by contrast, keeps the overrides in force).
+    /// Reset everything: counters, history, per-link cost-model overrides
+    /// and the fault model / retry policy / fault counters (a cleared
+    /// fabric behaves like a freshly constructed one; end_epoch(), by
+    /// contrast, keeps overrides, fault model and policy in force).
     void clear();
 
 private:
     /// Push this epoch's fabric/link metrics into the obs registry.
     /// Called from end_epoch() only when observability is enabled.
     void publish_epoch_metrics() const;
+
+    /// Next deterministic uniform draw in [0, 1) for a link's fault
+    /// stream: splitmix64 over (seed, link index, per-link counter).
+    [[nodiscard]] double fault_u01(std::size_t link);
 
     [[nodiscard]] std::size_t idx(std::uint32_t src, std::uint32_t dst) const {
         SCGNN_CHECK(src < n_ && dst < n_, "device id out of range");
@@ -124,6 +173,12 @@ private:
     std::vector<double> history_seconds_;      ///< modelled time per closed epoch
     std::vector<char> has_override_;           ///< n×n link-override flags
     std::vector<CostModel> override_;          ///< n×n link overrides
+    FaultModel fault_;                         ///< inactive by default
+    RetryPolicy retry_;
+    std::vector<std::uint64_t> fault_counter_; ///< n×n per-link draw counters
+    std::vector<double> pair_penalty_;         ///< n×n current-epoch penalties
+    FaultStats epoch_fault_;                   ///< current-epoch counters
+    FaultStats total_fault_;                   ///< closed-epoch counters
 };
 
 } // namespace scgnn::comm

@@ -24,10 +24,32 @@
 
 namespace scgnn::dist {
 
+/// Recovery counters of one distributed run: the fabric's fault totals
+/// plus the trainer-side staleness the degraded-halo fallback incurred.
+struct FaultSummary {
+    comm::FaultStats fabric{};         ///< drops/retries/failures/penalty
+    std::uint64_t stale_uses = 0;      ///< halo/grad blocks served stale
+    std::uint64_t cold_misses = 0;     ///< stale fallback with empty cache
+    std::uint32_t max_staleness = 0;   ///< worst consecutive stale epochs
+    std::vector<std::uint64_t> stale_by_part;  ///< stale uses per receiver
+
+    /// True when any exchange ran on stale data (training degraded
+    /// instead of aborting).
+    [[nodiscard]] bool degraded() const noexcept { return stale_uses > 0; }
+};
+
 /// gnn::Aggregator that performs the distributed aggregate: per-partition
 /// SpMM on [local ; halo] stacks, with the halo rows moved (and possibly
 /// compressed) through a BoundaryCompressor and charged to the fabric.
 /// Input/output matrices are in global row order.
+///
+/// When the fabric has an active FaultModel, every exchange goes through
+/// Fabric::send(); on exhausted retries the receiver falls back to the
+/// last successfully delivered block for that (plan, layer) — stale
+/// aggregation à la the delayed-transmission baseline — so training
+/// degrades gracefully instead of diverging or aborting. A cold miss
+/// (failure before any delivery) contributes zeros, i.e. the halo term
+/// is absent for that step.
 class DistAggregator final : public gnn::Aggregator {
 public:
     /// All referenced objects must outlive the aggregator.
@@ -39,10 +61,36 @@ public:
     [[nodiscard]] tensor::Matrix backward(const tensor::Matrix& g,
                                           int layer) override;
 
+    /// Staleness counters accumulated so far (fabric counters excluded —
+    /// read those off the fabric).
+    [[nodiscard]] const FaultSummary& fault_summary() const noexcept {
+        return fault_;
+    }
+
 private:
+    /// Last successfully received block per (plan, layer) plus its age in
+    /// consecutive stale uses.
+    struct StaleSlot {
+        tensor::Matrix cached;
+        std::uint32_t age = 0;
+        bool valid = false;
+    };
+
+    /// Deliver-or-degrade: on success cache `fresh` and return it; on
+    /// failure count the stale use and return the cached block (zeroing
+    /// `fresh` on a cold miss). `receiver` is the partition whose data
+    /// goes stale.
+    const tensor::Matrix& resolve(std::vector<std::vector<StaleSlot>>& cache,
+                                  std::size_t plan_idx, int layer,
+                                  bool delivered, tensor::Matrix& fresh,
+                                  std::uint32_t receiver);
+
     const DistContext* ctx_;
     comm::Fabric* fabric_;
     BoundaryCompressor* comp_;
+    std::vector<std::vector<StaleSlot>> stale_fwd_;  ///< [plan][layer]
+    std::vector<std::vector<StaleSlot>> stale_bwd_;  ///< [plan][layer]
+    FaultSummary fault_;
 };
 
 /// Distributed training-loop configuration.
@@ -66,6 +114,11 @@ struct DistTrainConfig {
     /// When non-empty, the trained weights are written here (see
     /// gnn/checkpoint.hpp) after the final epoch.
     std::string checkpoint_path;
+    /// Fault schedule injected into the fabric (inactive by default, in
+    /// which case the run is byte-identical to a fault-free build).
+    comm::FaultModel fault{};
+    /// Retry/timeout/backoff policy governing fault recovery.
+    comm::RetryPolicy retry{};
 };
 
 /// Per-epoch observability record.
@@ -93,6 +146,8 @@ struct DistTrainResult {
     double final_loss = 0.0;
     std::uint32_t epochs_run = 0;   ///< < epochs when early stopping fired
     double best_val_accuracy = 0.0; ///< peak validation accuracy observed
+    FaultSummary fault;             ///< recovery counters (all-zero when
+                                    ///< the fault model is inactive)
 };
 
 /// Train a fresh model on `data` split by `parts`, exchanging boundary rows

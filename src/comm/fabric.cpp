@@ -1,11 +1,14 @@
 #include "scgnn/comm/fabric.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
+#include "scgnn/common/rng.hpp"
 #include "scgnn/obs/ledger.hpp"
 #include "scgnn/obs/metrics.hpp"
 #include "scgnn/obs/obs.hpp"
+#include "scgnn/obs/trace.hpp"
 
 namespace scgnn::comm {
 
@@ -18,6 +21,131 @@ Fabric::Fabric(std::uint32_t num_devices, CostModel model)
     pair_.assign(static_cast<std::size_t>(n_) * n_, {});
     has_override_.assign(pair_.size(), 0);
     override_.assign(pair_.size(), model_);
+    fault_counter_.assign(pair_.size(), 0);
+    pair_penalty_.assign(pair_.size(), 0.0);
+}
+
+void Fabric::set_fault_model(FaultModel model) {
+    SCGNN_CHECK(model.drop_probability >= 0.0 && model.drop_probability < 1.0,
+                "drop probability must be in [0, 1)");
+    SCGNN_CHECK(model.straggler_probability >= 0.0 &&
+                    model.straggler_probability <= 1.0,
+                "straggler probability must be in [0, 1]");
+    SCGNN_CHECK(model.straggler_latency_multiplier >= 1.0,
+                "straggler multiplier must be >= 1");
+    for (const LinkDownWindow& w : model.down_windows) {
+        SCGNN_CHECK(w.src < n_ && w.dst < n_, "down-window device out of range");
+        SCGNN_CHECK(w.src != w.dst, "down window needs a cross-device link");
+        SCGNN_CHECK(w.first_epoch <= w.last_epoch,
+                    "down window must not end before it starts");
+    }
+    fault_ = std::move(model);
+}
+
+void Fabric::set_retry_policy(RetryPolicy policy) {
+    SCGNN_CHECK(policy.max_attempts >= 1, "need at least one send attempt");
+    SCGNN_CHECK(policy.timeout_s >= 0.0, "timeout must be non-negative");
+    SCGNN_CHECK(policy.backoff_base_s >= 0.0, "backoff must be non-negative");
+    SCGNN_CHECK(policy.backoff_multiplier >= 1.0,
+                "backoff multiplier must be >= 1");
+    retry_ = policy;
+}
+
+bool Fabric::link_down(std::uint32_t src, std::uint32_t dst) const {
+    (void)idx(src, dst);  // range/self-send validation
+    const auto epoch = static_cast<std::uint32_t>(history_.size());
+    for (const LinkDownWindow& w : fault_.down_windows)
+        if (w.src == src && w.dst == dst && epoch >= w.first_epoch &&
+            epoch <= w.last_epoch)
+            return true;
+    return false;
+}
+
+double Fabric::fault_u01(std::size_t link) {
+    std::uint64_t state = fault_.seed ^
+                          (0x9e3779b97f4a7c15ULL * (link + 1)) ^
+                          (0xbf58476d1ce4e5b9ULL * ++fault_counter_[link]);
+    return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+SendOutcome Fabric::send(std::uint32_t src, std::uint32_t dst,
+                         std::uint64_t bytes, std::uint64_t messages) {
+    if (!fault_.active()) {
+        record(src, dst, bytes, messages);
+        return {};
+    }
+    const std::size_t link = idx(src, dst);
+    const bool down = link_down(src, dst);
+    const bool obs_on = obs::enabled();
+    const std::uint64_t t0 = obs_on ? obs::detail::trace_now_ns() : 0;
+    SendOutcome out;
+    out.delivered = false;
+    out.attempts = 0;
+    FaultStats delta;
+    for (std::uint32_t a = 0; a < retry_.max_attempts; ++a) {
+        ++out.attempts;
+        ++delta.attempts;
+        if (a > 0) {
+            ++delta.retries;
+            out.penalty_s += retry_.backoff_base_s *
+                             std::pow(retry_.backoff_multiplier,
+                                      static_cast<int>(a) - 1);
+        }
+        if (down) {
+            // A dead link refuses the payload: nothing crosses the wire,
+            // the sender still burns the ack timeout before retrying.
+            ++delta.link_down_hits;
+            out.penalty_s += retry_.timeout_s;
+            continue;
+        }
+        if (fault_u01(link) < fault_.drop_probability) {
+            // The payload left the NIC and vanished in flight: wire bytes
+            // are spent, the receiver sees nothing, the sender times out.
+            record(src, dst, bytes, messages);
+            ++delta.drops;
+            out.penalty_s += retry_.timeout_s;
+            continue;
+        }
+        record(src, dst, bytes, messages);
+        if (fault_.straggler_probability > 0.0 &&
+            fault_u01(link) < fault_.straggler_probability) {
+            ++delta.stragglers;
+            out.penalty_s += (fault_.straggler_latency_multiplier - 1.0) *
+                             link_model(src, dst).latency_s *
+                             static_cast<double>(messages);
+        }
+        out.delivered = true;
+        break;
+    }
+    if (out.delivered)
+        ++delta.delivered;
+    else
+        ++delta.failures;
+    delta.penalty_s = out.penalty_s;
+    pair_penalty_[link] += out.penalty_s;
+    epoch_fault_.merge(delta);
+    if (obs_on && (delta.any() || delta.penalty_s > 0.0)) {
+        obs::Registry& reg = obs::registry();
+        reg.counter("fabric.fault.drops").add(delta.drops);
+        reg.counter("fabric.fault.retries").add(delta.retries);
+        reg.counter("fabric.fault.failures").add(delta.failures);
+        reg.counter("fabric.fault.link_down_hits").add(delta.link_down_hits);
+        reg.counter("fabric.fault.stragglers").add(delta.stragglers);
+        reg.gauge("fabric.fault.penalty_s").add(delta.penalty_s);
+        // A send that needed recovery gets its own span so degraded
+        // exchanges are visible on the trace timeline.
+        if (delta.retries != 0 || delta.failures != 0)
+            obs::record_span(out.delivered ? "fabric.send.retried"
+                                           : "fabric.send.failed",
+                             t0, obs::detail::trace_now_ns());
+    }
+    return out;
+}
+
+FaultStats Fabric::fault_stats() const noexcept {
+    FaultStats total = total_fault_;
+    total.merge(epoch_fault_);
+    return total;
 }
 
 void Fabric::set_link(std::uint32_t src, std::uint32_t dst, CostModel model) {
@@ -82,6 +210,8 @@ double Fabric::epoch_comm_seconds() const noexcept {
                 has_override_[in_i] ? override_[in_i] : model_;
             dev += out_m.seconds(pair_[out_i].bytes, pair_[out_i].messages);
             dev += in_m.seconds(pair_[in_i].bytes, pair_[in_i].messages);
+            // Timeout/backoff waits serialise on the sending device.
+            dev += pair_penalty_[out_i];
         }
         worst = std::max(worst, dev);
     }
@@ -93,6 +223,9 @@ void Fabric::end_epoch() {
     history_seconds_.push_back(epoch_comm_seconds());
     if (obs::enabled()) publish_epoch_metrics();
     std::fill(pair_.begin(), pair_.end(), TrafficStats{});
+    std::fill(pair_penalty_.begin(), pair_penalty_.end(), 0.0);
+    total_fault_.merge(epoch_fault_);
+    epoch_fault_ = FaultStats{};
 }
 
 void Fabric::publish_epoch_metrics() const {
@@ -102,6 +235,13 @@ void Fabric::publish_epoch_metrics() const {
     reg.counter("fabric.epochs").add(1);
     reg.histogram("fabric.epoch_comm_ms", 0.0, 1e4, 50)
         .observe(history_seconds_.back() * 1e3);
+    // Per-epoch fault roll-up (only when something fired, so fault-free
+    // runs keep a byte-identical report).
+    if (epoch_fault_.any() || epoch_fault_.penalty_s > 0.0) {
+        reg.gauge("fabric.fault.epoch_penalty_s").set(epoch_fault_.penalty_s);
+        reg.gauge("fabric.fault.epoch_failures")
+            .set(static_cast<double>(epoch_fault_.failures));
+    }
     for (std::uint32_t s = 0; s < n_; ++s) {
         for (std::uint32_t d = 0; d < n_; ++d) {
             if (s == d) continue;
@@ -133,6 +273,12 @@ void Fabric::clear() {
     history_seconds_.clear();
     std::fill(has_override_.begin(), has_override_.end(), char{0});
     std::fill(override_.begin(), override_.end(), model_);
+    fault_ = FaultModel{};
+    retry_ = RetryPolicy{};
+    std::fill(fault_counter_.begin(), fault_counter_.end(), std::uint64_t{0});
+    std::fill(pair_penalty_.begin(), pair_penalty_.end(), 0.0);
+    epoch_fault_ = FaultStats{};
+    total_fault_ = FaultStats{};
 }
 
 } // namespace scgnn::comm

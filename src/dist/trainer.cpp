@@ -38,6 +38,45 @@ DistAggregator::DistAggregator(const DistContext& ctx, comm::Fabric& fabric,
     : ctx_(&ctx), fabric_(&fabric), comp_(&compressor) {
     SCGNN_CHECK(fabric.num_devices() == ctx.num_parts(),
                 "fabric device count must match the partition count");
+    fault_.stale_by_part.assign(ctx.num_parts(), 0);
+    if (fabric.fault_model().active()) {
+        stale_fwd_.resize(ctx.plans().size());
+        stale_bwd_.resize(ctx.plans().size());
+    }
+}
+
+const Matrix& DistAggregator::resolve(
+    std::vector<std::vector<StaleSlot>>& cache, std::size_t plan_idx,
+    int layer, bool delivered, Matrix& fresh, std::uint32_t receiver) {
+    auto& per_plan = cache[plan_idx];
+    const auto li = static_cast<std::size_t>(layer < 0 ? 0 : layer);
+    if (per_plan.size() <= li) per_plan.resize(li + 1);
+    StaleSlot& slot = per_plan[li];
+    if (delivered) {
+        slot.cached = fresh;
+        slot.age = 0;
+        slot.valid = true;
+        return fresh;
+    }
+    // Degraded path: serve the last good block (or zeros on a cold miss)
+    // and record how stale the receiver's halo just became.
+    ++slot.age;
+    ++fault_.stale_uses;
+    ++fault_.stale_by_part[receiver];
+    fault_.max_staleness = std::max(fault_.max_staleness, slot.age);
+    if (obs::enabled()) {
+        obs::Registry& reg = obs::registry();
+        reg.counter("dist.stale_uses").add(1);
+        reg.counter("dist.stale.part." + std::to_string(receiver)).add(1);
+        reg.gauge("dist.max_staleness")
+            .set(static_cast<double>(fault_.max_staleness));
+    }
+    if (!slot.valid) {
+        ++fault_.cold_misses;
+        fresh.fill(0.0f);
+        return fresh;
+    }
+    return slot.cached;
 }
 
 Matrix DistAggregator::forward(const Matrix& h, int layer) {
@@ -91,13 +130,19 @@ Matrix DistAggregator::forward(const Matrix& h, int layer) {
                 wire += bytes;
                 vanilla += src.payload_bytes();
             }
-            fabric_->record(plan.src_part, plan.dst_part, bytes);
+            const comm::SendOutcome sent =
+                fabric_->send(plan.src_part, plan.dst_part, bytes);
+            const Matrix& arrived =
+                fabric_->fault_model().active()
+                    ? resolve(stale_fwd_, pi, layer, sent.delivered, recon,
+                              plan.dst_part)
+                    : recon;
 
             const std::size_t halo_base =
                 ctx.local_nodes(plan.dst_part).size();
             Matrix& dst_stack = stacked[plan.dst_part];
             for (std::size_t i = 0; i < plan.dst_halo_slots.size(); ++i) {
-                const auto srow = recon.row(i);
+                const auto srow = arrived.row(i);
                 auto drow = dst_stack.row(halo_base + plan.dst_halo_slots[i]);
                 std::copy(srow.begin(), srow.end(), drow.begin());
             }
@@ -189,10 +234,16 @@ Matrix DistAggregator::backward(const Matrix& g, int layer) {
                 wire += bytes;
                 vanilla += grad_in.payload_bytes();
             }
-            fabric_->record(plan.dst_part, plan.src_part, bytes);
+            const comm::SendOutcome sent =
+                fabric_->send(plan.dst_part, plan.src_part, bytes);
+            const Matrix& arrived =
+                fabric_->fault_model().active()
+                    ? resolve(stale_bwd_, pi, layer, sent.delivered, grad_out,
+                              plan.src_part)
+                    : grad_out;
 
             for (std::size_t i = 0; i < plan.dbg.src_nodes.size(); ++i) {
-                const auto srow = grad_out.row(i);
+                const auto srow = arrived.row(i);
                 auto drow = out.row(plan.dbg.src_nodes[i]);
                 for (std::size_t c = 0; c < f; ++c) drow[c] += srow[c];
             }
@@ -216,6 +267,8 @@ DistTrainResult train_distributed(const graph::Dataset& data,
 
     DistContext ctx(data, parts, cfg.norm);
     comm::Fabric fabric(parts.num_parts, cfg.cost);
+    fabric.set_fault_model(cfg.fault);
+    fabric.set_retry_policy(cfg.retry);
     DistAggregator agg(ctx, fabric, compressor);
     gnn::GnnModel model(model_cfg);
     gnn::Adam opt(model.parameters(), cfg.adam);
@@ -234,6 +287,19 @@ DistTrainResult train_distributed(const graph::Dataset& data,
                            static_cast<double>(data.graph.num_nodes()));
         obs::record_config("trainer.feature_dim",
                            static_cast<double>(data.features.cols()));
+        if (cfg.fault.active()) {
+            obs::record_config("fault.drop_probability",
+                               cfg.fault.drop_probability);
+            obs::record_config("fault.straggler_probability",
+                               cfg.fault.straggler_probability);
+            obs::record_config("fault.seed",
+                               static_cast<double>(cfg.fault.seed));
+            obs::record_config("fault.down_windows",
+                               static_cast<double>(cfg.fault.down_windows.size()));
+            obs::record_config("retry.max_attempts",
+                               static_cast<double>(cfg.retry.max_attempts));
+            obs::record_config("retry.timeout_s", cfg.retry.timeout_s);
+        }
     }
 
     {
@@ -329,6 +395,27 @@ DistTrainResult train_distributed(const graph::Dataset& data,
         std::max(result.best_val_accuracy, result.val_accuracy);
     result.test_accuracy = gnn::evaluate_accuracy(
         model, eval_agg, data.features, data.labels, data.test_mask);
+
+    result.fault = agg.fault_summary();
+    result.fault.fabric = fabric.fault_stats();
+    if (obs::enabled() && cfg.fault.active()) {
+        obs::record_final("fault.drops",
+                          static_cast<double>(result.fault.fabric.drops));
+        obs::record_final("fault.retries",
+                          static_cast<double>(result.fault.fabric.retries));
+        obs::record_final("fault.failures",
+                          static_cast<double>(result.fault.fabric.failures));
+        obs::record_final(
+            "fault.link_down_hits",
+            static_cast<double>(result.fault.fabric.link_down_hits));
+        obs::record_final("fault.penalty_s", result.fault.fabric.penalty_s);
+        obs::record_final("fault.stale_uses",
+                          static_cast<double>(result.fault.stale_uses));
+        obs::record_final("fault.cold_misses",
+                          static_cast<double>(result.fault.cold_misses));
+        obs::record_final("fault.max_staleness",
+                          static_cast<double>(result.fault.max_staleness));
+    }
 
     if (obs::enabled()) {
         obs::record_final("train_accuracy", result.train_accuracy);

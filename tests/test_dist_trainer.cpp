@@ -3,6 +3,8 @@
 // trajectory must match the single-device reference to float tolerance.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "scgnn/dist/trainer.hpp"
 #include "scgnn/tensor/ops.hpp"
 
@@ -217,6 +219,105 @@ TEST(DistTrainer, DeeperModelsMoveMoreTraffic) {
     const auto r3 = train_distributed(d, parts, mc, cfg, v3);
     // 2-layer: 3 same-width exchanges; 3-layer: 5.
     EXPECT_NEAR(r3.mean_comm_mb / r2.mean_comm_mb, 5.0 / 3.0, 1e-3);
+}
+
+TEST(DistTrainer, FaultFreeRunReportsNoFaultActivity) {
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 2);
+    DistTrainConfig cfg;
+    cfg.epochs = 3;
+    VanillaExchange vanilla;
+    const DistTrainResult r =
+        train_distributed(d, parts, model_for(d), cfg, vanilla);
+    EXPECT_FALSE(r.fault.degraded());
+    EXPECT_EQ(r.fault.fabric.attempts, 0u);
+    EXPECT_EQ(r.fault.stale_uses, 0u);
+    EXPECT_EQ(r.fault.max_staleness, 0u);
+}
+
+TEST(DistTrainer, DegradedRunSurvivesAndKeepsLedgerConsistent) {
+    // A hostile schedule (40% drops, retry budget of 1) forces stale-halo
+    // fallbacks; training must finish every epoch with finite metrics and
+    // the fault ledger must reconcile.
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 4);
+    DistTrainConfig cfg;
+    cfg.epochs = 6;
+    cfg.fault.drop_probability = 0.4;
+    cfg.fault.seed = 31;
+    cfg.retry.max_attempts = 1;
+    cfg.retry.timeout_s = 1e-3;
+    VanillaExchange vanilla;
+    const DistTrainResult r =
+        train_distributed(d, parts, model_for(d), cfg, vanilla);
+
+    ASSERT_EQ(r.epoch_metrics.size(), 6u);
+    for (const EpochMetrics& m : r.epoch_metrics)
+        EXPECT_TRUE(std::isfinite(m.loss));
+    EXPECT_GT(r.test_accuracy, 1.0 / d.num_classes);  // still learned
+
+    const FaultSummary& f = r.fault;
+    EXPECT_TRUE(f.degraded());
+    EXPECT_GT(f.fabric.drops, 0u);
+    EXPECT_GT(f.fabric.failures, 0u);
+    EXPECT_GT(f.max_staleness, 0u);
+    EXPECT_EQ(f.fabric.drops + f.fabric.link_down_hits,
+              f.fabric.retries + f.fabric.failures);
+    EXPECT_EQ(f.stale_uses, f.fabric.failures);
+    std::uint64_t by_part = 0;
+    for (std::uint64_t s : f.stale_by_part) by_part += s;
+    EXPECT_EQ(by_part, f.stale_uses);
+    // Timeout penalties surface in the modelled comm time.
+    EXPECT_GT(f.fabric.penalty_s, 0.0);
+}
+
+TEST(DistTrainer, RetryBudgetConvertsFailuresIntoRetries) {
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 4);
+    DistTrainConfig cfg;
+    cfg.epochs = 4;
+    cfg.fault.drop_probability = 0.25;
+    cfg.fault.seed = 5;
+    cfg.retry.timeout_s = 1e-3;
+    VanillaExchange v1, v8;
+
+    cfg.retry.max_attempts = 1;
+    const DistTrainResult tight =
+        train_distributed(d, parts, model_for(d), cfg, v1);
+    cfg.retry.max_attempts = 8;
+    const DistTrainResult roomy =
+        train_distributed(d, parts, model_for(d), cfg, v8);
+
+    // With a single attempt every drop is a failure; with eight attempts
+    // nearly all sends eventually land, trading failures for retries.
+    EXPECT_EQ(tight.fault.fabric.retries, 0u);
+    EXPECT_GT(tight.fault.fabric.failures, 0u);
+    EXPECT_GT(roomy.fault.fabric.retries, 0u);
+    EXPECT_LT(roomy.fault.fabric.failures, tight.fault.fabric.failures);
+    EXPECT_LT(roomy.fault.stale_uses, tight.fault.stale_uses);
+    // The retry wire traffic is visible in the volume ledger.
+    EXPECT_GT(roomy.mean_comm_mb, tight.mean_comm_mb);
+}
+
+TEST(DistTrainer, FaultScheduleIsDeterministicPerSeed) {
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 3);
+    DistTrainConfig cfg;
+    cfg.epochs = 4;
+    cfg.fault.drop_probability = 0.3;
+    cfg.fault.seed = 123;
+    cfg.retry.max_attempts = 2;
+    auto run = [&]() {
+        VanillaExchange vanilla;
+        return train_distributed(d, parts, model_for(d), cfg, vanilla);
+    };
+    const DistTrainResult a = run();
+    const DistTrainResult b = run();
+    EXPECT_EQ(a.fault.fabric.drops, b.fault.fabric.drops);
+    EXPECT_EQ(a.fault.stale_uses, b.fault.stale_uses);
+    EXPECT_EQ(a.fault.max_staleness, b.fault.max_staleness);
+    for (std::size_t e = 0; e < a.epoch_metrics.size(); ++e)
+        EXPECT_EQ(a.epoch_metrics[e].loss, b.epoch_metrics[e].loss);  // bitwise
 }
 
 TEST(DistTrainer, ValidatesConfig) {

@@ -1,0 +1,197 @@
+// Golden-value regression tier: exact (%.17g) compression ratios, epoch
+// losses and final accuracies for the four DatasetPresets at fixed seeds,
+// plus a fault-schedule run (drop=0.2, retry-max=3, one link-down window)
+// whose counters and degraded trajectory are pinned too. Bitwise equality
+// is sound because the whole pipeline is deterministic at any thread
+// count (PR 1) and the fault schedule is counter-based per link.
+//
+// On mismatch the test prints the one-line regen command; run it after an
+// *intentional* numeric change and commit the refreshed JSON:
+//   SCGNN_GOLDEN_REGEN=1 ./build/tests/test_golden
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scgnn/common/parallel.hpp"
+#include "scgnn/core/framework.hpp"
+
+namespace scgnn::core {
+namespace {
+
+constexpr double kScale = 0.1;
+constexpr std::uint32_t kEpochs = 6;
+constexpr std::uint64_t kSeed = 7;
+
+PipelineConfig golden_cfg(const graph::Dataset& d) {
+    PipelineConfig cfg;
+    cfg.num_parts = 4;
+    cfg.model.in_dim = static_cast<std::uint32_t>(d.features.cols());
+    cfg.model.hidden_dim = 32;
+    cfg.model.out_dim = d.num_classes;
+    cfg.train.epochs = kEpochs;
+    cfg.method.semantic.grouping.kmeans_k = 12;
+    return cfg;
+}
+
+/// The acceptance fault schedule: 20% drops with a 3-attempt retry
+/// budget, plus one scheduled outage of link 0→1.
+void add_fault_schedule(PipelineConfig& cfg) {
+    cfg.train.fault.drop_probability = 0.2;
+    cfg.train.fault.seed = 2024;
+    cfg.train.fault.down_windows.push_back(
+        comm::LinkDownWindow{.src = 0, .dst = 1,
+                             .first_epoch = 1, .last_epoch = 2});
+    cfg.train.retry.max_attempts = 3;
+    cfg.train.retry.timeout_s = 2e-3;
+}
+
+std::string g17(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/// Canonical golden serialisation. Only modelled/deterministic quantities
+/// appear — measured wall times (compute_ms, epoch_ms) are excluded.
+std::string render(const std::string& preset, const PipelineResult& r,
+                   bool with_faults) {
+    std::ostringstream o;
+    o << "{\n";
+    o << "  \"schema\": \"scgnn.golden/1\",\n";
+    o << "  \"preset\": \"" << preset << "\",\n";
+    o << "  \"config\": {\"scale\": " << g17(kScale)
+      << ", \"epochs\": " << kEpochs << ", \"parts\": 4, \"groups\": 12"
+      << ", \"seed\": " << kSeed << ", \"hidden\": 32";
+    if (with_faults)
+        o << ", \"fault_drop\": " << g17(0.2) << ", \"fault_seed\": 2024"
+          << ", \"link_down\": \"0:1:1:2\", \"retry_max\": 3"
+          << ", \"timeout_s\": " << g17(2e-3);
+    o << "},\n";
+    o << "  \"cross_edges\": " << r.cross_edges << ",\n";
+    o << "  \"wire_rows\": " << r.wire_rows << ",\n";
+    o << "  \"num_groups\": " << r.num_groups << ",\n";
+    o << "  \"compression_ratio\": " << g17(r.compression_ratio) << ",\n";
+    o << "  \"epoch_loss\": [";
+    for (std::size_t e = 0; e < r.train.epoch_metrics.size(); ++e)
+        o << (e ? ", " : "") << g17(r.train.epoch_metrics[e].loss);
+    o << "],\n";
+    o << "  \"final_loss\": " << g17(r.train.final_loss) << ",\n";
+    o << "  \"train_accuracy\": " << g17(r.train.train_accuracy) << ",\n";
+    o << "  \"val_accuracy\": " << g17(r.train.val_accuracy) << ",\n";
+    o << "  \"test_accuracy\": " << g17(r.train.test_accuracy) << ",\n";
+    o << "  \"mean_comm_mb\": " << g17(r.train.mean_comm_mb) << ",\n";
+    o << "  \"mean_comm_ms\": " << g17(r.train.mean_comm_ms);
+    if (with_faults) {
+        const dist::FaultSummary& f = r.train.fault;
+        o << ",\n  \"fault\": {"
+          << "\"attempts\": " << f.fabric.attempts
+          << ", \"delivered\": " << f.fabric.delivered
+          << ", \"drops\": " << f.fabric.drops
+          << ", \"link_down_hits\": " << f.fabric.link_down_hits
+          << ", \"retries\": " << f.fabric.retries
+          << ", \"failures\": " << f.fabric.failures
+          << ", \"penalty_s\": " << g17(f.fabric.penalty_s)
+          << ", \"stale_uses\": " << f.stale_uses
+          << ", \"cold_misses\": " << f.cold_misses
+          << ", \"max_staleness\": " << f.max_staleness << "}";
+    }
+    o << "\n}\n";
+    return o.str();
+}
+
+std::string golden_path(const std::string& name) {
+    return std::string(SCGNN_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+bool regen_mode() { return std::getenv("SCGNN_GOLDEN_REGEN") != nullptr; }
+
+void check_golden(const std::string& name, const std::string& got) {
+    const std::string path = golden_path(name);
+    if (regen_mode()) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << got;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path << "\nregenerate with:\n"
+        << "  SCGNN_GOLDEN_REGEN=1 ./build/tests/test_golden";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(expected.str(), got)
+        << "golden mismatch for " << path
+        << "\nIf this numeric change is intentional, regenerate with:\n"
+        << "  SCGNN_GOLDEN_REGEN=1 ./build/tests/test_golden\n"
+        << "and commit the refreshed tests/golden/*.json.";
+}
+
+PipelineResult run_preset(graph::DatasetPreset preset, bool with_faults) {
+    const graph::Dataset d = graph::make_dataset(preset, kScale, kSeed);
+    PipelineConfig cfg = golden_cfg(d);
+    if (with_faults) add_fault_schedule(cfg);
+    return run_pipeline(d, cfg);
+}
+
+class GoldenPreset
+    : public ::testing::TestWithParam<
+          std::pair<graph::DatasetPreset, const char*>> {};
+
+TEST_P(GoldenPreset, MatchesCheckedInValues) {
+    const auto [preset, name] = GetParam();
+    const PipelineResult r = run_preset(preset, /*with_faults=*/false);
+    // A fault-free run must report all-zero recovery counters.
+    EXPECT_FALSE(r.train.fault.degraded());
+    EXPECT_EQ(r.train.fault.fabric.attempts, 0u);
+    check_golden(name, render(name, r, /*with_faults=*/false));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, GoldenPreset,
+    ::testing::Values(
+        std::pair{graph::DatasetPreset::kRedditSim, "reddit"},
+        std::pair{graph::DatasetPreset::kYelpSim, "yelp"},
+        std::pair{graph::DatasetPreset::kOgbnProductsSim, "ogbn"},
+        std::pair{graph::DatasetPreset::kPubMedSim, "pubmed"}));
+
+TEST(GoldenFaultSchedule, PinnedAndConvergesNearFaultFree) {
+    const PipelineResult faulted =
+        run_preset(graph::DatasetPreset::kPubMedSim, /*with_faults=*/true);
+    const dist::FaultSummary& f = faulted.train.fault;
+
+    // The schedule must actually have fired: nonzero drop/retry counters,
+    // link-down hits from the scheduled window, and the per-attempt
+    // bookkeeping invariant.
+    EXPECT_GT(f.fabric.drops, 0u);
+    EXPECT_GT(f.fabric.retries, 0u);
+    EXPECT_GT(f.fabric.link_down_hits, 0u);
+    EXPECT_GT(f.fabric.penalty_s, 0.0);
+    EXPECT_EQ(f.fabric.drops + f.fabric.link_down_hits,
+              f.fabric.retries + f.fabric.failures);
+    EXPECT_EQ(f.stale_uses, f.fabric.failures);
+
+    // Degraded-halo recovery, not divergence: within 2 accuracy points of
+    // the fault-free trajectory (the acceptance bar).
+    const PipelineResult clean =
+        run_preset(graph::DatasetPreset::kPubMedSim, /*with_faults=*/false);
+    EXPECT_NEAR(faulted.train.test_accuracy, clean.train.test_accuracy, 0.02);
+
+    check_golden("pubmed_faults", render("pubmed", faulted, true));
+}
+
+TEST(GoldenFaultSchedule, BitwiseReproducibleAcrossThreadCounts) {
+    auto run_at = [&](unsigned threads) {
+        ThreadCountGuard guard(threads);
+        return run_preset(graph::DatasetPreset::kPubMedSim, true);
+    };
+    const std::string at1 = render("pubmed", run_at(1), true);
+    const std::string at4 = render("pubmed", run_at(4), true);
+    EXPECT_EQ(at1, at4);
+}
+
+} // namespace
+} // namespace scgnn::core

@@ -5,12 +5,16 @@
 //   * the semantic aggregate preserves group mass and is exact on full maps,
 //   * compression never inflates volume,
 //   * the compressed backward stays the adjoint of the compressed forward,
-//   * quantisation round-trips within its step bound.
+//   * quantisation round-trips within its step bound,
+//   * randomized fault schedules never abort training and keep the
+//     drop/retry/staleness ledgers consistent.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
 #include <set>
 
+#include "scgnn/core/framework.hpp"
 #include "scgnn/core/semantic_aggregate.hpp"
 #include "scgnn/core/semantic_compressor.hpp"
 #include "scgnn/tensor/ops.hpp"
@@ -216,6 +220,105 @@ TEST_P(FuzzSeed, QuantRoundTripBound) {
         EXPECT_LE(tensor::max_abs_diff(m, tensor::dequantize(q)),
                   q.scale * 0.5f + 1e-5f);
     }
+}
+
+/// Small end-to-end pipeline config shared by the fault-schedule fuzzers.
+PipelineConfig fault_fuzz_cfg(const graph::Dataset& d) {
+    PipelineConfig cfg;
+    cfg.num_parts = 4;
+    cfg.model.in_dim = static_cast<std::uint32_t>(d.features.cols());
+    cfg.model.hidden_dim = 16;
+    cfg.model.out_dim = d.num_classes;
+    cfg.train.epochs = 4;
+    cfg.method.semantic.grouping.kmeans_k = 8;
+    return cfg;
+}
+
+TEST_P(FuzzSeed, FaultScheduleInvariants) {
+    // A randomized fault schedule — drop rate in [0, 0.5), random link-down
+    // windows, random retry budget — must degrade the run, never abort it,
+    // and every counter ledger has to stay mutually consistent.
+    Rng rng(GetParam() ^ 0x6666);
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, 0.08, GetParam());
+    PipelineConfig cfg = fault_fuzz_cfg(d);
+    cfg.train.fault.drop_probability = rng.uniform() * 0.5;
+    cfg.train.fault.seed = rng.uniform_u64(1u << 20);
+    const auto num_windows = static_cast<std::uint32_t>(rng.uniform_u64(3));
+    for (std::uint32_t w = 0; w < num_windows; ++w) {
+        comm::LinkDownWindow win;
+        win.src = static_cast<std::uint32_t>(rng.index(4));
+        do {
+            win.dst = static_cast<std::uint32_t>(rng.index(4));
+        } while (win.dst == win.src);
+        win.first_epoch = static_cast<std::uint32_t>(rng.index(4));
+        win.last_epoch =
+            win.first_epoch + static_cast<std::uint32_t>(rng.index(3));
+        cfg.train.fault.down_windows.push_back(win);
+    }
+    cfg.train.retry.max_attempts = 1 + static_cast<std::uint32_t>(rng.index(4));
+    cfg.train.retry.timeout_s = 1e-3;
+
+    const PipelineResult r = run_pipeline(d, cfg);
+
+    // Training survived (we got here) and produced finite, sane metrics.
+    ASSERT_EQ(r.train.epoch_metrics.size(), cfg.train.epochs);
+    for (const auto& em : r.train.epoch_metrics)
+        EXPECT_TRUE(std::isfinite(em.loss)) << "loss diverged";
+    EXPECT_GE(r.train.test_accuracy, 0.0);
+    EXPECT_LE(r.train.test_accuracy, 1.0);
+
+    const dist::FaultSummary& f = r.train.fault;
+    // Every failed attempt is either retried or ends its send in failure.
+    EXPECT_EQ(f.fabric.drops + f.fabric.link_down_hits,
+              f.fabric.retries + f.fabric.failures);
+    // Attempts decompose into first tries (delivered or failed) + retries.
+    EXPECT_EQ(f.fabric.attempts,
+              f.fabric.delivered + f.fabric.failures + f.fabric.retries);
+    // Each failed send falls back to exactly one stale (or cold) halo use.
+    EXPECT_EQ(f.stale_uses, f.fabric.failures);
+    EXPECT_LE(f.cold_misses, f.stale_uses);
+    std::uint64_t by_part = 0;
+    for (std::uint64_t s : f.stale_by_part) by_part += s;
+    EXPECT_EQ(by_part, f.stale_uses);
+    EXPECT_EQ(f.degraded(), f.stale_uses != 0);
+    if (f.stale_uses != 0) {
+        EXPECT_GT(f.max_staleness, 0u);
+    }
+    if (cfg.train.fault.drop_probability == 0.0 && num_windows == 0) {
+        EXPECT_FALSE(f.degraded());
+    }
+}
+
+TEST_P(FuzzSeed, InertFaultScheduleMatchesFaultFreeRun) {
+    // A schedule that is armed but can never fire (zero drop rate, one
+    // link-down window entirely past the run) must reproduce the fault-free
+    // run byte-for-byte, even though the fabric takes the full send/resolve
+    // path and consumes RNG draws.
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, 0.08, GetParam());
+    const PipelineConfig clean_cfg = fault_fuzz_cfg(d);
+    PipelineConfig inert_cfg = clean_cfg;
+    inert_cfg.train.fault.seed = GetParam();
+    inert_cfg.train.fault.down_windows.push_back(
+        comm::LinkDownWindow{.src = 0, .dst = 1,
+                             .first_epoch = 100, .last_epoch = 200});
+    ASSERT_TRUE(inert_cfg.train.fault.active());
+
+    const PipelineResult clean = run_pipeline(d, clean_cfg);
+    const PipelineResult inert = run_pipeline(d, inert_cfg);
+
+    ASSERT_EQ(clean.train.epoch_metrics.size(),
+              inert.train.epoch_metrics.size());
+    for (std::size_t e = 0; e < clean.train.epoch_metrics.size(); ++e)
+        EXPECT_EQ(clean.train.epoch_metrics[e].loss,
+                  inert.train.epoch_metrics[e].loss);  // bitwise
+    EXPECT_EQ(clean.train.test_accuracy, inert.train.test_accuracy);
+    EXPECT_EQ(clean.train.val_accuracy, inert.train.val_accuracy);
+    EXPECT_EQ(clean.train.mean_comm_mb, inert.train.mean_comm_mb);
+    EXPECT_EQ(clean.train.mean_comm_ms, inert.train.mean_comm_ms);
+    EXPECT_FALSE(inert.train.fault.degraded());
+    EXPECT_DOUBLE_EQ(inert.train.fault.fabric.penalty_s, 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,
