@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
     cfg.method.semantic = benchutil::semantic_cfg();
 
     // Fault-free reference row.
-    cfg.train.fault = comm::FaultModel{};
+    cfg.train.comm.fault = comm::FaultModel{};
     const core::PipelineResult base = core::run_pipeline(data, cfg);
     std::printf("# fault-free: acc=%.4f epoch_ms=%.3f\n",
                 base.train.test_accuracy, base.train.mean_epoch_ms);
@@ -35,10 +35,10 @@ int main(int argc, char** argv) {
              "retries", "fails", "stale", "max stale"});
     for (const double drop : {0.05, 0.1, 0.2, 0.3}) {
         for (const std::uint32_t retries : {1u, 2u, 4u}) {
-            cfg.train.fault = opt.common.fault;
-            cfg.train.fault.drop_probability = drop;
-            cfg.train.retry = opt.common.retry;
-            cfg.train.retry.max_attempts = retries;
+            cfg.train.comm.fault = opt.common.fault;
+            cfg.train.comm.fault.drop_probability = drop;
+            cfg.train.comm.retry = opt.common.retry;
+            cfg.train.comm.retry.max_attempts = retries;
             const core::PipelineResult res = core::run_pipeline(data, cfg);
             const dist::FaultSummary& f = res.train.fault;
             t.add_row({Table::num(drop, 2), Table::num(std::uint64_t{retries}),

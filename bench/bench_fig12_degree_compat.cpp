@@ -4,6 +4,7 @@
 #include "bench_util.hpp"
 
 #include "scgnn/core/grouping.hpp"
+#include "scgnn/dist/factory.hpp"
 #include "scgnn/graph/bipartite.hpp"
 
 int main(int argc, char** argv) {
@@ -67,21 +68,16 @@ int main(int argc, char** argv) {
     dist::DistTrainConfig cfg = benchutil::train_cfg(opt);
     cfg.record_epochs = false;
 
-    auto stage = [&](core::Method m)
-        -> std::unique_ptr<dist::BoundaryCompressor> {
-        core::MethodConfig c;
-        c.method = m;
-        c.sampling.rate = 0.3;
-        c.quant.bits = 8;
-        c.delay.period = 2;
-        c.semantic = benchutil::semantic_cfg();
-        return core::make_compressor(c);
-    };
+    dist::CompressorOptions stage_opts;
+    stage_opts.sampling.rate = 0.3;
+    stage_opts.quant.bits = 8;
+    stage_opts.delay.period = 2;
+    stage_opts.semantic = benchutil::semantic_cfg();
 
     double vanilla_mb = 0.0;
     {
-        dist::VanillaExchange v;
-        vanilla_mb = train_distributed(d, parts, mc, cfg, v).mean_comm_mb;
+        const auto v = dist::make_compressor("vanilla");
+        vanilla_mb = train_distributed(d, parts, mc, cfg, *v).mean_comm_mb;
     }
 
     Table compat({"combination", "volume fraction", "test acc", "verdict"});
@@ -95,12 +91,11 @@ int main(int argc, char** argv) {
     };
     const double chance = 1.0 / d.num_classes;
     for (const auto& [a, b] : pairs) {
-        std::vector<std::unique_ptr<dist::BoundaryCompressor>> stages;
-        stages.push_back(stage(a));
-        stages.push_back(stage(b));
-        core::ComposedCompressor comp(std::move(stages));
-        const std::string name = comp.name();
-        const auto r = train_distributed(d, parts, mc, cfg, comp);
+        // "x+y" factory names build the composed stack directly.
+        const std::string name = std::string(core::method_key(a)) + "+" +
+                                 core::method_key(b);
+        const auto comp = dist::make_compressor(name, stage_opts);
+        const auto r = train_distributed(d, parts, mc, cfg, *comp);
         const bool converged = r.test_accuracy > chance + 0.1;
         compat.add_row({name, Table::pct(r.mean_comm_mb / vanilla_mb),
                         Table::pct(r.test_accuracy),

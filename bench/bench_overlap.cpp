@@ -1,0 +1,64 @@
+// Additive vs overlap epoch pricing: trains each method under both cost
+// modes and reports how much of the modelled communication the per-link
+// event timeline hides behind local compute (comm/timeline.hpp,
+// DESIGN.md §9). The additive column is the legacy `compute + comm` sum;
+// the overlap column is the scheduled makespan of the same epochs —
+// never larger, and smaller exactly by the hidden communication.
+//
+// Extra flags: the shared set only (see bench_util.hpp); `--overlap` is
+// ignored here since both modes are always run.
+#include "bench_util.hpp"
+
+#include "scgnn/dist/factory.hpp"
+
+int main(int argc, char** argv) {
+    using namespace scgnn;
+    const auto opt = benchutil::parse_options(argc, argv);
+
+    std::printf("== Overlap timeline: additive sum vs scheduled makespan "
+                "(4 partitions, node-cut) ==\n");
+    Table table({"dataset", "method", "additive ms", "overlap ms",
+                 "hidden ms", "exposed ms", "hidden share"});
+    for (graph::DatasetPreset preset : graph::all_presets()) {
+        const graph::Dataset d =
+            graph::make_dataset(preset, opt.scale, opt.seed);
+        const auto parts = partition::make_partitioning(
+            partition::PartitionAlgo::kNodeCut, d.graph, 4, opt.seed);
+        const gnn::GnnConfig mc = benchutil::model_for(d);
+
+        for (const char* method : {"vanilla", "ours"}) {
+            dist::CompressorOptions copts;
+            copts.semantic = benchutil::semantic_cfg();
+
+            dist::DistTrainConfig cfg = benchutil::train_cfg(opt);
+            cfg.epochs = std::max(5u, opt.epochs / 3);
+            cfg.record_epochs = false;
+
+            cfg.comm.mode = comm::CostModel::Mode::kAdditive;
+            const auto additive_comp = dist::make_compressor(method, copts);
+            const auto ra =
+                train_distributed(d, parts, mc, cfg, *additive_comp);
+
+            cfg.comm.mode = comm::CostModel::Mode::kOverlap;
+            const auto overlap_comp = dist::make_compressor(method, copts);
+            const auto ro =
+                train_distributed(d, parts, mc, cfg, *overlap_comp);
+
+            const double hidden = ro.mean_overlap_ms;
+            table.add_row(
+                {d.name, method, Table::num(ra.mean_epoch_ms, 1),
+                 Table::num(ro.mean_epoch_ms, 1), Table::num(hidden, 1),
+                 Table::num(ro.mean_comm_exposed_ms, 1),
+                 ro.mean_comm_ms > 0.0
+                     ? Table::pct(hidden / ro.mean_comm_ms)
+                     : std::string("-")});
+        }
+    }
+    std::printf("\n%s\n", table.str().c_str());
+    std::printf("reading: the overlap makespan prices the same compute "
+                "budget and send set as the additive sum, so the gap is "
+                "pure scheduling — communication that flies while the "
+                "SpMM runs. Vanilla has the most traffic to hide; after "
+                "semantic compression there is little left either way.\n");
+    return 0;
+}

@@ -7,6 +7,7 @@
 #include "bench_util.hpp"
 
 #include "scgnn/common/timer.hpp"
+#include "scgnn/dist/factory.hpp"
 
 int main(int argc, char** argv) {
     using namespace scgnn;
@@ -32,10 +33,12 @@ int main(int argc, char** argv) {
         probe.setup(ctx);
         const double setup_ms = setup_timer.millis();
 
-        dist::VanillaExchange vanilla;
-        const auto rv = train_distributed(d, parts, mc, cfg, vanilla);
-        core::SemanticCompressor ours(benchutil::semantic_cfg());
-        const auto ro = train_distributed(d, parts, mc, cfg, ours);
+        dist::CompressorOptions opts;
+        opts.semantic = benchutil::semantic_cfg();
+        const auto vanilla = dist::make_compressor("vanilla");
+        const auto rv = train_distributed(d, parts, mc, cfg, *vanilla);
+        const auto ours = dist::make_compressor("ours", opts);
+        const auto ro = train_distributed(d, parts, mc, cfg, *ours);
 
         const double saved = rv.mean_epoch_ms - ro.mean_epoch_ms;
         table.add_row(

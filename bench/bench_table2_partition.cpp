@@ -3,6 +3,8 @@
 // (4 partitions, as the paper's middle column).
 #include "bench_util.hpp"
 
+#include "scgnn/dist/factory.hpp"
+
 int main(int argc, char** argv) {
     using namespace scgnn;
     const auto opt = benchutil::parse_options(argc, argv);
@@ -27,10 +29,12 @@ int main(int argc, char** argv) {
             dist::DistTrainConfig cfg = benchutil::train_cfg(opt);
             cfg.record_epochs = false;
 
-            dist::VanillaExchange vanilla;
-            const auto rv = train_distributed(d, parts, mc, cfg, vanilla);
-            core::SemanticCompressor ours(benchutil::semantic_cfg());
-            const auto ro = train_distributed(d, parts, mc, cfg, ours);
+            dist::CompressorOptions opts;
+            opts.semantic = benchutil::semantic_cfg();
+            const auto vanilla = dist::make_compressor("vanilla");
+            const auto rv = train_distributed(d, parts, mc, cfg, *vanilla);
+            const auto ours = dist::make_compressor("ours", opts);
+            const auto ro = train_distributed(d, parts, mc, cfg, *ours);
 
             if (algo == partition::PartitionAlgo::kNodeCut)
                 node_cut_cv = ro.mean_comm_mb;

@@ -52,7 +52,9 @@ inline const char* log_level_name(LogLevel l) {
 
 /// The CLI flags every bench *and* scgnn_cli share, declared exactly once:
 /// `--threads <n>`, `--log-level <debug|info|warn|error>`,
-/// `--obs-out <prefix>`, plus the fault-injection set
+/// `--obs-out <prefix>`, `--overlap` (price epochs with the event-driven
+/// overlap timeline instead of the additive sum — see comm/timeline.hpp),
+/// plus the fault-injection set
 /// `--fault-drop <p>`, `--fault-seed <n>`,
 /// `--fault-link-down <src:dst:from:to>` (repeatable),
 /// `--retry-max <n>` and `--timeout <s>`.
@@ -63,6 +65,7 @@ inline const char* log_level_name(LogLevel l) {
 struct CommonFlags {
     unsigned threads = 0;         ///< 0 = SCGNN_THREADS env / all cores
     std::string obs_out;          ///< non-empty = obs enabled, output prefix
+    bool overlap = false;         ///< --overlap: timeline cost mode
     comm::FaultModel fault{};     ///< inactive unless a --fault-* flag set
     comm::RetryPolicy retry{};
 
@@ -91,6 +94,8 @@ struct CommonFlags {
             set_log_level(level);
         } else if (std::strcmp(argv[i], "--obs-out") == 0) {
             obs_out = value("--obs-out");
+        } else if (std::strcmp(argv[i], "--overlap") == 0) {
+            overlap = true;  // flag only, no value
         } else if (std::strcmp(argv[i], "--fault-drop") == 0) {
             fault.drop_probability = std::atof(value("--fault-drop"));
         } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
@@ -130,10 +135,12 @@ struct CommonFlags {
         threads = num_threads();
     }
 
-    /// Copy the fault schedule and retry policy into a train config.
+    /// Copy the comm-facing flags (fault schedule, retry policy, cost
+    /// mode) into a train config's CommPolicy.
     void apply(dist::DistTrainConfig& cfg) const {
-        cfg.fault = fault;
-        cfg.retry = retry;
+        cfg.comm.fault = fault;
+        cfg.comm.retry = retry;
+        if (overlap) cfg.comm.mode = comm::CostModel::Mode::kOverlap;
     }
 };
 
@@ -164,10 +171,11 @@ inline Options parse_options(int argc, char** argv) {
     opt.obs_out = opt.common.obs_out;
     std::printf(
         "# options: scale=%.2f epochs=%u seed=%llu threads=%u "
-        "log-level=%s obs=%s\n",
+        "log-level=%s obs=%s mode=%s\n",
         opt.scale, opt.epochs, static_cast<unsigned long long>(opt.seed),
         opt.threads, log_level_name(log_level()),
-        opt.obs_out.empty() ? "off" : opt.obs_out.c_str());
+        opt.obs_out.empty() ? "off" : opt.obs_out.c_str(),
+        opt.common.overlap ? "overlap" : "additive");
     if (opt.common.fault.active())
         std::printf("# faults: drop=%.3f seed=%llu down-windows=%zu "
                     "retry-max=%u timeout=%gs\n",

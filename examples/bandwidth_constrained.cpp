@@ -13,6 +13,7 @@
 
 #include "scgnn/common/table.hpp"
 #include "scgnn/core/framework.hpp"
+#include "scgnn/dist/factory.hpp"
 
 int main() {
     using namespace scgnn;
@@ -37,8 +38,8 @@ int main() {
     cfg.epochs = 30;
     // A starved interconnect: 60 MB/s effective, 200 µs per message —
     // think shared 1GbE between commodity boxes.
-    cfg.cost.bandwidth_bytes_per_s = 60e6;
-    cfg.cost.latency_s = 200e-6;
+    cfg.comm.cost.bandwidth_bytes_per_s = 60e6;
+    cfg.comm.cost.latency_s = 200e-6;
 
     Table table({"deployment", "comm MB/ep", "comm ms", "compute ms",
                  "epoch ms", "comm share", "test acc"});
@@ -53,27 +54,29 @@ int main() {
         return r;
     };
 
-    dist::VanillaExchange vanilla;
-    std::printf("training vanilla...\n");
-    const auto rv = report("vanilla", vanilla);
+    dist::CompressorOptions opts;
+    opts.semantic.grouping.kmeans_k = 20;
 
-    core::SemanticCompressorConfig sc;
-    sc.grouping.kmeans_k = 20;
-    core::SemanticCompressor ours(sc);
+    const auto vanilla = dist::make_compressor("vanilla");
+    std::printf("training vanilla...\n");
+    const auto rv = report("vanilla", *vanilla);
+
+    const auto ours = dist::make_compressor("ours", opts);
     std::printf("training SC-GNN...\n");
-    const auto ro = report("sc-gnn", ours);
+    const auto ro = report("sc-gnn", *ours);
 
     // Sampling at SC-GNN's volume (the §5.2 equalisation).
-    const double rate =
+    opts.sampling.rate =
         std::max(0.02, ro.mean_comm_mb / std::max(1e-9, rv.mean_comm_mb));
-    baselines::SamplingCompressor samp({.rate = rate});
-    std::printf("training sampling at matched volume (rate=%.3f)...\n", rate);
-    (void)report("sampling@same-volume", samp);
+    const auto samp = dist::make_compressor("sampling", opts);
+    std::printf("training sampling at matched volume (rate=%.3f)...\n",
+                opts.sampling.rate);
+    (void)report("sampling@same-volume", *samp);
 
-    sc.drop = core::DropMask::without_o2o();
-    core::SemanticCompressor ours_diff(sc);
+    opts.semantic.drop = core::DropMask::without_o2o();
+    const auto ours_diff = dist::make_compressor("ours", opts);
     std::printf("training SC-GNN without-O2O (differential)...\n");
-    (void)report("sc-gnn w/o O2O", ours_diff);
+    (void)report("sc-gnn w/o O2O", *ours_diff);
 
     std::printf("\n%s\n", table.str().c_str());
     std::printf("reading: on a starved link the vanilla epoch is "

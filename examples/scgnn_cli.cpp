@@ -11,6 +11,7 @@
 //             [--drop-o2o] [--sage|--gin] [--dropout <p>] [--seed <n>]
 //             [--threads <n>] [--save <dir>]
 //             [--log-level debug|info|warn|error] [--obs-out <prefix>]
+//             [--overlap]
 //             [--fault-drop <p>] [--fault-seed <n>]
 //             [--fault-link-down <src:dst:from:to>] [--retry-max <n>]
 //             [--timeout <s>] [--max-staleness <n>]
@@ -18,6 +19,11 @@
 // `--obs-out run` turns on observability and writes `run.trace.json`
 // (Chrome trace_event — open in about://tracing or ui.perfetto.dev) and
 // `run.report.json` (per-run telemetry ledger) when the run finishes.
+//
+// `--overlap` prices each epoch with the event-driven per-link timeline
+// (epoch ms = makespan of overlapped compute and transfers, see
+// comm/timeline.hpp) instead of the additive compute+comm sum, and adds
+// the overlap breakdown rows to the result table.
 //
 // The `--fault-*`/`--retry-max`/`--timeout` flags inject a deterministic
 // fault schedule into the fabric (see comm/fault.hpp). Exit codes: 0 on
@@ -28,6 +34,7 @@
 // Examples:
 //   scgnn_cli --dataset reddit --parts 4 --method ours --drop-o2o
 //   scgnn_cli --dataset yelp --method sampling --rate 0.1
+//   scgnn_cli --dataset reddit --method vanilla --overlap
 //   scgnn_cli --dataset pubmed --method ours --obs-out run
 //   scgnn_cli --dataset pubmed --fault-drop 0.2 --retry-max 3 --max-staleness 4
 //   scgnn_cli --dataset pubmed --save /tmp/pubmed && scgnn_cli --load /tmp/pubmed
@@ -62,12 +69,10 @@ graph::DatasetPreset parse_preset(const std::string& s) {
 }
 
 core::Method parse_method(const std::string& s) {
-    if (s == "vanilla") return core::Method::kVanilla;
-    if (s == "sampling") return core::Method::kSampling;
-    if (s == "quant") return core::Method::kQuant;
-    if (s == "delay") return core::Method::kDelay;
-    if (s == "ours") return core::Method::kSemantic;
-    usage("unknown method (use vanilla|sampling|quant|delay|ours)");
+    core::Method m;
+    if (!core::parse_method(s, m))
+        usage("unknown method (use vanilla|sampling|quant|delay|ours)");
+    return m;
 }
 
 partition::PartitionAlgo parse_partition(const std::string& s) {
@@ -177,13 +182,19 @@ int main(int argc, char** argv) {
     t.add_row({"epoch ms", Table::num(res.train.mean_epoch_ms, 2)});
     t.add_row({"  comm ms", Table::num(res.train.mean_comm_ms, 2)});
     t.add_row({"  compute ms", Table::num(res.train.mean_compute_ms, 2)});
+    if (cfg.train.comm.overlap()) {
+        t.add_row({"  comm hidden ms",
+                   Table::num(res.train.mean_overlap_ms, 2)});
+        t.add_row({"  comm exposed ms",
+                   Table::num(res.train.mean_comm_exposed_ms, 2)});
+    }
     t.add_row({"cross edges", Table::num(res.cross_edges)});
     t.add_row({"semantic wire rows", Table::num(res.wire_rows)});
     t.add_row({"compression ratio", Table::num(res.compression_ratio, 1) + "x"});
     t.add_row({"semantic groups", Table::num(std::uint64_t{res.num_groups})});
     t.add_row({"mean group size", Table::num(res.mean_group_size, 1)});
     const dist::FaultSummary& fault = res.train.fault;
-    if (cfg.train.fault.active()) {
+    if (cfg.train.comm.fault.active()) {
         t.add_row({"fault drops", Table::num(fault.fabric.drops)});
         t.add_row({"fault retries", Table::num(fault.fabric.retries)});
         t.add_row({"fault failures", Table::num(fault.fabric.failures)});

@@ -22,6 +22,14 @@ namespace scgnn::comm {
 
 /// α–β point-to-point cost model.
 struct CostModel {
+    /// How the trainer turns per-epoch costs into an epoch time. Lives
+    /// here (not on the trainer) because it is a property of the cost
+    /// model semantics: kAdditive keeps the legacy serial sum
+    /// `epoch = compute + comm`; kOverlap schedules compute and comm
+    /// events on a per-link FIFO timeline (comm/timeline.hpp) and reports
+    /// the makespan.
+    enum class Mode : std::uint8_t { kAdditive = 0, kOverlap = 1 };
+
     double latency_s = 50e-6;              ///< α: per-message latency
     double bandwidth_bytes_per_s = 250e6;  ///< 1/β: effective link bandwidth
 

@@ -95,12 +95,19 @@ struct FaultStats {
 };
 
 /// Outcome of one Fabric::send(): whether the payload (eventually)
-/// arrived, how many attempts it took, and the modelled wait time the
-/// sender burned on timeouts and backoff.
+/// arrived, how many attempts it took, what actually crossed the wire,
+/// and the full modelled service time of the transfer. This is the typed
+/// result every call site consumes — the trainer's overlap timeline feeds
+/// `modelled_ms` straight into its per-link FIFO schedule.
 struct SendOutcome {
-    bool delivered = true;
-    std::uint32_t attempts = 1;
-    double penalty_s = 0.0;
+    bool delivered = true;        ///< payload (eventually) arrived
+    std::uint32_t attempts = 1;   ///< attempts incl. retries
+    double penalty_s = 0.0;       ///< modelled timeout+backoff waits
+    std::uint64_t wire_bytes = 0; ///< bytes charged to the wire across all
+                                  ///< attempts (drops charge, down links
+                                  ///< refuse)
+    double modelled_ms = 0.0;     ///< total α–β wire time of the charged
+                                  ///< attempts plus penalty_s, in ms
 };
 
 } // namespace scgnn::comm

@@ -35,6 +35,13 @@ enum class Method : std::uint8_t {
 /// ("Vanilla."/"Samp."/"Quant."/"Delay."/"Ours").
 [[nodiscard]] const char* to_string(Method m) noexcept;
 
+/// Machine-readable method key — the exact name dist::make_compressor
+/// accepts ("vanilla"/"sampling"/"quant"/"delay"/"ours").
+[[nodiscard]] const char* method_key(Method m) noexcept;
+
+/// Parse a method key back to its enum; false on an unknown name.
+[[nodiscard]] bool parse_method(const std::string& key, Method& out) noexcept;
+
 /// All five methods in Table-1 row order.
 [[nodiscard]] std::vector<Method> all_methods();
 
@@ -47,7 +54,9 @@ struct MethodConfig {
     SemanticCompressorConfig semantic{};
 };
 
-/// Instantiate the compressor for a method configuration.
+/// Instantiate the compressor for a method configuration. Thin adapter
+/// over dist::make_compressor (dist/factory.hpp), which owns the
+/// name→compressor mapping.
 [[nodiscard]] std::unique_ptr<dist::BoundaryCompressor> make_compressor(
     const MethodConfig& cfg);
 

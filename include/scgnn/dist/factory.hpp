@@ -1,0 +1,48 @@
+#pragma once
+/// \file factory.hpp
+/// \brief Single source of truth for building BoundaryCompressors by
+///        name: "vanilla" | "sampling" | "quant" | "delay" | "ours",
+///        plus "+"-joined compositions ("ours+quant") that mirror
+///        core::ComposedCompressor::name(). Benches, the CLI and the
+///        test helpers all construct through here instead of hand-rolled
+///        per-binary switches.
+///
+/// Declared in scgnn::dist (the layer that owns BoundaryCompressor) but
+/// compiled into scgnn_core (src/core/factory.cpp): the definition
+/// constructs baseline and semantic compressors, which link above
+/// scgnn_dist, so the implementation must live in the top layer while
+/// the interface stays at the seam every consumer already includes.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scgnn/baselines/baselines.hpp"
+#include "scgnn/core/semantic_compressor.hpp"
+#include "scgnn/dist/compressor.hpp"
+
+namespace scgnn::dist {
+
+/// Union of every named compressor's knobs; only the fields of the
+/// method(s) the name selects are read. Default-constructed options give
+/// each method its documented defaults.
+struct CompressorOptions {
+    baselines::SamplingConfig sampling{};
+    baselines::QuantConfig quant{};
+    baselines::DelayConfig delay{};
+    core::SemanticCompressorConfig semantic{};
+};
+
+/// Build the compressor `name` refers to. Accepted names are the five
+/// atoms ("vanilla", "sampling", "quant", "delay", "ours") and any
+/// "+"-joined sequence of them, which builds a core::ComposedCompressor
+/// over the atoms in order (a fusing stage such as "ours" must come
+/// first — see ComposedCompressor). Throws scgnn::Error on an unknown
+/// name or empty composition element.
+[[nodiscard]] std::unique_ptr<BoundaryCompressor> make_compressor(
+    const std::string& name, const CompressorOptions& options = {});
+
+/// The atom names make_compressor accepts, in Table-1 row order.
+[[nodiscard]] std::vector<std::string> compressor_names();
+
+} // namespace scgnn::dist

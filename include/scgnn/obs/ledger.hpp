@@ -45,6 +45,12 @@ struct EpochRecord {
     double comm_ms = 0.0;
     double compute_ms = 0.0;
     double epoch_ms = 0.0;
+    /// Overlap-timeline figures (comm/timeline.hpp). Zero in additive
+    /// mode; the JSON keys "overlap_ms"/"comm_exposed_ms" are emitted
+    /// only when overlap_ms > 0 so additive-mode reports stay
+    /// byte-identical to pre-timeline builds.
+    double overlap_ms = 0.0;
+    double comm_exposed_ms = 0.0;
     std::vector<MetricSample> metrics;
 };
 
@@ -57,9 +63,11 @@ public:
     void set_config(std::string key, double value);
 
     /// Close epoch `epoch` with the trainer's exact figures; captures a
-    /// snapshot of the global metrics registry alongside.
+    /// snapshot of the global metrics registry alongside. The trailing
+    /// overlap figures only apply under CostModel::Mode::kOverlap.
     void record_epoch(std::uint32_t epoch, double loss, double comm_mb,
-                      double comm_ms, double compute_ms, double epoch_ms);
+                      double comm_ms, double compute_ms, double epoch_ms,
+                      double overlap_ms = 0.0, double comm_exposed_ms = 0.0);
 
     /// Record a final (end-of-run) numeric result.
     void record_final(std::string key, double value);
@@ -91,7 +99,8 @@ private:
 /// Convenience guards: forward to ledger() only when obs is enabled, so
 /// instrumentation sites stay one-liners.
 void epoch_snapshot(std::uint32_t epoch, double loss, double comm_mb,
-                    double comm_ms, double compute_ms, double epoch_ms);
+                    double comm_ms, double compute_ms, double epoch_ms,
+                    double overlap_ms = 0.0, double comm_exposed_ms = 0.0);
 void record_config(std::string key, std::string value);
 void record_config(std::string key, double value);
 void record_final(std::string key, double value);

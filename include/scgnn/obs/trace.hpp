@@ -68,6 +68,14 @@ private:
 void record_span(const char* name, std::uint64_t t0_ns,
                  std::uint64_t t1_ns) noexcept;
 
+/// Record a span with explicit endpoints on an explicit *virtual* track.
+/// Real threads own tids assigned from 0; virtual tracks (the trainer's
+/// modelled overlap timeline uses 1000+device for compute and
+/// 2000+link-index for transfers) pick ids far above so the Chrome trace
+/// shows modelled tracks alongside measured ones without collision.
+void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns,
+                 std::uint32_t tid) noexcept;
+
 /// Per-thread ring capacity (events). Applies to rings created after the
 /// call; default 1 << 16.
 void set_trace_capacity(std::size_t events);

@@ -72,7 +72,10 @@ SendOutcome Fabric::send(std::uint32_t src, std::uint32_t dst,
                          std::uint64_t bytes, std::uint64_t messages) {
     if (!fault_.active()) {
         record(src, dst, bytes, messages);
-        return {};
+        SendOutcome clean;
+        clean.wire_bytes = bytes;
+        clean.modelled_ms = link_model(src, dst).seconds(bytes, messages) * 1e3;
+        return clean;
     }
     const std::size_t link = idx(src, dst);
     const bool down = link_down(src, dst);
@@ -81,6 +84,7 @@ SendOutcome Fabric::send(std::uint32_t src, std::uint32_t dst,
     SendOutcome out;
     out.delivered = false;
     out.attempts = 0;
+    std::uint64_t charged_attempts = 0;  ///< attempts that hit the wire
     FaultStats delta;
     for (std::uint32_t a = 0; a < retry_.max_attempts; ++a) {
         ++out.attempts;
@@ -102,11 +106,15 @@ SendOutcome Fabric::send(std::uint32_t src, std::uint32_t dst,
             // The payload left the NIC and vanished in flight: wire bytes
             // are spent, the receiver sees nothing, the sender times out.
             record(src, dst, bytes, messages);
+            out.wire_bytes += bytes;
+            ++charged_attempts;
             ++delta.drops;
             out.penalty_s += retry_.timeout_s;
             continue;
         }
         record(src, dst, bytes, messages);
+        out.wire_bytes += bytes;
+        ++charged_attempts;
         if (fault_.straggler_probability > 0.0 &&
             fault_u01(link) < fault_.straggler_probability) {
             ++delta.stragglers;
@@ -122,6 +130,12 @@ SendOutcome Fabric::send(std::uint32_t src, std::uint32_t dst,
     else
         ++delta.failures;
     delta.penalty_s = out.penalty_s;
+    // Full modelled service time: α–β wire cost of every attempt that
+    // actually charged the wire, plus the timeout/backoff/straggler waits.
+    out.modelled_ms = (link_model(src, dst).seconds(
+                           out.wire_bytes, messages * charged_attempts) +
+                       out.penalty_s) *
+                      1e3;
     pair_penalty_[link] += out.penalty_s;
     epoch_fault_.merge(delta);
     if (obs_on && (delta.any() || delta.penalty_s > 0.0)) {

@@ -1,0 +1,143 @@
+#include "scgnn/comm/timeline.hpp"
+
+#include <algorithm>
+
+namespace scgnn::comm {
+
+Timeline::Timeline(std::uint32_t num_devices) : n_(num_devices) {
+    SCGNN_CHECK(n_ >= 1, "timeline needs at least one device");
+    link_busy_.assign(static_cast<std::size_t>(n_) * n_, 0.0);
+}
+
+void Timeline::begin_epoch() {
+    steps_.clear();
+    events_.clear();
+    step_open_ = false;
+    std::fill(link_busy_.begin(), link_busy_.end(), 0.0);
+    stats_ = {};
+}
+
+void Timeline::begin_step(const char* label) {
+    SCGNN_CHECK(!step_open_, "begin_step with a step already open");
+    step_open_ = true;
+    Step s;
+    s.label = label;
+    s.compute_s.assign(n_, 0.0);
+    steps_.push_back(std::move(s));
+}
+
+void Timeline::record_compute(std::uint32_t device, double seconds) {
+    SCGNN_CHECK(step_open_, "record_compute outside a step");
+    SCGNN_CHECK(device < n_, "timeline device id out of range");
+    SCGNN_CHECK(seconds >= 0.0, "negative compute duration");
+    steps_.back().compute_s[device] += seconds;
+}
+
+void Timeline::record_send(std::uint32_t src, std::uint32_t dst,
+                           std::uint64_t bytes, double seconds) {
+    SCGNN_CHECK(step_open_, "record_send outside a step");
+    (void)link(src, dst);  // validates src/dst
+    SCGNN_CHECK(seconds >= 0.0, "negative send duration");
+    steps_.back().sends.push_back(Send{src, dst, bytes, seconds});
+}
+
+void Timeline::end_step() {
+    SCGNN_CHECK(step_open_, "end_step without an open step");
+    step_open_ = false;
+}
+
+TimelineStats Timeline::schedule(double per_device_compute_s) {
+    SCGNN_CHECK(!step_open_, "schedule with a step still open");
+    events_.clear();
+    std::fill(link_busy_.begin(), link_busy_.end(), 0.0);
+    stats_ = {};
+
+    // Per-device compute normalisation: scale each device's recorded
+    // durations so they total the budget; a device that recorded nothing
+    // spreads the budget uniformly over the steps.
+    std::vector<double> scale(n_, 1.0);
+    std::vector<double> flat(n_, 0.0);
+    if (per_device_compute_s >= 0.0 && !steps_.empty()) {
+        std::vector<double> totals(n_, 0.0);
+        for (const Step& s : steps_)
+            for (std::uint32_t d = 0; d < n_; ++d) totals[d] += s.compute_s[d];
+        for (std::uint32_t d = 0; d < n_; ++d) {
+            if (totals[d] > 0.0) {
+                scale[d] = per_device_compute_s / totals[d];
+            } else {
+                scale[d] = 0.0;
+                flat[d] = per_device_compute_s /
+                          static_cast<double>(steps_.size());
+            }
+        }
+    }
+
+    std::vector<double> ready(n_, 0.0);      // per-device clock
+    std::vector<double> link_free(link_busy_.size(), 0.0);
+    std::vector<double> compute_total(n_, 0.0);
+
+    for (std::size_t si = 0; si < steps_.size(); ++si) {
+        const Step& s = steps_[si];
+        // Events of step si may not start before the device closed step
+        // si-1 (layer dependency). Snapshot the step-entry clocks so the
+        // step's compute and sends launch concurrently from them.
+        const std::vector<double> entry = ready;
+
+        for (std::uint32_t d = 0; d < n_; ++d) {
+            const double dur = s.compute_s[d] * scale[d] + flat[d];
+            if (dur <= 0.0) continue;
+            TimelineEvent ev;
+            ev.kind = EventKind::kCompute;
+            ev.label = s.label;
+            ev.device = d;
+            ev.peer = d;
+            ev.step = static_cast<std::uint32_t>(si);
+            ev.duration_s = dur;
+            ev.start_s = entry[d];
+            ev.end_s = ev.start_s + dur;
+            events_.push_back(ev);
+            compute_total[d] += dur;
+            ready[d] = std::max(ready[d], ev.end_s);
+        }
+
+        for (const Send& snd : s.sends) {
+            const std::size_t l = link(snd.src, snd.dst);
+            const double depart = std::max(entry[snd.src], link_free[l]);
+            TimelineEvent ev;
+            ev.kind = EventKind::kComm;
+            ev.label = s.label;
+            ev.device = snd.src;
+            ev.peer = snd.dst;
+            ev.step = static_cast<std::uint32_t>(si);
+            ev.bytes = snd.bytes;
+            ev.duration_s = snd.seconds;
+            ev.start_s = depart;
+            ev.end_s = depart + snd.seconds;
+            ev.queue_wait_s = depart - entry[snd.src];
+            events_.push_back(ev);
+            link_free[l] = ev.end_s;
+            link_busy_[l] += snd.seconds;
+            stats_.queue_wait_s += ev.queue_wait_s;
+            // The receiver needs the halo before its next step; the
+            // sender's own clock is not held by the transfer (it is
+            // NIC-serialised via the link FIFO, not CPU-serialised).
+            ready[snd.dst] = std::max(ready[snd.dst], ev.end_s);
+        }
+    }
+
+    for (std::uint32_t d = 0; d < n_; ++d) {
+        stats_.makespan_s = std::max(stats_.makespan_s, ready[d]);
+        stats_.compute_s = std::max(stats_.compute_s, compute_total[d]);
+    }
+    for (double b : link_busy_)
+        stats_.link_busy_s = std::max(stats_.link_busy_s, b);
+    stats_.comm_exposed_s = std::max(0.0, stats_.makespan_s - stats_.compute_s);
+    stats_.num_events = events_.size();
+    return stats_;
+}
+
+double Timeline::link_busy_s(std::uint32_t src, std::uint32_t dst) const {
+    return link_busy_[link(src, dst)];
+}
+
+} // namespace scgnn::comm

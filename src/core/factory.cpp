@@ -1,0 +1,51 @@
+// Implementation of dist::make_compressor (see include/scgnn/dist/
+// factory.hpp for why a dist-namespace function is compiled into
+// scgnn_core).
+#include "scgnn/dist/factory.hpp"
+
+#include "scgnn/core/framework.hpp"
+
+namespace scgnn::dist {
+namespace {
+
+std::unique_ptr<BoundaryCompressor> make_atom(const std::string& name,
+                                              const CompressorOptions& o) {
+    if (name == "vanilla") return std::make_unique<VanillaExchange>();
+    if (name == "sampling")
+        return std::make_unique<baselines::SamplingCompressor>(o.sampling);
+    if (name == "quant")
+        return std::make_unique<baselines::QuantCompressor>(o.quant);
+    if (name == "delay")
+        return std::make_unique<baselines::DelayCompressor>(o.delay);
+    if (name == "ours")
+        return std::make_unique<core::SemanticCompressor>(o.semantic);
+    throw Error("unknown compressor name '" + name +
+                "' (expected vanilla|sampling|quant|delay|ours, "
+                "optionally '+'-joined)");
+}
+
+} // namespace
+
+std::unique_ptr<BoundaryCompressor> make_compressor(
+    const std::string& name, const CompressorOptions& options) {
+    if (name.find('+') == std::string::npos) return make_atom(name, options);
+    std::vector<std::unique_ptr<BoundaryCompressor>> stages;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t sep = name.find('+', start);
+        const std::string atom = name.substr(
+            start, sep == std::string::npos ? std::string::npos : sep - start);
+        SCGNN_CHECK(!atom.empty(),
+                    "empty stage in composed compressor name '" + name + "'");
+        stages.push_back(make_atom(atom, options));
+        if (sep == std::string::npos) break;
+        start = sep + 1;
+    }
+    return std::make_unique<core::ComposedCompressor>(std::move(stages));
+}
+
+std::vector<std::string> compressor_names() {
+    return {"vanilla", "delay", "quant", "sampling", "ours"};
+}
+
+} // namespace scgnn::dist

@@ -1,5 +1,7 @@
 #include "scgnn/core/framework.hpp"
 
+#include "scgnn/dist/factory.hpp"
+
 namespace scgnn::core {
 
 const char* to_string(Method m) noexcept {
@@ -13,6 +15,28 @@ const char* to_string(Method m) noexcept {
     return "?";
 }
 
+const char* method_key(Method m) noexcept {
+    switch (m) {
+        case Method::kVanilla: return "vanilla";
+        case Method::kSampling: return "sampling";
+        case Method::kQuant: return "quant";
+        case Method::kDelay: return "delay";
+        case Method::kSemantic: return "ours";
+    }
+    return "?";
+}
+
+bool parse_method(const std::string& key, Method& out) noexcept {
+    for (const Method m : {Method::kVanilla, Method::kSampling, Method::kQuant,
+                           Method::kDelay, Method::kSemantic}) {
+        if (key == method_key(m)) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::vector<Method> all_methods() {
     return {Method::kVanilla, Method::kDelay, Method::kQuant,
             Method::kSampling, Method::kSemantic};
@@ -20,19 +44,12 @@ std::vector<Method> all_methods() {
 
 std::unique_ptr<dist::BoundaryCompressor> make_compressor(
     const MethodConfig& cfg) {
-    switch (cfg.method) {
-        case Method::kVanilla:
-            return std::make_unique<dist::VanillaExchange>();
-        case Method::kSampling:
-            return std::make_unique<baselines::SamplingCompressor>(cfg.sampling);
-        case Method::kQuant:
-            return std::make_unique<baselines::QuantCompressor>(cfg.quant);
-        case Method::kDelay:
-            return std::make_unique<baselines::DelayCompressor>(cfg.delay);
-        case Method::kSemantic:
-            return std::make_unique<SemanticCompressor>(cfg.semantic);
-    }
-    throw Error("unknown method");
+    dist::CompressorOptions opts;
+    opts.sampling = cfg.sampling;
+    opts.quant = cfg.quant;
+    opts.delay = cfg.delay;
+    opts.semantic = cfg.semantic;
+    return dist::make_compressor(method_key(cfg.method), opts);
 }
 
 // ------------------------------------------------------- ComposedCompressor

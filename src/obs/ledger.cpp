@@ -49,7 +49,8 @@ void RunLedger::set_config(std::string key, double value) {
 
 void RunLedger::record_epoch(std::uint32_t epoch, double loss, double comm_mb,
                              double comm_ms, double compute_ms,
-                             double epoch_ms) {
+                             double epoch_ms, double overlap_ms,
+                             double comm_exposed_ms) {
     EpochRecord rec;
     rec.epoch = epoch;
     rec.loss = loss;
@@ -57,6 +58,8 @@ void RunLedger::record_epoch(std::uint32_t epoch, double loss, double comm_mb,
     rec.comm_ms = comm_ms;
     rec.compute_ms = compute_ms;
     rec.epoch_ms = epoch_ms;
+    rec.overlap_ms = overlap_ms;
+    rec.comm_exposed_ms = comm_exposed_ms;
     rec.metrics = registry().snapshot();  // outside mu_: registry locks itself
     std::lock_guard<std::mutex> lk(mu_);
     epochs_.push_back(std::move(rec));
@@ -106,6 +109,10 @@ std::string RunLedger::to_json() const {
         w.kv("comm_ms", e.comm_ms);
         w.kv("compute_ms", e.compute_ms);
         w.kv("epoch_ms", e.epoch_ms);
+        if (e.overlap_ms > 0.0) {
+            w.kv("overlap_ms", e.overlap_ms);
+            w.kv("comm_exposed_ms", e.comm_exposed_ms);
+        }
         w.key("metrics");
         write_samples(w, e.metrics);
         w.end_object();
@@ -149,9 +156,11 @@ RunLedger& ledger() {
 }
 
 void epoch_snapshot(std::uint32_t epoch, double loss, double comm_mb,
-                    double comm_ms, double compute_ms, double epoch_ms) {
+                    double comm_ms, double compute_ms, double epoch_ms,
+                    double overlap_ms, double comm_exposed_ms) {
     if (!enabled()) return;
-    ledger().record_epoch(epoch, loss, comm_mb, comm_ms, compute_ms, epoch_ms);
+    ledger().record_epoch(epoch, loss, comm_mb, comm_ms, compute_ms, epoch_ms,
+                          overlap_ms, comm_exposed_ms);
 }
 
 void record_config(std::string key, std::string value) {

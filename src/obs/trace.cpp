@@ -76,12 +76,18 @@ std::uint64_t trace_now_ns() noexcept {
             .count());
 }
 
-void trace_record(const char* name, std::uint64_t t0_ns,
-                  std::uint64_t t1_ns) noexcept {
+namespace {
+
+/// Push one event into the calling thread's ring; `tid_override`, when
+/// non-negative, replaces the ring's own thread id (virtual tracks).
+void trace_record_impl(const char* name, std::uint64_t t0_ns,
+                       std::uint64_t t1_ns, std::int64_t tid_override) noexcept {
     ThreadRing& ring = local_ring();
     std::lock_guard<std::mutex> lk(ring.mu);
     const std::size_t cap = g_capacity.load(std::memory_order_relaxed);
-    TraceEvent ev{name, t0_ns, t1_ns, ring.tid};
+    TraceEvent ev{name, t0_ns, t1_ns,
+                  tid_override >= 0 ? static_cast<std::uint32_t>(tid_override)
+                                    : ring.tid};
     if (ring.events.size() < cap) {
         ring.events.push_back(ev);
     } else if (cap > 0) {
@@ -92,11 +98,24 @@ void trace_record(const char* name, std::uint64_t t0_ns,
     }
 }
 
+} // namespace
+
+void trace_record(const char* name, std::uint64_t t0_ns,
+                  std::uint64_t t1_ns) noexcept {
+    trace_record_impl(name, t0_ns, t1_ns, -1);
+}
+
 } // namespace detail
 
 void record_span(const char* name, std::uint64_t t0_ns,
                  std::uint64_t t1_ns) noexcept {
     detail::trace_record(name, t0_ns, t1_ns);
+}
+
+void record_span(const char* name, std::uint64_t t0_ns, std::uint64_t t1_ns,
+                 std::uint32_t tid) noexcept {
+    detail::trace_record_impl(name, t0_ns, t1_ns,
+                              static_cast<std::int64_t>(tid));
 }
 
 void set_trace_capacity(std::size_t events) {

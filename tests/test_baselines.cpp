@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "scgnn/baselines/baselines.hpp"
+#include "scgnn/dist/factory.hpp"
 #include "scgnn/dist/trainer.hpp"
 #include "scgnn/tensor/ops.hpp"
 
@@ -274,19 +275,15 @@ TEST(Delay, BackwardDelaysGradientsToo) {
 
 // ----------------------------------------------------- training integration
 
-class BaselineTraining : public ::testing::TestWithParam<int> {};
+class BaselineTraining : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(BaselineTraining, EveryBaselineStillLearns) {
     Ctx c;
-    std::unique_ptr<dist::BoundaryCompressor> comp;
-    switch (GetParam()) {
-        case 0: comp = std::make_unique<SamplingCompressor>(
-                    SamplingConfig{.rate = 0.5}); break;
-        case 1: comp = std::make_unique<QuantCompressor>(
-                    QuantConfig{.bits = 8}); break;
-        default: comp = std::make_unique<DelayCompressor>(
-                    DelayConfig{.period = 2}); break;
-    }
+    dist::CompressorOptions opts;
+    opts.sampling.rate = 0.5;
+    opts.quant.bits = 8;
+    opts.delay.period = 2;
+    const auto comp = dist::make_compressor(GetParam(), opts);
     dist::DistTrainConfig cfg;
     cfg.epochs = 30;
     gnn::GnnConfig mc{
@@ -298,11 +295,10 @@ TEST_P(BaselineTraining, EveryBaselineStillLearns) {
     EXPECT_GT(r.test_accuracy, 1.0 / c.data.num_classes + 0.15);
 }
 
-INSTANTIATE_TEST_SUITE_P(All, BaselineTraining, ::testing::Values(0, 1, 2),
+INSTANTIATE_TEST_SUITE_P(All, BaselineTraining,
+                         ::testing::Values("sampling", "quant", "delay"),
                          [](const auto& param_info) {
-                             return param_info.param == 0   ? "sampling"
-                                    : param_info.param == 1 ? "quant"
-                                                      : "delay";
+                             return std::string(param_info.param);
                          });
 
 } // namespace

@@ -193,6 +193,8 @@ TEST(FabricFault, InactiveSendIsExactlyRecord) {
     EXPECT_TRUE(out.delivered);
     EXPECT_EQ(out.attempts, 1u);
     EXPECT_DOUBLE_EQ(out.penalty_s, 0.0);
+    EXPECT_EQ(out.wire_bytes, 12345u);
+    EXPECT_DOUBLE_EQ(out.modelled_ms, m.seconds(12345, 3) * 1e3);
     EXPECT_EQ(with_send.pair_stats(0, 1).bytes, with_record.pair_stats(0, 1).bytes);
     EXPECT_EQ(with_send.pair_stats(0, 1).messages,
               with_record.pair_stats(0, 1).messages);
@@ -254,7 +256,10 @@ TEST(FabricFault, LinkDownWindowExhaustsRetriesWithExactPenalty) {
     EXPECT_EQ(out.attempts, 3u);
     // Three ack timeouts plus exponential backoff before attempts 2 and 3.
     EXPECT_DOUBLE_EQ(out.penalty_s, 3 * 2e-3 + 250e-6 + 500e-6);
-    // A dead link refuses the payload: no wire bytes cross.
+    // A dead link refuses the payload: no wire bytes cross, and the
+    // modelled service time is the burned penalty alone.
+    EXPECT_EQ(out.wire_bytes, 0u);
+    EXPECT_DOUBLE_EQ(out.modelled_ms, out.penalty_s * 1e3);
     EXPECT_EQ(f.pair_stats(0, 1).bytes, 0u);
     // ...but the sender's burned time is charged to the epoch clock.
     EXPECT_DOUBLE_EQ(f.epoch_comm_seconds(), out.penalty_s);
@@ -284,7 +289,15 @@ TEST(FabricFault, DropsChargeWireBytesAndObeyAccounting) {
     f.set_fault_model(fm);
     f.set_retry_policy(RetryPolicy{.max_attempts = 2, .timeout_s = 1e-3});
     std::uint64_t delivered = 0;
-    for (int s = 0; s < 200; ++s) delivered += f.send(0, 1, 100).delivered;
+    for (int s = 0; s < 200; ++s) {
+        const SendOutcome out = f.send(0, 1, 100);
+        // No link-down windows here: every attempt hits the wire, so the
+        // outcome's wire bytes are exactly attempts × payload and the
+        // modelled time covers retransmissions plus the penalty.
+        EXPECT_EQ(out.wire_bytes, 100u * out.attempts);
+        EXPECT_GE(out.modelled_ms, out.penalty_s * 1e3);
+        delivered += out.delivered;
+    }
     const FaultStats fs = f.fault_stats();
     EXPECT_GT(fs.drops, 0u);
     EXPECT_GT(fs.retries, 0u);

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "scgnn/core/framework.hpp"
+#include "scgnn/dist/factory.hpp"
 #include "scgnn/tensor/ops.hpp"
 
 namespace scgnn::core {
@@ -24,37 +25,30 @@ struct ContractCase {
     std::function<std::unique_ptr<dist::BoundaryCompressor>()> make;
 };
 
+// Every case goes through dist::make_compressor — the same construction
+// path the benches and CLI use — so the contract also covers the factory.
+dist::CompressorOptions contract_options() {
+    dist::CompressorOptions opts;
+    opts.sampling = {.rate = 0.5, .seed = 3};
+    opts.quant = {.bits = 8};
+    opts.delay = {.period = 2};
+    opts.semantic.grouping.kmeans_k = 6;
+    return opts;
+}
+
 std::vector<ContractCase> cases() {
     std::vector<ContractCase> out;
-    out.push_back({"vanilla", [] {
-                       return std::make_unique<dist::VanillaExchange>();
-                   }});
-    out.push_back({"sampling", [] {
-                       return std::make_unique<baselines::SamplingCompressor>(
-                           baselines::SamplingConfig{.rate = 0.5, .seed = 3});
-                   }});
-    out.push_back({"quant", [] {
-                       return std::make_unique<baselines::QuantCompressor>(
-                           baselines::QuantConfig{.bits = 8});
-                   }});
-    out.push_back({"delay", [] {
-                       return std::make_unique<baselines::DelayCompressor>(
-                           baselines::DelayConfig{.period = 2});
-                   }});
-    out.push_back({"semantic", [] {
-                       SemanticCompressorConfig cfg;
-                       cfg.grouping.kmeans_k = 6;
-                       return std::make_unique<SemanticCompressor>(cfg);
-                   }});
-    out.push_back({"composed", [] {
-                       SemanticCompressorConfig cfg;
-                       cfg.grouping.kmeans_k = 6;
-                       std::vector<std::unique_ptr<dist::BoundaryCompressor>> s;
-                       s.push_back(std::make_unique<SemanticCompressor>(cfg));
-                       s.push_back(std::make_unique<baselines::QuantCompressor>(
-                           baselines::QuantConfig{.bits = 8}));
-                       return std::make_unique<ComposedCompressor>(std::move(s));
-                   }});
+    // {gtest-safe label, factory name} — "+" is not a valid test name char.
+    const std::pair<const char*, const char*> names[] = {
+        {"vanilla", "vanilla"}, {"sampling", "sampling"}, {"quant", "quant"},
+        {"delay", "delay"},     {"semantic", "ours"},     {"composed", "ours+quant"},
+    };
+    for (const auto& [label, factory_name] : names) {
+        out.push_back({label, [factory_name] {
+                           return dist::make_compressor(factory_name,
+                                                        contract_options());
+                       }});
+    }
     return out;
 }
 
@@ -144,6 +138,57 @@ TEST_P(CompressorContract, NameIsNonEmpty) {
 
 INSTANTIATE_TEST_SUITE_P(All, CompressorContract, ::testing::ValuesIn(cases()),
                          [](const auto& param_info) { return param_info.param.name; });
+
+// ------------------------------------------------------- factory contract
+
+TEST(CompressorFactory, EveryAdvertisedNameConstructs) {
+    for (const std::string& name : dist::compressor_names()) {
+        const auto comp = dist::make_compressor(name);
+        ASSERT_NE(comp, nullptr) << name;
+        EXPECT_FALSE(comp->name().empty()) << name;
+    }
+}
+
+TEST(CompressorFactory, UnknownNameThrowsWithNameList) {
+    try {
+        (void)dist::make_compressor("topk");
+        FAIL() << "expected Error for unknown compressor name";
+    } catch (const Error& e) {
+        // The message should both echo the bad name and list the options.
+        EXPECT_NE(std::string(e.what()).find("topk"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("vanilla"), std::string::npos);
+    }
+    EXPECT_THROW((void)dist::make_compressor(""), Error);
+    EXPECT_THROW((void)dist::make_compressor("ours+"), Error);
+}
+
+TEST(CompressorFactory, ComposedNameBuildsStagesInOrder) {
+    const auto comp = dist::make_compressor("ours+quant", contract_options());
+    ASSERT_NE(dynamic_cast<ComposedCompressor*>(comp.get()), nullptr);
+    // ComposedCompressor::name() joins its stages with '+' in stage order.
+    EXPECT_EQ(comp->name(), "ours+quant");
+}
+
+TEST(CompressorFactory, OptionsReachTheCompressor) {
+    dist::CompressorOptions opts;
+    opts.delay = {.period = 4};
+    const auto delay = dist::make_compressor("delay", opts);
+    ASSERT_NE(dynamic_cast<baselines::DelayCompressor*>(delay.get()), nullptr);
+    opts.semantic.grouping.kmeans_k = 6;
+    const auto ours = dist::make_compressor("ours", opts);
+    ASSERT_NE(dynamic_cast<SemanticCompressor*>(ours.get()), nullptr);
+    EXPECT_EQ(ours->name(), "ours");
+}
+
+TEST(CompressorFactory, MethodEnumRoundTripsThroughKeys) {
+    for (const Method m : all_methods()) {
+        Method back{};
+        ASSERT_TRUE(parse_method(method_key(m), back)) << method_key(m);
+        EXPECT_EQ(back, m);
+    }
+    Method out{};
+    EXPECT_FALSE(parse_method("semantic", out));  // the key is "ours"
+}
 
 } // namespace
 } // namespace scgnn::core

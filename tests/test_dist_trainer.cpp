@@ -190,7 +190,7 @@ TEST(DistTrainer, WeightSyncAddsRingAllReduceVolume) {
 
     VanillaExchange v1, v2;
     const auto without = train_distributed(d, parts, mc, cfg, v1);
-    cfg.count_weight_sync = true;
+    cfg.comm.count_weight_sync = true;
     const auto with = train_distributed(d, parts, mc, cfg, v2);
 
     // Expected ring volume: P devices × 2(P−1)/P × |params| bytes.
@@ -243,10 +243,10 @@ TEST(DistTrainer, DegradedRunSurvivesAndKeepsLedgerConsistent) {
     const auto parts = parts_for(d, 4);
     DistTrainConfig cfg;
     cfg.epochs = 6;
-    cfg.fault.drop_probability = 0.4;
-    cfg.fault.seed = 31;
-    cfg.retry.max_attempts = 1;
-    cfg.retry.timeout_s = 1e-3;
+    cfg.comm.fault.drop_probability = 0.4;
+    cfg.comm.fault.seed = 31;
+    cfg.comm.retry.max_attempts = 1;
+    cfg.comm.retry.timeout_s = 1e-3;
     VanillaExchange vanilla;
     const DistTrainResult r =
         train_distributed(d, parts, model_for(d), cfg, vanilla);
@@ -276,15 +276,15 @@ TEST(DistTrainer, RetryBudgetConvertsFailuresIntoRetries) {
     const auto parts = parts_for(d, 4);
     DistTrainConfig cfg;
     cfg.epochs = 4;
-    cfg.fault.drop_probability = 0.25;
-    cfg.fault.seed = 5;
-    cfg.retry.timeout_s = 1e-3;
+    cfg.comm.fault.drop_probability = 0.25;
+    cfg.comm.fault.seed = 5;
+    cfg.comm.retry.timeout_s = 1e-3;
     VanillaExchange v1, v8;
 
-    cfg.retry.max_attempts = 1;
+    cfg.comm.retry.max_attempts = 1;
     const DistTrainResult tight =
         train_distributed(d, parts, model_for(d), cfg, v1);
-    cfg.retry.max_attempts = 8;
+    cfg.comm.retry.max_attempts = 8;
     const DistTrainResult roomy =
         train_distributed(d, parts, model_for(d), cfg, v8);
 
@@ -304,9 +304,9 @@ TEST(DistTrainer, FaultScheduleIsDeterministicPerSeed) {
     const auto parts = parts_for(d, 3);
     DistTrainConfig cfg;
     cfg.epochs = 4;
-    cfg.fault.drop_probability = 0.3;
-    cfg.fault.seed = 123;
-    cfg.retry.max_attempts = 2;
+    cfg.comm.fault.drop_probability = 0.3;
+    cfg.comm.fault.seed = 123;
+    cfg.comm.retry.max_attempts = 2;
     auto run = [&]() {
         VanillaExchange vanilla;
         return train_distributed(d, parts, model_for(d), cfg, vanilla);

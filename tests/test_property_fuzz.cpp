@@ -242,8 +242,8 @@ TEST_P(FuzzSeed, FaultScheduleInvariants) {
     const graph::Dataset d =
         graph::make_dataset(graph::DatasetPreset::kPubMedSim, 0.08, GetParam());
     PipelineConfig cfg = fault_fuzz_cfg(d);
-    cfg.train.fault.drop_probability = rng.uniform() * 0.5;
-    cfg.train.fault.seed = rng.uniform_u64(1u << 20);
+    cfg.train.comm.fault.drop_probability = rng.uniform() * 0.5;
+    cfg.train.comm.fault.seed = rng.uniform_u64(1u << 20);
     const auto num_windows = static_cast<std::uint32_t>(rng.uniform_u64(3));
     for (std::uint32_t w = 0; w < num_windows; ++w) {
         comm::LinkDownWindow win;
@@ -254,10 +254,10 @@ TEST_P(FuzzSeed, FaultScheduleInvariants) {
         win.first_epoch = static_cast<std::uint32_t>(rng.index(4));
         win.last_epoch =
             win.first_epoch + static_cast<std::uint32_t>(rng.index(3));
-        cfg.train.fault.down_windows.push_back(win);
+        cfg.train.comm.fault.down_windows.push_back(win);
     }
-    cfg.train.retry.max_attempts = 1 + static_cast<std::uint32_t>(rng.index(4));
-    cfg.train.retry.timeout_s = 1e-3;
+    cfg.train.comm.retry.max_attempts = 1 + static_cast<std::uint32_t>(rng.index(4));
+    cfg.train.comm.retry.timeout_s = 1e-3;
 
     const PipelineResult r = run_pipeline(d, cfg);
 
@@ -285,7 +285,7 @@ TEST_P(FuzzSeed, FaultScheduleInvariants) {
     if (f.stale_uses != 0) {
         EXPECT_GT(f.max_staleness, 0u);
     }
-    if (cfg.train.fault.drop_probability == 0.0 && num_windows == 0) {
+    if (cfg.train.comm.fault.drop_probability == 0.0 && num_windows == 0) {
         EXPECT_FALSE(f.degraded());
     }
 }
@@ -299,11 +299,11 @@ TEST_P(FuzzSeed, InertFaultScheduleMatchesFaultFreeRun) {
         graph::make_dataset(graph::DatasetPreset::kPubMedSim, 0.08, GetParam());
     const PipelineConfig clean_cfg = fault_fuzz_cfg(d);
     PipelineConfig inert_cfg = clean_cfg;
-    inert_cfg.train.fault.seed = GetParam();
-    inert_cfg.train.fault.down_windows.push_back(
+    inert_cfg.train.comm.fault.seed = GetParam();
+    inert_cfg.train.comm.fault.down_windows.push_back(
         comm::LinkDownWindow{.src = 0, .dst = 1,
                              .first_epoch = 100, .last_epoch = 200});
-    ASSERT_TRUE(inert_cfg.train.fault.active());
+    ASSERT_TRUE(inert_cfg.train.comm.fault.active());
 
     const PipelineResult clean = run_pipeline(d, clean_cfg);
     const PipelineResult inert = run_pipeline(d, inert_cfg);
