@@ -13,8 +13,10 @@
 #include "scgnn/graph/dataset.hpp"
 #include "scgnn/graph/bipartite.hpp"
 #include "scgnn/partition/partition.hpp"
+#include "scgnn/tensor/kernels.hpp"
 #include "scgnn/tensor/ops.hpp"
 #include "scgnn/tensor/quantize.hpp"
+#include "scgnn/tensor/sparse.hpp"
 
 namespace {
 
@@ -164,6 +166,151 @@ void BM_TraditionalAggregate(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * dbg.num_edges());
 }
 BENCHMARK(BM_TraditionalAggregate);
+
+// --- scalar-vs-SIMD kernel pairs ----------------------------------------
+//
+// Each *Path bench takes the kernel path as its last argument (0 = scalar,
+// 1 = simd) so BENCH_kernels.json carries both sides of every pair and the
+// speedup is a plain ratio of two committed rows. Run single-threaded
+// (scripts/bench_snapshot.sh exports SCGNN_THREADS=1) so the ratio
+// measures the microkernels, not the pool.
+
+/// Skip (with an explicit error, so the JSON row says why) when the SIMD
+/// side is requested on a host without AVX2+FMA.
+bool skip_unsupported(benchmark::State& state, bool simd) {
+    if (simd && !tensor::simd_supported()) {
+        state.SkipWithError("AVX2+FMA not supported on this host");
+        return true;
+    }
+    return false;
+}
+
+tensor::KernelPath path_of(const benchmark::State& state) {
+    return state.range(1) != 0 ? tensor::KernelPath::kSimd
+                               : tensor::KernelPath::kScalar;
+}
+
+void BM_GemmPath(benchmark::State& state) {
+    if (skip_unsupported(state, state.range(1) != 0)) return;
+    tensor::KernelPathGuard guard(path_of(state));
+    Rng rng(2);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const tensor::Matrix a = tensor::Matrix::randn(n, n, rng);
+    const tensor::Matrix b = tensor::Matrix::randn(n, n, rng);
+    tensor::Matrix c;
+    for (auto _ : state) {
+        tensor::matmul_into(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmPath)
+    ->ArgNames({"n", "simd"})
+    ->Args({512, 0})
+    ->Args({512, 1});
+
+void BM_GemmABtPath(benchmark::State& state) {
+    if (skip_unsupported(state, state.range(1) != 0)) return;
+    tensor::KernelPathGuard guard(path_of(state));
+    Rng rng(3);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const tensor::Matrix a = tensor::Matrix::randn(n, n, rng);
+    const tensor::Matrix b = tensor::Matrix::randn(n, n, rng);
+    tensor::Matrix c;
+    for (auto _ : state) {
+        tensor::matmul_a_bt_into(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmABtPath)
+    ->ArgNames({"n", "simd"})
+    ->Args({512, 0})
+    ->Args({512, 1});
+
+void BM_SpmmPath(benchmark::State& state) {
+    if (skip_unsupported(state, state.range(1) != 0)) return;
+    tensor::KernelPathGuard guard(path_of(state));
+    const auto& d = bench_dataset();
+    const auto adj =
+        gnn::normalized_adjacency(d.graph, gnn::AdjNorm::kSymmetric);
+    Rng rng(1);
+    const tensor::Matrix h = tensor::Matrix::randn(
+        d.graph.num_nodes(), static_cast<std::size_t>(state.range(0)), rng);
+    tensor::Matrix out;
+    for (auto _ : state) {
+        tensor::spmm_into(adj, h, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * adj.nnz());
+}
+BENCHMARK(BM_SpmmPath)
+    ->ArgNames({"f", "simd"})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+void BM_SpmmBlockedPath(benchmark::State& state) {
+    if (skip_unsupported(state, state.range(1) != 0)) return;
+    tensor::KernelPathGuard guard(path_of(state));
+    const auto& d = bench_dataset();
+    const auto adj =
+        gnn::normalized_adjacency(d.graph, gnn::AdjNorm::kSymmetric);
+    const tensor::BlockedCsr blocked(adj);
+    Rng rng(1);
+    const tensor::Matrix h = tensor::Matrix::randn(
+        d.graph.num_nodes(), static_cast<std::size_t>(state.range(0)), rng);
+    tensor::Matrix out;
+    for (auto _ : state) {
+        tensor::spmm_into(blocked, h, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * adj.nnz());
+}
+BENCHMARK(BM_SpmmBlockedPath)
+    ->ArgNames({"f", "simd"})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+void BM_AxpyPath(benchmark::State& state) {
+    if (skip_unsupported(state, state.range(1) != 0)) return;
+    const bool simd = state.range(1) != 0;
+    Rng rng(4);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const tensor::Matrix x = tensor::Matrix::randn(1, n, rng);
+    tensor::Matrix y = tensor::Matrix::randn(1, n, rng);
+    for (auto _ : state) {
+        if (simd)
+            tensor::kern::axpy_avx2(1.0009765625f, x.data(), y.data(), n);
+        else
+            tensor::kern::axpy_scalar(1.0009765625f, x.data(), y.data(), n);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AxpyPath)
+    ->ArgNames({"n", "simd"})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
+
+void BM_DotPath(benchmark::State& state) {
+    if (skip_unsupported(state, state.range(1) != 0)) return;
+    const bool simd = state.range(1) != 0;
+    Rng rng(5);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const tensor::Matrix a = tensor::Matrix::randn(1, n, rng);
+    const tensor::Matrix b = tensor::Matrix::randn(1, n, rng);
+    float acc = 0.0f;
+    for (auto _ : state) {
+        acc += simd ? tensor::kern::dot_avx2(a.data(), b.data(), n)
+                    : tensor::kern::dot_scalar(a.data(), b.data(), n);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DotPath)
+    ->ArgNames({"n", "simd"})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
 
 } // namespace
 

@@ -66,16 +66,50 @@ Sweep sweep(int reps, const std::function<std::uint64_t()>& work) {
     return s;
 }
 
+/// Rows accumulated for the optional --json snapshot.
+std::vector<std::pair<std::string, Sweep>> g_results;
+
 void add_row(Table& table, const char* name, const Sweep& s) {
     table.add_row({name, Table::num(s.ms[0], 1), Table::num(s.ms[1], 1),
                    Table::num(s.ms[2], 1), Table::num(s.ms[3], 1),
                    Table::num(s.ms[0] / std::max(1e-9, s.ms[3]), 2) + "x",
                    s.identical ? "yes" : "NO"});
+    g_results.emplace_back(name, s);
+}
+
+/// Machine-readable sweep snapshot (scripts/bench_snapshot.sh commits it
+/// as BENCH_threads_scaling.json; CI diffs future runs against it).
+void write_json(const char* path, const benchutil::Options& opt) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open --json output '%s'\n", path);
+        std::exit(1);
+    }
+    std::fprintf(f,
+                 "{\n  \"schema\": \"scgnn.bench.threads/1\",\n"
+                 "  \"scale\": %.4f,\n  \"seed\": %llu,\n"
+                 "  \"widths\": [1, 2, 4, 8],\n  \"kernels\": [\n",
+                 opt.scale, static_cast<unsigned long long>(opt.seed));
+    for (std::size_t i = 0; i < g_results.size(); ++i) {
+        const auto& [name, s] = g_results[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"ms\": [%.3f, %.3f, %.3f, "
+                     "%.3f], \"speedup_at_8\": %.3f, \"identical\": %s}%s\n",
+                     name.c_str(), s.ms[0], s.ms[1], s.ms[2], s.ms[3],
+                     s.ms[0] / std::max(1e-9, s.ms[3]),
+                     s.identical ? "true" : "false",
+                     i + 1 < g_results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
+    const char* json_path = nullptr;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
     const auto opt = benchutil::parse_options(argc, argv);
     const int reps = 3;
 
@@ -144,5 +178,6 @@ int main(int argc, char** argv) {
                 "are bitwise equal at every width. Speedups require real "
                 "cores; on a 1-core host the sweep only verifies "
                 "determinism.\n");
+    if (json_path != nullptr) write_json(json_path, opt);
     return 0;
 }

@@ -26,6 +26,7 @@
 #include "scgnn/common/table.hpp"
 #include "scgnn/core/framework.hpp"
 #include "scgnn/obs/obs.hpp"
+#include "scgnn/tensor/kernels.hpp"
 
 namespace scgnn::benchutil {
 
@@ -66,6 +67,8 @@ struct CommonFlags {
     unsigned threads = 0;         ///< 0 = SCGNN_THREADS env / all cores
     std::string obs_out;          ///< non-empty = obs enabled, output prefix
     bool overlap = false;         ///< --overlap: timeline cost mode
+    bool kernels_set = false;     ///< --kernels given (else env/default)
+    tensor::KernelPath kernels = tensor::KernelPath::kScalar;
     comm::FaultModel fault{};     ///< inactive unless a --fault-* flag set
     comm::RetryPolicy retry{};
 
@@ -96,6 +99,15 @@ struct CommonFlags {
             obs_out = value("--obs-out");
         } else if (std::strcmp(argv[i], "--overlap") == 0) {
             overlap = true;  // flag only, no value
+        } else if (std::strcmp(argv[i], "--kernels") == 0) {
+            const char* s = value("--kernels");
+            if (!tensor::parse_kernel_path(s, kernels)) {
+                std::fprintf(stderr,
+                             "unknown --kernels '%s' (expected scalar|simd)\n",
+                             s);
+                std::exit(2);
+            }
+            kernels_set = true;
         } else if (std::strcmp(argv[i], "--fault-drop") == 0) {
             fault.drop_probability = std::atof(value("--fault-drop"));
         } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
@@ -124,12 +136,24 @@ struct CommonFlags {
         return true;
     }
 
-    /// Apply the side-effectful flags (obs arming, pool width). Resolves
-    /// `threads` to the actual pool width.
+    /// Apply the side-effectful flags (obs arming, pool width, kernel
+    /// path). Resolves `threads` to the actual pool width. Exits with
+    /// code 2 when `--kernels simd` was requested on a host without
+    /// AVX2+FMA — a bench must not silently fall back and publish scalar
+    /// numbers as SIMD ones.
     void activate() {
         if (!obs_out.empty()) {
             obs::set_enabled(true);
             obs::set_output_prefix(obs_out);  // arms write-at-exit
+        }
+        if (kernels_set) {
+            if (kernels == tensor::KernelPath::kSimd &&
+                !tensor::simd_supported()) {
+                std::fprintf(stderr,
+                             "--kernels simd: host lacks AVX2+FMA support\n");
+                std::exit(2);
+            }
+            tensor::set_kernel_path(kernels);
         }
         set_num_threads(threads);
         threads = num_threads();
@@ -171,11 +195,12 @@ inline Options parse_options(int argc, char** argv) {
     opt.obs_out = opt.common.obs_out;
     std::printf(
         "# options: scale=%.2f epochs=%u seed=%llu threads=%u "
-        "log-level=%s obs=%s mode=%s\n",
+        "log-level=%s obs=%s mode=%s kernels=%s\n",
         opt.scale, opt.epochs, static_cast<unsigned long long>(opt.seed),
         opt.threads, log_level_name(log_level()),
         opt.obs_out.empty() ? "off" : opt.obs_out.c_str(),
-        opt.common.overlap ? "overlap" : "additive");
+        opt.common.overlap ? "overlap" : "additive",
+        tensor::kernel_path_name(tensor::kernel_path()));
     if (opt.common.fault.active())
         std::printf("# faults: drop=%.3f seed=%llu down-windows=%zu "
                     "retry-max=%u timeout=%gs\n",

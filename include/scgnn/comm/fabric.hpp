@@ -147,6 +147,13 @@ public:
     /// Number of closed epochs.
     [[nodiscard]] std::size_t epochs() const noexcept { return history_.size(); }
 
+    /// Pre-size the epoch history so end_epoch() never reallocates during
+    /// a run of up to `epochs` epochs (allocation-free steady state).
+    void reserve_history(std::size_t epochs) {
+        history_.reserve(epochs);
+        history_seconds_.reserve(epochs);
+    }
+
     /// Traffic of closed epoch `e`.
     [[nodiscard]] const TrafficStats& epoch_history(std::size_t e) const;
 

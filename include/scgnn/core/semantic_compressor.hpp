@@ -69,6 +69,10 @@ public:
     /// Fig. 8 that runs once between partitioning and training).
     void setup(const dist::DistContext& ctx) override;
 
+    /// Pooled scratch for the per-exchange fuse row (see
+    /// BoundaryCompressor::set_workspace).
+    void set_workspace(tensor::Workspace* ws) override { ws_ = ws; }
+
     [[nodiscard]] std::uint64_t forward_rows(const dist::DistContext& ctx,
                                              std::size_t plan_idx, int layer,
                                              const tensor::Matrix& src,
@@ -100,6 +104,7 @@ private:
 
     SemanticCompressorConfig cfg_;
     std::vector<PlanState> plans_;
+    tensor::Workspace* ws_ = nullptr;  ///< nullable fuse-row scratch pool
 };
 
 } // namespace scgnn::core

@@ -18,6 +18,10 @@
 #include "scgnn/dist/context.hpp"
 #include "scgnn/tensor/matrix.hpp"
 
+namespace scgnn::tensor {
+class Workspace;
+}
+
 namespace scgnn::dist {
 
 /// Interface of a cross-partition traffic-reduction method.
@@ -35,6 +39,13 @@ public:
     /// Called at the start of every epoch (epoch is 0-based). Per-epoch
     /// randomness (boundary re-sampling) and delay counters live here.
     virtual void begin_epoch(std::uint64_t epoch) { (void)epoch; }
+
+    /// Offer pooled scratch for per-exchange temporaries. Optional: the
+    /// default ignores it. `ws` (nullable) must outlive the compressor's
+    /// use; the trainer calls this once before the epoch loop. Workspace
+    /// is not thread-safe — only borrow from it on the exchange (serial)
+    /// path, never inside parallel row loops.
+    virtual void set_workspace(tensor::Workspace* ws) { (void)ws; }
 
     /// Forward exchange for plan `plan_idx` at aggregation step `layer`.
     /// `src` holds the true boundary rows (plan.num_rows() × f, row i =

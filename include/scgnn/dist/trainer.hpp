@@ -31,6 +31,8 @@
 #include "scgnn/gnn/model.hpp"
 #include "scgnn/gnn/optimizer.hpp"
 #include "scgnn/gnn/trainer.hpp"
+#include "scgnn/tensor/sparse.hpp"
+#include "scgnn/tensor/workspace.hpp"
 
 namespace scgnn::dist {
 
@@ -75,6 +77,17 @@ public:
                                          int layer) override;
     [[nodiscard]] tensor::Matrix backward(const tensor::Matrix& g,
                                           int layer) override;
+    void forward_into(const tensor::Matrix& h, int layer,
+                      tensor::Matrix& out) override;
+    void backward_into(const tensor::Matrix& g, int layer,
+                       tensor::Matrix& out) override;
+
+    /// Pooled scratch for the serial exchange path's per-plan temporaries
+    /// (src/recon and grad_in/grad_out blocks). Nullable; must outlive the
+    /// aggregator's use. Per-partition buffers are member matrices instead
+    /// because they fill inside parallel regions and Workspace is not
+    /// thread-safe.
+    void set_workspace(tensor::Workspace* ws) noexcept { ws_ = ws; }
 
     /// Staleness counters accumulated so far (fabric counters excluded —
     /// read those off the fabric).
@@ -104,8 +117,20 @@ private:
     comm::Fabric* fabric_;
     BoundaryCompressor* comp_;
     comm::Timeline* timeline_;  ///< null outside overlap mode
+    tensor::Workspace* ws_ = nullptr;  ///< serial-path scratch (nullable)
     std::vector<std::vector<StaleSlot>> stale_fwd_;  ///< [plan][layer]
     std::vector<std::vector<StaleSlot>> stale_bwd_;  ///< [plan][layer]
+    // Per-partition reused buffers: each parallel chunk owns exactly one
+    // slot, so the vectors are sized once and the matrices keep their
+    // capacity across epochs (allocation-free steady state).
+    std::vector<tensor::Matrix> stacked_;       ///< fwd [local ; halo] stacks
+    std::vector<tensor::Matrix> spmm_out_;      ///< fwd per-partition Â·stack
+    std::vector<tensor::Matrix> gp_;            ///< bwd gathered local grads
+    std::vector<tensor::Matrix> stacked_grad_;  ///< bwd Âᵀ·gp results
+    std::vector<double> part_s_;                ///< timeline compute seconds
+    /// Column-blocked copies of the local adjacencies, built lazily on the
+    /// first SIMD-path aggregation (the scalar path keeps the plain CSR).
+    std::vector<tensor::BlockedCsr> blocked_adj_;
     FaultSummary fault_;
 };
 

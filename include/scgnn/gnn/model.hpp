@@ -36,6 +36,20 @@ public:
     /// Backward aggregation g_h = Âᵀ·g for aggregation step `layer`.
     [[nodiscard]] virtual tensor::Matrix backward(const tensor::Matrix& g,
                                                   int layer) = 0;
+
+    /// forward() into a caller-reused destination. Overriders that write
+    /// `out` in place (reshape_zero + fill) keep the model's steady-state
+    /// epochs allocation-free; the default delegates to forward().
+    virtual void forward_into(const tensor::Matrix& h, int layer,
+                              tensor::Matrix& out) {
+        out = forward(h, layer);
+    }
+
+    /// backward() into a caller-reused destination (see forward_into).
+    virtual void backward_into(const tensor::Matrix& g, int layer,
+                               tensor::Matrix& out) {
+        out = backward(g, layer);
+    }
 };
 
 /// Which convolution the model uses.
@@ -75,16 +89,22 @@ public:
     [[nodiscard]] tensor::Matrix forward(const tensor::Matrix& x,
                                          Aggregator& agg);
 
+    /// forward() returning a reference to the cached logits instead of a
+    /// copy — the allocation-free path the trainers read the loss from.
+    /// Valid until the next forward/backward on this model.
+    [[nodiscard]] const tensor::Matrix& forward_ref(const tensor::Matrix& x,
+                                                    Aggregator& agg);
+
     /// Backward pass from d(loss)/d(logits). Must follow a forward() on the
     /// same aggregator/x. Accumulates into the gradient tensors (call
     /// zero_grad() between steps).
     void backward(const tensor::Matrix& dlogits, Aggregator& agg);
 
     /// All trainable parameters (stable order, paired with gradients()).
-    [[nodiscard]] std::vector<tensor::Matrix*> parameters();
+    [[nodiscard]] const std::vector<tensor::Matrix*>& parameters();
 
     /// Gradients parallel to parameters().
-    [[nodiscard]] std::vector<tensor::Matrix*> gradients();
+    [[nodiscard]] const std::vector<tensor::Matrix*>& gradients();
 
     /// Zero every gradient tensor.
     void zero_grad();
@@ -118,6 +138,14 @@ private:
     // mask_[i] holds the inverted-dropout multipliers applied after layer
     // i's ReLU (empty when dropout was inactive).
     std::vector<tensor::Matrix> h_, a_, z_, mask_;
+    // Reused scratch: dz_/dcomb_/dh_ carry the backward chain, gtmp_ and
+    // btmp_ hold weight/bias gradient terms before the += accumulation
+    // (preserving the temp-then-add rounding of the historical kernels).
+    // Capacity converges to the largest shape after one epoch, making
+    // steady-state epochs allocation-free.
+    tensor::Matrix dz_, dcomb_, dh_, gtmp_, btmp_;
+    // parameters()/gradients() views, built once (layers_ never resizes).
+    std::vector<tensor::Matrix*> params_, grads_;
     bool have_cache_ = false;
     bool training_ = false;
     Rng dropout_rng_;

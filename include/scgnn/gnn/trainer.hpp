@@ -11,6 +11,7 @@
 #include "scgnn/gnn/model.hpp"
 #include "scgnn/gnn/optimizer.hpp"
 #include "scgnn/graph/dataset.hpp"
+#include "scgnn/tensor/workspace.hpp"
 
 namespace scgnn::gnn {
 
@@ -25,6 +26,10 @@ public:
                                          int layer) override;
     [[nodiscard]] tensor::Matrix backward(const tensor::Matrix& g,
                                           int layer) override;
+    void forward_into(const tensor::Matrix& h, int layer,
+                      tensor::Matrix& out) override;
+    void backward_into(const tensor::Matrix& g, int layer,
+                       tensor::Matrix& out) override;
 
 private:
     const tensor::SparseMatrix* adj_;
@@ -64,10 +69,14 @@ struct TrainResult {
 
 /// One complete epoch (forward, loss, backward, step) on a prebuilt model
 /// and aggregator; returns the train loss. Shared by both trainers.
+///
+/// `ws` (optional) provides pooled scratch for the loss-gradient matrix;
+/// with it, steady-state epochs perform zero heap allocations.
 [[nodiscard]] double run_epoch(GnnModel& model, Adam& opt, Aggregator& agg,
                                const tensor::Matrix& features,
                                std::span<const std::int32_t> labels,
-                               std::span<const std::uint32_t> train_mask);
+                               std::span<const std::uint32_t> train_mask,
+                               tensor::Workspace* ws = nullptr);
 
 /// Evaluate accuracy of `model` on the rows of `mask` (forward only).
 [[nodiscard]] double evaluate_accuracy(GnnModel& model, Aggregator& agg,

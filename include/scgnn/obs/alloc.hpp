@@ -1,0 +1,44 @@
+#pragma once
+/// \file alloc.hpp
+/// \brief Process-wide heap-allocation counters — the instrument behind
+///        the zero-allocation steady-state contract (DESIGN.md §10).
+///
+/// Linking a binary against any of these entry points installs replacement
+/// global operator new/delete that bump two relaxed atomics while tracking
+/// is enabled; with tracking off (the default) the replacements are a
+/// single predicted-not-taken branch over the system allocator, and
+/// binaries that never reference this header keep the stock allocator
+/// entirely. The counters are mirrored into the metrics registry as
+/// `alloc.count` / `alloc.bytes` on every epoch snapshot (and on demand
+/// via sync_alloc_counters), never from inside the allocation hook itself
+/// — the hook must not allocate.
+
+#include <cstdint>
+
+namespace scgnn::obs {
+
+/// Totals since process start (or the last reset_alloc_stats()).
+struct AllocStats {
+    std::uint64_t count = 0;  ///< successful operator-new calls
+    std::uint64_t bytes = 0;  ///< bytes those calls requested
+};
+
+/// Enable/disable counting. Cheap enough to toggle around a measured
+/// region; counting is process-wide and thread-safe.
+void set_alloc_tracking(bool on) noexcept;
+
+/// True while allocations are being counted.
+[[nodiscard]] bool alloc_tracking() noexcept;
+
+/// Current totals (tracked allocations only).
+[[nodiscard]] AllocStats alloc_stats() noexcept;
+
+/// Zero the totals (and the registry mirror's publish watermark).
+void reset_alloc_stats() noexcept;
+
+/// Publish the totals into the metrics registry counters `alloc.count`
+/// and `alloc.bytes` (adds the delta since the previous publish). No-op
+/// when obs is disabled. Called automatically by obs::epoch_snapshot.
+void sync_alloc_counters();
+
+} // namespace scgnn::obs

@@ -113,6 +113,25 @@ public:
     /// Set every element to zero.
     void zero() noexcept { fill(0.0f); }
 
+    /// Become a zeroed rows×cols matrix, reusing the existing storage
+    /// whenever its capacity covers the new size — the no-allocation
+    /// reshape the steady-state training paths rely on (DESIGN.md §10).
+    void reshape_zero(std::size_t rows, std::size_t cols) {
+        rows_ = rows;
+        cols_ = cols;
+        data_.assign(rows * cols, 0.0f);
+    }
+
+    /// Steal the backing storage (for Workspace pooling); the matrix
+    /// becomes an empty 0×0.
+    [[nodiscard]] std::vector<float> release_storage() noexcept {
+        rows_ = 0;
+        cols_ = 0;
+        std::vector<float> out = std::move(data_);
+        data_.clear();
+        return out;
+    }
+
     /// In-place element-wise addition; shapes must match.
     Matrix& operator+=(const Matrix& other);
 

@@ -24,12 +24,32 @@ namespace scgnn::tensor {
 /// C = A · Bᵀ. Shapes: (m×k)·(n×k)ᵀ → (m×n). Used by input gradients.
 [[nodiscard]] Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
 
+// The *_into forms write into a caller-owned destination (reshaped in
+// place, so steady-state callers reuse capacity and never allocate). The
+// destination must not alias either input. Values are bitwise identical
+// to the allocating forms above.
+
+/// c = A · B into a reused destination.
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// c = Aᵀ · B into a reused destination.
+void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// c = A · Bᵀ into a reused destination.
+void matmul_a_bt_into(const Matrix& a, const Matrix& b, Matrix& c);
+
 /// Element-wise ReLU, returning a new matrix.
 [[nodiscard]] Matrix relu(const Matrix& x);
+
+/// relu() into a reused destination (must not alias `x`).
+void relu_into(const Matrix& x, Matrix& y);
 
 /// ReLU backward: grad_in = grad_out ⊙ 1[x > 0], where `x` is the *input*
 /// that was fed to relu().
 [[nodiscard]] Matrix relu_backward(const Matrix& grad_out, const Matrix& x);
+
+/// relu_backward() into a reused destination (must not alias an input).
+void relu_backward_into(const Matrix& grad_out, const Matrix& x, Matrix& g);
 
 /// Row-wise numerically-stable softmax.
 [[nodiscard]] Matrix row_softmax(const Matrix& logits);
@@ -45,6 +65,12 @@ namespace scgnn::tensor {
 [[nodiscard]] Matrix softmax_cross_entropy_grad(
     const Matrix& logits, std::span<const std::int32_t> labels,
     std::span<const std::uint32_t> mask);
+
+/// softmax_cross_entropy_grad() into a reused destination.
+void softmax_cross_entropy_grad_into(const Matrix& logits,
+                                     std::span<const std::int32_t> labels,
+                                     std::span<const std::uint32_t> mask,
+                                     Matrix& grad);
 
 /// Per-row argmax (predicted class per node).
 [[nodiscard]] std::vector<std::int32_t> row_argmax(const Matrix& logits);

@@ -1,0 +1,86 @@
+#pragma once
+/// \file workspace.hpp
+/// \brief Buffer-pool allocator for the per-epoch temporaries of the
+///        trainers and compressors.
+///
+/// Lifetime rules (DESIGN.md §10): a Workspace is owned by exactly one
+/// training loop and is NOT thread-safe — leases may only be taken and
+/// returned on the thread that owns the loop, never inside a parallel
+/// region (per-partition buffers that live inside parallel regions are
+/// plain member matrices instead). Storage handed out by acquire() must be
+/// returned with release() (or held in a Lease) before the Workspace is
+/// destroyed; capacity pooled across acquire/release cycles is what makes
+/// the steady-state epochs allocation-free once every shape has been seen
+/// once.
+
+#include <cstddef>
+#include <vector>
+
+#include "scgnn/tensor/matrix.hpp"
+
+namespace scgnn::tensor {
+
+/// Pool of float buffers recycled between same-or-smaller-shaped matrix
+/// temporaries. Deterministic: acquisition order alone decides which
+/// buffer backs which temporary.
+class Workspace {
+public:
+    Workspace() = default;
+    Workspace(const Workspace&) = delete;
+    Workspace& operator=(const Workspace&) = delete;
+
+    /// A zeroed rows×cols matrix, backed by pooled storage when a pooled
+    /// buffer's capacity fits (best fit, smallest winner); allocates only
+    /// when nothing fits.
+    [[nodiscard]] Matrix acquire(std::size_t rows, std::size_t cols);
+
+    /// Return a matrix's storage to the pool; `m` becomes empty 0×0.
+    void release(Matrix& m);
+
+    /// Buffers currently sitting in the pool.
+    [[nodiscard]] std::size_t pooled_buffers() const noexcept {
+        return pool_.size();
+    }
+
+    /// Total capacity bytes currently pooled.
+    [[nodiscard]] std::size_t pooled_bytes() const noexcept {
+        std::size_t total = 0;
+        for (const auto& v : pool_) total += v.capacity() * sizeof(float);
+        return total;
+    }
+
+    /// acquire() calls served without growing a buffer.
+    [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+
+    /// acquire() calls that had to allocate or grow.
+    [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+    /// RAII lease of a zeroed rows×cols matrix. A null workspace is
+    /// allowed — the lease then owns a plain heap-backed Matrix — so call
+    /// sites stay uniform whether or not a pool is attached.
+    class Lease {
+    public:
+        Lease(Workspace* ws, std::size_t rows, std::size_t cols)
+            : ws_(ws),
+              m_(ws ? ws->acquire(rows, cols) : Matrix(rows, cols)) {}
+        ~Lease() {
+            if (ws_) ws_->release(m_);
+        }
+        Lease(const Lease&) = delete;
+        Lease& operator=(const Lease&) = delete;
+
+        [[nodiscard]] Matrix& get() noexcept { return m_; }
+        [[nodiscard]] const Matrix& get() const noexcept { return m_; }
+
+    private:
+        Workspace* ws_;
+        Matrix m_;
+    };
+
+private:
+    std::vector<std::vector<float>> pool_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace scgnn::tensor

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Regenerate the committed kernel-benchmark baselines:
+#
+#   BENCH_kernels.json         — google-benchmark JSON of the paired
+#                                scalar/simd *Path microbenchmarks
+#                                (bench/bench_kernels.cpp), pinned to one
+#                                worker thread so the simd/scalar ratio
+#                                isolates the vectorisation win;
+#   BENCH_threads_scaling.json — the 1/2/4/8-thread sweep with bitwise
+#                                identity checks (bench_threads_scaling).
+#
+# Everything is pinned: fixed seeds, fixed scale, SCGNN_THREADS=1 for the
+# microkernels, scalar kernel default. Run from anywhere:
+#
+#   scripts/bench_snapshot.sh [build-dir]     # default: ./build
+#
+# CI's bench-smoke job re-runs the same benches and diffs against these
+# files with scripts/check_bench_regression.py (warn-only — absolute times
+# shift with hardware; the committed numbers document one pinned host).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+for bin in bench_kernels bench_threads_scaling; do
+    if [[ ! -x "$build_dir/bench/$bin" ]]; then
+        echo "error: $build_dir/bench/$bin not built" >&2
+        echo "hint: cmake --build $build_dir --target $bin" >&2
+        exit 1
+    fi
+done
+
+echo "== kernel microbenchmarks (1 thread, scalar vs simd pairs) =="
+SCGNN_THREADS=1 "$build_dir/bench/bench_kernels" \
+    --benchmark_filter='Path' \
+    --benchmark_min_time=0.2 \
+    --benchmark_out="$repo_root/BENCH_kernels.json" \
+    --benchmark_out_format=json
+
+echo
+echo "== thread-scaling sweep (pool widths 1/2/4/8) =="
+"$build_dir/bench/bench_threads_scaling" \
+    --scale 0.35 --seed 2024 \
+    --json "$repo_root/BENCH_threads_scaling.json"
+
+echo
+echo "== snapshot summary =="
+python3 "$repo_root/scripts/check_bench_regression.py" \
+    "$repo_root/BENCH_kernels.json" "$repo_root/BENCH_kernels.json"
+echo "wrote BENCH_kernels.json and BENCH_threads_scaling.json"

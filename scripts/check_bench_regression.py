@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench_kernels JSON against the committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json FRESH.json [--threshold 1.30]
+
+Two checks, both derived from the google-benchmark JSON:
+
+  * per-benchmark regression: a benchmark whose real_time grew by more
+    than --threshold x its baseline is flagged. Warn-only by default
+    (absolute times move with hardware and CI load); exit non-zero only
+    with --strict.
+  * simd speedup floors: for each paired *Path benchmark family the
+    scalar/simd ratio is recomputed from FRESH and checked against the
+    acceptance floors (>=2x dense GEMM at n>=512, >=1.5x SpMM). These are
+    ratios on the same host at the same moment, so they are stable; they
+    fail even without --strict when the host supports AVX2+FMA.
+"""
+
+import argparse
+import json
+import sys
+
+# (benchmark-name prefix, minimum simd speedup) — the acceptance floors.
+SPEEDUP_FLOORS = [
+    ("BM_GemmPath/n:512", 2.0),
+    ("BM_SpmmPath/f:64", 1.5),
+]
+
+
+def load_times(path):
+    """name -> real_time (ns) for every non-errored benchmark."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    skipped = []
+    for b in doc.get("benchmarks", []):
+        if b.get("error_occurred"):
+            skipped.append(b["name"])
+            continue
+        times[b["name"]] = float(b["real_time"])
+    return times, skipped
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=1.30,
+                    help="flag fresh/baseline time ratios above this")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 on flagged regressions (default: warn only)")
+    args = ap.parse_args()
+
+    base, _ = load_times(args.baseline)
+    fresh, fresh_skipped = load_times(args.fresh)
+
+    regressions = []
+    for name, t in sorted(fresh.items()):
+        if name not in base:
+            print(f"  new      {name}: {t:.0f} ns (no baseline)")
+            continue
+        ratio = t / base[name] if base[name] > 0 else float("inf")
+        mark = "SLOWER" if ratio > args.threshold else "ok"
+        print(f"  {mark:<8} {name}: {base[name]:.0f} -> {t:.0f} ns "
+              f"({ratio:.2f}x)")
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+
+    # simd floors, recomputed within the fresh run (same host, same moment).
+    floor_failures = []
+    simd_ran = not any("simd" in s or "Path" in s for s in fresh_skipped)
+    for prefix, floor in SPEEDUP_FLOORS:
+        scalar = fresh.get(f"{prefix}/simd:0")
+        simd = fresh.get(f"{prefix}/simd:1")
+        if scalar is None or simd is None or simd <= 0:
+            status = ("skipped (simd benches errored — host lacks AVX2+FMA)"
+                      if not simd_ran else "skipped (pair not in fresh run)")
+            print(f"  floor    {prefix}: {status}")
+            continue
+        speedup = scalar / simd
+        ok = speedup >= floor
+        print(f"  floor    {prefix}: simd speedup {speedup:.2f}x "
+              f"(floor {floor}x) {'ok' if ok else 'FAIL'}")
+        if not ok:
+            floor_failures.append((prefix, speedup, floor))
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) exceeded the "
+              f"{args.threshold:.2f}x threshold"
+              + ("" if args.strict else " (warn-only)"))
+    if floor_failures:
+        print(f"\n{len(floor_failures)} simd speedup floor(s) missed")
+        return 1
+    if args.strict and regressions:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

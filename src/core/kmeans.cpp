@@ -8,6 +8,7 @@
 #include "scgnn/common/rng.hpp"
 #include "scgnn/obs/metrics.hpp"
 #include "scgnn/obs/trace.hpp"
+#include "scgnn/tensor/kernels.hpp"
 
 namespace scgnn::core {
 namespace {
@@ -23,12 +24,7 @@ void note_kmeans(const KMeansResult& res) {
 }
 
 double sq_dist(std::span<const float> a, std::span<const float> b) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        const double d = static_cast<double>(a[i]) - b[i];
-        acc += d * d;
-    }
-    return acc;
+    return tensor::kern::sq_dist(a.data(), b.data(), a.size());
 }
 
 /// k-means++ seeding: first centre uniform, later centres proportional to

@@ -2,6 +2,8 @@
 
 #include "scgnn/obs/metrics.hpp"
 #include "scgnn/obs/trace.hpp"
+#include "scgnn/tensor/kernels.hpp"
+#include "scgnn/tensor/workspace.hpp"
 
 namespace scgnn::core {
 
@@ -62,17 +64,20 @@ std::uint64_t SemanticCompressor::forward_rows(const DistContext& ctx,
     SCGNN_CHECK(src.rows() == plan.num_rows(), "source row count mismatch");
 
     const std::size_t f = src.cols();
-    out = Matrix(src.rows(), f);  // zero: dropped classes contribute nothing
+    // Zeroed: dropped classes contribute nothing.
+    out.reshape_zero(src.rows(), f);
     std::uint64_t wire_rows = 0;
 
+    // One fuse row reused (and re-zeroed) across every group of the plan.
+    tensor::Workspace::Lease fuse(ws_, 1, f);
+    const auto h_g = fuse.get().row(0);
     for (const SemanticGroup& g : state.grouping.groups) {
         if (cfg_.drop.dropped(g.origin)) continue;
         // Fuse (Fig. 7(b) line 1-2) ...
-        std::vector<float> h_g(f, 0.0f);
+        std::fill(h_g.begin(), h_g.end(), 0.0f);
         for (std::size_t i = 0; i < g.members.size(); ++i) {
             const auto h_u = src.row(g.members[i]);
-            const float w = g.out_weights[i];
-            for (std::size_t c = 0; c < f; ++c) h_g[c] += w * h_u[c];
+            tensor::kern::axpy(g.out_weights[i], h_u.data(), h_g.data(), f);
         }
         ++wire_rows;  // ... transmit one semantic row (line 3-4) ...
         // ... and reconstruct every member halo row as the fused semantics;
@@ -107,13 +112,15 @@ std::uint64_t SemanticCompressor::backward_rows(const DistContext& ctx,
                 "gradient row count mismatch");
 
     const std::size_t f = grad_in.cols();
-    grad_out = Matrix(grad_in.rows(), f);
+    grad_out.reshape_zero(grad_in.rows(), f);
     std::uint64_t wire_rows = 0;
 
+    tensor::Workspace::Lease fuse(ws_, 1, f);
+    const auto g_g = fuse.get().row(0);
     for (const SemanticGroup& g : state.grouping.groups) {
         if (cfg_.drop.dropped(g.origin)) continue;
         // Adjoint of the fusion: one fused gradient row crosses back ...
-        std::vector<float> g_g(f, 0.0f);
+        std::fill(g_g.begin(), g_g.end(), 0.0f);
         for (std::uint32_t member : g.members) {
             const auto gi = grad_in.row(member);
             for (std::size_t c = 0; c < f; ++c) g_g[c] += gi[c];

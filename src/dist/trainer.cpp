@@ -9,6 +9,7 @@
 #include "scgnn/obs/ledger.hpp"
 #include "scgnn/obs/metrics.hpp"
 #include "scgnn/obs/trace.hpp"
+#include "scgnn/tensor/kernels.hpp"
 #include "scgnn/tensor/ops.hpp"
 
 namespace scgnn::dist {
@@ -47,6 +48,13 @@ DistAggregator::DistAggregator(const DistContext& ctx, comm::Fabric& fabric,
         stale_fwd_.resize(ctx.plans().size());
         stale_bwd_.resize(ctx.plans().size());
     }
+    // One reused buffer per partition; the parallel regions index them by
+    // partition, so sizing here keeps the regions allocation-free after
+    // the first epoch warms each matrix's capacity.
+    stacked_.resize(ctx.num_parts());
+    spmm_out_.resize(ctx.num_parts());
+    gp_.resize(ctx.num_parts());
+    stacked_grad_.resize(ctx.num_parts());
 }
 
 const Matrix& DistAggregator::resolve(
@@ -84,6 +92,18 @@ const Matrix& DistAggregator::resolve(
 }
 
 Matrix DistAggregator::forward(const Matrix& h, int layer) {
+    Matrix out;
+    forward_into(h, layer, out);
+    return out;
+}
+
+Matrix DistAggregator::backward(const Matrix& g, int layer) {
+    Matrix out;
+    backward_into(g, layer, out);
+    return out;
+}
+
+void DistAggregator::forward_into(const Matrix& h, int layer, Matrix& out) {
     SCGNN_TRACE_SPAN("dist.forward");
     const DistContext& ctx = *ctx_;
     const std::uint32_t parts = ctx.num_parts();
@@ -91,30 +111,41 @@ Matrix DistAggregator::forward(const Matrix& h, int layer) {
 
     // One timeline step per aggregator call. Per-partition compute is
     // measured inside the parallel regions (each partition is owned by
-    // exactly one chunk, so part_s has no races) and recorded serially
+    // exactly one chunk, so part_s_ has no races) and recorded serially
     // afterwards in partition order — event ordering stays deterministic
     // at any thread count even though the measured durations vary.
     const bool tl = timeline_ != nullptr;
     if (tl) timeline_->begin_step("fwd");
-    std::vector<double> part_s(tl ? parts : 0, 0.0);
+    part_s_.assign(tl ? parts : 0, 0.0);
+
+    // The SIMD path aggregates through the column-blocked CSR layout
+    // (built once, on first use); the scalar path keeps the plain CSR the
+    // golden runs were pinned on. Both orders are bitwise identical — the
+    // blocking only changes the cache footprint of the column walk.
+    const bool blocked =
+        tensor::kernel_path() == tensor::KernelPath::kSimd;
+    if (blocked && blocked_adj_.empty()) {
+        blocked_adj_.reserve(parts);
+        for (std::uint32_t p = 0; p < parts; ++p)
+            blocked_adj_.emplace_back(ctx.local_adj(p));
+    }
 
     // Per-partition stacked inputs [local ; halo]. The P simulated devices
     // are independent, so partitions fan out across the pool (each owns
     // its stacked matrix) — the halo exchange below stays serial because
     // it mutates shared compressor and fabric state.
-    std::vector<Matrix> stacked(parts);
     parallel_for(0, parts, 1, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t p = lo; p < hi; ++p) {
             WallTimer t;
             const auto locals = ctx.local_nodes(static_cast<std::uint32_t>(p));
             const auto halo = ctx.halo(static_cast<std::uint32_t>(p));
-            stacked[p] = Matrix(locals.size() + halo.size(), f);
+            stacked_[p].reshape_zero(locals.size() + halo.size(), f);
             for (std::size_t i = 0; i < locals.size(); ++i) {
                 const auto srow = h.row(locals[i]);
-                auto drow = stacked[p].row(i);
+                auto drow = stacked_[p].row(i);
                 std::copy(srow.begin(), srow.end(), drow.begin());
             }
-            if (tl) part_s[p] += t.seconds();
+            if (tl) part_s_[p] += t.seconds();
         }
     });
 
@@ -127,13 +158,15 @@ Matrix DistAggregator::forward(const Matrix& h, int layer) {
         const auto plans = ctx.plans();
         for (std::size_t pi = 0; pi < plans.size(); ++pi) {
             const PairPlan& plan = plans[pi];
-            Matrix src(plan.num_rows(), f);
+            tensor::Workspace::Lease src_l(ws_, plan.num_rows(), f);
+            Matrix& src = src_l.get();
             for (std::size_t i = 0; i < plan.dbg.src_nodes.size(); ++i) {
                 const auto srow = h.row(plan.dbg.src_nodes[i]);
                 auto drow = src.row(i);
                 std::copy(srow.begin(), srow.end(), drow.begin());
             }
-            Matrix recon(plan.num_rows(), f);
+            tensor::Workspace::Lease recon_l(ws_, plan.num_rows(), f);
+            Matrix& recon = recon_l.get();
             const std::uint64_t t0 =
                 obs_on ? obs::detail::trace_now_ns() : 0;
             const std::uint64_t bytes =
@@ -159,7 +192,7 @@ Matrix DistAggregator::forward(const Matrix& h, int layer) {
 
             const std::size_t halo_base =
                 ctx.local_nodes(plan.dst_part).size();
-            Matrix& dst_stack = stacked[plan.dst_part];
+            Matrix& dst_stack = stacked_[plan.dst_part];
             for (std::size_t i = 0; i < plan.dst_halo_slots.size(); ++i) {
                 const auto srow = arrived.row(i);
                 auto drow = dst_stack.row(halo_base + plan.dst_halo_slots[i]);
@@ -173,30 +206,33 @@ Matrix DistAggregator::forward(const Matrix& h, int layer) {
     // Per-partition local SpMM, results written back in global order.
     // Partitions own disjoint local-node sets, so the write-back rows
     // never overlap; the inner spmm runs serially inside the region.
-    Matrix out(h.rows(), f);
+    out.reshape_zero(h.rows(), f);
     parallel_for(0, parts, 1, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t p = lo; p < hi; ++p) {
             WallTimer t;
             const auto part = static_cast<std::uint32_t>(p);
-            const Matrix agg = tensor::spmm(ctx.local_adj(part), stacked[p]);
+            if (blocked)
+                tensor::spmm_into(blocked_adj_[p], stacked_[p], spmm_out_[p]);
+            else
+                tensor::spmm_into(ctx.local_adj(part), stacked_[p],
+                                  spmm_out_[p]);
             const auto locals = ctx.local_nodes(part);
             for (std::size_t i = 0; i < locals.size(); ++i) {
-                const auto srow = agg.row(i);
+                const auto srow = spmm_out_[p].row(i);
                 auto drow = out.row(locals[i]);
                 std::copy(srow.begin(), srow.end(), drow.begin());
             }
-            if (tl) part_s[p] += t.seconds();
+            if (tl) part_s_[p] += t.seconds();
         }
     });
     if (tl) {
         for (std::uint32_t d = 0; d < parts; ++d)
-            timeline_->record_compute(d, part_s[d]);
+            timeline_->record_compute(d, part_s_[d]);
         timeline_->end_step();
     }
-    return out;
 }
 
-Matrix DistAggregator::backward(const Matrix& g, int layer) {
+void DistAggregator::backward_into(const Matrix& g, int layer, Matrix& out) {
     SCGNN_TRACE_SPAN("dist.backward");
     const DistContext& ctx = *ctx_;
     const std::uint32_t parts = ctx.num_parts();
@@ -204,34 +240,34 @@ Matrix DistAggregator::backward(const Matrix& g, int layer) {
 
     const bool tl = timeline_ != nullptr;
     if (tl) timeline_->begin_step("bwd");
-    std::vector<double> part_s(tl ? parts : 0, 0.0);
+    part_s_.assign(tl ? parts : 0, 0.0);
 
-    Matrix out(g.rows(), f);
+    out.reshape_zero(g.rows(), f);
     // Per-partition transposed SpMM; the halo block of the result is the
     // gradient that must travel back to the owners. Partitions fan out
-    // across the pool — each owns stacked_grad[p] and its disjoint local
+    // across the pool — each owns stacked_grad_[p] and its disjoint local
     // rows of `out`; the cross-partition gradient exchange below stays
     // serial (compressor/fabric state, overlapping destination rows).
-    std::vector<Matrix> stacked_grad(parts);
     parallel_for(0, parts, 1, [&](std::size_t plo, std::size_t phi) {
         for (std::size_t p = plo; p < phi; ++p) {
             WallTimer t;
             const auto part = static_cast<std::uint32_t>(p);
             const auto locals = ctx.local_nodes(part);
-            Matrix gp(locals.size(), f);
+            gp_[p].reshape_zero(locals.size(), f);
             for (std::size_t i = 0; i < locals.size(); ++i) {
                 const auto srow = g.row(locals[i]);
-                auto drow = gp.row(i);
+                auto drow = gp_[p].row(i);
                 std::copy(srow.begin(), srow.end(), drow.begin());
             }
-            stacked_grad[p] = tensor::spmm_transposed(ctx.local_adj(part), gp);
+            tensor::spmm_transposed_into(ctx.local_adj(part), gp_[p],
+                                         stacked_grad_[p]);
             // Local block accumulates directly.
             for (std::size_t i = 0; i < locals.size(); ++i) {
-                const auto srow = stacked_grad[p].row(i);
+                const auto srow = stacked_grad_[p].row(i);
                 auto drow = out.row(locals[i]);
                 for (std::size_t c = 0; c < f; ++c) drow[c] += srow[c];
             }
-            if (tl) part_s[p] += t.seconds();
+            if (tl) part_s_[p] += t.seconds();
         }
     });
 
@@ -247,14 +283,16 @@ Matrix DistAggregator::backward(const Matrix& g, int layer) {
             const PairPlan& plan = plans[pi];
             const std::uint32_t p = plan.dst_part;  // gradient sender
             const std::size_t halo_base = ctx.local_nodes(p).size();
-            Matrix grad_in(plan.num_rows(), f);
+            tensor::Workspace::Lease grad_in_l(ws_, plan.num_rows(), f);
+            Matrix& grad_in = grad_in_l.get();
             for (std::size_t i = 0; i < plan.dst_halo_slots.size(); ++i) {
                 const auto srow =
-                    stacked_grad[p].row(halo_base + plan.dst_halo_slots[i]);
+                    stacked_grad_[p].row(halo_base + plan.dst_halo_slots[i]);
                 auto drow = grad_in.row(i);
                 std::copy(srow.begin(), srow.end(), drow.begin());
             }
-            Matrix grad_out(plan.num_rows(), f);
+            tensor::Workspace::Lease grad_out_l(ws_, plan.num_rows(), f);
+            Matrix& grad_out = grad_out_l.get();
             const std::uint64_t t0 =
                 obs_on ? obs::detail::trace_now_ns() : 0;
             const std::uint64_t bytes =
@@ -289,10 +327,9 @@ Matrix DistAggregator::backward(const Matrix& g, int layer) {
     }
     if (tl) {
         for (std::uint32_t d = 0; d < parts; ++d)
-            timeline_->record_compute(d, part_s[d]);
+            timeline_->record_compute(d, part_s_[d]);
         timeline_->end_step();
     }
-    return out;
 }
 
 DistTrainResult train_distributed(const graph::Dataset& data,
@@ -354,6 +391,15 @@ DistTrainResult train_distributed(const graph::Dataset& data,
         compressor.setup(ctx);
     }
 
+    // Pooled scratch shared by the serial paths (exchange temporaries,
+    // compressor fuse buffers, the loss gradient) plus pre-sized epoch
+    // containers: after the first epoch warms every buffer, steady-state
+    // epochs run without heap allocations.
+    tensor::Workspace ws;
+    agg.set_workspace(&ws);
+    compressor.set_workspace(&ws);
+    fabric.reserve_history(cfg.epochs);
+
     // Full-graph, uncompressed aggregator used for evaluation (and for the
     // early-stopping validation probes — off the fabric, untimed).
     const tensor::SparseMatrix eval_adj =
@@ -361,6 +407,7 @@ DistTrainResult train_distributed(const graph::Dataset& data,
     gnn::SpmmAggregator eval_agg(eval_adj);
 
     DistTrainResult result;
+    if (cfg.record_epochs) result.epoch_metrics.reserve(cfg.epochs);
     double total_epoch_ms = 0.0, total_comm_ms = 0.0, total_compute_ms = 0.0;
     double total_bytes = 0.0;
     // Ring all-reduce volume of the weight gradients, charged once per
@@ -383,7 +430,7 @@ DistTrainResult train_distributed(const graph::Dataset& data,
         if (overlap) timeline.begin_epoch();
         WallTimer timer;
         const double loss = gnn::run_epoch(model, opt, agg, data.features,
-                                           data.labels, data.train_mask);
+                                           data.labels, data.train_mask, &ws);
         if (cfg.comm.count_weight_sync) {
             // Ring topology: device d sends to (d+1) mod P in both the
             // reduce-scatter and all-gather phases.

@@ -18,15 +18,14 @@ void add_bias(Matrix& z, const Matrix& bias) {
     }
 }
 
-/// Column sums as a (1 × cols) matrix — the bias gradient.
-[[nodiscard]] Matrix col_sums(const Matrix& m) {
-    Matrix s(1, m.cols());
+/// Column sums into a reused (1 × cols) matrix — the bias gradient.
+void col_sums_into(const Matrix& m, Matrix& s) {
+    s.reshape_zero(1, m.cols());
     auto sr = s.row(0);
     for (std::size_t r = 0; r < m.rows(); ++r) {
         const auto mr = m.row(r);
         for (std::size_t c = 0; c < mr.size(); ++c) sr[c] += mr[c];
     }
-    return s;
 }
 
 } // namespace
@@ -58,32 +57,47 @@ GnnModel::GnnModel(const GnnConfig& config)
     a_.resize(cfg_.num_layers);
     z_.resize(cfg_.num_layers);
     mask_.resize(cfg_.num_layers);
+    // layers_ never resizes after this point, so the parameter/gradient
+    // views stay valid for the model's lifetime.
+    for (Layer& l : layers_) {
+        params_.push_back(&l.w);
+        grads_.push_back(&l.gw);
+        if (cfg_.kind == LayerKind::kSage) {
+            params_.push_back(&l.w_self);
+            grads_.push_back(&l.gw_self);
+        }
+        params_.push_back(&l.b);
+        grads_.push_back(&l.gb);
+    }
 }
 
-Matrix GnnModel::forward(const Matrix& x, Aggregator& agg) {
+const Matrix& GnnModel::forward_ref(const Matrix& x, Aggregator& agg) {
     SCGNN_CHECK(x.cols() == cfg_.in_dim, "feature width must match in_dim");
-    Matrix cur = x;
     for (std::uint32_t i = 0; i < cfg_.num_layers; ++i) {
-        h_[i] = std::move(cur);
-        a_[i] = agg.forward(h_[i], static_cast<int>(i));
+        // Layer input: the features for layer 0, the previous layer's
+        // activation (written by relu_into below) otherwise. Copy-assign
+        // and the *_into kernels reuse the cached matrices' capacity, so
+        // after the first pass no step here allocates.
+        if (i == 0) h_[0] = x;
+        agg.forward_into(h_[i], static_cast<int>(i), a_[i]);
         if (cfg_.kind == LayerKind::kGin) {
             // a becomes the GIN combine (1+ε)·h + A·h; the weight applies
             // to the combined signal, so the cached a_ feeds gw directly.
             tensor::axpy(1.0f + cfg_.gin_eps, h_[i], a_[i]);
         }
-        Matrix z = tensor::matmul(a_[i], layers_[i].w);
-        if (cfg_.kind == LayerKind::kSage)
-            z += tensor::matmul(h_[i], layers_[i].w_self);
-        add_bias(z, layers_[i].b);
-        z_[i] = std::move(z);
-        if (i + 1 == cfg_.num_layers) {
-            cur = z_[i];
-        } else {
-            cur = tensor::relu(z_[i]);
+        tensor::matmul_into(a_[i], layers_[i].w, z_[i]);
+        if (cfg_.kind == LayerKind::kSage) {
+            tensor::matmul_into(h_[i], layers_[i].w_self, gtmp_);
+            z_[i] += gtmp_;
+        }
+        add_bias(z_[i], layers_[i].b);
+        if (i + 1 < cfg_.num_layers) {
+            tensor::relu_into(z_[i], h_[i + 1]);
             if (training_ && cfg_.dropout > 0.0f) {
                 // Inverted dropout: surviving units are scaled by 1/(1-p)
                 // so evaluation needs no rescaling.
-                mask_[i] = Matrix(cur.rows(), cur.cols());
+                Matrix& cur = h_[i + 1];
+                mask_[i].reshape_zero(cur.rows(), cur.cols());
                 const float keep_scale = 1.0f / (1.0f - cfg_.dropout);
                 auto mf = mask_[i].flat();
                 auto cf = cur.flat();
@@ -93,12 +107,16 @@ Matrix GnnModel::forward(const Matrix& x, Aggregator& agg) {
                     cf[j] *= mf[j];
                 }
             } else {
-                mask_[i] = Matrix();  // inactive this pass
+                mask_[i].reshape_zero(0, 0);  // inactive this pass
             }
         }
     }
     have_cache_ = true;
-    return cur;
+    return z_.back();
+}
+
+Matrix GnnModel::forward(const Matrix& x, Aggregator& agg) {
+    return forward_ref(x, agg);
 }
 
 void GnnModel::backward(const Matrix& dlogits, Aggregator& agg) {
@@ -107,48 +125,41 @@ void GnnModel::backward(const Matrix& dlogits, Aggregator& agg) {
                     dlogits.cols() == cfg_.out_dim,
                 "dlogits shape mismatch");
 
-    Matrix dz = dlogits;
+    dz_ = dlogits;
     for (std::uint32_t i = cfg_.num_layers; i-- > 0;) {
         Layer& l = layers_[i];
-        l.gw += tensor::matmul_at_b(a_[i], dz);
-        l.gb += col_sums(dz);
-        if (cfg_.kind == LayerKind::kSage)
-            l.gw_self += tensor::matmul_at_b(h_[i], dz);
+        // Gradient terms land in gtmp_/btmp_ first and accumulate with a
+        // single +=, exactly the temp-then-add rounding of the historical
+        // `gw += matmul_at_b(...)` expressions.
+        tensor::matmul_at_b_into(a_[i], dz_, gtmp_);
+        l.gw += gtmp_;
+        col_sums_into(dz_, btmp_);
+        l.gb += btmp_;
+        if (cfg_.kind == LayerKind::kSage) {
+            tensor::matmul_at_b_into(h_[i], dz_, gtmp_);
+            l.gw_self += gtmp_;
+        }
         if (i == 0) break;  // no trainable ancestors below the features
-        const Matrix dcombined = tensor::matmul_a_bt(dz, l.w);
-        Matrix dh = agg.backward(dcombined, static_cast<int>(i));
-        if (cfg_.kind == LayerKind::kSage)
-            dh += tensor::matmul_a_bt(dz, l.w_self);
-        else if (cfg_.kind == LayerKind::kGin)
-            tensor::axpy(1.0f + cfg_.gin_eps, dcombined, dh);
+        tensor::matmul_a_bt_into(dz_, l.w, dcomb_);
+        agg.backward_into(dcomb_, static_cast<int>(i), dh_);
+        if (cfg_.kind == LayerKind::kSage) {
+            tensor::matmul_a_bt_into(dz_, l.w_self, gtmp_);
+            dh_ += gtmp_;
+        } else if (cfg_.kind == LayerKind::kGin) {
+            tensor::axpy(1.0f + cfg_.gin_eps, dcomb_, dh_);
+        }
         if (!mask_[i - 1].empty()) {
-            auto df = dh.flat();
+            auto df = dh_.flat();
             const auto mf = mask_[i - 1].flat();
             for (std::size_t j = 0; j < df.size(); ++j) df[j] *= mf[j];
         }
-        dz = tensor::relu_backward(dh, z_[i - 1]);
+        tensor::relu_backward_into(dh_, z_[i - 1], dz_);
     }
 }
 
-std::vector<Matrix*> GnnModel::parameters() {
-    std::vector<Matrix*> out;
-    for (Layer& l : layers_) {
-        out.push_back(&l.w);
-        if (cfg_.kind == LayerKind::kSage) out.push_back(&l.w_self);
-        out.push_back(&l.b);
-    }
-    return out;
-}
+const std::vector<Matrix*>& GnnModel::parameters() { return params_; }
 
-std::vector<Matrix*> GnnModel::gradients() {
-    std::vector<Matrix*> out;
-    for (Layer& l : layers_) {
-        out.push_back(&l.gw);
-        if (cfg_.kind == LayerKind::kSage) out.push_back(&l.gw_self);
-        out.push_back(&l.gb);
-    }
-    return out;
-}
+const std::vector<Matrix*>& GnnModel::gradients() { return grads_; }
 
 void GnnModel::zero_grad() {
     for (Matrix* g : gradients()) g->zero();

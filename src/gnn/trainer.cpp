@@ -15,18 +15,30 @@ tensor::Matrix SpmmAggregator::backward(const tensor::Matrix& g, int) {
     return tensor::spmm_transposed(*adj_, g);
 }
 
+void SpmmAggregator::forward_into(const tensor::Matrix& h, int,
+                                  tensor::Matrix& out) {
+    tensor::spmm_into(*adj_, h, out);
+}
+
+void SpmmAggregator::backward_into(const tensor::Matrix& g, int,
+                                   tensor::Matrix& out) {
+    tensor::spmm_transposed_into(*adj_, g, out);
+}
+
 double run_epoch(GnnModel& model, Adam& opt, Aggregator& agg,
                  const tensor::Matrix& features,
                  std::span<const std::int32_t> labels,
-                 std::span<const std::uint32_t> train_mask) {
+                 std::span<const std::uint32_t> train_mask,
+                 tensor::Workspace* ws) {
     model.set_training(true);
     model.zero_grad();
-    const tensor::Matrix logits = model.forward(features, agg);
+    const tensor::Matrix& logits = model.forward_ref(features, agg);
     const double loss =
         tensor::softmax_cross_entropy(logits, labels, train_mask);
-    const tensor::Matrix dlogits =
-        tensor::softmax_cross_entropy_grad(logits, labels, train_mask);
-    model.backward(dlogits, agg);
+    tensor::Workspace::Lease dlogits(ws, logits.rows(), logits.cols());
+    tensor::softmax_cross_entropy_grad_into(logits, labels, train_mask,
+                                            dlogits.get());
+    model.backward(dlogits.get(), agg);
     opt.step(model.parameters(), model.gradients());
     model.set_training(false);
     return loss;
@@ -37,7 +49,7 @@ double evaluate_accuracy(GnnModel& model, Aggregator& agg,
                          std::span<const std::int32_t> labels,
                          std::span<const std::uint32_t> mask) {
     model.set_training(false);
-    const tensor::Matrix logits = model.forward(features, agg);
+    const tensor::Matrix& logits = model.forward_ref(features, agg);
     return tensor::masked_accuracy(logits, labels, mask);
 }
 
@@ -62,11 +74,13 @@ TrainResult train_single_device(const graph::Dataset& data,
                 "early stopping needs a validation split");
 
     TrainResult result;
+    tensor::Workspace ws;
+    if (train_cfg.record_loss) result.losses.reserve(train_cfg.epochs);
     WallTimer total;
     std::uint32_t stale = 0;
     for (std::uint32_t e = 0; e < train_cfg.epochs; ++e) {
         const double loss = run_epoch(model, opt, agg, data.features,
-                                      data.labels, data.train_mask);
+                                      data.labels, data.train_mask, &ws);
         if (train_cfg.record_loss) result.losses.push_back(loss);
         ++result.epochs_run;
         if (train_cfg.lr_decay < 1.0f)

@@ -1,0 +1,149 @@
+#include "scgnn/obs/alloc.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "scgnn/obs/metrics.hpp"
+#include "scgnn/obs/obs.hpp"
+
+namespace scgnn::obs {
+namespace {
+
+constinit std::atomic<bool> g_track{false};
+constinit std::atomic<std::uint64_t> g_count{0};
+constinit std::atomic<std::uint64_t> g_bytes{0};
+// Publish watermarks: counters are monotone, so the registry mirror adds
+// only the delta since the previous sync.
+constinit std::atomic<std::uint64_t> g_pub_count{0};
+constinit std::atomic<std::uint64_t> g_pub_bytes{0};
+
+inline void note(std::size_t size) noexcept {
+    if (g_track.load(std::memory_order_relaxed)) [[unlikely]] {
+        g_count.fetch_add(1, std::memory_order_relaxed);
+        g_bytes.fetch_add(size, std::memory_order_relaxed);
+    }
+}
+
+void* alloc_or_throw(std::size_t size) {
+    if (size == 0) size = 1;
+    void* p = std::malloc(size);
+    if (p == nullptr) throw std::bad_alloc();
+    note(size);
+    return p;
+}
+
+void* alloc_aligned_or_throw(std::size_t size, std::size_t align) {
+    if (size == 0) size = 1;
+    if (align < sizeof(void*)) align = sizeof(void*);
+    void* p = nullptr;
+    if (posix_memalign(&p, align, size) != 0) throw std::bad_alloc();
+    note(size);
+    return p;
+}
+
+} // namespace
+
+void set_alloc_tracking(bool on) noexcept {
+    g_track.store(on, std::memory_order_relaxed);
+}
+
+bool alloc_tracking() noexcept {
+    return g_track.load(std::memory_order_relaxed);
+}
+
+AllocStats alloc_stats() noexcept {
+    return {g_count.load(std::memory_order_relaxed),
+            g_bytes.load(std::memory_order_relaxed)};
+}
+
+void reset_alloc_stats() noexcept {
+    g_count.store(0, std::memory_order_relaxed);
+    g_bytes.store(0, std::memory_order_relaxed);
+    g_pub_count.store(0, std::memory_order_relaxed);
+    g_pub_bytes.store(0, std::memory_order_relaxed);
+}
+
+void sync_alloc_counters() {
+    if (!enabled()) return;
+    const AllocStats now = alloc_stats();
+    const std::uint64_t pc = g_pub_count.exchange(now.count);
+    const std::uint64_t pb = g_pub_bytes.exchange(now.bytes);
+    if (now.count > pc) registry().counter("alloc.count").add(now.count - pc);
+    if (now.bytes > pb) registry().counter("alloc.bytes").add(now.bytes - pb);
+}
+
+} // namespace scgnn::obs
+
+// Replacement global allocation functions. Defined here (not in an
+// anonymous namespace) so any binary referencing the API above gets the
+// counting allocator linked in; all forms funnel through the two helpers.
+
+void* operator new(std::size_t size) { return scgnn::obs::alloc_or_throw(size); }
+
+void* operator new[](std::size_t size) {
+    return scgnn::obs::alloc_or_throw(size);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    try {
+        return scgnn::obs::alloc_or_throw(size);
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    try {
+        return scgnn::obs::alloc_or_throw(size);
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+    return scgnn::obs::alloc_aligned_or_throw(
+        size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return scgnn::obs::alloc_aligned_or_throw(
+        size, static_cast<std::size_t>(align));
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+    try {
+        return scgnn::obs::alloc_aligned_or_throw(
+            size, static_cast<std::size_t>(align));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+    try {
+        return scgnn::obs::alloc_aligned_or_throw(
+            size, static_cast<std::size_t>(align));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+    std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "scgnn/common/error.hpp"
+#include "scgnn/obs/alloc.hpp"
 #include "scgnn/obs/json.hpp"
 #include "scgnn/obs/obs.hpp"
 
@@ -159,6 +160,7 @@ void epoch_snapshot(std::uint32_t epoch, double loss, double comm_mb,
                     double comm_ms, double compute_ms, double epoch_ms,
                     double overlap_ms, double comm_exposed_ms) {
     if (!enabled()) return;
+    if (alloc_tracking()) sync_alloc_counters();
     ledger().record_epoch(epoch, loss, comm_mb, comm_ms, compute_ms, epoch_ms,
                           overlap_ms, comm_exposed_ms);
 }

@@ -4,34 +4,52 @@
 #include <cmath>
 
 #include "scgnn/common/parallel.hpp"
+#include "scgnn/tensor/kernels.hpp"
 
 namespace scgnn::tensor {
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
     SCGNN_CHECK(a.cols() == b.rows(), "matmul inner dimensions must agree");
-    Matrix c(a.rows(), b.cols());
+    c.reshape_zero(a.rows(), b.cols());
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-    // Row-block parallel: each output row is owned by one chunk, and its
-    // k-accumulation order matches the serial kernel, so the result is
-    // bitwise identical at every thread count.
+    // Row-block parallel: each output row is owned by one chunk. Within a
+    // chunk the k dimension is tiled (mirroring matmul_at_b) so a block
+    // of B rows stays cache-hot while the chunk's C rows are swept. Each
+    // C(i,j) still accumulates over p in ascending order with the same
+    // zero-skip, so the scalar result is bitwise identical to the
+    // historical kernel at every thread count; the simd path differs only
+    // by per-element FMA fusion.
+    constexpr std::size_t kTile = 128;
+    const bool simd = kern::use_simd();
     parallel_for(0, m, grain_for(k * n), [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-            float* ci = c.data() + i * n;
-            const float* ai = a.data() + i * k;
-            for (std::size_t p = 0; p < k; ++p) {
-                const float aip = ai[p];
-                if (aip == 0.0f) continue;
-                const float* bp = b.data() + p * n;
-                for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+        for (std::size_t p0 = 0; p0 < k; p0 += kTile) {
+            const std::size_t p1 = std::min(k, p0 + kTile);
+            for (std::size_t i = lo; i < hi; ++i) {
+                float* ci = c.data() + i * n;
+                const float* ai = a.data() + i * k;
+                for (std::size_t p = p0; p < p1; ++p) {
+                    const float aip = ai[p];
+                    if (aip == 0.0f) continue;
+                    const float* bp = b.data() + p * n;
+                    if (simd)
+                        kern::axpy_avx2(aip, bp, ci, n);
+                    else
+                        kern::axpy_scalar(aip, bp, ci, n);
+                }
             }
         }
     });
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+    Matrix c;
+    matmul_into(a, b, c);
     return c;
 }
 
-Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+void matmul_at_b_into(const Matrix& a, const Matrix& b, Matrix& c) {
     SCGNN_CHECK(a.rows() == b.rows(), "matmul_at_b outer dimensions must agree");
-    Matrix c(a.cols(), b.cols());
+    c.reshape_zero(a.cols(), b.cols());
     const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
     // Output rows (columns of A) are split across chunks; within a chunk
     // the k dimension is tiled so a block of B rows stays cache-hot while
@@ -40,6 +58,7 @@ Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
     // C(i,j) still accumulates over p in ascending order with the same
     // zero-skip, so the result is bitwise identical to the serial kernel.
     constexpr std::size_t kTile = 128;
+    const bool simd = kern::use_simd();
     parallel_for(0, m, grain_for(k * n), [&](std::size_t lo, std::size_t hi) {
         for (std::size_t p0 = 0; p0 < k; p0 += kTile) {
             const std::size_t p1 = std::min(k, p0 + kTile);
@@ -49,47 +68,79 @@ Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
                     const float api = a.data()[p * m + i];
                     if (api == 0.0f) continue;
                     const float* bp = b.data() + p * n;
-                    for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+                    if (simd)
+                        kern::axpy_avx2(api, bp, ci, n);
+                    else
+                        kern::axpy_scalar(api, bp, ci, n);
                 }
             }
         }
     });
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+    Matrix c;
+    matmul_at_b_into(a, b, c);
     return c;
 }
 
-Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+void matmul_a_bt_into(const Matrix& a, const Matrix& b, Matrix& c) {
     SCGNN_CHECK(a.cols() == b.cols(), "matmul_a_bt inner dimensions must agree");
-    Matrix c(a.rows(), b.rows());
+    c.reshape_zero(a.rows(), b.rows());
     const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    // j is tiled so a block of B rows (the dot-product right operands)
+    // stays resident across the chunk's A rows. Every C(i,j) is one
+    // ascending-p dot product exactly as before, so scalar results stay
+    // bitwise identical; the simd dot uses multiple accumulators and
+    // carries the looser reduction ulp bound.
+    constexpr std::size_t jTile = 64;
+    const bool simd = kern::use_simd();
     parallel_for(0, m, grain_for(k * n), [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-            const float* ai = a.data() + i * k;
-            float* ci = c.data() + i * n;
-            for (std::size_t j = 0; j < n; ++j) {
-                const float* bj = b.data() + j * k;
-                float acc = 0.0f;
-                for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-                ci[j] = acc;
+        for (std::size_t j0 = 0; j0 < n; j0 += jTile) {
+            const std::size_t j1 = std::min(n, j0 + jTile);
+            for (std::size_t i = lo; i < hi; ++i) {
+                const float* ai = a.data() + i * k;
+                float* ci = c.data() + i * n;
+                for (std::size_t j = j0; j < j1; ++j) {
+                    const float* bj = b.data() + j * k;
+                    ci[j] = simd ? kern::dot_avx2(ai, bj, k)
+                                 : kern::dot_scalar(ai, bj, k);
+                }
             }
         }
     });
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+    Matrix c;
+    matmul_a_bt_into(a, b, c);
     return c;
 }
 
-Matrix relu(const Matrix& x) {
-    Matrix y = x;
+void relu_into(const Matrix& x, Matrix& y) {
+    y = x;
     for (auto& v : y.flat()) v = std::max(v, 0.0f);
+}
+
+Matrix relu(const Matrix& x) {
+    Matrix y;
+    relu_into(x, y);
     return y;
 }
 
-Matrix relu_backward(const Matrix& grad_out, const Matrix& x) {
+void relu_backward_into(const Matrix& grad_out, const Matrix& x, Matrix& g) {
     SCGNN_CHECK(grad_out.rows() == x.rows() && grad_out.cols() == x.cols(),
                 "relu_backward shapes must match");
-    Matrix g = grad_out;
+    g = grad_out;
     auto gf = g.flat();
     auto xf = x.flat();
     for (std::size_t i = 0; i < gf.size(); ++i)
         if (xf[i] <= 0.0f) gf[i] = 0.0f;
+}
+
+Matrix relu_backward(const Matrix& grad_out, const Matrix& x) {
+    Matrix g;
+    relu_backward_into(grad_out, x, g);
     return g;
 }
 
@@ -133,13 +184,14 @@ double softmax_cross_entropy(const Matrix& logits,
     return total / static_cast<double>(mask.size());
 }
 
-Matrix softmax_cross_entropy_grad(const Matrix& logits,
-                                  std::span<const std::int32_t> labels,
-                                  std::span<const std::uint32_t> mask) {
+void softmax_cross_entropy_grad_into(const Matrix& logits,
+                                     std::span<const std::int32_t> labels,
+                                     std::span<const std::uint32_t> mask,
+                                     Matrix& grad) {
     SCGNN_CHECK(labels.size() == logits.rows(),
                 "one label per logits row required");
     SCGNN_CHECK(!mask.empty(), "loss mask must be non-empty");
-    Matrix grad(logits.rows(), logits.cols());
+    grad.reshape_zero(logits.rows(), logits.cols());
     const float inv_n = 1.0f / static_cast<float>(mask.size());
     for (std::uint32_t r : mask) {
         SCGNN_CHECK(r < logits.rows(), "mask row out of range");
@@ -156,6 +208,13 @@ Matrix softmax_cross_entropy_grad(const Matrix& logits,
         for (auto& g : grow) g *= inv * inv_n;
         grow[static_cast<std::size_t>(labels[r])] -= inv_n;
     }
+}
+
+Matrix softmax_cross_entropy_grad(const Matrix& logits,
+                                  std::span<const std::int32_t> labels,
+                                  std::span<const std::uint32_t> mask) {
+    Matrix grad;
+    softmax_cross_entropy_grad_into(logits, labels, mask, grad);
     return grad;
 }
 
@@ -216,9 +275,7 @@ Matrix add(const Matrix& a, const Matrix& b) {
 void axpy(float alpha, const Matrix& x, Matrix& y) {
     SCGNN_CHECK(x.rows() == y.rows() && x.cols() == y.cols(),
                 "axpy shapes must match");
-    auto xf = x.flat();
-    auto yf = y.flat();
-    for (std::size_t i = 0; i < xf.size(); ++i) yf[i] += alpha * xf[i];
+    kern::axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void scale_rows(Matrix& m, std::span<const float> scale) {

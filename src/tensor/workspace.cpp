@@ -1,0 +1,43 @@
+#include "scgnn/tensor/workspace.hpp"
+
+namespace scgnn::tensor {
+
+Matrix Workspace::acquire(std::size_t rows, std::size_t cols) {
+    const std::size_t n = rows * cols;
+    // Best fit: the smallest pooled buffer whose capacity already covers
+    // the request; if none fits, the largest buffer grows (one realloc,
+    // after which its new capacity stays pooled).
+    std::size_t best = pool_.size();
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+        if (pool_[i].capacity() < n) continue;
+        if (best == pool_.size() ||
+            pool_[i].capacity() < pool_[best].capacity())
+            best = i;
+    }
+    const bool fit = best != pool_.size();
+    if (!fit) {
+        for (std::size_t i = 0; i < pool_.size(); ++i) {
+            if (best == pool_.size() ||
+                pool_[i].capacity() > pool_[best].capacity())
+                best = i;
+        }
+    }
+    std::vector<float> buf;
+    if (best != pool_.size()) {
+        buf = std::move(pool_[best]);
+        pool_[best] = std::move(pool_.back());
+        pool_.pop_back();
+    }
+    if (fit)
+        ++hits_;
+    else
+        ++misses_;
+    buf.assign(n, 0.0f);
+    return Matrix(rows, cols, std::move(buf));
+}
+
+void Workspace::release(Matrix& m) {
+    pool_.push_back(m.release_storage());
+}
+
+} // namespace scgnn::tensor

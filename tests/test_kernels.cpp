@@ -1,0 +1,338 @@
+// Tests for the runtime-dispatched kernel layer (tensor/kernels.hpp) and
+// the tiled/blocked tensor ops built on it: the scalar path must be
+// bitwise identical to naive reference loops written in the historical
+// accumulation order (the golden-pinned contract), and the SIMD path must
+// match within the documented ulp bounds (FMA fusion for AXPY shapes, a
+// reordered multi-accumulator reduction for dots).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "scgnn/common/rng.hpp"
+#include "scgnn/tensor/kernels.hpp"
+#include "scgnn/tensor/ops.hpp"
+#include "scgnn/tensor/sparse.hpp"
+
+namespace scgnn::tensor {
+namespace {
+
+// ------------------------------------------------------------ references
+
+/// Historical matmul order: every C(i,j) accumulates over p ascending,
+/// zero entries of A skipped.
+Matrix ref_matmul(const Matrix& a, const Matrix& b) {
+    Matrix c(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t p = 0; p < a.cols(); ++p) {
+            const float aip = a(i, p);
+            if (aip == 0.0f) continue;
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                c(i, j) += aip * b(p, j);
+        }
+    return c;
+}
+
+Matrix ref_matmul_at_b(const Matrix& a, const Matrix& b) {
+    Matrix c(a.cols(), b.cols());
+    for (std::size_t i = 0; i < a.cols(); ++i)
+        for (std::size_t p = 0; p < a.rows(); ++p) {
+            const float api = a(p, i);
+            if (api == 0.0f) continue;
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                c(i, j) += api * b(p, j);
+        }
+    return c;
+}
+
+Matrix ref_matmul_a_bt(const Matrix& a, const Matrix& b) {
+    Matrix c(a.rows(), b.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < b.rows(); ++j) {
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < a.cols(); ++p)
+                acc += a(i, p) * b(j, p);
+            c(i, j) = acc;
+        }
+    return c;
+}
+
+/// Historical SpMM order: per row, nonzeros in CSR (ascending-column)
+/// order, axpy into the output row.
+Matrix ref_spmm(const SparseMatrix& s, const Matrix& x) {
+    Matrix y(s.rows(), x.cols());
+    for (std::size_t r = 0; r < s.rows(); ++r) {
+        const auto cols = s.row_cols(r);
+        const auto vals = s.row_vals(r);
+        for (std::size_t k = 0; k < cols.size(); ++k)
+            for (std::size_t c = 0; c < x.cols(); ++c)
+                y(r, c) += vals[k] * x(cols[k], c);
+    }
+    return y;
+}
+
+bool bitwise_equal(const Matrix& a, const Matrix& b) {
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::memcmp(a.data(), b.data(),
+                       a.rows() * a.cols() * sizeof(float)) == 0;
+}
+
+SparseMatrix random_sparse(std::size_t rows, std::size_t cols, double density,
+                           Rng& rng) {
+    std::vector<Triplet> trips;
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            if (rng.uniform() < density)
+                trips.push_back({static_cast<std::uint32_t>(r),
+                                 static_cast<std::uint32_t>(c),
+                                 static_cast<float>(rng.uniform() * 2 - 1)});
+    return SparseMatrix(rows, cols, std::move(trips));
+}
+
+/// Units in the last place of `ref`, floored at the subnormal step so the
+/// bound stays meaningful around zero.
+float ulp_of(float ref) {
+    const float mag = std::abs(ref);
+    const float next = std::nextafter(mag, std::numeric_limits<float>::max());
+    return std::max(next - mag, std::numeric_limits<float>::denorm_min());
+}
+
+// ----------------------------------------------------- dispatch plumbing
+
+TEST(KernelPath, ParseRoundTrip) {
+    KernelPath p = KernelPath::kSimd;
+    EXPECT_TRUE(parse_kernel_path("scalar", p));
+    EXPECT_EQ(p, KernelPath::kScalar);
+    EXPECT_TRUE(parse_kernel_path("simd", p));
+    EXPECT_EQ(p, KernelPath::kSimd);
+    EXPECT_FALSE(parse_kernel_path("avx512", p));
+    EXPECT_STREQ(kernel_path_name(KernelPath::kScalar), "scalar");
+    EXPECT_STREQ(kernel_path_name(KernelPath::kSimd), "simd");
+}
+
+TEST(KernelPath, GuardRestoresPreviousPath) {
+    const KernelPath before = kernel_path();
+    {
+        KernelPathGuard guard(KernelPath::kScalar);
+        EXPECT_EQ(kernel_path(), KernelPath::kScalar);
+    }
+    EXPECT_EQ(kernel_path(), before);
+}
+
+TEST(KernelPath, SimdRequestRejectedWhenUnsupported) {
+    if (simd_supported()) GTEST_SKIP() << "host supports AVX2+FMA";
+    EXPECT_THROW(set_kernel_path(KernelPath::kSimd), Error);
+}
+
+// ------------------------------------- scalar path: bitwise golden sweep
+
+TEST(ScalarKernels, MatmulBitwiseEqualsReferenceSweep) {
+    KernelPathGuard guard(KernelPath::kScalar);
+    Rng rng(11);
+    // Shapes straddling the 128-wide k tiles and 64-wide j tiles, plus
+    // degenerate 1-sized edges.
+    const std::size_t dims[] = {1, 2, 3, 7, 17, 64, 65, 129, 200};
+    for (std::size_t m : dims)
+        for (std::size_t k : dims)
+            for (std::size_t n : dims) {
+                if (m * k * n > 200 * 65 * 17) continue;  // keep it seconds
+                const Matrix a = Matrix::randn(m, k, rng);
+                const Matrix b = Matrix::randn(k, n, rng);
+                ASSERT_TRUE(bitwise_equal(matmul(a, b), ref_matmul(a, b)))
+                    << "matmul " << m << "x" << k << "x" << n;
+            }
+}
+
+TEST(ScalarKernels, MatmulVariantsBitwiseEqualReference) {
+    KernelPathGuard guard(KernelPath::kScalar);
+    Rng rng(12);
+    const std::size_t shapes[][2] = {{1, 1},   {3, 5},   {17, 64},
+                                     {65, 33}, {129, 8}, {150, 70}};
+    for (const auto& sa : shapes)
+        for (const auto& sb : shapes) {
+            {   // Aᵀ·B needs matching row counts.
+                const Matrix a = Matrix::randn(sa[0], sa[1], rng);
+                const Matrix b = Matrix::randn(sa[0], sb[1], rng);
+                ASSERT_TRUE(
+                    bitwise_equal(matmul_at_b(a, b), ref_matmul_at_b(a, b)));
+            }
+            {   // A·Bᵀ needs matching widths.
+                const Matrix a = Matrix::randn(sa[0], sa[1], rng);
+                const Matrix b = Matrix::randn(sb[0], sa[1], rng);
+                ASSERT_TRUE(
+                    bitwise_equal(matmul_a_bt(a, b), ref_matmul_a_bt(a, b)));
+            }
+        }
+}
+
+TEST(ScalarKernels, SpmmBitwiseEqualsReference) {
+    KernelPathGuard guard(KernelPath::kScalar);
+    Rng rng(13);
+    for (const double density : {0.02, 0.2, 0.9}) {
+        const SparseMatrix s = random_sparse(37, 53, density, rng);
+        const Matrix x = Matrix::randn(53, 9, rng);
+        ASSERT_TRUE(bitwise_equal(spmm(s, x), ref_spmm(s, x)));
+    }
+}
+
+TEST(ScalarKernels, BlockedSpmmBitwiseEqualsPlainSpmm) {
+    KernelPathGuard guard(KernelPath::kScalar);
+    Rng rng(14);
+    // Block widths below, at, and above the column count, so rows span
+    // multiple blocks in some configurations and one block in others.
+    for (const std::size_t block_cols : {4ul, 16ul, 64ul, 1024ul}) {
+        const SparseMatrix s = random_sparse(41, 47, 0.15, rng);
+        const BlockedCsr blocked(s, block_cols);
+        EXPECT_EQ(blocked.nnz(), s.nnz());
+        const Matrix x = Matrix::randn(47, 8, rng);
+        ASSERT_TRUE(bitwise_equal(spmm(blocked, x), spmm(s, x)))
+            << "block_cols=" << block_cols;
+    }
+}
+
+TEST(ScalarKernels, InnerKernelsMatchHistoricalLoops) {
+    Rng rng(15);
+    for (const std::size_t n : {1ul, 7ul, 8ul, 31ul, 32ul, 100ul}) {
+        const Matrix x = Matrix::randn(1, n, rng);
+        Matrix y1 = Matrix::randn(1, n, rng);
+        Matrix y2 = y1;
+        kern::axpy_scalar(0.37f, x.data(), y1.data(), n);
+        for (std::size_t j = 0; j < n; ++j) y2.data()[j] += 0.37f * x.data()[j];
+        ASSERT_TRUE(bitwise_equal(y1, y2));
+
+        float dot_ref = 0.0f;
+        for (std::size_t j = 0; j < n; ++j)
+            dot_ref += x.data()[j] * y1.data()[j];
+        ASSERT_EQ(kern::dot_scalar(x.data(), y1.data(), n), dot_ref);
+
+        double sq_ref = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            const double d =
+                static_cast<double>(x.data()[j]) - y1.data()[j];
+            sq_ref += d * d;
+        }
+        ASSERT_EQ(kern::sq_dist_scalar(x.data(), y1.data(), n), sq_ref);
+    }
+}
+
+// -------------------------------------------- counting transpose (O(nnz))
+
+TEST(SparseTranspose, MatchesDenseTransposeAndOrdering) {
+    Rng rng(16);
+    for (const double density : {0.0, 0.05, 0.4}) {
+        const SparseMatrix s = random_sparse(29, 31, density, rng);
+        const SparseMatrix t = s.transposed();
+        EXPECT_EQ(t.rows(), s.cols());
+        EXPECT_EQ(t.cols(), s.rows());
+        EXPECT_EQ(t.nnz(), s.nnz());
+        // Columns must ascend within every row (the CSR invariant the
+        // Triplet-assembly path guaranteed by sorting).
+        for (std::size_t r = 0; r < t.rows(); ++r) {
+            const auto cols = t.row_cols(r);
+            for (std::size_t k = 1; k < cols.size(); ++k)
+                ASSERT_LT(cols[k - 1], cols[k]);
+        }
+        ASSERT_TRUE(bitwise_equal(t.to_dense(), transpose(s.to_dense())));
+        // An involution: transposing twice restores the exact CSR.
+        ASSERT_TRUE(bitwise_equal(t.transposed().to_dense(), s.to_dense()));
+    }
+}
+
+// -------------------------------------------- simd path: ulp-bound fuzz
+
+class SimdKernels : public ::testing::Test {
+protected:
+    void SetUp() override {
+        if (!simd_supported())
+            GTEST_SKIP() << "host lacks AVX2+FMA; simd path untestable";
+    }
+};
+
+TEST_F(SimdKernels, AxpyWithinFmaUlpBound) {
+    Rng rng(21);
+    for (const std::size_t n : {1ul, 5ul, 8ul, 9ul, 64ul, 1000ul}) {
+        for (int rep = 0; rep < 20; ++rep) {
+            const Matrix x = Matrix::randn(1, n, rng);
+            const Matrix y0 = Matrix::randn(1, n, rng);
+            Matrix ys = y0;
+            Matrix yv = y0;
+            const auto a = static_cast<float>(rng.uniform() * 4 - 2);
+            kern::axpy_scalar(a, x.data(), ys.data(), n);
+            kern::axpy_avx2(a, x.data(), yv.data(), n);
+            for (std::size_t j = 0; j < n; ++j) {
+                // FMA skips the product's rounding, so the two forms differ
+                // by at most ½ ulp of the product plus the final rounding —
+                // bounded by the ulp of the largest operand magnitude (the
+                // result itself can be tiny under cancellation).
+                const float mag = std::max(
+                    {std::abs(a * x.data()[j]), std::abs(y0.data()[j]),
+                     std::abs(ys.data()[j])});
+                ASSERT_LE(std::abs(yv.data()[j] - ys.data()[j]),
+                          2.0f * ulp_of(mag))
+                    << "n=" << n << " j=" << j;
+            }
+        }
+    }
+}
+
+TEST_F(SimdKernels, DotWithinReductionBoundOfDoubleReference) {
+    Rng rng(22);
+    for (const std::size_t n : {1ul, 7ul, 8ul, 33ul, 256ul, 4097ul}) {
+        for (int rep = 0; rep < 10; ++rep) {
+            const Matrix a = Matrix::randn(1, n, rng);
+            const Matrix b = Matrix::randn(1, n, rng);
+            double ref = 0.0, mag = 0.0;
+            for (std::size_t j = 0; j < n; ++j) {
+                const double t = static_cast<double>(a.data()[j]) *
+                                 static_cast<double>(b.data()[j]);
+                ref += t;
+                mag += std::abs(t);
+            }
+            // Any f32 summation order carries error ≤ n·eps·Σ|aᵢbᵢ|; both
+            // paths must sit inside that envelope of the f64 reference.
+            const double bound =
+                (static_cast<double>(n) + 8.0) *
+                    static_cast<double>(std::numeric_limits<float>::epsilon()) *
+                    mag +
+                1e-12;
+            EXPECT_NEAR(kern::dot_scalar(a.data(), b.data(), n), ref, bound);
+            EXPECT_NEAR(kern::dot_avx2(a.data(), b.data(), n), ref, bound);
+        }
+    }
+}
+
+TEST_F(SimdKernels, SqDistNearScalar) {
+    Rng rng(23);
+    for (const std::size_t n : {1ul, 4ul, 5ul, 8ul, 100ul, 1000ul}) {
+        const Matrix a = Matrix::randn(1, n, rng);
+        const Matrix b = Matrix::randn(1, n, rng);
+        const double s = kern::sq_dist_scalar(a.data(), b.data(), n);
+        const double v = kern::sq_dist_avx2(a.data(), b.data(), n);
+        // Both accumulate exact per-element squares in f64; only the
+        // summation order differs, so the results agree almost exactly.
+        EXPECT_NEAR(v, s, 1e-10 * (s + 1.0));
+    }
+}
+
+TEST_F(SimdKernels, DispatchedOpsTrackScalarWithinTolerance) {
+    Rng rng(24);
+    const Matrix a = Matrix::randn(70, 130, rng);
+    const Matrix b = Matrix::randn(130, 40, rng);
+    Matrix scalar_c, simd_c;
+    {
+        KernelPathGuard guard(KernelPath::kScalar);
+        matmul_into(a, b, scalar_c);
+    }
+    {
+        KernelPathGuard guard(KernelPath::kSimd);
+        matmul_into(a, b, simd_c);
+    }
+    EXPECT_LT(max_abs_diff(scalar_c, simd_c), 1e-3f);
+    EXPECT_GT(frobenius_norm(simd_c), 0.0f);
+}
+
+} // namespace
+} // namespace scgnn::tensor
