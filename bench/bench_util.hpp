@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "scgnn/comm/collective.hpp"
+#include "scgnn/comm/topology.hpp"
 #include "scgnn/common/log.hpp"
 #include "scgnn/common/parallel.hpp"
 #include "scgnn/common/table.hpp"
@@ -55,7 +57,9 @@ inline const char* log_level_name(LogLevel l) {
 /// `--threads <n>`, `--log-level <debug|info|warn|error>`,
 /// `--obs-out <prefix>`, `--overlap` (price epochs with the event-driven
 /// overlap timeline instead of the additive sum — see comm/timeline.hpp),
-/// plus the fault-injection set
+/// `--topology <flat|hier:NxM>` (fabric shape — see comm/topology.hpp),
+/// `--collective <p2p|ring|tree|hier>` (weight-sync algorithm — see
+/// comm/collective.hpp), plus the fault-injection set
 /// `--fault-drop <p>`, `--fault-seed <n>`,
 /// `--fault-link-down <src:dst:from:to>` (repeatable),
 /// `--retry-max <n>` and `--timeout <s>`.
@@ -71,6 +75,8 @@ struct CommonFlags {
     tensor::KernelPath kernels = tensor::KernelPath::kScalar;
     comm::FaultModel fault{};     ///< inactive unless a --fault-* flag set
     comm::RetryPolicy retry{};
+    comm::TopologySpec topology{};  ///< flat unless --topology hier:NxM
+    comm::collective::Algo collective = comm::collective::Algo::kRing;
 
     /// Consume argv[i] (and its value) when it is one of the shared
     /// flags; returns false for flags the caller must handle itself.
@@ -108,6 +114,22 @@ struct CommonFlags {
                 std::exit(2);
             }
             kernels_set = true;
+        } else if (std::strcmp(argv[i], "--topology") == 0) {
+            const char* s = value("--topology");
+            if (!comm::parse_topology(s, topology)) {
+                std::fprintf(stderr,
+                             "bad --topology '%s' (expected flat|hier:NxM)\n",
+                             s);
+                std::exit(2);
+            }
+        } else if (std::strcmp(argv[i], "--collective") == 0) {
+            const char* s = value("--collective");
+            if (!comm::collective::parse_algo(s, collective)) {
+                std::fprintf(stderr,
+                             "unknown --collective '%s' "
+                             "(expected p2p|ring|tree|hier)\n", s);
+                std::exit(2);
+            }
         } else if (std::strcmp(argv[i], "--fault-drop") == 0) {
             fault.drop_probability = std::atof(value("--fault-drop"));
         } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
@@ -160,11 +182,14 @@ struct CommonFlags {
     }
 
     /// Copy the comm-facing flags (fault schedule, retry policy, cost
-    /// mode) into a train config's CommPolicy.
+    /// mode, topology shape, collective algorithm) into a train config's
+    /// CommPolicy.
     void apply(dist::DistTrainConfig& cfg) const {
         cfg.comm.fault = fault;
         cfg.comm.retry = retry;
         if (overlap) cfg.comm.mode = comm::CostModel::Mode::kOverlap;
+        cfg.comm.topology = topology;
+        cfg.comm.collective = collective;
     }
 };
 
@@ -195,12 +220,14 @@ inline Options parse_options(int argc, char** argv) {
     opt.obs_out = opt.common.obs_out;
     std::printf(
         "# options: scale=%.2f epochs=%u seed=%llu threads=%u "
-        "log-level=%s obs=%s mode=%s kernels=%s\n",
+        "log-level=%s obs=%s mode=%s kernels=%s topology=%s collective=%s\n",
         opt.scale, opt.epochs, static_cast<unsigned long long>(opt.seed),
         opt.threads, log_level_name(log_level()),
         opt.obs_out.empty() ? "off" : opt.obs_out.c_str(),
         opt.common.overlap ? "overlap" : "additive",
-        tensor::kernel_path_name(tensor::kernel_path()));
+        tensor::kernel_path_name(tensor::kernel_path()),
+        comm::topology_name(opt.common.topology).c_str(),
+        comm::collective::algo_name(opt.common.collective));
     if (opt.common.fault.active())
         std::printf("# faults: drop=%.3f seed=%llu down-windows=%zu "
                     "retry-max=%u timeout=%gs\n",

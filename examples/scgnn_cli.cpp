@@ -11,7 +11,8 @@
 //             [--drop-o2o] [--sage|--gin] [--dropout <p>] [--seed <n>]
 //             [--threads <n>] [--save <dir>]
 //             [--log-level debug|info|warn|error] [--obs-out <prefix>]
-//             [--overlap]
+//             [--overlap] [--topology flat|hier:NxM]
+//             [--collective p2p|ring|tree|hier]
 //             [--fault-drop <p>] [--fault-seed <n>]
 //             [--fault-link-down <src:dst:from:to>] [--retry-max <n>]
 //             [--timeout <s>] [--max-staleness <n>]
@@ -25,6 +26,12 @@
 // comm/timeline.hpp) instead of the additive compute+comm sum, and adds
 // the overlap breakdown rows to the result table.
 //
+// `--topology hier:NxM` shapes the fabric as N nodes × M devices per node
+// with tiered links (fast intra-node, slow oversubscribed inter-node; N·M
+// must equal --parts). `--collective` picks the weight-sync algorithm
+// (see comm/collective.hpp) — `hier` is the natural pairing for
+// hierarchical topologies.
+//
 // The `--fault-*`/`--retry-max`/`--timeout` flags inject a deterministic
 // fault schedule into the fabric (see comm/fault.hpp). Exit codes: 0 on
 // success — including a degraded run that stayed within `--max-staleness`
@@ -35,6 +42,7 @@
 //   scgnn_cli --dataset reddit --parts 4 --method ours --drop-o2o
 //   scgnn_cli --dataset yelp --method sampling --rate 0.1
 //   scgnn_cli --dataset reddit --method vanilla --overlap
+//   scgnn_cli --dataset reddit --parts 16 --topology hier:4x4 --collective hier
 //   scgnn_cli --dataset pubmed --method ours --obs-out run
 //   scgnn_cli --dataset pubmed --fault-drop 0.2 --retry-max 3 --max-staleness 4
 //   scgnn_cli --dataset pubmed --save /tmp/pubmed && scgnn_cli --load /tmp/pubmed

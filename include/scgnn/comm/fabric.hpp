@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "scgnn/comm/fault.hpp"
+#include "scgnn/comm/topology.hpp"
 #include "scgnn/common/error.hpp"
 
 namespace scgnn::comm {
@@ -59,11 +60,24 @@ struct TrafficStats {
 /// measured — payloads never leave the process.
 class Fabric {
 public:
-    /// A fabric over `num_devices` devices (>= 1) with the given cost model.
+    /// A fabric over `num_devices` devices (>= 1) with the given cost
+    /// model on a flat (single-tier) topology.
     explicit Fabric(std::uint32_t num_devices, CostModel model = {});
+
+    /// A fabric shaped by `topo`: links resolve their α–β parameters from
+    /// the topology tier of each device pair (fast intra-node, slow
+    /// oversubscribed inter-node) instead of one global model. A flat
+    /// topology reproduces the legacy single-tier fabric bit for bit; the
+    /// fabric-wide cost_model() defaults to the inter-node tier (the
+    /// binding constraint at datacenter shape).
+    explicit Fabric(const Topology& topo);
 
     /// Number of devices.
     [[nodiscard]] std::uint32_t num_devices() const noexcept { return n_; }
+
+    /// The topology shaping the link tiers (flat unless constructed from
+    /// a hierarchical Topology).
+    [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
 
     /// The cost model in force.
     [[nodiscard]] const CostModel& cost_model() const noexcept { return model_; }
@@ -114,12 +128,15 @@ public:
     /// Fault counters summed over all epochs including the current one.
     [[nodiscard]] FaultStats fault_stats() const noexcept;
 
-    /// Override the cost model of one directed link (heterogeneous
-    /// clusters: NVLink within a box, Ethernet across boxes). Links
-    /// without an override use the fabric-wide model.
+    /// Override the cost model of one directed link (a single degraded
+    /// cable, say). Links without an override resolve through the
+    /// topology tier, falling back to the fabric-wide model on flat
+    /// topologies.
     void set_link(std::uint32_t src, std::uint32_t dst, CostModel model);
 
-    /// The model governing a directed link (override or fabric default).
+    /// The model governing a directed link: explicit override, else the
+    /// topology tier of the pair (intra- vs inter-node), else the
+    /// fabric-wide model.
     [[nodiscard]] const CostModel& link_model(std::uint32_t src,
                                               std::uint32_t dst) const;
 
@@ -181,8 +198,17 @@ private:
         return static_cast<std::size_t>(src) * n_ + dst;
     }
 
+    /// Ledger key of one directed link ("0->1" on flat fabrics,
+    /// "n0.d0->n1.d2" on hierarchical ones, so per-link counters never
+    /// alias across nodes).
+    [[nodiscard]] std::string link_key(std::uint32_t src,
+                                       std::uint32_t dst) const;
+
     std::uint32_t n_;
+    Topology topo_;      ///< link-tier resolution (flat by default)
     CostModel model_;
+    CostModel intra_cm_; ///< topology intra tier as a CostModel
+    CostModel inter_cm_; ///< topology inter tier (oversubscription folded)
     std::vector<TrafficStats> pair_;           ///< n×n current-epoch counters
     std::vector<TrafficStats> history_;        ///< per closed epoch
     std::vector<double> history_seconds_;      ///< modelled time per closed epoch

@@ -24,8 +24,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "scgnn/comm/collective.hpp"
 #include "scgnn/comm/fabric.hpp"
 #include "scgnn/comm/timeline.hpp"
+#include "scgnn/comm/topology.hpp"
 #include "scgnn/dist/compressor.hpp"
 #include "scgnn/dist/context.hpp"
 #include "scgnn/gnn/model.hpp"
@@ -160,6 +162,16 @@ struct DistTrainConfig {
         scgnn::comm::FaultModel fault{};
         /// Retry/timeout/backoff policy governing fault recovery.
         scgnn::comm::RetryPolicy retry{};
+        /// Shape of the fabric (flat by default, where every link uses
+        /// `cost`). A hierarchical spec groups the partitions into nodes
+        /// with tiered links; `cost` then only seeds the flat fallback.
+        scgnn::comm::TopologySpec topology{};
+        /// Collective algorithm pricing the weight sync when
+        /// count_weight_sync is on. kRing keeps the historical ring
+        /// all-reduce accounting; kHier is the right choice on
+        /// hierarchical topologies.
+        scgnn::comm::collective::Algo collective =
+            scgnn::comm::collective::Algo::kRing;
 
         [[nodiscard]] bool overlap() const noexcept {
             return mode == scgnn::comm::CostModel::Mode::kOverlap;
@@ -181,26 +193,6 @@ struct DistTrainConfig {
     std::string checkpoint_path;
     /// The communication policy (see CommPolicy).
     CommPolicy comm{};
-
-    // Deprecated flat-field aliases, kept for one release so existing
-    // callers migrate gradually. They are accessors (not reference data
-    // members) so the config stays trivially copyable.
-    [[deprecated("use comm.cost")]] [[nodiscard]]
-    scgnn::comm::CostModel& cost() noexcept { return comm.cost; }
-    [[deprecated("use comm.cost")]] [[nodiscard]]
-    const scgnn::comm::CostModel& cost() const noexcept { return comm.cost; }
-    [[deprecated("use comm.fault")]] [[nodiscard]]
-    scgnn::comm::FaultModel& fault() noexcept { return comm.fault; }
-    [[deprecated("use comm.fault")]] [[nodiscard]]
-    const scgnn::comm::FaultModel& fault() const noexcept { return comm.fault; }
-    [[deprecated("use comm.retry")]] [[nodiscard]]
-    scgnn::comm::RetryPolicy& retry() noexcept { return comm.retry; }
-    [[deprecated("use comm.retry")]] [[nodiscard]]
-    const scgnn::comm::RetryPolicy& retry() const noexcept { return comm.retry; }
-    [[deprecated("use comm.count_weight_sync")]] [[nodiscard]]
-    bool& count_weight_sync() noexcept { return comm.count_weight_sync; }
-    [[deprecated("use comm.count_weight_sync")]] [[nodiscard]]
-    bool count_weight_sync() const noexcept { return comm.count_weight_sync; }
 };
 
 /// Per-epoch observability record.

@@ -7,7 +7,11 @@
 #                                worker thread so the simd/scalar ratio
 #                                isolates the vectorisation win;
 #   BENCH_threads_scaling.json — the 1/2/4/8-thread sweep with bitwise
-#                                identity checks (bench_threads_scaling).
+#                                identity checks (bench_threads_scaling);
+#   BENCH_collectives.json     — the collective-algorithm × P sweep over
+#                                the topology presets (bench_collectives).
+#                                Purely modelled, so it diffs exactly on
+#                                any host.
 #
 # Everything is pinned: fixed seeds, fixed scale, SCGNN_THREADS=1 for the
 # microkernels, scalar kernel default. Run from anywhere:
@@ -22,7 +26,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
-for bin in bench_kernels bench_threads_scaling; do
+for bin in bench_kernels bench_threads_scaling bench_collectives; do
     if [[ ! -x "$build_dir/bench/$bin" ]]; then
         echo "error: $build_dir/bench/$bin not built" >&2
         echo "hint: cmake --build $build_dir --target $bin" >&2
@@ -44,7 +48,13 @@ echo "== thread-scaling sweep (pool widths 1/2/4/8) =="
     --json "$repo_root/BENCH_threads_scaling.json"
 
 echo
+echo "== collective sweep (algorithm x P over topology presets) =="
+"$build_dir/bench/bench_collectives" \
+    --payload-mb 4 \
+    --json "$repo_root/BENCH_collectives.json"
+
+echo
 echo "== snapshot summary =="
 python3 "$repo_root/scripts/check_bench_regression.py" \
     "$repo_root/BENCH_kernels.json" "$repo_root/BENCH_kernels.json"
-echo "wrote BENCH_kernels.json and BENCH_threads_scaling.json"
+echo "wrote BENCH_kernels.json, BENCH_threads_scaling.json and BENCH_collectives.json"

@@ -1,0 +1,229 @@
+#include "scgnn/comm/collective.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "scgnn/common/parallel.hpp"
+
+namespace scgnn::comm::collective {
+
+namespace {
+
+/// Chunk c of an even B-byte split across P ranks (remainder spread over
+/// the leading chunks, so Σ chunks == B exactly).
+[[nodiscard]] std::uint64_t chunk_bytes(std::uint64_t bytes, std::uint32_t p,
+                                        std::uint32_t c) {
+    return bytes / p + (c < bytes % p ? 1 : 0);
+}
+
+/// Chunked ring allreduce over `ring` (device ids in ring order), payload
+/// `bytes` per participant: P−1 reduce-scatter rounds followed by P−1
+/// allgather rounds, each moving one chunk per participant to its ring
+/// successor. Appends to `out`.
+void build_ring(std::vector<Round>& out,
+                const std::vector<std::uint32_t>& ring, std::uint64_t bytes,
+                const char* label) {
+    const auto p = static_cast<std::uint32_t>(ring.size());
+    if (p < 2) return;
+    // Reduce-scatter round r: position i forwards chunk (i − r) mod P;
+    // allgather round r: position i forwards chunk (i + 1 − r) mod P.
+    for (std::uint32_t phase = 0; phase < 2; ++phase) {
+        for (std::uint32_t r = 0; r + 1 < p; ++r) {
+            Round round;
+            round.label = label;
+            round.sends.reserve(p);
+            for (std::uint32_t i = 0; i < p; ++i) {
+                const std::uint32_t c =
+                    (i + (phase == 0 ? 0u : 1u) + 2u * p - r) % p;
+                round.sends.push_back(RoundSend{ring[i], ring[(i + 1) % p],
+                                                chunk_bytes(bytes, p, c)});
+            }
+            out.push_back(std::move(round));
+        }
+    }
+}
+
+[[nodiscard]] std::vector<Round> build_schedule(const Topology& topo,
+                                                Algo algo,
+                                                std::uint64_t bytes) {
+    const std::uint32_t n = topo.num_devices();
+    std::vector<Round> rounds;
+    if (n < 2) return rounds;
+
+    switch (algo) {
+        case Algo::kP2P: {
+            // Every device pushes its full payload to every other device;
+            // the single round leaves all serialisation to the NICs.
+            Round round;
+            round.label = "sync";
+            round.sends.reserve(static_cast<std::size_t>(n) * (n - 1));
+            for (std::uint32_t s = 0; s < n; ++s)
+                for (std::uint32_t d = 0; d < n; ++d)
+                    if (s != d) round.sends.push_back(RoundSend{s, d, bytes});
+            rounds.push_back(std::move(round));
+            break;
+        }
+        case Algo::kRing: {
+            std::vector<std::uint32_t> ring(n);
+            for (std::uint32_t d = 0; d < n; ++d) ring[d] = d;
+            build_ring(rounds, ring, bytes, "sync");
+            break;
+        }
+        case Algo::kTree: {
+            SCGNN_CHECK((n & (n - 1)) == 0,
+                        "tree collective needs a power-of-two device count");
+            std::uint32_t log_p = 0;
+            while ((1u << log_p) < n) ++log_p;
+            // Recursive halving (reduce-scatter): round k exchanges
+            // B/2^(k+1) with the partner 2^k away; recursive doubling
+            // (allgather) replays the rounds in reverse.
+            for (std::uint32_t k = 0; k < log_p; ++k) {
+                Round round;
+                round.label = "sync";
+                round.sends.reserve(n);
+                for (std::uint32_t d = 0; d < n; ++d)
+                    round.sends.push_back(
+                        RoundSend{d, d ^ (1u << k), bytes >> (k + 1)});
+                rounds.push_back(std::move(round));
+            }
+            for (std::uint32_t k = log_p; k-- > 0;) {
+                Round round;
+                round.label = "sync";
+                round.sends.reserve(n);
+                for (std::uint32_t d = 0; d < n; ++d)
+                    round.sends.push_back(
+                        RoundSend{d, d ^ (1u << k), bytes >> (k + 1)});
+                rounds.push_back(std::move(round));
+            }
+            break;
+        }
+        case Algo::kHier: {
+            // Phase 1: every non-leader reduces into its node leader over
+            // the fast intra tier (empty on flat topologies, where every
+            // device is its own leader).
+            const std::uint32_t nodes = topo.num_nodes();
+            const std::uint32_t per = topo.devices_per_node();
+            if (per > 1) {
+                Round reduce;
+                reduce.label = "sync.reduce";
+                reduce.sends.reserve(static_cast<std::size_t>(nodes) *
+                                     (per - 1));
+                for (std::uint32_t node = 0; node < nodes; ++node) {
+                    const std::uint32_t leader = topo.leader_of(node);
+                    for (std::uint32_t m = 1; m < per; ++m)
+                        reduce.sends.push_back(
+                            RoundSend{leader + m, leader, bytes});
+                }
+                rounds.push_back(std::move(reduce));
+            }
+            // Phase 2: ring allreduce among the leaders — the only phase
+            // that touches the slow inter-node tier, moving B/N chunks.
+            std::vector<std::uint32_t> leaders(nodes);
+            for (std::uint32_t node = 0; node < nodes; ++node)
+                leaders[node] = topo.leader_of(node);
+            build_ring(rounds, leaders, bytes, "sync.ring");
+            // Phase 3: leaders broadcast the reduced payload back inside
+            // their node.
+            if (per > 1) {
+                Round bcast;
+                bcast.label = "sync.bcast";
+                bcast.sends.reserve(static_cast<std::size_t>(nodes) *
+                                    (per - 1));
+                for (std::uint32_t node = 0; node < nodes; ++node) {
+                    const std::uint32_t leader = topo.leader_of(node);
+                    for (std::uint32_t m = 1; m < per; ++m)
+                        bcast.sends.push_back(
+                            RoundSend{leader, leader + m, bytes});
+                }
+                rounds.push_back(std::move(bcast));
+            }
+            break;
+        }
+    }
+    return rounds;
+}
+
+} // namespace
+
+bool parse_algo(const char* s, Algo& out) {
+    if (std::strcmp(s, "p2p") == 0) out = Algo::kP2P;
+    else if (std::strcmp(s, "ring") == 0) out = Algo::kRing;
+    else if (std::strcmp(s, "tree") == 0) out = Algo::kTree;
+    else if (std::strcmp(s, "hier") == 0) out = Algo::kHier;
+    else return false;
+    return true;
+}
+
+const char* algo_name(Algo a) noexcept {
+    switch (a) {
+        case Algo::kP2P: return "p2p";
+        case Algo::kRing: return "ring";
+        case Algo::kTree: return "tree";
+        case Algo::kHier: return "hier";
+    }
+    return "?";
+}
+
+Allreduce::Allreduce(const Topology& topo, Algo algo, std::uint64_t bytes)
+    : algo_(algo),
+      rounds_(build_schedule(topo, algo, bytes)),
+      load_(topo.num_devices(), 0.0) {}
+
+Outcome Allreduce::run(Fabric& fabric, Timeline* timeline) {
+    Outcome oc;
+    oc.algo = algo_;
+    oc.rounds = static_cast<std::uint32_t>(rounds_.size());
+    SCGNN_CHECK(load_.empty() || load_.size() == fabric.num_devices(),
+                "allreduce schedule was built for a different device count");
+    for (const Round& round : rounds_) {
+        std::fill(load_.begin(), load_.end(), 0.0);
+        if (timeline != nullptr) timeline->begin_step(round.label);
+        for (const RoundSend& s : round.sends) {
+            const SendOutcome sent = fabric.send(s.src, s.dst, s.bytes, 1);
+            oc.wire_bytes += sent.wire_bytes;
+            ++oc.messages;
+            if (!sent.delivered) ++oc.failed_sends;
+            oc.penalty_s += sent.penalty_s;
+            const double sec = sent.modelled_ms * 1e-3;
+            // NIC serialisation: the transfer occupies both endpoints.
+            load_[s.src] += sec;
+            load_[s.dst] += sec;
+            if (timeline != nullptr)
+                timeline->record_send(s.src, s.dst, sent.wire_bytes, sec);
+        }
+        if (timeline != nullptr) timeline->end_step();
+        double worst = 0.0;
+        for (const double l : load_) worst = std::max(worst, l);
+        oc.modelled_s += worst;
+    }
+    return oc;
+}
+
+Outcome allreduce(Fabric& fabric, Algo algo,
+                  std::vector<std::vector<float>>& bufs, Timeline* timeline) {
+    const std::uint32_t p = fabric.num_devices();
+    SCGNN_CHECK(bufs.size() == p,
+                "allreduce needs one buffer per fabric device");
+    const std::size_t len = bufs.empty() ? 0 : bufs[0].size();
+    for (const auto& b : bufs)
+        SCGNN_CHECK(b.size() == len, "allreduce buffers must be equal-length");
+
+    Allreduce plan(fabric.topology(), algo,
+                   static_cast<std::uint64_t>(len) * sizeof(float));
+    const Outcome oc = plan.run(fabric, timeline);
+
+    // Canonical rank-order reduction, element-parallel: bitwise identical
+    // for every algorithm at any thread count.
+    if (p > 1 && len > 0) {
+        parallel_for(0, len, 1024, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                float acc = bufs[0][i];
+                for (std::uint32_t d = 1; d < p; ++d) acc += bufs[d][i];
+                for (std::uint32_t d = 0; d < p; ++d) bufs[d][i] = acc;
+            }
+        });
+    }
+    return oc;
+}
+
+} // namespace scgnn::comm::collective

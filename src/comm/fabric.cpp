@@ -12,8 +12,23 @@
 
 namespace scgnn::comm {
 
+namespace {
+
+[[nodiscard]] CostModel to_cost(const TierModel& t) noexcept {
+    return CostModel{.latency_s = t.latency_s,
+                     .bandwidth_bytes_per_s = t.bandwidth_bytes_per_s};
+}
+
+} // namespace
+
 Fabric::Fabric(std::uint32_t num_devices, CostModel model)
-    : n_(num_devices), model_(model) {
+    : n_(num_devices),
+      topo_(Topology::flat(std::max(num_devices, 1u),
+                           TierModel{model.latency_s,
+                                     model.bandwidth_bytes_per_s})),
+      model_(model),
+      intra_cm_(model),
+      inter_cm_(model) {
     SCGNN_CHECK(n_ >= 1, "fabric needs at least one device");
     SCGNN_CHECK(model_.latency_s >= 0.0, "latency must be non-negative");
     SCGNN_CHECK(model_.bandwidth_bytes_per_s > 0.0,
@@ -23,6 +38,13 @@ Fabric::Fabric(std::uint32_t num_devices, CostModel model)
     override_.assign(pair_.size(), model_);
     fault_counter_.assign(pair_.size(), 0);
     pair_penalty_.assign(pair_.size(), 0.0);
+}
+
+Fabric::Fabric(const Topology& topo)
+    : Fabric(topo.num_devices(), to_cost(topo.inter_tier())) {
+    topo_ = topo;
+    intra_cm_ = to_cost(topo.intra_tier());
+    inter_cm_ = to_cost(topo.inter_tier());
 }
 
 void Fabric::set_fault_model(FaultModel model) {
@@ -174,7 +196,14 @@ void Fabric::set_link(std::uint32_t src, std::uint32_t dst, CostModel model) {
 const CostModel& Fabric::link_model(std::uint32_t src,
                                     std::uint32_t dst) const {
     const std::size_t i = idx(src, dst);
-    return has_override_[i] ? override_[i] : model_;
+    if (has_override_[i]) return override_[i];
+    if (topo_.hierarchical())
+        return topo_.intra_node(src, dst) ? intra_cm_ : inter_cm_;
+    return model_;
+}
+
+std::string Fabric::link_key(std::uint32_t src, std::uint32_t dst) const {
+    return topo_.device_key(src) + "->" + topo_.device_key(dst);
 }
 
 void Fabric::record(std::uint32_t src, std::uint32_t dst, std::uint64_t bytes,
@@ -218,10 +247,8 @@ double Fabric::epoch_comm_seconds() const noexcept {
             if (o == d) continue;
             const std::size_t out_i = static_cast<std::size_t>(d) * n_ + o;
             const std::size_t in_i = static_cast<std::size_t>(o) * n_ + d;
-            const CostModel& out_m =
-                has_override_[out_i] ? override_[out_i] : model_;
-            const CostModel& in_m =
-                has_override_[in_i] ? override_[in_i] : model_;
+            const CostModel& out_m = link_model(d, o);
+            const CostModel& in_m = link_model(o, d);
             dev += out_m.seconds(pair_[out_i].bytes, pair_[out_i].messages);
             dev += in_m.seconds(pair_[in_i].bytes, pair_[in_i].messages);
             // Timeout/backoff waits serialise on the sending device.
@@ -259,14 +286,23 @@ void Fabric::publish_epoch_metrics() const {
     for (std::uint32_t s = 0; s < n_; ++s) {
         for (std::uint32_t d = 0; d < n_; ++d) {
             if (s == d) continue;
-            const TrafficStats& t = pair_[static_cast<std::size_t>(s) * n_ + d];
-            if (t.bytes == 0 && t.messages == 0) continue;
-            const std::string link = "fabric.link." + std::to_string(s) +
-                                     "->" + std::to_string(d);
+            const std::size_t i = static_cast<std::size_t>(s) * n_ + d;
+            const TrafficStats& t = pair_[i];
+            if (t.bytes == 0 && t.messages == 0 && pair_penalty_[i] == 0.0)
+                continue;
+            // Keys are namespaced by (node, device) on hierarchical
+            // topologies so per-link counters never alias across nodes;
+            // flat fabrics keep the historical bare-id pair.
+            const std::string link = "fabric.link." + link_key(s, d);
             reg.counter(link + ".bytes").add(t.bytes);
             reg.counter(link + ".messages").add(t.messages);
             reg.gauge(link + ".modelled_s")
                 .add(link_model(s, d).seconds(t.bytes, t.messages));
+            // Per-link recovery penalty (a fully-down link has zero
+            // traffic but a real cost) — only when a fault fired, so
+            // clean runs keep a byte-identical report.
+            if (pair_penalty_[i] > 0.0)
+                reg.gauge(link + ".penalty_s").add(pair_penalty_[i]);
         }
     }
 }

@@ -344,7 +344,14 @@ DistTrainResult train_distributed(const graph::Dataset& data,
     SCGNN_CHECK(cfg.epochs >= 1, "need at least one epoch");
 
     DistContext ctx(data, parts, cfg.norm);
-    comm::Fabric fabric(parts.num_parts, cfg.comm.cost);
+    // The fabric takes its link tiers from the configured topology; the
+    // default flat spec materialises every link with cfg.comm.cost, so the
+    // golden-pinned defaults are bit-identical to the pre-topology fabric.
+    const comm::Topology topo = comm::Topology::build(
+        cfg.comm.topology, parts.num_parts,
+        comm::TierModel{cfg.comm.cost.latency_s,
+                        cfg.comm.cost.bandwidth_bytes_per_s});
+    comm::Fabric fabric(topo);
     fabric.set_fault_model(cfg.comm.fault);
     fabric.set_retry_policy(cfg.comm.retry);
     const bool overlap = cfg.comm.overlap();
@@ -369,6 +376,15 @@ DistTrainResult train_distributed(const graph::Dataset& data,
         obs::record_config("trainer.feature_dim",
                            static_cast<double>(data.features.cols()));
         if (overlap) obs::record_config("trainer.cost_mode", "overlap");
+        if (cfg.comm.topology.hierarchical()) {
+            obs::record_config("trainer.topology",
+                               comm::topology_name(cfg.comm.topology));
+            obs::record_config("trainer.oversubscription",
+                               cfg.comm.topology.oversubscription);
+        }
+        if (cfg.comm.count_weight_sync)
+            obs::record_config("trainer.collective",
+                               comm::collective::algo_name(cfg.comm.collective));
         if (cfg.comm.fault.active()) {
             obs::record_config("fault.drop_probability",
                                cfg.comm.fault.drop_probability);
@@ -410,16 +426,18 @@ DistTrainResult train_distributed(const graph::Dataset& data,
     if (cfg.record_epochs) result.epoch_metrics.reserve(cfg.epochs);
     double total_epoch_ms = 0.0, total_comm_ms = 0.0, total_compute_ms = 0.0;
     double total_bytes = 0.0;
-    // Ring all-reduce volume of the weight gradients, charged once per
-    // epoch when enabled: each device sends 2·(P−1) chunks of |params|/P.
-    std::uint64_t weight_sync_bytes_per_link = 0;
+    // Weight-gradient synchronisation collective, charged once per epoch
+    // when enabled. The schedule is built once here from (topology,
+    // algorithm, |params|) and replayed every epoch — steady-state epochs
+    // run it without heap allocations. The default kRing over a flat
+    // topology prices the historical 2·(P−1)·|params|/P per-link volume.
+    comm::collective::Allreduce weight_sync;
     if (cfg.comm.count_weight_sync) {
         std::uint64_t param_bytes = 0;
         for (const tensor::Matrix* p : model.parameters())
             param_bytes += p->payload_bytes();
-        weight_sync_bytes_per_link = 2ull * (parts.num_parts - 1) *
-                                     param_bytes /
-                                     std::max(1u, parts.num_parts);
+        weight_sync = comm::collective::Allreduce(
+            fabric.topology(), cfg.comm.collective, param_bytes);
     }
 
     std::uint32_t stale = 0;
@@ -431,22 +449,8 @@ DistTrainResult train_distributed(const graph::Dataset& data,
         WallTimer timer;
         const double loss = gnn::run_epoch(model, opt, agg, data.features,
                                            data.labels, data.train_mask, &ws);
-        if (cfg.comm.count_weight_sync) {
-            // Ring topology: device d sends to (d+1) mod P in both the
-            // reduce-scatter and all-gather phases.
-            if (overlap) timeline.begin_step("sync");
-            for (std::uint32_t dsrc = 0; dsrc < parts.num_parts; ++dsrc) {
-                const std::uint32_t ddst = (dsrc + 1) % parts.num_parts;
-                const std::uint64_t msgs = 2ull * (parts.num_parts - 1);
-                fabric.record(dsrc, ddst, weight_sync_bytes_per_link, msgs);
-                if (overlap)
-                    timeline.record_send(
-                        dsrc, ddst, weight_sync_bytes_per_link,
-                        fabric.link_model(dsrc, ddst)
-                            .seconds(weight_sync_bytes_per_link, msgs));
-            }
-            if (overlap) timeline.end_step();
-        }
+        if (cfg.comm.count_weight_sync)
+            weight_sync.run(fabric, overlap ? &timeline : nullptr);
         const double wall_ms = timer.millis();
 
         EpochMetrics m;

@@ -204,6 +204,41 @@ TEST(DistTrainer, WeightSyncAddsRingAllReduceVolume) {
                 expected_mb * 0.01 + 1e-6);
 }
 
+TEST(DistTrainer, HierarchicalTopologyKeepsNumericsAndChargesTieredLinks) {
+    // A node-grouped fabric reprices the traffic but must not perturb the
+    // training numerics: losses are bitwise those of the flat run.
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 4);
+    const gnn::GnnConfig mc = model_for(d);
+    DistTrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.comm.count_weight_sync = true;
+
+    VanillaExchange v1, v2;
+    const auto flat = train_distributed(d, parts, mc, cfg, v1);
+    ASSERT_TRUE(comm::parse_topology("hier:2x2", cfg.comm.topology));
+    cfg.comm.collective = comm::collective::Algo::kHier;
+    const auto hier = train_distributed(d, parts, mc, cfg, v2);
+
+    for (std::size_t e = 0; e < 2; ++e)
+        EXPECT_DOUBLE_EQ(hier.epoch_metrics[e].loss,
+                         flat.epoch_metrics[e].loss);
+    EXPECT_GT(hier.mean_comm_mb, 0.0);
+    EXPECT_GT(hier.mean_comm_ms, 0.0);
+}
+
+TEST(DistTrainer, TopologyShapeMustCoverThePartitionCount) {
+    const graph::Dataset d = data_small();
+    const auto parts = parts_for(d, 3);
+    DistTrainConfig cfg;
+    cfg.epochs = 1;
+    ASSERT_TRUE(comm::parse_topology("hier:2x2", cfg.comm.topology));
+    VanillaExchange vanilla;
+    EXPECT_THROW((void)train_distributed(d, parts, model_for(d), cfg,
+                                         vanilla),
+                 Error);
+}
+
 TEST(DistTrainer, DeeperModelsMoveMoreTraffic) {
     const graph::Dataset d = data_small();
     const auto parts = parts_for(d, 2);

@@ -208,6 +208,43 @@ TEST(GoldenOverlapMode, DeterministicFieldsMatchAdditiveAndEpochShrinks) {
     EXPECT_EQ(additive.train.mean_comm_exposed_ms, 0.0);
 }
 
+TEST(GoldenHierPreset, P16HierarchicalCollectivePinned) {
+    // The P=16 preset (4 nodes × 4 devices, 2× oversubscribed core) with
+    // the hierarchical weight-sync collective, golden-pinned at %.17g.
+    // Uses the vanilla exchange so the pin isolates the topology/
+    // collective pricing from the compressor.
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, kScale, kSeed);
+    PipelineConfig cfg = golden_cfg(d);
+    cfg.num_parts = 16;
+    cfg.method.method = Method::kVanilla;
+    cfg.train.comm.topology = comm::TopologySpec::preset(16);
+    cfg.train.comm.collective = comm::collective::Algo::kHier;
+    cfg.train.comm.count_weight_sync = true;
+    const PipelineResult r = run_pipeline(d, cfg);
+
+    std::ostringstream o;
+    o << "{\n";
+    o << "  \"schema\": \"scgnn.golden/1\",\n";
+    o << "  \"preset\": \"pubmed\",\n";
+    o << "  \"config\": {\"scale\": " << g17(kScale)
+      << ", \"epochs\": " << kEpochs << ", \"parts\": 16"
+      << ", \"seed\": " << kSeed << ", \"hidden\": 32"
+      << ", \"method\": \"vanilla\", \"topology\": \"hier:4x4\""
+      << ", \"oversubscription\": " << g17(2.0)
+      << ", \"collective\": \"hier\", \"count_weight_sync\": true},\n";
+    o << "  \"epoch_loss\": [";
+    for (std::size_t e = 0; e < r.train.epoch_metrics.size(); ++e)
+        o << (e ? ", " : "") << g17(r.train.epoch_metrics[e].loss);
+    o << "],\n";
+    o << "  \"final_loss\": " << g17(r.train.final_loss) << ",\n";
+    o << "  \"test_accuracy\": " << g17(r.train.test_accuracy) << ",\n";
+    o << "  \"mean_comm_mb\": " << g17(r.train.mean_comm_mb) << ",\n";
+    o << "  \"mean_comm_ms\": " << g17(r.train.mean_comm_ms) << "\n";
+    o << "}\n";
+    check_golden("pubmed_hier16", o.str());
+}
+
 TEST(GoldenFaultSchedule, BitwiseReproducibleAcrossThreadCounts) {
     auto run_at = [&](unsigned threads) {
         ThreadCountGuard guard(threads);

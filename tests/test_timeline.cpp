@@ -251,27 +251,5 @@ TEST(TimelineTrainer, AdditiveModeLeavesOverlapFieldsZero) {
         EXPECT_DOUBLE_EQ(m.epoch_ms, m.compute_ms + m.comm_ms);
 }
 
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-TEST(CommPolicy, DeprecatedAliasesStayWiredToNestedFields) {
-    dist::DistTrainConfig cfg;
-    cfg.cost().latency_s = 7e-4;
-    cfg.fault().drop_probability = 0.25;
-    cfg.retry().max_attempts = 9;
-    cfg.count_weight_sync() = true;
-    EXPECT_DOUBLE_EQ(cfg.comm.cost.latency_s, 7e-4);
-    EXPECT_DOUBLE_EQ(cfg.fault().drop_probability, 0.25);
-    EXPECT_EQ(cfg.comm.retry.max_attempts, 9u);
-    EXPECT_TRUE(cfg.comm.count_weight_sync);
-    const dist::DistTrainConfig& ccfg = cfg;
-    EXPECT_DOUBLE_EQ(ccfg.cost().latency_s, 7e-4);
-    EXPECT_TRUE(ccfg.count_weight_sync());
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 } // namespace
 } // namespace scgnn::comm
