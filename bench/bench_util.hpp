@@ -59,7 +59,15 @@ inline const char* log_level_name(LogLevel l) {
 /// overlap timeline instead of the additive sum — see comm/timeline.hpp),
 /// `--topology <flat|hier:NxM>` (fabric shape — see comm/topology.hpp),
 /// `--collective <p2p|ring|tree|hier>` (weight-sync algorithm — see
-/// comm/collective.hpp), plus the fault-injection set
+/// comm/collective.hpp), `--compressor-schedule <fixed|warmup|adaptive>`
+/// (per-epoch rate schedule — see dist/rate_control.hpp),
+/// `--schedule-floor <f>` (lowest fidelity any schedule may emit),
+/// `--schedule-drift <f>` (adaptive back-off threshold on the
+/// error-feedback drift signal), `--schedule-improve <f>` (per-epoch
+/// relative loss improvement the adaptive controller sustains) and
+/// `--schedule-hold <n>` (epochs each adaptive decision dwells),
+/// `--warmup-epochs <n>` (length of the warmup ramp), plus the
+/// fault-injection set
 /// `--fault-drop <p>`, `--fault-seed <n>`,
 /// `--fault-link-down <src:dst:from:to>` (repeatable),
 /// `--retry-max <n>` and `--timeout <s>`.
@@ -77,6 +85,7 @@ struct CommonFlags {
     comm::RetryPolicy retry{};
     comm::TopologySpec topology{};  ///< flat unless --topology hier:NxM
     comm::collective::Algo collective = comm::collective::Algo::kRing;
+    dist::RateScheduleConfig schedule{};  ///< fixed unless --compressor-schedule
 
     /// Consume argv[i] (and its value) when it is one of the shared
     /// flags; returns false for flags the caller must handle itself.
@@ -128,6 +137,41 @@ struct CommonFlags {
                 std::fprintf(stderr,
                              "unknown --collective '%s' "
                              "(expected p2p|ring|tree|hier)\n", s);
+                std::exit(2);
+            }
+        } else if (std::strcmp(argv[i], "--compressor-schedule") == 0) {
+            const char* s = value("--compressor-schedule");
+            if (!dist::parse_schedule(s, schedule.kind)) {
+                std::fprintf(stderr,
+                             "unknown --compressor-schedule '%s' "
+                             "(expected fixed|warmup|adaptive)\n", s);
+                std::exit(2);
+            }
+        } else if (std::strcmp(argv[i], "--schedule-floor") == 0) {
+            schedule.floor = std::atof(value("--schedule-floor"));
+            if (schedule.floor <= 0.0 || schedule.floor > 1.0) {
+                std::fprintf(stderr,
+                             "bad --schedule-floor %g (expected (0, 1])\n",
+                             schedule.floor);
+                std::exit(2);
+            }
+        } else if (std::strcmp(argv[i], "--schedule-drift") == 0) {
+            schedule.drift_threshold = std::atof(value("--schedule-drift"));
+        } else if (std::strcmp(argv[i], "--schedule-improve") == 0) {
+            schedule.improve_threshold =
+                std::atof(value("--schedule-improve"));
+        } else if (std::strcmp(argv[i], "--schedule-hold") == 0) {
+            schedule.hold_epochs = static_cast<std::uint32_t>(
+                std::atoi(value("--schedule-hold")));
+            if (schedule.hold_epochs < 1) {
+                std::fprintf(stderr, "bad --schedule-hold (expected >= 1)\n");
+                std::exit(2);
+            }
+        } else if (std::strcmp(argv[i], "--warmup-epochs") == 0) {
+            schedule.warmup_epochs = static_cast<std::uint32_t>(
+                std::atoi(value("--warmup-epochs")));
+            if (schedule.warmup_epochs < 1) {
+                std::fprintf(stderr, "bad --warmup-epochs (expected >= 1)\n");
                 std::exit(2);
             }
         } else if (std::strcmp(argv[i], "--fault-drop") == 0) {
@@ -190,6 +234,7 @@ struct CommonFlags {
         if (overlap) cfg.comm.mode = comm::CostModel::Mode::kOverlap;
         cfg.comm.topology = topology;
         cfg.comm.collective = collective;
+        cfg.rate = schedule;
     }
 };
 
@@ -220,14 +265,16 @@ inline Options parse_options(int argc, char** argv) {
     opt.obs_out = opt.common.obs_out;
     std::printf(
         "# options: scale=%.2f epochs=%u seed=%llu threads=%u "
-        "log-level=%s obs=%s mode=%s kernels=%s topology=%s collective=%s\n",
+        "log-level=%s obs=%s mode=%s kernels=%s topology=%s collective=%s "
+        "schedule=%s\n",
         opt.scale, opt.epochs, static_cast<unsigned long long>(opt.seed),
         opt.threads, log_level_name(log_level()),
         opt.obs_out.empty() ? "off" : opt.obs_out.c_str(),
         opt.common.overlap ? "overlap" : "additive",
         tensor::kernel_path_name(tensor::kernel_path()),
         comm::topology_name(opt.common.topology).c_str(),
-        comm::collective::algo_name(opt.common.collective));
+        comm::collective::algo_name(opt.common.collective),
+        dist::schedule_name(opt.common.schedule.kind));
     if (opt.common.fault.active())
         std::printf("# faults: drop=%.3f seed=%llu down-windows=%zu "
                     "retry-max=%u timeout=%gs\n",

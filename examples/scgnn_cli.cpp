@@ -5,9 +5,14 @@
 // Usage:
 //   scgnn_cli [--dataset reddit|yelp|ogbn|pubmed | --load <dir>]
 //             [--scale <f>] [--parts <n>] [--epochs <n>] [--layers <n>]
-//             [--method vanilla|sampling|quant|delay|ours]
+//             [--method vanilla|sampling|quant|delay|ours|<stack>]
+//             [--compressor-schedule fixed|warmup|adaptive]
+//             [--schedule-floor <f>] [--schedule-drift <f>]
+//             [--schedule-improve <f>] [--schedule-hold <n>]
+//             [--warmup-epochs <n>]
 //             [--partition node|edge|multilevel|random]
 //             [--rate <f>] [--bits <4|8|16>] [--tau <n>] [--groups <k>]
+//             [--ef-flush <theta>]
 //             [--drop-o2o] [--sage|--gin] [--dropout <p>] [--seed <n>]
 //             [--threads <n>] [--save <dir>]
 //             [--log-level debug|info|warn|error] [--obs-out <prefix>]
@@ -26,6 +31,17 @@
 // comm/timeline.hpp) instead of the additive compute+comm sum, and adds
 // the overlap breakdown rows to the result table.
 //
+// `--method` also accepts any compressor-factory stack name ("ours+quant",
+// "ef+ours", "ef+ours+quant", …): "+" joins stages and a leading "ef+"
+// wraps the stack in error feedback (see dist/error_feedback.hpp).
+// `--compressor-schedule warmup|adaptive` varies the compression rate per
+// epoch (see dist/rate_control.hpp); the default `fixed` never touches it.
+// `--schedule-floor/-drift/-improve/-hold` tune the controller: the lowest
+// fidelity it may emit, the EF-drift back-off threshold, the per-epoch
+// improvement bar for tightening, and the dwell between decisions.
+// `--ef-flush` sets the error-feedback resync threshold (≤ 0 disables
+// resyncing).
+//
 // `--topology hier:NxM` shapes the fabric as N nodes × M devices per node
 // with tiered links (fast intra-node, slow oversubscribed inter-node; N·M
 // must equal --parts). `--collective` picks the weight-sync algorithm
@@ -43,6 +59,7 @@
 //   scgnn_cli --dataset yelp --method sampling --rate 0.1
 //   scgnn_cli --dataset reddit --method vanilla --overlap
 //   scgnn_cli --dataset reddit --parts 16 --topology hier:4x4 --collective hier
+//   scgnn_cli --dataset pubmed --method ef+ours --compressor-schedule adaptive
 //   scgnn_cli --dataset pubmed --method ours --obs-out run
 //   scgnn_cli --dataset pubmed --fault-drop 0.2 --retry-max 3 --max-staleness 4
 //   scgnn_cli --dataset pubmed --save /tmp/pubmed && scgnn_cli --load /tmp/pubmed
@@ -55,6 +72,7 @@
 #include "scgnn/common/parallel.hpp"
 #include "scgnn/common/table.hpp"
 #include "scgnn/core/framework.hpp"
+#include "scgnn/dist/factory.hpp"
 #include "scgnn/graph/io.hpp"
 #include "scgnn/obs/obs.hpp"
 
@@ -76,11 +94,22 @@ graph::DatasetPreset parse_preset(const std::string& s) {
     usage("unknown dataset (use reddit|yelp|ogbn|pubmed)");
 }
 
-core::Method parse_method(const std::string& s) {
+// A plain method key sets the enum; anything else is treated as a
+// compressor-factory stack name ("ours+quant", "ef+ours", …) and
+// validated by a dry construction so typos fail fast at parse time.
+void set_method(core::MethodConfig& method, const std::string& s) {
     core::Method m;
-    if (!core::parse_method(s, m))
-        usage("unknown method (use vanilla|sampling|quant|delay|ours)");
-    return m;
+    if (core::parse_method(s, m)) {
+        method.method = m;
+        method.name.clear();
+        return;
+    }
+    try {
+        (void)dist::make_compressor(s);
+    } catch (const scgnn::Error& e) {
+        usage(e.what());
+    }
+    method.name = s;
 }
 
 partition::PartitionAlgo parse_partition(const std::string& s) {
@@ -124,7 +153,7 @@ int main(int argc, char** argv) {
         else if (!std::strcmp(argv[i], "--layers"))
             cfg.model.num_layers = std::atoi(need("--layers"));
         else if (!std::strcmp(argv[i], "--method"))
-            cfg.method.method = parse_method(need("--method"));
+            set_method(cfg.method, need("--method"));
         else if (!std::strcmp(argv[i], "--partition"))
             cfg.algo = parse_partition(need("--partition"));
         else if (!std::strcmp(argv[i], "--rate"))
@@ -135,6 +164,8 @@ int main(int argc, char** argv) {
             cfg.method.delay.period = std::atoi(need("--tau"));
         else if (!std::strcmp(argv[i], "--groups"))
             cfg.method.semantic.grouping.kmeans_k = std::atoi(need("--groups"));
+        else if (!std::strcmp(argv[i], "--ef-flush"))
+            cfg.method.ef.flush_threshold = std::atof(need("--ef-flush"));
         else if (!std::strcmp(argv[i], "--drop-o2o"))
             cfg.method.semantic.drop = scgnn::core::DropMask::without_o2o();
         else if (!std::strcmp(argv[i], "--sage"))
@@ -178,7 +209,8 @@ int main(int argc, char** argv) {
                 data.name.c_str(), data.graph.num_nodes(),
                 static_cast<unsigned long long>(data.graph.num_edges()),
                 data.graph.average_degree(), cfg.num_parts,
-                core::to_string(cfg.method.method),
+                cfg.method.name.empty() ? core::to_string(cfg.method.method)
+                                        : cfg.method.name.c_str(),
                 partition::to_string(cfg.algo), scgnn::num_threads());
 
     const core::PipelineResult res = core::run_pipeline(data, cfg);

@@ -45,8 +45,17 @@ public:
                                               const tensor::Matrix& grad_in,
                                               tensor::Matrix& grad_out) override;
 
-    /// The sampling rate in force.
+    /// Scale the keep rate to `fidelity` × the configured base rate
+    /// (floored at 1e-3 so some boundary rows always survive). fidelity 1
+    /// restores the base rate exactly; the next epoch's masks use the new
+    /// rate.
+    void apply_rate(double fidelity) override;
+
+    /// The configured base rate.
     [[nodiscard]] double rate() const noexcept { return cfg_.rate; }
+
+    /// The rate in force after the last apply_rate().
+    [[nodiscard]] double effective_rate() const noexcept { return rate_eff_; }
 
 private:
     /// Per-plan row mask of the current epoch (built lazily per epoch).
@@ -57,6 +66,7 @@ private:
     const Mask& mask_for(const dist::DistContext& ctx, std::size_t plan_idx);
 
     SamplingConfig cfg_;
+    double rate_eff_;  ///< rate after the schedule's fidelity scaling
     Rng rng_;
     std::uint64_t epoch_ = 0;
     std::vector<Mask> masks_;
@@ -88,11 +98,20 @@ public:
                                               const tensor::Matrix& grad_in,
                                               tensor::Matrix& grad_out) override;
 
-    /// The bit-width in force.
+    /// Snap to the widest supported width not above `fidelity` × the base
+    /// bit budget: the smallest of {4, 8, 16} that is ≥ fidelity · bits,
+    /// clamped to the configured base (fidelity 1 restores it exactly).
+    void apply_rate(double fidelity) override;
+
+    /// The configured base bit-width.
     [[nodiscard]] int bits() const noexcept { return cfg_.bits; }
+
+    /// The bit-width in force after the last apply_rate().
+    [[nodiscard]] int effective_bits() const noexcept { return bits_eff_; }
 
 private:
     QuantConfig cfg_;
+    int bits_eff_;  ///< bit-width after the schedule's fidelity scaling
 };
 
 /// Delayed-transmission configuration.

@@ -15,6 +15,7 @@
 
 #include "scgnn/baselines/baselines.hpp"
 #include "scgnn/core/semantic_compressor.hpp"
+#include "scgnn/dist/error_feedback.hpp"
 #include "scgnn/dist/trainer.hpp"
 #include "scgnn/graph/dataset.hpp"
 #include "scgnn/partition/partition.hpp"
@@ -48,10 +49,23 @@ enum class Method : std::uint8_t {
 /// Union of every method's knobs; only the active method's fields are read.
 struct MethodConfig {
     Method method = Method::kSemantic;
+    /// When non-empty, overrides `method` with any dist::make_compressor
+    /// name — composed stacks ("ours+quant") and error-feedback wraps
+    /// ("ef+ours+quant") included. The per-method knobs below still apply
+    /// to the stages the name selects.
+    std::string name;
     baselines::SamplingConfig sampling{};
     baselines::QuantConfig quant{};
     baselines::DelayConfig delay{};
     SemanticCompressorConfig semantic{};
+    dist::ErrorFeedbackConfig ef{};
+
+    /// True when the configured compressor is plain SC-GNN semantic
+    /// compression (the case whose live grouping statistics run_pipeline
+    /// reads off the training compressor itself).
+    [[nodiscard]] bool plain_semantic() const noexcept {
+        return name.empty() && method == Method::kSemantic;
+    }
 };
 
 /// Instantiate the compressor for a method configuration. Thin adapter
@@ -76,6 +90,8 @@ public:
     [[nodiscard]] std::string name() const override;
     void setup(const dist::DistContext& ctx) override;
     void begin_epoch(std::uint64_t epoch) override;
+    void set_workspace(tensor::Workspace* ws) override;
+    void apply_rate(double fidelity) override;
 
     [[nodiscard]] std::uint64_t forward_rows(const dist::DistContext& ctx,
                                              std::size_t plan_idx, int layer,

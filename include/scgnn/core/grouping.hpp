@@ -77,6 +77,19 @@ struct Grouping {
 [[nodiscard]] Grouping build_grouping(const graph::Dbg& dbg,
                                       const GroupingConfig& cfg);
 
+/// Coarsen a grouping down to at most `target_groups` groups by merging
+/// whole groups (raw rows are untouched — they are the rule layer's
+/// verbatim set, not a budget). Groups are ordered by their smallest sink
+/// so sink-local groups merge together, then folded into `target_groups`
+/// contiguous buckets and re-derived from the DBG, so the merged L-SALSA
+/// weights are exact. Deterministic; returns `fine` unchanged when it
+/// already fits the budget. This is the semantic rate knob the adaptive
+/// schedule drives: wire rows scale ~linearly with the group budget where
+/// the k-means k only reaches the M2M pool (dist/rate_control.hpp).
+[[nodiscard]] Grouping coarsen_grouping(const graph::Dbg& dbg,
+                                        const Grouping& fine,
+                                        std::uint32_t target_groups);
+
 /// Per-source-node connection class used by the framework rules (§4). A
 /// source is O2O when it has one edge whose sink also has one edge; O2M
 /// when it fans out only to exclusive sinks; M2O when it is a single-edge

@@ -56,6 +56,13 @@ struct DropMask {
 struct SemanticCompressorConfig {
     GroupingConfig grouping{.kmeans_k = 20};  ///< paper EEP default; 0 = auto
     DropMask drop{};                          ///< differential optimisation
+    /// Damage bound on the rate schedule's structural response: the
+    /// grouping never coarsens below fidelity max(apply_rate φ, min_rate).
+    /// Structure is fragile — merging groups blurs whole halo rows — while
+    /// value-precision stages (quant) degrade gracefully, so a scheduled
+    /// stack lets bits ride the fidelity all the way down but keeps at
+    /// least half the natural groups. 1 disables coarsening entirely.
+    double min_rate = 0.5;
 };
 
 /// SC-GNN's semantic compression as a pluggable boundary compressor.
@@ -72,6 +79,19 @@ public:
     /// Pooled scratch for the per-exchange fuse row (see
     /// BoundaryCompressor::set_workspace).
     void set_workspace(tensor::Workspace* ws) override { ws_ = ws; }
+
+    /// Scale the group budget: each plan is regrouped with
+    /// k = max(1, round(kmeans_k · fidelity)) M2M clusters, then the whole
+    /// grouping is coarsened to max(1, round(groups · fidelity)) groups by
+    /// merging sink-local groups (coarsen_grouping) — so wire rows scale
+    /// ~linearly with fidelity on any connection mix, not just M2M-heavy
+    /// ones. fidelity 1 restores the base configuration exactly. A regroup
+    /// is a full similarity + k-means pass per plan — the honest per-rate
+    /// setup cost — and only runs when the fidelity actually changes.
+    void apply_rate(double fidelity) override;
+
+    /// The fidelity last applied (1 until apply_rate is called).
+    [[nodiscard]] double rate_fidelity() const noexcept { return rate_; }
 
     [[nodiscard]] std::uint64_t forward_rows(const dist::DistContext& ctx,
                                              std::size_t plan_idx, int layer,
@@ -102,9 +122,16 @@ private:
         std::uint64_t wire_rows = 0;  ///< after the drop mask
     };
 
+    /// k-means budget after the rate scaling (0 stays 0 = EEP auto).
+    [[nodiscard]] std::uint32_t effective_k() const noexcept;
+    /// The setup() grouping pass at the current effective k.
+    void rebuild();
+
     SemanticCompressorConfig cfg_;
     std::vector<PlanState> plans_;
     tensor::Workspace* ws_ = nullptr;  ///< nullable fuse-row scratch pool
+    const dist::DistContext* ctx_ = nullptr;  ///< set by setup(), for regroups
+    double rate_ = 1.0;                       ///< fidelity in force
 };
 
 } // namespace scgnn::core

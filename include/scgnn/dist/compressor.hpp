@@ -47,6 +47,14 @@ public:
     /// path, never inside parallel row loops.
     virtual void set_workspace(tensor::Workspace* ws) { (void)ws; }
 
+    /// Scale the method's aggressiveness to `fidelity` ∈ (0, 1] of its
+    /// configured base rate (1 = the base configuration, smaller = more
+    /// compression). Called by the trainer between epochs when a rate
+    /// schedule is active (dist/rate_control.hpp); each method maps the
+    /// fidelity onto its own knob (semantic ⇒ group count, quant ⇒ bit
+    /// width, sampling ⇒ keep rate). Default: rate-oblivious no-op.
+    virtual void apply_rate(double fidelity) { (void)fidelity; }
+
     /// Forward exchange for plan `plan_idx` at aggregation step `layer`.
     /// `src` holds the true boundary rows (plan.num_rows() × f, row i =
     /// plan.dbg.src_nodes[i]); the implementation writes the rows as they

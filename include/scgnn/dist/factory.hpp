@@ -20,6 +20,7 @@
 #include "scgnn/baselines/baselines.hpp"
 #include "scgnn/core/semantic_compressor.hpp"
 #include "scgnn/dist/compressor.hpp"
+#include "scgnn/dist/error_feedback.hpp"
 
 namespace scgnn::dist {
 
@@ -31,14 +32,17 @@ struct CompressorOptions {
     baselines::QuantConfig quant{};
     baselines::DelayConfig delay{};
     core::SemanticCompressorConfig semantic{};
+    ErrorFeedbackConfig ef{};
 };
 
 /// Build the compressor `name` refers to. Accepted names are the five
 /// atoms ("vanilla", "sampling", "quant", "delay", "ours") and any
 /// "+"-joined sequence of them, which builds a core::ComposedCompressor
 /// over the atoms in order (a fusing stage such as "ours" must come
-/// first — see ComposedCompressor). Throws scgnn::Error on an unknown
-/// name or empty composition element.
+/// first — see ComposedCompressor). A leading "ef+" wraps the rest of
+/// the name in an ErrorFeedbackCompressor ("ef+ours", "ef+ours+quant"):
+/// ef is a wrapper, not a stage, so it must come first. Throws
+/// scgnn::Error on an unknown name or empty composition element.
 [[nodiscard]] std::unique_ptr<BoundaryCompressor> make_compressor(
     const std::string& name, const CompressorOptions& options = {});
 

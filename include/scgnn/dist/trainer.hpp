@@ -30,6 +30,7 @@
 #include "scgnn/comm/topology.hpp"
 #include "scgnn/dist/compressor.hpp"
 #include "scgnn/dist/context.hpp"
+#include "scgnn/dist/rate_control.hpp"
 #include "scgnn/gnn/model.hpp"
 #include "scgnn/gnn/optimizer.hpp"
 #include "scgnn/gnn/trainer.hpp"
@@ -193,6 +194,10 @@ struct DistTrainConfig {
     std::string checkpoint_path;
     /// The communication policy (see CommPolicy).
     CommPolicy comm{};
+    /// Per-epoch compression-rate schedule (dist/rate_control.hpp). The
+    /// kFixed default never calls BoundaryCompressor::apply_rate(), so
+    /// fixed-rate runs stay bitwise identical to the golden pins.
+    RateScheduleConfig rate{};
 };
 
 /// Per-epoch observability record.
@@ -209,6 +214,9 @@ struct EpochMetrics {
     /// Communication the schedule could NOT hide:
     /// max(0, makespan − compute). Zero in additive mode.
     double comm_exposed_ms = 0.0;
+    /// Compression fidelity the rate schedule applied this epoch
+    /// (1 under the fixed default).
+    double rate = 1.0;
 };
 
 /// Result of a distributed run. Accuracy is evaluated on the *full*

@@ -12,6 +12,12 @@
 #                                the topology presets (bench_collectives).
 #                                Purely modelled, so it diffs exactly on
 #                                any host.
+#   BENCH_adaptive_rate.json   — the compression-schedule Pareto sweep
+#                                (bench_adaptive_rate): ef stacks under
+#                                fixed/warmup/adaptive schedules, with the
+#                                bytes-to-target-loss gate. final_loss,
+#                                total_mb and mean_rate are modelled and
+#                                deterministic, so they diff exactly too.
 #
 # Everything is pinned: fixed seeds, fixed scale, SCGNN_THREADS=1 for the
 # microkernels, scalar kernel default. Run from anywhere:
@@ -26,7 +32,8 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
-for bin in bench_kernels bench_threads_scaling bench_collectives; do
+for bin in bench_kernels bench_threads_scaling bench_collectives \
+           bench_adaptive_rate; do
     if [[ ! -x "$build_dir/bench/$bin" ]]; then
         echo "error: $build_dir/bench/$bin not built" >&2
         echo "hint: cmake --build $build_dir --target $bin" >&2
@@ -54,7 +61,12 @@ echo "== collective sweep (algorithm x P over topology presets) =="
     --json "$repo_root/BENCH_collectives.json"
 
 echo
+echo "== adaptive-rate schedule sweep (ef stacks x fixed/warmup/adaptive) =="
+"$build_dir/bench/bench_adaptive_rate" \
+    --json "$repo_root/BENCH_adaptive_rate.json"
+
+echo
 echo "== snapshot summary =="
 python3 "$repo_root/scripts/check_bench_regression.py" \
     "$repo_root/BENCH_kernels.json" "$repo_root/BENCH_kernels.json"
-echo "wrote BENCH_kernels.json, BENCH_threads_scaling.json and BENCH_collectives.json"
+echo "wrote BENCH_kernels.json, BENCH_threads_scaling.json, BENCH_collectives.json and BENCH_adaptive_rate.json"

@@ -15,11 +15,20 @@ Two checks, both derived from the google-benchmark JSON:
     acceptance floors (>=2x dense GEMM at n>=512, >=1.5x SpMM). These are
     ratios on the same host at the same moment, so they are stable; they
     fail even without --strict when the host supports AVX2+FMA.
+  * modelled-field drift: benchmarks that carry deterministic modelled
+    fields (final_loss / total_mb / mean_rate, e.g. BENCH_adaptive_rate
+    entries) are pipeline outputs, not wall times — they must diff
+    exactly on any host. A mismatch is printed as DRIFT (warn-only
+    unless --strict), since it means the numerics moved, not the clock.
 """
 
 import argparse
 import json
 import sys
+
+# Deterministic per-benchmark fields: modelled pipeline outputs that are
+# bitwise reproducible, unlike real_time.
+DETERMINISTIC_KEYS = ("final_loss", "total_mb", "mean_rate")
 
 # (benchmark-name prefix, minimum simd speedup) — the acceptance floors.
 SPEEDUP_FLOORS = [
@@ -29,17 +38,21 @@ SPEEDUP_FLOORS = [
 
 
 def load_times(path):
-    """name -> real_time (ns) for every non-errored benchmark."""
+    """(name -> real_time, name -> deterministic fields, skipped names)."""
     with open(path) as f:
         doc = json.load(f)
     times = {}
+    extras = {}
     skipped = []
     for b in doc.get("benchmarks", []):
         if b.get("error_occurred"):
             skipped.append(b["name"])
             continue
         times[b["name"]] = float(b["real_time"])
-    return times, skipped
+        fields = {k: b[k] for k in DETERMINISTIC_KEYS if k in b}
+        if fields:
+            extras[b["name"]] = fields
+    return times, extras, skipped
 
 
 def main():
@@ -52,8 +65,8 @@ def main():
                     help="exit 1 on flagged regressions (default: warn only)")
     args = ap.parse_args()
 
-    base, _ = load_times(args.baseline)
-    fresh, fresh_skipped = load_times(args.fresh)
+    base, base_extras, _ = load_times(args.baseline)
+    fresh, fresh_extras, fresh_skipped = load_times(args.fresh)
 
     regressions = []
     for name, t in sorted(fresh.items()):
@@ -66,6 +79,16 @@ def main():
               f"({ratio:.2f}x)")
         if ratio > args.threshold:
             regressions.append((name, ratio))
+
+    # Deterministic modelled fields must match the baseline exactly.
+    drift = []
+    for name in sorted(fresh_extras):
+        for key, val in fresh_extras[name].items():
+            if key in base_extras.get(name, {}) \
+                    and val != base_extras[name][key]:
+                drift.append((name, key))
+                print(f"  DRIFT    {name}.{key}: "
+                      f"{base_extras[name][key]} -> {val}")
 
     # simd floors, recomputed within the fresh run (same host, same moment).
     floor_failures = []
@@ -89,10 +112,14 @@ def main():
         print(f"\n{len(regressions)} benchmark(s) exceeded the "
               f"{args.threshold:.2f}x threshold"
               + ("" if args.strict else " (warn-only)"))
+    if drift:
+        print(f"\n{len(drift)} deterministic modelled field(s) drifted "
+              "from the baseline"
+              + ("" if args.strict else " (warn-only)"))
     if floor_failures:
         print(f"\n{len(floor_failures)} simd speedup floor(s) missed")
         return 1
-    if args.strict and regressions:
+    if args.strict and (regressions or drift):
         return 1
     return 0
 

@@ -13,9 +13,15 @@ using tensor::Matrix;
 // ---------------------------------------------------------------- Sampling
 
 SamplingCompressor::SamplingCompressor(SamplingConfig config)
-    : cfg_(config), rng_(config.seed) {
+    : cfg_(config), rate_eff_(config.rate), rng_(config.seed) {
     SCGNN_CHECK(cfg_.rate > 0.0 && cfg_.rate <= 1.0,
                 "sampling rate must be in (0, 1]");
+}
+
+void SamplingCompressor::apply_rate(double fidelity) {
+    SCGNN_CHECK(fidelity > 0.0 && fidelity <= 1.0,
+                "rate fidelity must be in (0, 1]");
+    rate_eff_ = std::max(cfg_.rate * fidelity, 1e-3);
 }
 
 void SamplingCompressor::setup(const DistContext& ctx) {
@@ -36,7 +42,7 @@ const SamplingCompressor::Mask& SamplingCompressor::mask_for(
     m.keep.assign(plan.num_rows(), 0);
     m.kept_edges = 0;
     for (std::uint32_t r = 0; r < plan.num_rows(); ++r) {
-        if (rng_.bernoulli(cfg_.rate)) {
+        if (rng_.bernoulli(rate_eff_)) {
             m.keep[r] = 1;
             m.kept_edges += plan.dbg.out_degree(r);
         }
@@ -52,7 +58,7 @@ std::uint64_t SamplingCompressor::forward_rows(const DistContext& ctx,
     const Mask& m = mask_for(ctx, plan_idx);
     SCGNN_CHECK(src.rows() == m.keep.size(), "source row count mismatch");
     out = Matrix(src.rows(), src.cols());
-    const float scale = static_cast<float>(1.0 / cfg_.rate);
+    const float scale = static_cast<float>(1.0 / rate_eff_);
     for (std::size_t r = 0; r < src.rows(); ++r) {
         if (!m.keep[r]) continue;
         const auto s = src.row(r);
@@ -70,7 +76,7 @@ std::uint64_t SamplingCompressor::backward_rows(const DistContext& ctx,
     const Mask& m = mask_for(ctx, plan_idx);
     SCGNN_CHECK(grad_in.rows() == m.keep.size(), "gradient row count mismatch");
     grad_out = Matrix(grad_in.rows(), grad_in.cols());
-    const float scale = static_cast<float>(1.0 / cfg_.rate);
+    const float scale = static_cast<float>(1.0 / rate_eff_);
     for (std::size_t r = 0; r < grad_in.rows(); ++r) {
         if (!m.keep[r]) continue;
         const auto s = grad_in.row(r);
@@ -82,9 +88,24 @@ std::uint64_t SamplingCompressor::backward_rows(const DistContext& ctx,
 
 // ------------------------------------------------------------------- Quant
 
-QuantCompressor::QuantCompressor(QuantConfig config) : cfg_(config) {
+QuantCompressor::QuantCompressor(QuantConfig config)
+    : cfg_(config), bits_eff_(config.bits) {
     SCGNN_CHECK(cfg_.bits == 4 || cfg_.bits == 8 || cfg_.bits == 16,
                 "supported bit-widths are 4, 8 and 16");
+}
+
+void QuantCompressor::apply_rate(double fidelity) {
+    SCGNN_CHECK(fidelity > 0.0 && fidelity <= 1.0,
+                "rate fidelity must be in (0, 1]");
+    const double target = fidelity * cfg_.bits;
+    int eff = cfg_.bits;
+    for (const int b : {4, 8, 16}) {
+        if (b >= target) {
+            eff = b;
+            break;
+        }
+    }
+    bits_eff_ = std::min(eff, cfg_.bits);
 }
 
 namespace {
@@ -105,7 +126,7 @@ std::uint64_t QuantCompressor::forward_rows(const DistContext& ctx,
                                             const Matrix& src, Matrix& out) {
     const PairPlan& plan = ctx.plans()[plan_idx];
     SCGNN_CHECK(src.rows() == plan.num_rows(), "source row count mismatch");
-    return quant_roundtrip(cfg_.bits, plan.num_edges(), src, out);
+    return quant_roundtrip(bits_eff_, plan.num_edges(), src, out);
 }
 
 std::uint64_t QuantCompressor::backward_rows(const DistContext& ctx,
@@ -114,7 +135,7 @@ std::uint64_t QuantCompressor::backward_rows(const DistContext& ctx,
                                              Matrix& grad_out) {
     const PairPlan& plan = ctx.plans()[plan_idx];
     SCGNN_CHECK(grad_in.rows() == plan.num_rows(), "gradient row count mismatch");
-    return quant_roundtrip(cfg_.bits, plan.num_edges(), grad_in, grad_out);
+    return quant_roundtrip(bits_eff_, plan.num_edges(), grad_in, grad_out);
 }
 
 // ------------------------------------------------------------------- Delay

@@ -19,15 +19,22 @@ std::unique_ptr<BoundaryCompressor> make_atom(const std::string& name,
         return std::make_unique<baselines::DelayCompressor>(o.delay);
     if (name == "ours")
         return std::make_unique<core::SemanticCompressor>(o.semantic);
+    if (name == "ef")
+        throw Error("'ef' is a wrapper, not a stage: prefix it to a stack "
+                    "(\"ef+ours\", \"ef+ours+quant\")");
     throw Error("unknown compressor name '" + name +
                 "' (expected vanilla|sampling|quant|delay|ours, "
-                "optionally '+'-joined)");
+                "optionally '+'-joined, optionally prefixed \"ef+\")");
 }
 
 } // namespace
 
 std::unique_ptr<BoundaryCompressor> make_compressor(
     const std::string& name, const CompressorOptions& options) {
+    // A leading "ef+" wraps everything after it in error feedback.
+    if (name.rfind("ef+", 0) == 0)
+        return std::make_unique<ErrorFeedbackCompressor>(
+            make_compressor(name.substr(3), options), options.ef);
     if (name.find('+') == std::string::npos) return make_atom(name, options);
     std::vector<std::unique_ptr<BoundaryCompressor>> stages;
     std::size_t start = 0;

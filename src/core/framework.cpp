@@ -49,7 +49,9 @@ std::unique_ptr<dist::BoundaryCompressor> make_compressor(
     opts.quant = cfg.quant;
     opts.delay = cfg.delay;
     opts.semantic = cfg.semantic;
-    return dist::make_compressor(method_key(cfg.method), opts);
+    opts.ef = cfg.ef;
+    return dist::make_compressor(
+        cfg.name.empty() ? method_key(cfg.method) : cfg.name, opts);
 }
 
 // ------------------------------------------------------- ComposedCompressor
@@ -74,6 +76,14 @@ void ComposedCompressor::setup(const dist::DistContext& ctx) {
 
 void ComposedCompressor::begin_epoch(std::uint64_t epoch) {
     for (auto& s : stages_) s->begin_epoch(epoch);
+}
+
+void ComposedCompressor::set_workspace(tensor::Workspace* ws) {
+    for (auto& s : stages_) s->set_workspace(ws);
+}
+
+void ComposedCompressor::apply_rate(double fidelity) {
+    for (auto& s : stages_) s->apply_rate(fidelity);
 }
 
 std::uint64_t ComposedCompressor::forward_rows(const dist::DistContext& ctx,
@@ -143,7 +153,7 @@ PipelineResult run_pipeline(const graph::Dataset& data,
     // when the training method was a baseline).
     const dist::DistContext ctx(data, parts, cfg.train.norm);
     res.cross_edges = ctx.total_cross_edges();
-    if (cfg.method.method == Method::kSemantic) {
+    if (cfg.method.plain_semantic()) {
         const auto* sem = dynamic_cast<const SemanticCompressor*>(comp.get());
         SCGNN_ASSERT(sem != nullptr, "semantic method without SemanticCompressor");
         res.wire_rows = sem->total_wire_rows();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 
 #include "scgnn/obs/metrics.hpp"
 #include "scgnn/obs/trace.hpp"
@@ -210,6 +211,52 @@ Grouping build_grouping(const Dbg& dbg, const GroupingConfig& cfg) {
         reg.counter("grouping.groups").add(out.groups.size());
         reg.counter("grouping.raw_rows").add(out.raw_rows.size());
     }
+    return out;
+}
+
+Grouping coarsen_grouping(const Dbg& dbg, const Grouping& fine,
+                          std::uint32_t target_groups) {
+    const std::size_t n = fine.groups.size();
+    if (target_groups == 0) target_groups = 1;
+    if (n <= target_groups) return fine;
+
+    // Order groups by their smallest sink (ties: smallest member) so each
+    // bucket merges sink-local semantics rather than arbitrary strangers.
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  const SemanticGroup& ga = fine.groups[a];
+                  const SemanticGroup& gb = fine.groups[b];
+                  if (ga.sinks.front() != gb.sinks.front())
+                      return ga.sinks.front() < gb.sinks.front();
+                  return ga.members.front() < gb.members.front();
+              });
+
+    Grouping out;
+    out.raw_rows = fine.raw_rows;
+    out.group_of_row = fine.group_of_row;  // re-indexed below
+    out.chosen_k = fine.chosen_k;
+    out.groups.reserve(target_groups);
+    // Fold the ordered groups into target_groups contiguous buckets whose
+    // sizes differ by at most one (every bucket non-empty since n > target).
+    std::size_t begin = 0;
+    for (std::uint32_t b = 0; b < target_groups; ++b) {
+        const std::size_t end = (static_cast<std::size_t>(b) + 1) * n /
+                                target_groups;
+        std::vector<std::uint32_t> members;
+        ConnectionType origin = fine.groups[order[begin]].origin;
+        for (std::size_t i = begin; i < end; ++i) {
+            const SemanticGroup& g = fine.groups[order[i]];
+            members.insert(members.end(), g.members.begin(), g.members.end());
+            if (g.origin != origin) origin = ConnectionType::kM2M;
+        }
+        out.groups.push_back(make_group(dbg, std::move(members), origin));
+        begin = end;
+    }
+    for (std::size_t gi = 0; gi < out.groups.size(); ++gi)
+        for (std::uint32_t u : out.groups[gi].members)
+            out.group_of_row[u] = static_cast<std::int32_t>(gi);
     return out;
 }
 

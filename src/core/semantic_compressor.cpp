@@ -1,5 +1,8 @@
 #include "scgnn/core/semantic_compressor.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "scgnn/obs/metrics.hpp"
 #include "scgnn/obs/trace.hpp"
 #include "scgnn/tensor/kernels.hpp"
@@ -15,12 +18,38 @@ SemanticCompressor::SemanticCompressor(SemanticCompressorConfig config)
     : cfg_(config) {}
 
 void SemanticCompressor::setup(const DistContext& ctx) {
+    ctx_ = &ctx;
+    rebuild();
+}
+
+std::uint32_t SemanticCompressor::effective_k() const noexcept {
+    const std::uint32_t base = cfg_.grouping.kmeans_k;
+    const double structural = std::max(rate_, cfg_.min_rate);
+    if (base == 0 || structural >= 1.0) return base;  // EEP auto: no response
+    const auto scaled =
+        static_cast<std::uint32_t>(std::lround(base * structural));
+    return std::max<std::uint32_t>(1, scaled);
+}
+
+void SemanticCompressor::apply_rate(double fidelity) {
+    SCGNN_CHECK(fidelity > 0.0 && fidelity <= 1.0,
+                "rate fidelity must be in (0, 1]");
+    const double before = rate_;
+    rate_ = fidelity;
+    // Regroup only when the budget actually moves (and only once setup()
+    // gave us plans to regroup; before that the next setup() applies it).
+    if (ctx_ != nullptr && rate_ != before) rebuild();
+}
+
+void SemanticCompressor::rebuild() {
     SCGNN_TRACE_SPAN("compress.setup");
+    const DistContext& ctx = *ctx_;
     const std::uint64_t setup_t0 =
         obs::enabled() ? obs::detail::trace_now_ns() : 0;
     plans_.clear();
     plans_.reserve(ctx.plans().size());
     GroupingConfig gc = cfg_.grouping;
+    gc.kmeans_k = effective_k();
     for (std::size_t pi = 0; pi < ctx.plans().size(); ++pi) {
         const PairPlan& plan = ctx.plans()[pi];
         PlanState state;
@@ -28,6 +57,18 @@ void SemanticCompressor::setup(const DistContext& ctx) {
         // different pairs do not share k-means++ draws.
         gc.seed = cfg_.grouping.seed + pi * 0x9e3779b97f4a7c15ULL;
         state.grouping = build_grouping(plan.dbg, gc);
+        // The fidelity knob is the *group budget*: the k-means k only
+        // reaches the M2M pool, but merging whole groups scales wire rows
+        // ~linearly on any connection mix (coarsen_grouping doc). The
+        // structural response is clamped at cfg_.min_rate — see its doc.
+        const double structural = std::max(rate_, cfg_.min_rate);
+        if (structural < 1.0 && state.grouping.groups.size() > 1) {
+            const auto target = static_cast<std::uint32_t>(std::max<long>(
+                1, std::lround(static_cast<double>(
+                                   state.grouping.groups.size()) *
+                               structural)));
+            state.grouping = coarsen_grouping(plan.dbg, state.grouping, target);
+        }
 
         const std::vector<graph::ConnectionType> cls =
             classify_sources(plan.dbg);

@@ -1,9 +1,12 @@
 #include "scgnn/dist/trainer.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "scgnn/common/log.hpp"
 #include "scgnn/common/parallel.hpp"
 #include "scgnn/common/timer.hpp"
+#include "scgnn/dist/error_feedback.hpp"
 #include "scgnn/gnn/adjacency.hpp"
 #include "scgnn/gnn/checkpoint.hpp"
 #include "scgnn/obs/ledger.hpp"
@@ -376,6 +379,9 @@ DistTrainResult train_distributed(const graph::Dataset& data,
         obs::record_config("trainer.feature_dim",
                            static_cast<double>(data.features.cols()));
         if (overlap) obs::record_config("trainer.cost_mode", "overlap");
+        if (cfg.rate.scheduled())
+            obs::record_config("trainer.schedule",
+                               schedule_name(cfg.rate.kind));
         if (cfg.comm.topology.hierarchical()) {
             obs::record_config("trainer.topology",
                                comm::topology_name(cfg.comm.topology));
@@ -440,10 +446,40 @@ DistTrainResult train_distributed(const graph::Dataset& data,
             fabric.topology(), cfg.comm.collective, param_bytes);
     }
 
+    // Rate scheduling: only a non-fixed schedule ever touches the
+    // compressor (or the ledger), so the fixed default remains bitwise
+    // identical to the pre-scheduling golden pins. The drift signal is
+    // read off the error-feedback wrapper when one heads the stack.
+    RateController rate_ctl(cfg.rate);
+    const bool scheduled = cfg.rate.scheduled();
+    auto* ef = scheduled ? dynamic_cast<ErrorFeedbackCompressor*>(&compressor)
+                         : nullptr;
+    double loss_last = 0.0;
+
     std::uint32_t stale = 0;
     double total_overlap_ms = 0.0, total_exposed_ms = 0.0;
     for (std::uint32_t e = 0; e < cfg.epochs; ++e) {
         SCGNN_TRACE_SPAN("dist.epoch");
+        double epoch_rate = 1.0;
+        if (scheduled) {
+            // Signals describe the *completed* epochs: the loss of e−1
+            // and the residual drift accumulated during e−1 (read before
+            // begin_epoch resets the accumulators). The controller keeps
+            // its own loss anchor across its dwell window.
+            const double drift =
+                (e > 0 && ef != nullptr) ? ef->epoch_relative_residual() : 0.0;
+            epoch_rate = rate_ctl.next(e, loss_last, drift);
+            compressor.apply_rate(epoch_rate);
+            if (obs::enabled())
+                obs::registry().gauge("compress.rate").set(epoch_rate);
+            if (log_level() == LogLevel::kDebug) {
+                char buf[96];
+                std::snprintf(buf, sizeof buf,
+                              "rate[%u] fidelity=%.4f drift=%.4f", e,
+                              epoch_rate, drift);
+                log_debug(buf);
+            }
+        }
         compressor.begin_epoch(e);
         if (overlap) timeline.begin_epoch();
         WallTimer timer;
@@ -455,6 +491,7 @@ DistTrainResult train_distributed(const graph::Dataset& data,
 
         EpochMetrics m;
         m.loss = loss;
+        m.rate = epoch_rate;
         m.comm_mb = static_cast<double>(fabric.epoch_stats().bytes) / 1e6;
         m.comm_ms = fabric.epoch_comm_seconds() * 1e3;
         m.compute_ms = wall_ms / parts.num_parts;
@@ -510,6 +547,7 @@ DistTrainResult train_distributed(const graph::Dataset& data,
         total_overlap_ms += m.overlap_ms;
         total_exposed_ms += m.comm_exposed_ms;
         total_bytes += m.comm_mb;
+        loss_last = loss;
         result.final_loss = loss;
         ++result.epochs_run;
         if (cfg.record_epochs) result.epoch_metrics.push_back(m);

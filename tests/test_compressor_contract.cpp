@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "scgnn/core/framework.hpp"
+#include "scgnn/dist/error_feedback.hpp"
 #include "scgnn/dist/factory.hpp"
 #include "scgnn/tensor/ops.hpp"
 
@@ -23,6 +24,9 @@ using tensor::Matrix;
 struct ContractCase {
     std::string name;
     std::function<std::unique_ptr<dist::BoundaryCompressor>()> make;
+    /// Error-feedback wrapper in the stack: its resync rule may deliver
+    /// corrective rows on top of the inner stage's wire volume.
+    bool ef = false;
 };
 
 // Every case goes through dist::make_compressor — the same construction
@@ -40,14 +44,18 @@ std::vector<ContractCase> cases() {
     std::vector<ContractCase> out;
     // {gtest-safe label, factory name} — "+" is not a valid test name char.
     const std::pair<const char*, const char*> names[] = {
-        {"vanilla", "vanilla"}, {"sampling", "sampling"}, {"quant", "quant"},
-        {"delay", "delay"},     {"semantic", "ours"},     {"composed", "ours+quant"},
+        {"vanilla", "vanilla"},       {"sampling", "sampling"},
+        {"quant", "quant"},           {"delay", "delay"},
+        {"semantic", "ours"},         {"composed", "ours+quant"},
+        {"ef_semantic", "ef+ours"},   {"ef_stack3", "ef+ours+quant"},
     };
     for (const auto& [label, factory_name] : names) {
-        out.push_back({label, [factory_name] {
+        out.push_back({label,
+                       [factory_name] {
                            return dist::make_compressor(factory_name,
                                                         contract_options());
-                       }});
+                       },
+                       std::string_view(factory_name).substr(0, 3) == "ef+"});
     }
     return out;
 }
@@ -73,11 +81,16 @@ TEST_P(CompressorContract, ShapesAndVolumeBound) {
     for (std::size_t pi = 0; pi < ctx_.plans().size(); ++pi) {
         const auto& plan = ctx_.plans()[pi];
         const Matrix src = Matrix::randn(plan.num_rows(), 8, rng);
+        // An EF wrap may resync up to every boundary row verbatim on top
+        // of the inner stage's volume; everything else stays under the
+        // vanilla per-edge bound alone.
+        const std::uint64_t allowance =
+            GetParam().ef ? plan.num_rows() * 8 * sizeof(float) : 0;
         Matrix out;
         const auto bytes = comp->forward_rows(ctx_, pi, 0, src, out);
         EXPECT_EQ(out.rows(), src.rows());
         EXPECT_EQ(out.cols(), src.cols());
-        EXPECT_LE(bytes, plan.num_edges() * 8 * sizeof(float) + 16)
+        EXPECT_LE(bytes, plan.num_edges() * 8 * sizeof(float) + allowance + 16)
             << GetParam().name << " plan " << pi;
 
         Matrix grad_out;
@@ -85,7 +98,8 @@ TEST_P(CompressorContract, ShapesAndVolumeBound) {
             comp->backward_rows(ctx_, pi, 1, src, grad_out);
         EXPECT_EQ(grad_out.rows(), src.rows());
         EXPECT_EQ(grad_out.cols(), src.cols());
-        EXPECT_LE(bwd_bytes, plan.num_edges() * 8 * sizeof(float) + 16);
+        EXPECT_LE(bwd_bytes,
+                  plan.num_edges() * 8 * sizeof(float) + allowance + 16);
     }
 }
 
@@ -139,6 +153,39 @@ TEST_P(CompressorContract, NameIsNonEmpty) {
 INSTANTIATE_TEST_SUITE_P(All, CompressorContract, ::testing::ValuesIn(cases()),
                          [](const auto& param_info) { return param_info.param.name; });
 
+// The EF wrapper's wire charge must decompose exactly: inner-stage bytes
+// for the same payload, plus f·4 bytes for every resync row it delivered.
+// At epoch 0 the residual store is all-zero, so the payload the wrapper
+// hands its inner stage is bitwise the raw source — running the bare
+// inner stack on the same input pins the first term independently.
+TEST(CompressorContract, EfWireBytesAreInnerPlusResyncRows) {
+    const graph::Dataset data =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, 0.2, 7);
+    const auto parts = partition::make_partitioning(
+        partition::PartitionAlgo::kNodeCut, data.graph, 2, 5);
+    const DistContext ctx(data, parts, gnn::AdjNorm::kSymmetric);
+
+    auto inner = dist::make_compressor("ours+quant", contract_options());
+    auto wrapped = dist::make_compressor("ef+ours+quant", contract_options());
+    auto* ef = dynamic_cast<dist::ErrorFeedbackCompressor*>(wrapped.get());
+    ASSERT_NE(ef, nullptr);
+    inner->setup(ctx);
+    wrapped->setup(ctx);
+    inner->begin_epoch(0);
+    wrapped->begin_epoch(0);
+
+    Rng rng(11);
+    for (std::size_t pi = 0; pi < ctx.plans().size(); ++pi) {
+        const Matrix src = Matrix::randn(ctx.plans()[pi].num_rows(), 8, rng);
+        Matrix a, b;
+        const std::uint64_t before = ef->recovered_bytes();
+        const auto inner_bytes = inner->forward_rows(ctx, pi, 0, src, a);
+        const auto ef_bytes = wrapped->forward_rows(ctx, pi, 0, src, b);
+        EXPECT_EQ(ef_bytes, inner_bytes + (ef->recovered_bytes() - before))
+            << "plan " << pi;
+    }
+}
+
 // ------------------------------------------------------- factory contract
 
 TEST(CompressorFactory, EveryAdvertisedNameConstructs) {
@@ -167,6 +214,15 @@ TEST(CompressorFactory, ComposedNameBuildsStagesInOrder) {
     ASSERT_NE(dynamic_cast<ComposedCompressor*>(comp.get()), nullptr);
     // ComposedCompressor::name() joins its stages with '+' in stage order.
     EXPECT_EQ(comp->name(), "ours+quant");
+}
+
+TEST(CompressorFactory, EfPrefixWrapsTheInnerStack) {
+    const auto comp =
+        dist::make_compressor("ef+ours+quant", contract_options());
+    auto* ef = dynamic_cast<dist::ErrorFeedbackCompressor*>(comp.get());
+    ASSERT_NE(ef, nullptr);
+    // name() reports the full stack, wrapper first.
+    EXPECT_EQ(comp->name(), "ef+ours+quant");
 }
 
 TEST(CompressorFactory, OptionsReachTheCompressor) {

@@ -1,7 +1,9 @@
 // Golden-value regression tier: exact (%.17g) compression ratios, epoch
 // losses and final accuracies for the four DatasetPresets at fixed seeds,
 // plus a fault-schedule run (drop=0.2, retry-max=3, one link-down window)
-// whose counters and degraded trajectory are pinned too. Bitwise equality
+// whose counters and degraded trajectory are pinned too, and an adaptive
+// error-feedback run whose per-epoch fidelity sequence is pinned alongside
+// its losses. Bitwise equality
 // is sound because the whole pipeline is deterministic at any thread
 // count (PR 1) and the fault schedule is counter-based per link.
 //
@@ -243,6 +245,53 @@ TEST(GoldenHierPreset, P16HierarchicalCollectivePinned) {
     o << "  \"mean_comm_ms\": " << g17(r.train.mean_comm_ms) << "\n";
     o << "}\n";
     check_golden("pubmed_hier16", o.str());
+}
+
+TEST(GoldenAdaptiveEf, ScheduledRunPinned) {
+    // The adaptive EF run — ef+ours under the rate controller (2-epoch
+    // dwell) — pinned at %.17g: losses, the emitted per-epoch fidelity
+    // sequence and the modelled comm volume. This guards the scheduled
+    // path end to end: drift signal → controller decision → budgeted
+    // resync → wire bytes. The fixed-rate presets above stay untouched by
+    // scheduling, so this is the one pin that moves when the policy does.
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, kScale, kSeed);
+    PipelineConfig cfg = golden_cfg(d);
+    cfg.train.epochs = 10;
+    cfg.method.name = "ef+ours";
+    cfg.train.rate.kind = dist::RateSchedule::kAdaptive;
+    cfg.train.rate.hold_epochs = 2;
+    const PipelineResult r = run_pipeline(d, cfg);
+
+    // The controller must actually have moved off full fidelity at some
+    // point — otherwise the pin would not cover the budgeted-resync path.
+    bool moved = false;
+    for (const auto& em : r.train.epoch_metrics) moved |= em.rate < 1.0;
+    EXPECT_TRUE(moved) << "adaptive schedule never tightened";
+
+    std::ostringstream o;
+    o << "{\n";
+    o << "  \"schema\": \"scgnn.golden/1\",\n";
+    o << "  \"preset\": \"pubmed\",\n";
+    o << "  \"config\": {\"scale\": " << g17(kScale)
+      << ", \"epochs\": 10, \"parts\": 4, \"groups\": 12"
+      << ", \"seed\": " << kSeed << ", \"hidden\": 32"
+      << ", \"method\": \"ef+ours\", \"schedule\": \"adaptive\""
+      << ", \"hold\": 2},\n";
+    o << "  \"epoch_loss\": [";
+    for (std::size_t e = 0; e < r.train.epoch_metrics.size(); ++e)
+        o << (e ? ", " : "") << g17(r.train.epoch_metrics[e].loss);
+    o << "],\n";
+    o << "  \"epoch_rate\": [";
+    for (std::size_t e = 0; e < r.train.epoch_metrics.size(); ++e)
+        o << (e ? ", " : "") << g17(r.train.epoch_metrics[e].rate);
+    o << "],\n";
+    o << "  \"final_loss\": " << g17(r.train.final_loss) << ",\n";
+    o << "  \"test_accuracy\": " << g17(r.train.test_accuracy) << ",\n";
+    o << "  \"mean_comm_mb\": " << g17(r.train.mean_comm_mb) << ",\n";
+    o << "  \"mean_comm_ms\": " << g17(r.train.mean_comm_ms) << "\n";
+    o << "}\n";
+    check_golden("pubmed_ef_adaptive", o.str());
 }
 
 TEST(GoldenFaultSchedule, BitwiseReproducibleAcrossThreadCounts) {

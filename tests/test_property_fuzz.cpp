@@ -7,7 +7,9 @@
 //   * the compressed backward stays the adjoint of the compressed forward,
 //   * quantisation round-trips within its step bound,
 //   * randomized fault schedules never abort training and keep the
-//     drop/retry/staleness ledgers consistent.
+//     drop/retry/staleness ledgers consistent,
+//   * error feedback is exactly transparent over a lossless inner stage
+//     and its resync budget never exceeds ⌈φ·rows⌉ at any fidelity.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -17,6 +19,8 @@
 #include "scgnn/core/framework.hpp"
 #include "scgnn/core/semantic_aggregate.hpp"
 #include "scgnn/core/semantic_compressor.hpp"
+#include "scgnn/dist/error_feedback.hpp"
+#include "scgnn/dist/factory.hpp"
 #include "scgnn/tensor/ops.hpp"
 #include "scgnn/tensor/quantize.hpp"
 
@@ -206,6 +210,77 @@ TEST_P(FuzzSeed, DistContextInvariants) {
         EXPECT_EQ(fed[p].size(), ctx.halo(p).size());
     EXPECT_EQ(plan_edges,
               2 * partition::evaluate(d.graph, parts).cut_edges);
+}
+
+TEST_P(FuzzSeed, ErrorFeedbackLosslessInnerIsTransparent) {
+    // With a lossless inner stage the wrapper must be exactly invisible:
+    // delivery bitwise-equal to the source and a residual store that
+    // never accumulates, across epochs.
+    Rng rng(GetParam() ^ 0x7777);
+    const graph::Dataset data =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, 0.1, GetParam());
+    const auto parts = partition::make_partitioning(
+        partition::PartitionAlgo::kRandomCut, data.graph, 2, GetParam());
+    const dist::DistContext ctx(data, parts, gnn::AdjNorm::kSymmetric);
+    if (ctx.plans().empty()) GTEST_SKIP();
+
+    auto comp = dist::make_compressor("ef+vanilla");
+    auto* ef = dynamic_cast<dist::ErrorFeedbackCompressor*>(comp.get());
+    ASSERT_NE(ef, nullptr);
+    comp->setup(ctx);
+    for (std::uint32_t e = 0; e < 3; ++e) {
+        comp->begin_epoch(e);
+        for (std::size_t pi = 0; pi < ctx.plans().size(); ++pi) {
+            const tensor::Matrix src =
+                tensor::Matrix::randn(ctx.plans()[pi].num_rows(), 5, rng);
+            tensor::Matrix out;
+            (void)comp->forward_rows(ctx, pi, 0, src, out);
+            EXPECT_TRUE(out == src) << "plan " << pi << " epoch " << e;
+        }
+        EXPECT_EQ(ef->epoch_residual_norm(), 0.0);
+        EXPECT_EQ(ef->recovered_bytes(), 0u);
+    }
+}
+
+TEST_P(FuzzSeed, ErrorFeedbackResyncBudgetNeverExceeded) {
+    // At any fidelity φ an exchange may flush at most ⌈φ·rows⌉ corrective
+    // rows, the delivery must stay finite, and the drift signal has to
+    // read back as a finite relative norm — for random fidelities, inputs
+    // and repeated epochs (residual carried across rounds).
+    Rng rng(GetParam() ^ 0x8888);
+    const graph::Dataset data =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, 0.1, GetParam());
+    const auto parts = partition::make_partitioning(
+        partition::PartitionAlgo::kRandomCut, data.graph, 2, GetParam());
+    const dist::DistContext ctx(data, parts, gnn::AdjNorm::kSymmetric);
+    if (ctx.plans().empty()) GTEST_SKIP();
+
+    dist::CompressorOptions opts;
+    opts.semantic.grouping.kmeans_k = 4;
+    auto comp = dist::make_compressor("ef+ours", opts);
+    auto* ef = dynamic_cast<dist::ErrorFeedbackCompressor*>(comp.get());
+    ASSERT_NE(ef, nullptr);
+    comp->setup(ctx);
+    for (std::uint32_t e = 0; e < 4; ++e) {
+        comp->begin_epoch(e);
+        const double phi = 0.05 + rng.uniform() * 0.95;
+        ef->apply_rate(phi);
+        for (std::size_t pi = 0; pi < ctx.plans().size(); ++pi) {
+            const auto rows = ctx.plans()[pi].num_rows();
+            const tensor::Matrix src = tensor::Matrix::randn(rows, 5, rng);
+            tensor::Matrix out;
+            const std::uint64_t before = ef->recovered_bytes();
+            (void)comp->forward_rows(ctx, pi, 0, src, out);
+            const std::uint64_t flushed =
+                (ef->recovered_bytes() - before) / (5 * sizeof(float));
+            EXPECT_LE(flushed,
+                      static_cast<std::uint64_t>(std::ceil(phi * rows)))
+                << "phi " << phi << " plan " << pi;
+            EXPECT_TRUE(std::isfinite(tensor::frobenius_norm(out)));
+        }
+        EXPECT_TRUE(std::isfinite(ef->epoch_residual_norm()));
+        EXPECT_TRUE(std::isfinite(ef->epoch_relative_residual()));
+    }
 }
 
 TEST_P(FuzzSeed, QuantRoundTripBound) {

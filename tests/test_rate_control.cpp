@@ -1,0 +1,242 @@
+// RateController policy pins (dist/rate_control.hpp): the exact warmup
+// ramp, the adaptive tighten/relax/drift-backoff ladder with its dwell
+// window and clamps, and the trainer-side wiring — EpochMetrics::rate,
+// the compress.rate ledger gauge, and bitwise-identical rate sequences at
+// any pool width.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "scgnn/common/parallel.hpp"
+#include "scgnn/core/framework.hpp"
+#include "scgnn/dist/rate_control.hpp"
+#include "scgnn/obs/metrics.hpp"
+#include "scgnn/obs/obs.hpp"
+
+namespace scgnn::dist {
+namespace {
+
+/// Adaptive schedule deciding every epoch — the dwell-free base policy
+/// most ladder tests pin; the dwell itself gets its own test.
+RateScheduleConfig adaptive_cfg() {
+    RateScheduleConfig cfg;
+    cfg.kind = RateSchedule::kAdaptive;
+    cfg.hold_epochs = 1;
+    return cfg;
+}
+
+TEST(RateController, FixedAlwaysFullFidelity) {
+    RateController ctl({});
+    for (std::uint32_t e = 0; e < 5; ++e)
+        // Even wildly regressing signals must not move a fixed schedule.
+        EXPECT_EQ(ctl.next(e, 9.0, 100.0), 1.0);
+}
+
+TEST(RateController, WarmupRampExactSequence) {
+    RateScheduleConfig cfg;
+    cfg.kind = RateSchedule::kWarmup;
+    cfg.floor = 0.25;
+    cfg.warmup_epochs = 8;
+    RateController ctl(cfg);
+    // fidelity(e) = 1 − (1 − floor) · min(e, W) / W, exactly.
+    for (std::uint32_t e = 0; e < 12; ++e) {
+        const double t = std::min<double>(e, 8.0) / 8.0;
+        EXPECT_EQ(ctl.next(e, 1.0, 0.0), 1.0 - 0.75 * t) << "epoch " << e;
+    }
+    EXPECT_EQ(ctl.rate(), 0.25);  // parked on the floor after the ramp
+}
+
+TEST(RateController, AdaptiveEpochZeroIsFullFidelity) {
+    RateController ctl(adaptive_cfg());
+    EXPECT_EQ(ctl.next(0, 0.0, 0.0), 1.0);
+}
+
+TEST(RateController, AdaptiveTightensWhileImproving) {
+    RateController ctl(adaptive_cfg());
+    (void)ctl.next(0, 0.0, 0.0);
+    // Epoch 1 carries the first completed loss: it only anchors — no
+    // improvement is measurable from a single point.
+    EXPECT_EQ(ctl.next(1, 1.0, 0.0), 1.0);
+    // 10% per-epoch improvement, no drift: one kStep down per decision.
+    EXPECT_EQ(ctl.next(2, 0.9, 0.0), RateController::kStep);
+    EXPECT_EQ(ctl.next(3, 0.81, 0.0),
+              RateController::kStep * RateController::kStep);
+}
+
+TEST(RateController, AdaptiveRelaxesOnStall) {
+    RateController ctl(adaptive_cfg());
+    (void)ctl.next(0, 0.0, 0.0);
+    (void)ctl.next(1, 1.0, 0.0);
+    (void)ctl.next(2, 0.9, 0.0);  // tighten to 0.75 first
+    // Improvement below the threshold (and an outright regression) both
+    // spend fidelity back; the ladder divides by kStep and clamps at 1.
+    EXPECT_EQ(ctl.next(3, 0.8999, 0.0), 1.0);
+    EXPECT_EQ(ctl.next(4, 0.95, 0.0), 1.0);
+}
+
+TEST(RateController, AdaptiveBacksOffOnDrift) {
+    RateScheduleConfig cfg = adaptive_cfg();
+    cfg.drift_threshold = 0.5;
+    RateController ctl(cfg);
+    (void)ctl.next(0, 0.0, 0.0);
+    (void)ctl.next(1, 1.0, 0.0);
+    (void)ctl.next(2, 0.9, 0.0);
+    ASSERT_EQ(ctl.rate(), RateController::kStep);
+    // The loss still improves fast, but the EF residual drifted past the
+    // threshold: the controller must spend fidelity anyway.
+    EXPECT_EQ(ctl.next(3, 0.8, 0.6), 1.0);
+}
+
+TEST(RateController, AdaptiveDwellHoldsBetweenDecisions) {
+    RateScheduleConfig cfg;
+    cfg.kind = RateSchedule::kAdaptive;
+    cfg.hold_epochs = 3;
+    RateController ctl(cfg);
+    (void)ctl.next(0, 0.0, 0.0);
+    EXPECT_EQ(ctl.next(1, 1.0, 0.0), 1.0);  // anchor
+    // Two dwell epochs: the rate must not move whatever the loss does.
+    EXPECT_EQ(ctl.next(2, 0.5, 0.0), 1.0);
+    EXPECT_EQ(ctl.next(3, 0.25, 0.0), 1.0);
+    // Decision epoch: mean improvement over the 3-epoch window is
+    // (1.0 − 0.7)/3 = 10%/epoch — healthy, tighten one step.
+    EXPECT_EQ(ctl.next(4, 0.7, 0.0), RateController::kStep);
+    // And the dwell restarts from the decision epoch.
+    EXPECT_EQ(ctl.next(5, 0.1, 0.0), RateController::kStep);
+    EXPECT_EQ(ctl.next(6, 0.1, 0.0), RateController::kStep);
+}
+
+TEST(RateController, AdaptiveClampsToFloorAndCeiling) {
+    RateScheduleConfig cfg = adaptive_cfg();
+    cfg.floor = 0.4;
+    RateController ctl(cfg);
+    double loss = 2.0;
+    for (std::uint32_t e = 0; e < 20; ++e) {
+        const double r = ctl.next(e, loss, 0.0);
+        EXPECT_GE(r, 0.4);
+        loss *= 0.9;
+    }
+    EXPECT_EQ(ctl.rate(), 0.4);  // tightening saturates at the floor
+    for (std::uint32_t e = 20; e < 40; ++e)
+        (void)ctl.next(e, 1.0, 0.0);  // stalled: relax every decision
+    EXPECT_EQ(ctl.rate(), 1.0);  // relaxing saturates at full fidelity
+}
+
+TEST(RateController, NonFiniteLossReadsAsRegression) {
+    RateController ctl(adaptive_cfg());
+    (void)ctl.next(0, 0.0, 0.0);
+    (void)ctl.next(1, 1.0, 0.0);
+    (void)ctl.next(2, 0.9, 0.0);
+    ASSERT_LT(ctl.rate(), 1.0);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(ctl.next(3, nan, 0.0), 1.0);  // diverging run → fidelity up
+}
+
+TEST(RateController, RejectsBadConfig) {
+    RateScheduleConfig bad;
+    bad.floor = 0.0;
+    EXPECT_THROW(RateController{bad}, Error);
+    bad.floor = 1.5;
+    EXPECT_THROW(RateController{bad}, Error);
+    RateScheduleConfig warm;
+    warm.kind = RateSchedule::kWarmup;
+    warm.warmup_epochs = 0;
+    EXPECT_THROW(RateController{warm}, Error);
+    RateScheduleConfig twitchy;
+    twitchy.kind = RateSchedule::kAdaptive;
+    twitchy.hold_epochs = 0;
+    EXPECT_THROW(RateController{twitchy}, Error);
+}
+
+TEST(RateController, ScheduleNamesRoundTrip) {
+    for (const RateSchedule s : {RateSchedule::kFixed, RateSchedule::kWarmup,
+                                 RateSchedule::kAdaptive}) {
+        RateSchedule back{};
+        ASSERT_TRUE(parse_schedule(schedule_name(s), back));
+        EXPECT_EQ(back, s);
+    }
+    RateSchedule out{};
+    EXPECT_FALSE(parse_schedule("linear", out));
+}
+
+// ------------------------------------------------ trainer-side wiring
+
+core::PipelineConfig scheduled_cfg(const graph::Dataset& d) {
+    core::PipelineConfig cfg;
+    cfg.num_parts = 4;
+    cfg.model.in_dim = static_cast<std::uint32_t>(d.features.cols());
+    cfg.model.hidden_dim = 32;
+    cfg.model.out_dim = d.num_classes;
+    cfg.train.epochs = 8;
+    cfg.train.rate.kind = RateSchedule::kAdaptive;
+    cfg.train.rate.hold_epochs = 2;
+    cfg.method.name = "ef+ours";
+    cfg.method.semantic.grouping.kmeans_k = 12;
+    return cfg;
+}
+
+TEST(RateScheduleTrainer, EpochMetricsCarryTheEmittedRates) {
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, 0.15, 7);
+    const core::PipelineResult r = core::run_pipeline(d, scheduled_cfg(d));
+    ASSERT_EQ(r.train.epoch_metrics.size(), 8u);
+    EXPECT_EQ(r.train.epoch_metrics[0].rate, 1.0);  // epoch 0 has no signals
+    for (const auto& m : r.train.epoch_metrics) {
+        EXPECT_GT(m.rate, 0.0);
+        EXPECT_LE(m.rate, 1.0);
+    }
+}
+
+TEST(RateScheduleTrainer, FixedScheduleKeepsRateAtOne) {
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, 0.15, 7);
+    core::PipelineConfig cfg = scheduled_cfg(d);
+    cfg.train.rate.kind = RateSchedule::kFixed;
+    const core::PipelineResult r = core::run_pipeline(d, cfg);
+    for (const auto& m : r.train.epoch_metrics) EXPECT_EQ(m.rate, 1.0);
+}
+
+TEST(RateScheduleTrainer, RateSequenceIsThreadCountInvariant) {
+    // The controller feeds on losses and the EF drift signal, both bitwise
+    // deterministic at any pool width — so the emitted fidelity sequence
+    // (and the traffic downstream of it) must be too.
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, 0.15, 7);
+    const core::PipelineConfig cfg = scheduled_cfg(d);
+    auto run_at = [&](unsigned threads) {
+        ThreadCountGuard guard(threads);
+        return core::run_pipeline(d, cfg);
+    };
+    const core::PipelineResult base = run_at(1);
+    const core::PipelineResult wide = run_at(4);
+    ASSERT_EQ(base.train.epoch_metrics.size(),
+              wide.train.epoch_metrics.size());
+    for (std::size_t e = 0; e < base.train.epoch_metrics.size(); ++e) {
+        EXPECT_EQ(base.train.epoch_metrics[e].rate,
+                  wide.train.epoch_metrics[e].rate)
+            << "epoch " << e;
+        EXPECT_EQ(base.train.epoch_metrics[e].loss,
+                  wide.train.epoch_metrics[e].loss)
+            << "epoch " << e;
+    }
+}
+
+TEST(RateScheduleTrainer, LedgerGaugeMatchesFinalEpochRate) {
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, 0.15, 7);
+    obs::set_enabled(true);
+    obs::registry().reset();
+    const core::PipelineResult r = core::run_pipeline(d, scheduled_cfg(d));
+    const double ledger = obs::registry().gauge("compress.rate").value();
+    obs::set_enabled(false);
+    // Last-write-wins gauge: the ledger holds the final epoch's fidelity,
+    // down to the %.17g round-trip the report writer uses.
+    char a[40], b[40];
+    std::snprintf(a, sizeof a, "%.17g", ledger);
+    std::snprintf(b, sizeof b, "%.17g", r.train.epoch_metrics.back().rate);
+    EXPECT_STREQ(a, b);
+}
+
+} // namespace
+} // namespace scgnn::dist
