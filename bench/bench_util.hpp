@@ -28,6 +28,7 @@
 #include "scgnn/common/table.hpp"
 #include "scgnn/core/framework.hpp"
 #include "scgnn/obs/obs.hpp"
+#include "scgnn/runtime/membership.hpp"
 #include "scgnn/tensor/kernels.hpp"
 
 namespace scgnn::benchutil {
@@ -86,6 +87,7 @@ struct CommonFlags {
     comm::TopologySpec topology{};  ///< flat unless --topology hier:NxM
     comm::collective::Algo collective = comm::collective::Algo::kRing;
     dist::RateScheduleConfig schedule{};  ///< fixed unless --compressor-schedule
+    runtime::MembershipSchedule membership{};  ///< static unless --membership
 
     /// Consume argv[i] (and its value) when it is one of the shared
     /// flags; returns false for flags the caller must handle itself.
@@ -174,6 +176,15 @@ struct CommonFlags {
                 std::fprintf(stderr, "bad --warmup-epochs (expected >= 1)\n");
                 std::exit(2);
             }
+        } else if (std::strcmp(argv[i], "--membership") == 0) {
+            const char* s = value("--membership");
+            if (!runtime::parse_membership(s, membership)) {
+                std::fprintf(stderr,
+                             "bad --membership '%s' (expected comma-joined "
+                             "leave:<epoch>@d<dev> / join:<epoch>@d<dev> "
+                             "events, optional seed:<n>)\n", s);
+                std::exit(2);
+            }
         } else if (std::strcmp(argv[i], "--fault-drop") == 0) {
             fault.drop_probability = std::atof(value("--fault-drop"));
         } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
@@ -235,6 +246,7 @@ struct CommonFlags {
         cfg.comm.topology = topology;
         cfg.comm.collective = collective;
         cfg.rate = schedule;
+        cfg.membership = membership;
     }
 };
 
@@ -275,6 +287,9 @@ inline Options parse_options(int argc, char** argv) {
         comm::topology_name(opt.common.topology).c_str(),
         comm::collective::algo_name(opt.common.collective),
         dist::schedule_name(opt.common.schedule.kind));
+    if (opt.common.membership.active())
+        std::printf("# membership: %s\n",
+                    runtime::membership_name(opt.common.membership).c_str());
     if (opt.common.fault.active())
         std::printf("# faults: drop=%.3f seed=%llu down-windows=%zu "
                     "retry-max=%u timeout=%gs\n",

@@ -21,6 +21,7 @@
 //             [--fault-drop <p>] [--fault-seed <n>]
 //             [--fault-link-down <src:dst:from:to>] [--retry-max <n>]
 //             [--timeout <s>] [--max-staleness <n>]
+//             [--membership <events>]
 //
 // `--obs-out run` turns on observability and writes `run.trace.json`
 // (Chrome trace_event — open in about://tracing or ui.perfetto.dev) and
@@ -54,6 +55,14 @@
 // (default 0) consecutive stale epochs — and 3 when fault recovery left
 // any halo block staler than that threshold.
 //
+// `--membership` replays a deterministic elastic-membership schedule
+// (see runtime/membership.hpp): comma-joined `leave:<epoch>@d<dev>` /
+// `join:<epoch>@d<dev>` events, plus an optional `seed:<n>` for the
+// rebalance tie-break stream. Partitions owned by a departing device are
+// migrated to survivors at the named epoch; rejoining devices get their
+// home partitions handed back. The loss trajectory is bitwise-identical
+// to the static run — only comm cost and per-device load change.
+//
 // Examples:
 //   scgnn_cli --dataset reddit --parts 4 --method ours --drop-o2o
 //   scgnn_cli --dataset yelp --method sampling --rate 0.1
@@ -62,6 +71,8 @@
 //   scgnn_cli --dataset pubmed --method ef+ours --compressor-schedule adaptive
 //   scgnn_cli --dataset pubmed --method ours --obs-out run
 //   scgnn_cli --dataset pubmed --fault-drop 0.2 --retry-max 3 --max-staleness 4
+//   scgnn_cli --parts 16 --topology hier:4x4 --collective hier
+//             --membership leave:5@d3,join:10@d3   (one command line)
 //   scgnn_cli --dataset pubmed --save /tmp/pubmed && scgnn_cli --load /tmp/pubmed
 #include <cstdio>
 #include <cstring>
@@ -240,6 +251,16 @@ int main(int argc, char** argv) {
         t.add_row({"fault failures", Table::num(fault.fabric.failures)});
         t.add_row({"stale halo uses", Table::num(fault.stale_uses)});
         t.add_row({"max staleness", Table::num(std::uint64_t{fault.max_staleness})});
+    }
+    const runtime::MembershipSummary& mem = res.train.membership;
+    if (cfg.train.membership.active()) {
+        t.add_row({"membership leaves", Table::num(std::uint64_t{mem.leaves})});
+        t.add_row({"membership joins", Table::num(std::uint64_t{mem.joins})});
+        t.add_row({"migrated MB",
+                   Table::num(static_cast<double>(mem.migrated_bytes) / 1e6, 3)});
+        t.add_row({"rebuild ms", Table::num(mem.rebuild_ms, 2)});
+        t.add_row({"min active devices",
+                   Table::num(std::uint64_t{mem.min_active})});
     }
     std::printf("%s", t.str().c_str());
 

@@ -97,6 +97,17 @@ public:
     /// its own node-leader).
     Allreduce(const Topology& topo, Algo algo, std::uint64_t bytes);
 
+    /// Build the schedule restricted to an ascending subset of the
+    /// topology's devices (the elastic runtime's surviving ranks): rings
+    /// run over the listed ranks, tree pairs up rank *indices* (falling
+    /// back to the ring schedule when the subset is not a power of two),
+    /// and hier elects each node's lowest participating member as its
+    /// acting leader, dropping empty nodes from the inter-node ring.
+    /// With the full rank set 0..P−1 the schedule is bit-identical to the
+    /// three-argument constructor.
+    Allreduce(const Topology& topo, Algo algo, std::uint64_t bytes,
+              const std::vector<std::uint32_t>& ranks);
+
     /// The built schedule (one entry per round).
     [[nodiscard]] const std::vector<Round>& schedule() const noexcept {
         return rounds_;

@@ -115,7 +115,14 @@ public:
     /// (a device with no recorded compute spreads it uniformly over the
     /// steps); with the default (negative) the raw recorded durations are
     /// kept. Can be called repeatedly (e.g. raw and normalised).
-    TimelineStats schedule(double per_device_compute_s = -1.0);
+    ///
+    /// `active` (when non-null) is a per-device 0/1 mask from the elastic
+    /// runtime: masked-off devices receive *no* compute budget — without
+    /// it an inactive device would get the uniform fallback budget and a
+    /// shrunk cluster would schedule phantom work. A null mask is the
+    /// pre-elastic behaviour, bit for bit.
+    TimelineStats schedule(double per_device_compute_s = -1.0,
+                           const std::vector<std::uint8_t>* active = nullptr);
 
     /// The scheduled events, in deterministic record order (valid after
     /// schedule()).

@@ -92,6 +92,8 @@ public:
     void begin_epoch(std::uint64_t epoch) override;
     void set_workspace(tensor::Workspace* ws) override;
     void apply_rate(double fidelity) override;
+    /// Sum of the stages' migratable per-partition state.
+    [[nodiscard]] std::uint64_t state_bytes(std::uint32_t part) const override;
 
     [[nodiscard]] std::uint64_t forward_rows(const dist::DistContext& ctx,
                                              std::size_t plan_idx, int layer,

@@ -55,6 +55,15 @@ public:
     /// width, sampling ⇒ keep rate). Default: rate-oblivious no-op.
     virtual void apply_rate(double fidelity) { (void)fidelity; }
 
+    /// Resident per-partition compressor state in bytes — what an elastic
+    /// membership transition must migrate alongside partition `part`'s
+    /// rows (error-feedback residuals, delay caches, ...). Stateless
+    /// methods keep the zero default.
+    [[nodiscard]] virtual std::uint64_t state_bytes(std::uint32_t part) const {
+        (void)part;
+        return 0;
+    }
+
     /// Forward exchange for plan `plan_idx` at aggregation step `layer`.
     /// `src` holds the true boundary rows (plan.num_rows() × f, row i =
     /// plan.dbg.src_nodes[i]); the implementation writes the rows as they

@@ -76,6 +76,13 @@ public:
     /// budget to ⌈fidelity · eligible⌉ rows.
     void apply_rate(double fidelity) override;
 
+    /// Bytes of carried residual homed on `part`: forward residuals live
+    /// with the plan's sender, backward residuals with the gradient
+    /// sender (the plan's receiver) — what a membership transition must
+    /// ship when the partition changes devices. Includes the inner
+    /// stage's own state.
+    [[nodiscard]] std::uint64_t state_bytes(std::uint32_t part) const override;
+
     [[nodiscard]] std::uint64_t forward_rows(const DistContext& ctx,
                                              std::size_t plan_idx, int layer,
                                              const tensor::Matrix& src,
@@ -143,6 +150,8 @@ private:
     double rate_ = 1.0;       ///< fidelity last applied (resync budget)
     std::vector<std::vector<Slot>> fwd_;  ///< [plan][layer]
     std::vector<std::vector<Slot>> bwd_;  ///< [plan][layer]
+    std::vector<std::uint32_t> plan_src_;  ///< plan → sending partition
+    std::vector<std::uint32_t> plan_dst_;  ///< plan → receiving partition
     // Exchange scratch, reused so the serial exchange path stays
     // allocation-free in steady state: per-row squared residuals and the
     // (violation ratio, row) list the resync budget is drawn from.

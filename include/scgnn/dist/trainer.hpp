@@ -34,8 +34,13 @@
 #include "scgnn/gnn/model.hpp"
 #include "scgnn/gnn/optimizer.hpp"
 #include "scgnn/gnn/trainer.hpp"
+#include "scgnn/runtime/membership.hpp"
 #include "scgnn/tensor/sparse.hpp"
 #include "scgnn/tensor/workspace.hpp"
+
+namespace scgnn::runtime {
+class ClusterState;
+}
 
 namespace scgnn::dist {
 
@@ -92,6 +97,22 @@ public:
     /// thread-safe.
     void set_workspace(tensor::Workspace* ws) noexcept { ws_ = ws; }
 
+    /// Route exchanges through the elastic partition→device ownership map
+    /// (nullable; must outlive the aggregator's use). With a cluster set,
+    /// wire cost is charged between the partitions' *hosting devices* —
+    /// co-located partitions exchange for free — and timeline compute is
+    /// accumulated per hosting device. A null cluster is the identity
+    /// routing, bit-identical to the pre-elastic behaviour.
+    void set_cluster(const runtime::ClusterState* cluster) noexcept {
+        cluster_ = cluster;
+    }
+
+    /// Drop the stale-fallback caches of every plan touching a moved
+    /// partition: after a migration the cached halo blocks describe rows
+    /// the new owner will re-derive, so serving them would hide the
+    /// transition. No-op when the fault model is inactive.
+    void invalidate_moved(const std::vector<std::uint32_t>& moved_parts);
+
     /// Staleness counters accumulated so far (fabric counters excluded —
     /// read those off the fabric).
     [[nodiscard]] const FaultSummary& fault_summary() const noexcept {
@@ -121,6 +142,8 @@ private:
     BoundaryCompressor* comp_;
     comm::Timeline* timeline_;  ///< null outside overlap mode
     tensor::Workspace* ws_ = nullptr;  ///< serial-path scratch (nullable)
+    /// Elastic ownership map (nullable = static identity routing).
+    const runtime::ClusterState* cluster_ = nullptr;
     std::vector<std::vector<StaleSlot>> stale_fwd_;  ///< [plan][layer]
     std::vector<std::vector<StaleSlot>> stale_bwd_;  ///< [plan][layer]
     // Per-partition reused buffers: each parallel chunk owns exactly one
@@ -194,6 +217,14 @@ struct DistTrainConfig {
     std::string checkpoint_path;
     /// The communication policy (see CommPolicy).
     CommPolicy comm{};
+    /// Elastic membership schedule (runtime/membership.hpp). Inactive by
+    /// default; when events are present the trainer drives a
+    /// runtime::ClusterState — epoch loop over the active devices, a
+    /// rebalance barrier pricing partition/replica migrations at every
+    /// change epoch, and collective schedules rebuilt for the survivors.
+    /// All partitions keep training whoever hosts them, so the loss
+    /// trajectory is bit-identical to a static run.
+    runtime::MembershipSchedule membership{};
     /// Per-epoch compression-rate schedule (dist/rate_control.hpp). The
     /// kFixed default never calls BoundaryCompressor::apply_rate(), so
     /// fixed-rate runs stay bitwise identical to the golden pins.
@@ -217,6 +248,8 @@ struct EpochMetrics {
     /// Compression fidelity the rate schedule applied this epoch
     /// (1 under the fixed default).
     double rate = 1.0;
+    /// Devices active this epoch (== num_parts on a static run).
+    std::uint32_t active_devices = 0;
 };
 
 /// Result of a distributed run. Accuracy is evaluated on the *full*
@@ -239,6 +272,8 @@ struct DistTrainResult {
     double best_val_accuracy = 0.0; ///< peak validation accuracy observed
     FaultSummary fault;             ///< recovery counters (all-zero when
                                     ///< the fault model is inactive)
+    runtime::MembershipSummary membership;  ///< elastic counters (all-zero
+                                            ///< on a static run)
 };
 
 /// Train a fresh model on `data` split by `parts`, exchanging boundary rows

@@ -68,6 +68,21 @@ enum class PartitionAlgo : std::uint8_t {
                                                std::uint32_t num_parts,
                                                Rng& rng);
 
+/// Capacity-bounded label-propagation refinement of an arbitrary weighted
+/// assignment — the multilevel partitioner's refinement machinery exposed
+/// for callers that balance things other than graph nodes (e.g. the elastic
+/// runtime rebalancing partitions across surviving devices). `assign[i]` is
+/// the current bin of item `i` (must be < `num_bins`) and is improved in
+/// place: items move to the bin with the highest summed `affinity` among
+/// their listed `(item, weight)` neighbours, subject to the same ~5% load
+/// slack the partitioner uses. Deterministic given `seed`.
+void refine_assignment(
+    const std::vector<std::uint64_t>& weights,
+    const std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>&
+        affinity,
+    std::uint32_t num_bins, std::vector<std::uint32_t>& assign,
+    std::uint64_t seed, int sweeps = 2);
+
 /// Dispatch by algorithm enum; deterministic given `seed`.
 [[nodiscard]] Partitioning make_partitioning(PartitionAlgo algo,
                                              const graph::Graph& g,

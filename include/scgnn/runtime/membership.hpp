@@ -1,0 +1,164 @@
+#pragma once
+/// \file membership.hpp
+/// \brief Elastic cluster membership: which devices are alive at each
+///        epoch, and the seeded schedule of mid-training joins/leaves.
+///
+/// Every layer below this one (Topology, Fabric, Timeline, the collective
+/// schedules) freezes the device count P at construction; membership is
+/// the view that says which of those P device slots are *currently
+/// occupied*. The cluster always starts full — the schedule's events
+/// shrink it (leave) and regrow it (join) at epoch boundaries, and the
+/// runtime::ClusterState (cluster.hpp) rebuilds everything derived from
+/// the active set when they fire.
+///
+/// The same discipline as the fault model applies: a schedule is either a
+/// literal event list (`--membership leave:5@d3,join:10@d3`) or generated
+/// churn, both splitmix64-deterministic, so elastic runs are bitwise
+/// reproducible at any thread count, and an empty schedule leaves the
+/// trainer on the exact pre-elastic code path (bit-identical to the
+/// golden pins).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scgnn/common/error.hpp"
+
+namespace scgnn::runtime {
+
+/// What happens to a device at a membership event.
+enum class MembershipEventKind : std::uint8_t {
+    kLeave = 0,  ///< the device departs; its partitions are rebalanced
+    kJoin = 1,   ///< the device (re)joins; its home partitions hand back
+};
+
+/// Printable event kind ("leave"/"join").
+[[nodiscard]] const char* event_kind_name(MembershipEventKind k) noexcept;
+
+/// One scheduled membership change, effective at the *start* of `epoch`
+/// (before that epoch's exchanges), mirroring comm::LinkDownWindow's
+/// epoch-indexed style.
+struct MembershipEvent {
+    MembershipEventKind kind = MembershipEventKind::kLeave;
+    std::uint32_t epoch = 0;   ///< 1-based effect epoch (0 starts full)
+    std::uint32_t device = 0;  ///< the device slot that leaves/joins
+};
+
+/// Epoch-indexed schedule of joins and leaves, plus the seed that feeds
+/// the deterministic rebalance tie-breaking. Inactive (empty) by default,
+/// in which case the trainer's behaviour is byte-identical to a build
+/// without the elastic runtime.
+struct MembershipSchedule {
+    std::vector<MembershipEvent> events;
+    /// Seeds the greedy rebalance's refinement sweeps (and churn()).
+    std::uint64_t seed = 0x5eed5eed5eed5eedULL;
+
+    [[nodiscard]] bool active() const noexcept { return !events.empty(); }
+
+    /// Replay-validate against a device count: every event's device must
+    /// exist, epochs must be >= 1, leaves must hit an active device,
+    /// joins an absent one, at least one device must survive every
+    /// prefix, and no device may change twice in one epoch. Throws
+    /// scgnn::Error on violation.
+    void validate(std::uint32_t num_devices) const;
+
+    /// Seeded churn generator (splitmix64 counter per epoch, like the
+    /// fault model's per-link streams): at each epoch in [1, epochs) an
+    /// independent draw fires with probability `rate`; a fired epoch
+    /// leaves a pseudo-random active device while more than `min_active`
+    /// survive, otherwise rejoins the lowest absent one. Deterministic
+    /// given (devices, epochs, rate, seed).
+    [[nodiscard]] static MembershipSchedule churn(std::uint32_t devices,
+                                                  std::uint32_t epochs,
+                                                  double rate,
+                                                  std::uint64_t seed,
+                                                  std::uint32_t min_active = 1);
+};
+
+/// Parse a `--membership` value: comma-joined `leave:<epoch>@d<device>` /
+/// `join:<epoch>@d<device>` events plus an optional `seed:<n>` element,
+/// e.g. "leave:5@d3,join:10@d3". Returns false on a malformed value
+/// (syntactic only — semantic replay validation needs the device count
+/// and happens in MembershipSchedule::validate()).
+[[nodiscard]] bool parse_membership(const char* s, MembershipSchedule& out);
+
+/// Printable form of a schedule, parseable back by parse_membership()
+/// ("static" when inactive).
+[[nodiscard]] std::string membership_name(const MembershipSchedule& s);
+
+/// The live active-device view: a bitmask over the P device slots plus
+/// the ascending active list every rebuilt structure (restricted
+/// collective schedules, the timeline's active mask, the epoch loop
+/// itself) iterates instead of 0..P−1.
+class Membership {
+public:
+    /// All `num_devices` slots start active (the full cluster).
+    explicit Membership(std::uint32_t num_devices);
+
+    /// Total device slots (the frozen P).
+    [[nodiscard]] std::uint32_t total() const noexcept {
+        return static_cast<std::uint32_t>(mask_.size());
+    }
+
+    /// Currently active device count.
+    [[nodiscard]] std::uint32_t active_count() const noexcept {
+        return static_cast<std::uint32_t>(active_.size());
+    }
+
+    [[nodiscard]] bool is_active(std::uint32_t device) const {
+        SCGNN_CHECK(device < total(), "membership device id out of range");
+        return mask_[device] != 0;
+    }
+
+    /// Active device ids, ascending — the elastic replacement for the
+    /// canonical 0..P−1 loop.
+    [[nodiscard]] const std::vector<std::uint32_t>& active() const noexcept {
+        return active_;
+    }
+
+    /// Per-slot 0/1 mask, e.g. for comm::Timeline::schedule().
+    [[nodiscard]] const std::vector<std::uint8_t>& mask() const noexcept {
+        return mask_;
+    }
+
+    /// Deactivate `device`. Throws when it is absent already or the last
+    /// survivor.
+    void leave(std::uint32_t device);
+
+    /// Reactivate `device`. Throws when it is already active.
+    void join(std::uint32_t device);
+
+private:
+    std::vector<std::uint8_t> mask_;
+    std::vector<std::uint32_t> active_;  ///< ascending, rebuilt on change
+};
+
+/// Recovery counters of one elastic run, mirroring dist::FaultSummary:
+/// how often the cluster reshaped, what the transitions cost, and the
+/// per-epoch active-device trajectory the golden tier pins.
+struct MembershipSummary {
+    std::uint32_t joins = 0;      ///< join events that fired
+    std::uint32_t leaves = 0;     ///< leave events that fired
+    std::uint32_t rebuilds = 0;   ///< transitions (epochs with >=1 event)
+    /// Total bytes the transitions priced through the fabric — always
+    /// exactly migrated_state_bytes + migrated_residual_bytes +
+    /// replicated_weight_bytes (the decomposition invariant).
+    std::uint64_t migrated_bytes = 0;
+    std::uint64_t migrated_state_bytes = 0;     ///< partition feature rows
+    std::uint64_t migrated_residual_bytes = 0;  ///< compressor state (EF)
+    std::uint64_t replicated_weight_bytes = 0;  ///< warm weight handoff
+    /// Halo-cache bytes invalidated by moved partitions (bookkeeping cost
+    /// of the rebalance, not wire traffic — the receivers re-fetch through
+    /// the normal exchanges of the next epoch).
+    std::uint64_t invalidated_halo_bytes = 0;
+    /// Summed modelled service time of the transitions' migration and
+    /// replication sends (deterministic — the α–β model, not wall time).
+    double rebuild_ms = 0.0;
+    std::vector<std::uint32_t> active_per_epoch;  ///< one entry per epoch
+    std::uint32_t min_active = 0;  ///< smallest active count ever seen
+
+    /// True when any event fired (an all-static run reports all zeros).
+    [[nodiscard]] bool changed() const noexcept { return joins + leaves > 0; }
+};
+
+} // namespace scgnn::runtime

@@ -18,6 +18,12 @@
 #                                bytes-to-target-loss gate. final_loss,
 #                                total_mb and mean_rate are modelled and
 #                                deterministic, so they diff exactly too.
+#   BENCH_elastic.json         — the elastic-membership sweep
+#                                (bench_elastic): static vs leave/rejoin
+#                                churn at P=16/64 on the hier presets.
+#                                final_loss, migrated_mb, peak_comm_ms and
+#                                active_min are modelled/deterministic and
+#                                diff exactly.
 #
 # Everything is pinned: fixed seeds, fixed scale, SCGNN_THREADS=1 for the
 # microkernels, scalar kernel default. Run from anywhere:
@@ -33,7 +39,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
 for bin in bench_kernels bench_threads_scaling bench_collectives \
-           bench_adaptive_rate; do
+           bench_adaptive_rate bench_elastic; do
     if [[ ! -x "$build_dir/bench/$bin" ]]; then
         echo "error: $build_dir/bench/$bin not built" >&2
         echo "hint: cmake --build $build_dir --target $bin" >&2
@@ -66,7 +72,12 @@ echo "== adaptive-rate schedule sweep (ef stacks x fixed/warmup/adaptive) =="
     --json "$repo_root/BENCH_adaptive_rate.json"
 
 echo
+echo "== elastic-membership sweep (static vs churn at P=16/64) =="
+"$build_dir/bench/bench_elastic" \
+    --json "$repo_root/BENCH_elastic.json"
+
+echo
 echo "== snapshot summary =="
 python3 "$repo_root/scripts/check_bench_regression.py" \
     "$repo_root/BENCH_kernels.json" "$repo_root/BENCH_kernels.json"
-echo "wrote BENCH_kernels.json, BENCH_threads_scaling.json, BENCH_collectives.json and BENCH_adaptive_rate.json"
+echo "wrote BENCH_kernels.json, BENCH_threads_scaling.json, BENCH_collectives.json, BENCH_adaptive_rate.json and BENCH_elastic.json"

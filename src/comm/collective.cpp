@@ -43,10 +43,22 @@ void build_ring(std::vector<Round>& out,
     }
 }
 
-[[nodiscard]] std::vector<Round> build_schedule(const Topology& topo,
-                                                Algo algo,
-                                                std::uint64_t bytes) {
-    const std::uint32_t n = topo.num_devices();
+/// Full participation: every device of the topology, in canonical order.
+[[nodiscard]] std::vector<std::uint32_t> iota_ranks(std::uint32_t n) {
+    std::vector<std::uint32_t> ranks(n);
+    for (std::uint32_t d = 0; d < n; ++d) ranks[d] = d;
+    return ranks;
+}
+
+/// Build the round schedule for an arbitrary ascending subset of the
+/// topology's devices. With the full rank set this reproduces the fixed-P
+/// schedules bit for bit (same rounds, same send order) — the static path
+/// must stay golden-identical; a strict subset restricts every phase to
+/// the survivors (the elastic runtime's rebuilt weight sync).
+[[nodiscard]] std::vector<Round> build_schedule(
+    const Topology& topo, Algo algo, std::uint64_t bytes,
+    const std::vector<std::uint32_t>& ranks) {
+    const auto n = static_cast<std::uint32_t>(ranks.size());
     std::vector<Round> rounds;
     if (n < 2) return rounds;
 
@@ -57,84 +69,91 @@ void build_ring(std::vector<Round>& out,
             Round round;
             round.label = "sync";
             round.sends.reserve(static_cast<std::size_t>(n) * (n - 1));
-            for (std::uint32_t s = 0; s < n; ++s)
-                for (std::uint32_t d = 0; d < n; ++d)
+            for (const std::uint32_t s : ranks)
+                for (const std::uint32_t d : ranks)
                     if (s != d) round.sends.push_back(RoundSend{s, d, bytes});
             rounds.push_back(std::move(round));
             break;
         }
         case Algo::kRing: {
-            std::vector<std::uint32_t> ring(n);
-            for (std::uint32_t d = 0; d < n; ++d) ring[d] = d;
-            build_ring(rounds, ring, bytes, "sync");
+            build_ring(rounds, ranks, bytes, "sync");
             break;
         }
         case Algo::kTree: {
-            SCGNN_CHECK((n & (n - 1)) == 0,
-                        "tree collective needs a power-of-two device count");
+            if ((n & (n - 1)) != 0) {
+                SCGNN_CHECK(
+                    n != topo.num_devices(),
+                    "tree collective needs a power-of-two device count");
+                // Ragged survivor set: halving/doubling has no partner
+                // for every rank — fall back to the ring schedule over
+                // the same ranks.
+                build_ring(rounds, ranks, bytes, "sync");
+                break;
+            }
             std::uint32_t log_p = 0;
             while ((1u << log_p) < n) ++log_p;
             // Recursive halving (reduce-scatter): round k exchanges
-            // B/2^(k+1) with the partner 2^k away; recursive doubling
-            // (allgather) replays the rounds in reverse.
+            // B/2^(k+1) with the partner 2^k away in *rank index* space;
+            // recursive doubling (allgather) replays the rounds in
+            // reverse.
             for (std::uint32_t k = 0; k < log_p; ++k) {
                 Round round;
                 round.label = "sync";
                 round.sends.reserve(n);
-                for (std::uint32_t d = 0; d < n; ++d)
-                    round.sends.push_back(
-                        RoundSend{d, d ^ (1u << k), bytes >> (k + 1)});
+                for (std::uint32_t i = 0; i < n; ++i)
+                    round.sends.push_back(RoundSend{
+                        ranks[i], ranks[i ^ (1u << k)], bytes >> (k + 1)});
                 rounds.push_back(std::move(round));
             }
             for (std::uint32_t k = log_p; k-- > 0;) {
                 Round round;
                 round.label = "sync";
                 round.sends.reserve(n);
-                for (std::uint32_t d = 0; d < n; ++d)
-                    round.sends.push_back(
-                        RoundSend{d, d ^ (1u << k), bytes >> (k + 1)});
+                for (std::uint32_t i = 0; i < n; ++i)
+                    round.sends.push_back(RoundSend{
+                        ranks[i], ranks[i ^ (1u << k)], bytes >> (k + 1)});
                 rounds.push_back(std::move(round));
             }
             break;
         }
         case Algo::kHier: {
-            // Phase 1: every non-leader reduces into its node leader over
-            // the fast intra tier (empty on flat topologies, where every
-            // device is its own leader).
+            // Group the participating ranks by node; the acting leader of
+            // a node is its lowest participating member (the configured
+            // leader may have left), and nodes with no member drop out of
+            // the inter-node ring entirely.
             const std::uint32_t nodes = topo.num_nodes();
-            const std::uint32_t per = topo.devices_per_node();
-            if (per > 1) {
-                Round reduce;
-                reduce.label = "sync.reduce";
-                reduce.sends.reserve(static_cast<std::size_t>(nodes) *
-                                     (per - 1));
-                for (std::uint32_t node = 0; node < nodes; ++node) {
-                    const std::uint32_t leader = topo.leader_of(node);
-                    for (std::uint32_t m = 1; m < per; ++m)
-                        reduce.sends.push_back(
-                            RoundSend{leader + m, leader, bytes});
-                }
-                rounds.push_back(std::move(reduce));
-            }
-            // Phase 2: ring allreduce among the leaders — the only phase
-            // that touches the slow inter-node tier, moving B/N chunks.
-            std::vector<std::uint32_t> leaders(nodes);
+            std::vector<std::vector<std::uint32_t>> members(nodes);
+            for (const std::uint32_t d : ranks)
+                members[topo.node_of(d)].push_back(d);
+            // Phase 1: every non-leader member reduces into its node's
+            // acting leader over the fast intra tier (empty on flat
+            // topologies, where every device is its own leader).
+            Round reduce;
+            reduce.label = "sync.reduce";
             for (std::uint32_t node = 0; node < nodes; ++node)
-                leaders[node] = topo.leader_of(node);
+                for (std::size_t m = 1; m < members[node].size(); ++m)
+                    reduce.sends.push_back(RoundSend{
+                        members[node][m], members[node][0], bytes});
+            const bool has_intra = !reduce.sends.empty();
+            if (has_intra) rounds.push_back(std::move(reduce));
+            // Phase 2: ring allreduce among the acting leaders — the only
+            // phase that touches the slow inter-node tier, moving B/N
+            // chunks.
+            std::vector<std::uint32_t> leaders;
+            leaders.reserve(nodes);
+            for (std::uint32_t node = 0; node < nodes; ++node)
+                if (!members[node].empty())
+                    leaders.push_back(members[node][0]);
             build_ring(rounds, leaders, bytes, "sync.ring");
             // Phase 3: leaders broadcast the reduced payload back inside
             // their node.
-            if (per > 1) {
+            if (has_intra) {
                 Round bcast;
                 bcast.label = "sync.bcast";
-                bcast.sends.reserve(static_cast<std::size_t>(nodes) *
-                                    (per - 1));
-                for (std::uint32_t node = 0; node < nodes; ++node) {
-                    const std::uint32_t leader = topo.leader_of(node);
-                    for (std::uint32_t m = 1; m < per; ++m)
-                        bcast.sends.push_back(
-                            RoundSend{leader, leader + m, bytes});
-                }
+                for (std::uint32_t node = 0; node < nodes; ++node)
+                    for (std::size_t m = 1; m < members[node].size(); ++m)
+                        bcast.sends.push_back(RoundSend{
+                            members[node][0], members[node][m], bytes});
                 rounds.push_back(std::move(bcast));
             }
             break;
@@ -165,9 +184,19 @@ const char* algo_name(Algo a) noexcept {
 }
 
 Allreduce::Allreduce(const Topology& topo, Algo algo, std::uint64_t bytes)
-    : algo_(algo),
-      rounds_(build_schedule(topo, algo, bytes)),
-      load_(topo.num_devices(), 0.0) {}
+    : Allreduce(topo, algo, bytes, iota_ranks(topo.num_devices())) {}
+
+Allreduce::Allreduce(const Topology& topo, Algo algo, std::uint64_t bytes,
+                     const std::vector<std::uint32_t>& ranks)
+    : algo_(algo), load_(topo.num_devices(), 0.0) {
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+        SCGNN_CHECK(ranks[i] < topo.num_devices(),
+                    "allreduce rank out of range for the topology");
+        SCGNN_CHECK(i == 0 || ranks[i - 1] < ranks[i],
+                    "allreduce ranks must be strictly ascending");
+    }
+    rounds_ = build_schedule(topo, algo, bytes, ranks);
+}
 
 Outcome Allreduce::run(Fabric& fabric, Timeline* timeline) {
     Outcome oc;

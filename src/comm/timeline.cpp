@@ -46,8 +46,11 @@ void Timeline::end_step() {
     step_open_ = false;
 }
 
-TimelineStats Timeline::schedule(double per_device_compute_s) {
+TimelineStats Timeline::schedule(double per_device_compute_s,
+                                 const std::vector<std::uint8_t>* active) {
     SCGNN_CHECK(!step_open_, "schedule with a step still open");
+    SCGNN_CHECK(active == nullptr || active->size() == n_,
+                "timeline active mask must cover every device");
     events_.clear();
     std::fill(link_busy_.begin(), link_busy_.end(), 0.0);
     stats_ = {};
@@ -62,7 +65,10 @@ TimelineStats Timeline::schedule(double per_device_compute_s) {
         for (const Step& s : steps_)
             for (std::uint32_t d = 0; d < n_; ++d) totals[d] += s.compute_s[d];
         for (std::uint32_t d = 0; d < n_; ++d) {
-            if (totals[d] > 0.0) {
+            if (active != nullptr && (*active)[d] == 0) {
+                // Inactive device: no phantom budget.
+                scale[d] = 0.0;
+            } else if (totals[d] > 0.0) {
                 scale[d] = per_device_compute_s / totals[d];
             } else {
                 scale[d] = 0.0;

@@ -3,10 +3,48 @@
 // scgnn_core).
 #include "scgnn/dist/factory.hpp"
 
+#include <algorithm>
+
 #include "scgnn/core/framework.hpp"
 
 namespace scgnn::dist {
 namespace {
+
+// Classic DP edit distance over the short candidate names — quadratic,
+// but both strings are a handful of characters.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+    const std::size_t n = a.size(), m = b.size();
+    std::vector<std::size_t> row(m + 1);
+    for (std::size_t j = 0; j <= m; ++j) row[j] = j;
+    for (std::size_t i = 1; i <= n; ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= m; ++j) {
+            const std::size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[m];
+}
+
+// Closest known stage name, or empty when nothing is plausibly close
+// (more than half the typed name would need to change).
+std::string nearest_name(const std::string& name) {
+    std::vector<std::string> candidates = compressor_names();
+    candidates.emplace_back("ef");
+    std::string best;
+    std::size_t best_d = name.size() / 2 + 1;
+    for (const std::string& c : candidates) {
+        const std::size_t d = edit_distance(name, c);
+        if (d < best_d) {
+            best_d = d;
+            best = c;
+        }
+    }
+    return best;
+}
 
 std::unique_ptr<BoundaryCompressor> make_atom(const std::string& name,
                                               const CompressorOptions& o) {
@@ -22,9 +60,13 @@ std::unique_ptr<BoundaryCompressor> make_atom(const std::string& name,
     if (name == "ef")
         throw Error("'ef' is a wrapper, not a stage: prefix it to a stack "
                     "(\"ef+ours\", \"ef+ours+quant\")");
-    throw Error("unknown compressor name '" + name +
-                "' (expected vanilla|sampling|quant|delay|ours, "
-                "optionally '+'-joined, optionally prefixed \"ef+\")");
+    const std::string near = nearest_name(name);
+    std::string msg = "unknown compressor name '" + name +
+                      "' (expected vanilla|sampling|quant|delay|ours, "
+                      "optionally '+'-joined, optionally prefixed \"ef+\"";
+    if (!near.empty()) msg += "; did you mean '" + near + "'?";
+    msg += ")";
+    throw Error(msg);
 }
 
 } // namespace

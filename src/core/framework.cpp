@@ -86,6 +86,12 @@ void ComposedCompressor::apply_rate(double fidelity) {
     for (auto& s : stages_) s->apply_rate(fidelity);
 }
 
+std::uint64_t ComposedCompressor::state_bytes(std::uint32_t part) const {
+    std::uint64_t bytes = 0;
+    for (const auto& s : stages_) bytes += s->state_bytes(part);
+    return bytes;
+}
+
 std::uint64_t ComposedCompressor::forward_rows(const dist::DistContext& ctx,
                                                std::size_t plan_idx, int layer,
                                                const tensor::Matrix& src,

@@ -28,6 +28,12 @@ void ErrorFeedbackCompressor::setup(const DistContext& ctx) {
     bwd_.clear();
     fwd_.resize(ctx.plans().size());
     bwd_.resize(ctx.plans().size());
+    plan_src_.clear();
+    plan_dst_.clear();
+    for (const auto& plan : ctx.plans()) {
+        plan_src_.push_back(plan.src_part);
+        plan_dst_.push_back(plan.dst_part);
+    }
     epoch_sq_residual_ = 0.0;
     epoch_sq_raw_residual_ = 0.0;
     epoch_sq_payload_ = 0.0;
@@ -63,6 +69,23 @@ void ErrorFeedbackCompressor::apply_rate(double fidelity) {
                 "rate fidelity must be in (0, 1]");
     rate_ = fidelity;
     inner_->apply_rate(fidelity);
+}
+
+std::uint64_t ErrorFeedbackCompressor::state_bytes(std::uint32_t part) const {
+    std::uint64_t bytes = inner_->state_bytes(part);
+    const auto add_side = [&](const std::vector<std::vector<Slot>>& side,
+                              const std::vector<std::uint32_t>& home) {
+        for (std::size_t pi = 0; pi < side.size(); ++pi) {
+            if (pi >= home.size() || home[pi] != part) continue;
+            for (const Slot& s : side[pi]) {
+                if (s.has_prev) bytes += s.prev.payload_bytes();
+                if (s.has_next) bytes += s.next.payload_bytes();
+            }
+        }
+    };
+    add_side(fwd_, plan_src_);
+    add_side(bwd_, plan_dst_);
+    return bytes;
 }
 
 ErrorFeedbackCompressor::Slot& ErrorFeedbackCompressor::slot(

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 
 #include "scgnn/common/log.hpp"
 #include "scgnn/common/parallel.hpp"
 #include "scgnn/common/timer.hpp"
 #include "scgnn/dist/error_feedback.hpp"
+#include "scgnn/runtime/cluster.hpp"
 #include "scgnn/gnn/adjacency.hpp"
 #include "scgnn/gnn/checkpoint.hpp"
 #include "scgnn/obs/ledger.hpp"
@@ -174,22 +176,34 @@ void DistAggregator::forward_into(const Matrix& h, int layer, Matrix& out) {
                 obs_on ? obs::detail::trace_now_ns() : 0;
             const std::uint64_t bytes =
                 comp_->forward_rows(ctx, pi, layer, src, recon);
+            // Wire cost flows between the hosting devices: with an
+            // elastic cluster the partitions may be co-located (free) or
+            // live on reassigned devices; the null-cluster identity map
+            // keeps the static path bit-identical.
+            const std::uint32_t sdev =
+                cluster_ ? cluster_->owner(plan.src_part) : plan.src_part;
+            const std::uint32_t ddev =
+                cluster_ ? cluster_->owner(plan.dst_part) : plan.dst_part;
             if (obs_on) {
                 const std::uint64_t t1 = obs::detail::trace_now_ns();
                 obs::record_span("compress.forward", t0, t1);
                 comp_s += static_cast<double>(t1 - t0) * 1e-9;
-                wire += bytes;
-                vanilla += src.payload_bytes();
+                if (sdev != ddev) {
+                    wire += bytes;
+                    vanilla += src.payload_bytes();
+                }
             }
-            const comm::SendOutcome sent =
-                fabric_->send(plan.src_part, plan.dst_part, bytes);
-            if (tl)
-                timeline_->record_send(plan.src_part, plan.dst_part,
-                                       sent.wire_bytes,
-                                       sent.modelled_ms * 1e-3);
+            bool delivered = true;
+            if (sdev != ddev) {
+                const comm::SendOutcome sent = fabric_->send(sdev, ddev, bytes);
+                delivered = sent.delivered;
+                if (tl)
+                    timeline_->record_send(sdev, ddev, sent.wire_bytes,
+                                           sent.modelled_ms * 1e-3);
+            }
             const Matrix& arrived =
                 fabric_->fault_model().active()
-                    ? resolve(stale_fwd_, pi, layer, sent.delivered, recon,
+                    ? resolve(stale_fwd_, pi, layer, delivered, recon,
                               plan.dst_part)
                     : recon;
 
@@ -229,8 +243,12 @@ void DistAggregator::forward_into(const Matrix& h, int layer, Matrix& out) {
         }
     });
     if (tl) {
+        // Compute accumulates on the *hosting* device, so a survivor
+        // carrying two partitions shows twice the compute in the
+        // schedule (record_compute adds).
         for (std::uint32_t d = 0; d < parts; ++d)
-            timeline_->record_compute(d, part_s_[d]);
+            timeline_->record_compute(cluster_ ? cluster_->owner(d) : d,
+                                      part_s_[d]);
         timeline_->end_step();
     }
 }
@@ -300,22 +318,32 @@ void DistAggregator::backward_into(const Matrix& g, int layer, Matrix& out) {
                 obs_on ? obs::detail::trace_now_ns() : 0;
             const std::uint64_t bytes =
                 comp_->backward_rows(ctx, pi, layer, grad_in, grad_out);
+            // Gradients travel receiver-host → sender-host (the reverse
+            // of the forward route through the same ownership map).
+            const std::uint32_t sdev =
+                cluster_ ? cluster_->owner(plan.dst_part) : plan.dst_part;
+            const std::uint32_t ddev =
+                cluster_ ? cluster_->owner(plan.src_part) : plan.src_part;
             if (obs_on) {
                 const std::uint64_t t1 = obs::detail::trace_now_ns();
                 obs::record_span("compress.backward", t0, t1);
                 comp_s += static_cast<double>(t1 - t0) * 1e-9;
-                wire += bytes;
-                vanilla += grad_in.payload_bytes();
+                if (sdev != ddev) {
+                    wire += bytes;
+                    vanilla += grad_in.payload_bytes();
+                }
             }
-            const comm::SendOutcome sent =
-                fabric_->send(plan.dst_part, plan.src_part, bytes);
-            if (tl)
-                timeline_->record_send(plan.dst_part, plan.src_part,
-                                       sent.wire_bytes,
-                                       sent.modelled_ms * 1e-3);
+            bool delivered = true;
+            if (sdev != ddev) {
+                const comm::SendOutcome sent = fabric_->send(sdev, ddev, bytes);
+                delivered = sent.delivered;
+                if (tl)
+                    timeline_->record_send(sdev, ddev, sent.wire_bytes,
+                                           sent.modelled_ms * 1e-3);
+            }
             const Matrix& arrived =
                 fabric_->fault_model().active()
-                    ? resolve(stale_bwd_, pi, layer, sent.delivered, grad_out,
+                    ? resolve(stale_bwd_, pi, layer, delivered, grad_out,
                               plan.src_part)
                     : grad_out;
 
@@ -329,9 +357,39 @@ void DistAggregator::backward_into(const Matrix& g, int layer, Matrix& out) {
             note_exchange("backward", comp_s, wire, vanilla);
     }
     if (tl) {
+        // Compute accumulates on the *hosting* device, so a survivor
+        // carrying two partitions shows twice the compute in the
+        // schedule (record_compute adds).
         for (std::uint32_t d = 0; d < parts; ++d)
-            timeline_->record_compute(d, part_s_[d]);
+            timeline_->record_compute(cluster_ ? cluster_->owner(d) : d,
+                                      part_s_[d]);
         timeline_->end_step();
+    }
+}
+
+void DistAggregator::invalidate_moved(
+    const std::vector<std::uint32_t>& moved_parts) {
+    if (moved_parts.empty() || (stale_fwd_.empty() && stale_bwd_.empty()))
+        return;
+    const auto plans = ctx_->plans();
+    for (std::size_t pi = 0; pi < plans.size(); ++pi) {
+        const PairPlan& plan = plans[pi];
+        const bool touched =
+            std::find(moved_parts.begin(), moved_parts.end(),
+                      plan.src_part) != moved_parts.end() ||
+            std::find(moved_parts.begin(), moved_parts.end(),
+                      plan.dst_part) != moved_parts.end();
+        if (!touched) continue;
+        if (pi < stale_fwd_.size())
+            for (StaleSlot& s : stale_fwd_[pi]) {
+                s.valid = false;
+                s.age = 0;
+            }
+        if (pi < stale_bwd_.size())
+            for (StaleSlot& s : stale_bwd_[pi]) {
+                s.valid = false;
+                s.age = 0;
+            }
     }
 }
 
@@ -363,6 +421,36 @@ DistTrainResult train_distributed(const graph::Dataset& data,
                        overlap ? &timeline : nullptr);
     gnn::GnnModel model(model_cfg);
     gnn::Adam opt(model.parameters(), cfg.adam);
+    std::uint64_t param_bytes = 0;
+    for (const tensor::Matrix* p : model.parameters())
+        param_bytes += p->payload_bytes();
+
+    // Elastic membership: a ClusterState owns the partition→device
+    // ownership map and everything rebuilt at a change epoch. Absent a
+    // schedule nothing is constructed and the run stays on the exact
+    // static code path (the golden-pinned bitwise guarantee).
+    const bool elastic = cfg.membership.active();
+    std::optional<runtime::ClusterState> cluster;
+    if (elastic) {
+        const std::size_t f = data.features.cols();
+        runtime::ClusterState::Profile prof;
+        prof.part_bytes.resize(parts.num_parts);
+        for (std::uint32_t p = 0; p < parts.num_parts; ++p)
+            prof.part_bytes[p] = static_cast<std::uint64_t>(
+                ctx.local_nodes(p).size() * f * sizeof(float));
+        prof.affinity.resize(parts.num_parts);
+        for (const PairPlan& plan : ctx.plans()) {
+            const auto b = static_cast<std::uint64_t>(plan.num_rows() * f *
+                                                      sizeof(float));
+            prof.affinity[plan.src_part].push_back({plan.dst_part, b});
+            prof.affinity[plan.dst_part].push_back({plan.src_part, b});
+        }
+        // A joiner receives the replicated weights plus both Adam moment
+        // buffers before it can take part in a synchronous step.
+        prof.replica_bytes = param_bytes * 3;
+        cluster.emplace(topo, cfg.membership, std::move(prof));
+        agg.set_cluster(&*cluster);
+    }
 
     SCGNN_CHECK(cfg.lr_decay > 0.0f && cfg.lr_decay <= 1.0f,
                 "lr_decay must be in (0, 1]");
@@ -391,6 +479,9 @@ DistTrainResult train_distributed(const graph::Dataset& data,
         if (cfg.comm.count_weight_sync)
             obs::record_config("trainer.collective",
                                comm::collective::algo_name(cfg.comm.collective));
+        if (elastic)
+            obs::record_config("trainer.membership",
+                               runtime::membership_name(cfg.membership));
         if (cfg.comm.fault.active()) {
             obs::record_config("fault.drop_probability",
                                cfg.comm.fault.drop_probability);
@@ -439,9 +530,6 @@ DistTrainResult train_distributed(const graph::Dataset& data,
     // topology prices the historical 2·(P−1)·|params|/P per-link volume.
     comm::collective::Allreduce weight_sync;
     if (cfg.comm.count_weight_sync) {
-        std::uint64_t param_bytes = 0;
-        for (const tensor::Matrix* p : model.parameters())
-            param_bytes += p->payload_bytes();
         weight_sync = comm::collective::Allreduce(
             fabric.topology(), cfg.comm.collective, param_bytes);
     }
@@ -460,6 +548,11 @@ DistTrainResult train_distributed(const graph::Dataset& data,
     double total_overlap_ms = 0.0, total_exposed_ms = 0.0;
     for (std::uint32_t e = 0; e < cfg.epochs; ++e) {
         SCGNN_TRACE_SPAN("dist.epoch");
+        // Membership changes take effect at the top of their epoch; the
+        // transition's migrations are priced below, *inside* this epoch's
+        // fabric window, so the recovery spike shows in comm_mb/comm_ms.
+        const runtime::Transition* tr =
+            (cluster && e >= 1) ? cluster->advance(e) : nullptr;
         double epoch_rate = 1.0;
         if (scheduled) {
             // Signals describe the *completed* epochs: the loss of e−1
@@ -482,6 +575,62 @@ DistTrainResult train_distributed(const graph::Dataset& data,
         }
         compressor.begin_epoch(e);
         if (overlap) timeline.begin_epoch();
+        if (tr != nullptr) {
+            // Rebalance barrier: ship every reassigned partition's rows
+            // plus its carried compressor state, replicate the model onto
+            // joiners, and price the whole transition through the fabric
+            // (and as one timeline step under overlap) — recovery cost
+            // lands in the makespan, not a hand-wave.
+            SCGNN_TRACE_SPAN("membership.rebuild");
+            runtime::MembershipSummary& ms = cluster->summary();
+            double rebuild_s = 0.0;
+            std::uint64_t tr_bytes = 0;
+            if (overlap) timeline.begin_step("rebalance");
+            for (const runtime::Migration& mv : tr->moves) {
+                const std::uint64_t residual = compressor.state_bytes(mv.part);
+                const comm::SendOutcome sent = fabric.send(
+                    mv.from_device, mv.to_device, mv.bytes + residual);
+                if (overlap)
+                    timeline.record_send(mv.from_device, mv.to_device,
+                                         sent.wire_bytes,
+                                         sent.modelled_ms * 1e-3);
+                ms.migrated_residual_bytes += residual;
+                ms.migrated_bytes += residual;
+                tr_bytes += mv.bytes + residual;
+                rebuild_s += sent.modelled_ms * 1e-3;
+            }
+            for (const runtime::Migration& rep : tr->replications) {
+                const comm::SendOutcome sent =
+                    fabric.send(rep.from_device, rep.to_device, rep.bytes);
+                if (overlap)
+                    timeline.record_send(rep.from_device, rep.to_device,
+                                         sent.wire_bytes,
+                                         sent.modelled_ms * 1e-3);
+                tr_bytes += rep.bytes;
+                rebuild_s += sent.modelled_ms * 1e-3;
+            }
+            if (overlap) timeline.end_step();
+            ms.rebuild_ms += rebuild_s * 1e3;
+            agg.invalidate_moved(tr->moved_parts);
+            // The weight-sync collective now spans only the survivors.
+            if (cfg.comm.count_weight_sync)
+                weight_sync = comm::collective::Allreduce(
+                    fabric.topology(), cfg.comm.collective, param_bytes,
+                    cluster->active_devices());
+            if (obs::enabled()) {
+                obs::Registry& reg = obs::registry();
+                reg.counter("membership.joins").add(tr->joined.size());
+                reg.counter("membership.leaves").add(tr->left.size());
+                reg.counter("membership.moved_parts")
+                    .add(tr->moved_parts.size());
+                reg.counter("membership.migrated_bytes").add(tr_bytes);
+                reg.gauge("membership.active")
+                    .set(static_cast<double>(
+                        cluster->membership().active_count()));
+                reg.gauge("membership.rebuild_ms").set(ms.rebuild_ms);
+            }
+        }
+        if (cluster) cluster->note_epoch();
         WallTimer timer;
         const double loss = gnn::run_epoch(model, opt, agg, data.features,
                                            data.labels, data.train_mask, &ws);
@@ -489,19 +638,27 @@ DistTrainResult train_distributed(const graph::Dataset& data,
             weight_sync.run(fabric, overlap ? &timeline : nullptr);
         const double wall_ms = timer.millis();
 
+        // A shrunk cluster runs the same partitions on fewer devices, so
+        // the per-device compute budget divides by the *active* count
+        // (== num_parts on a static run, where the maths is unchanged).
+        const std::uint32_t active_now =
+            cluster ? cluster->membership().active_count() : parts.num_parts;
         EpochMetrics m;
         m.loss = loss;
         m.rate = epoch_rate;
+        m.active_devices = active_now;
         m.comm_mb = static_cast<double>(fabric.epoch_stats().bytes) / 1e6;
         m.comm_ms = fabric.epoch_comm_seconds() * 1e3;
-        m.compute_ms = wall_ms / parts.num_parts;
+        m.compute_ms = wall_ms / active_now;
         if (overlap) {
             // Normalise each device's recorded compute to the same
             // per-device budget the additive model charges, so the two
             // modes price identical work and differ only in how much
-            // communication hides under it.
-            const comm::TimelineStats ts =
-                timeline.schedule(wall_ms * 1e-3 / parts.num_parts);
+            // communication hides under it. The active mask keeps absent
+            // devices from receiving a phantom budget.
+            const comm::TimelineStats ts = timeline.schedule(
+                wall_ms * 1e-3 / active_now,
+                cluster ? &cluster->active_mask() : nullptr);
             m.epoch_ms = ts.makespan_s * 1e3;
             m.comm_exposed_ms = ts.comm_exposed_s * 1e3;
             m.overlap_ms =
@@ -586,6 +743,25 @@ DistTrainResult train_distributed(const graph::Dataset& data,
 
     result.fault = agg.fault_summary();
     result.fault.fabric = fabric.fault_stats();
+    if (cluster) {
+        result.membership = cluster->summary();
+        if (obs::enabled()) {
+            const runtime::MembershipSummary& ms = result.membership;
+            obs::record_final("membership.joins",
+                              static_cast<double>(ms.joins));
+            obs::record_final("membership.leaves",
+                              static_cast<double>(ms.leaves));
+            obs::record_final("membership.rebuilds",
+                              static_cast<double>(ms.rebuilds));
+            obs::record_final("membership.migrated_bytes",
+                              static_cast<double>(ms.migrated_bytes));
+            obs::record_final("membership.invalidated_halo_bytes",
+                              static_cast<double>(ms.invalidated_halo_bytes));
+            obs::record_final("membership.rebuild_ms", ms.rebuild_ms);
+            obs::record_final("membership.min_active",
+                              static_cast<double>(ms.min_active));
+        }
+    }
     if (obs::enabled() && cfg.comm.fault.active()) {
         obs::record_final("fault.drops",
                           static_cast<double>(result.fault.fabric.drops));

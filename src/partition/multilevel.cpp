@@ -283,4 +283,28 @@ Partitioning multilevel_edge_cut(const graph::Graph& g,
     return out;
 }
 
+void refine_assignment(
+    const std::vector<std::uint64_t>& weights,
+    const std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>&
+        affinity,
+    std::uint32_t num_bins, std::vector<std::uint32_t>& assign,
+    std::uint64_t seed, int sweeps) {
+    SCGNN_CHECK(num_bins >= 1, "refine_assignment: need at least one bin");
+    SCGNN_CHECK(weights.size() == affinity.size(),
+                "refine_assignment: weights/affinity size mismatch");
+    SCGNN_CHECK(assign.size() == weights.size(),
+                "refine_assignment: assignment size mismatch");
+    for (std::uint32_t b : assign)
+        SCGNN_CHECK(b < num_bins, "refine_assignment: bin id out of range");
+    // Reuse the multilevel refinement verbatim: the items form a one-off
+    // Level whose "super-nodes" are the items and whose edges carry the
+    // caller's affinity weights.
+    Level lv;
+    lv.n = static_cast<std::uint32_t>(weights.size());
+    lv.node_weight = weights;
+    lv.adj = affinity;
+    Rng rng(seed);
+    refine(lv, assign, num_bins, rng, sweeps);
+}
+
 } // namespace scgnn::partition

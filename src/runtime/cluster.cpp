@@ -1,0 +1,178 @@
+#include "scgnn/runtime/cluster.hpp"
+
+#include <algorithm>
+
+#include "scgnn/common/rng.hpp"
+#include "scgnn/partition/partition.hpp"
+
+namespace scgnn::runtime {
+
+namespace {
+
+bool replay_less(const MembershipEvent& a, const MembershipEvent& b) {
+    if (a.epoch != b.epoch) return a.epoch < b.epoch;
+    if (a.kind != b.kind) return a.kind < b.kind;  // leaves before joins
+    return a.device < b.device;
+}
+
+} // namespace
+
+ClusterState::ClusterState(const comm::Topology& topo,
+                           MembershipSchedule schedule, Profile profile)
+    : membership_(topo.num_devices()),
+      schedule_(std::move(schedule)),
+      profile_(std::move(profile)) {
+    const std::uint32_t p = topo.num_devices();
+    SCGNN_CHECK(profile_.part_bytes.size() == p,
+                "cluster: profile needs one partition per device slot");
+    SCGNN_CHECK(profile_.affinity.size() == p,
+                "cluster: profile affinity must cover every partition");
+    schedule_.validate(p);
+    std::stable_sort(schedule_.events.begin(), schedule_.events.end(),
+                     replay_less);
+    owner_.resize(p);
+    for (std::uint32_t i = 0; i < p; ++i) owner_[i] = i;  // home = slot id
+}
+
+const Transition* ClusterState::advance(std::uint32_t epoch) {
+    SCGNN_CHECK(epoch >= 1 && (last_epoch_ == 0 || epoch > last_epoch_),
+                "cluster: advance() epochs must be strictly increasing");
+    last_epoch_ = epoch;
+    if (cursor_ >= schedule_.events.size() ||
+        schedule_.events[cursor_].epoch != epoch)
+        return nullptr;
+
+    transition_ = {};
+    Transition& tr = transition_;
+    tr.epoch = epoch;
+    while (cursor_ < schedule_.events.size() &&
+           schedule_.events[cursor_].epoch == epoch) {
+        const MembershipEvent& ev = schedule_.events[cursor_++];
+        if (ev.kind == MembershipEventKind::kLeave) {
+            membership_.leave(ev.device);
+            tr.left.push_back(ev.device);
+        } else {
+            membership_.join(ev.device);
+            tr.joined.push_back(ev.device);
+        }
+    }
+
+    rebalance(tr);
+
+    summary_.leaves += static_cast<std::uint32_t>(tr.left.size());
+    summary_.joins += static_cast<std::uint32_t>(tr.joined.size());
+    summary_.rebuilds += 1;
+    for (const Migration& mv : tr.moves) {
+        summary_.migrated_state_bytes += mv.bytes;
+        summary_.migrated_bytes += mv.bytes;
+    }
+    for (const Migration& rep : tr.replications) {
+        summary_.replicated_weight_bytes += rep.bytes;
+        summary_.migrated_bytes += rep.bytes;
+    }
+    for (const std::uint32_t p : tr.moved_parts)
+        for (const auto& [q, w] : profile_.affinity[p]) {
+            (void)q;
+            summary_.invalidated_halo_bytes += w;
+        }
+    return &transition_;
+}
+
+void ClusterState::rebalance(Transition& tr) {
+    const auto num_parts = static_cast<std::uint32_t>(owner_.size());
+    const std::vector<std::uint32_t>& active = membership_.active();
+    const auto k = static_cast<std::uint32_t>(active.size());
+
+    std::vector<std::uint32_t> next = owner_;
+
+    // Joins first: the joiner's home partitions hand back from their
+    // current hosts (warm handoff) — with balanced partitions this is
+    // what restores the identity mapping after a full rejoin.
+    for (const std::uint32_t j : tr.joined)
+        if (j < num_parts) next[j] = j;
+
+    // Orphans: partitions hosted on a device that is no longer active.
+    std::vector<std::uint32_t> orphans;
+    for (std::uint32_t p = 0; p < num_parts; ++p)
+        if (!membership_.is_active(next[p])) orphans.push_back(p);
+
+    // Greedy placement by halo affinity: each orphan (ascending) goes to
+    // the active device already hosting the partitions it exchanges the
+    // most bytes with; ties break to the lighter-loaded, then lower id.
+    std::vector<std::uint64_t> load(membership_.total(), 0);
+    for (std::uint32_t p = 0; p < num_parts; ++p)
+        if (membership_.is_active(next[p]))
+            load[next[p]] += profile_.part_bytes[p];
+    for (const std::uint32_t p : orphans) {
+        std::uint32_t best = active[0];
+        std::uint64_t best_aff = 0;
+        bool first = true;
+        for (const std::uint32_t d : active) {
+            std::uint64_t aff = 0;
+            for (const auto& [q, w] : profile_.affinity[p])
+                if (membership_.is_active(next[q]) && next[q] == d) aff += w;
+            const bool better =
+                first || aff > best_aff ||
+                (aff == best_aff && load[d] < load[best]);
+            if (better) {
+                best = d;
+                best_aff = aff;
+                first = false;
+            }
+        }
+        next[p] = best;
+        load[best] += profile_.part_bytes[p];
+    }
+
+    // Polish with the multilevel partitioner's refinement: bins are the
+    // active devices (dense rank space), items the partitions, edges the
+    // halo affinity. Seeded from the schedule so the sweep order — and
+    // therefore the whole rebalance — is reproducible.
+    if (k > 1) {
+        std::vector<std::uint32_t> rank_of(membership_.total(), 0);
+        for (std::uint32_t i = 0; i < k; ++i) rank_of[active[i]] = i;
+        std::vector<std::uint32_t> assign(num_parts);
+        for (std::uint32_t p = 0; p < num_parts; ++p)
+            assign[p] = rank_of[next[p]];
+        std::uint64_t mix = schedule_.seed ^
+                            (0x9e3779b97f4a7c15ULL * (tr.epoch + 1));
+        partition::refine_assignment(profile_.part_bytes, profile_.affinity,
+                                     k, assign, splitmix64(mix),
+                                     /*sweeps=*/2);
+        for (std::uint32_t p = 0; p < num_parts; ++p)
+            next[p] = active[assign[p]];
+    }
+
+    // Price the diff. A partition leaving a departed device is shipped by
+    // that device on its way out, so `from` is the old owner even when it
+    // is no longer active.
+    for (std::uint32_t p = 0; p < num_parts; ++p) {
+        if (next[p] == owner_[p]) continue;
+        tr.moved_parts.push_back(p);
+        tr.moves.push_back(
+            Migration{p, owner_[p], next[p], profile_.part_bytes[p]});
+    }
+    // Each joiner receives the replicated model/optimizer state from the
+    // lowest-id active peer.
+    for (const std::uint32_t j : tr.joined) {
+        std::uint32_t src = j;
+        for (const std::uint32_t d : active)
+            if (d != j) {
+                src = d;
+                break;
+            }
+        if (src != j && profile_.replica_bytes > 0)
+            tr.replications.push_back(Migration{kReplicaMigration, src, j,
+                                                profile_.replica_bytes});
+    }
+    owner_ = std::move(next);
+}
+
+void ClusterState::note_epoch() {
+    const std::uint32_t a = membership_.active_count();
+    summary_.active_per_epoch.push_back(a);
+    summary_.min_active =
+        summary_.min_active == 0 ? a : std::min(summary_.min_active, a);
+}
+
+} // namespace scgnn::runtime

@@ -1,0 +1,201 @@
+#include "scgnn/runtime/membership.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "scgnn/common/rng.hpp"
+
+namespace scgnn::runtime {
+
+const char* event_kind_name(MembershipEventKind k) noexcept {
+    return k == MembershipEventKind::kLeave ? "leave" : "join";
+}
+
+namespace {
+
+/// Canonical replay order: by epoch, leaves before joins within an epoch
+/// (a slot freed by a leave may be refilled the same epoch), then by
+/// device for determinism.
+bool replay_less(const MembershipEvent& a, const MembershipEvent& b) {
+    if (a.epoch != b.epoch) return a.epoch < b.epoch;
+    if (a.kind != b.kind) return a.kind < b.kind;  // kLeave=0 < kJoin=1
+    return a.device < b.device;
+}
+
+std::vector<MembershipEvent> replay_order(const MembershipSchedule& s) {
+    std::vector<MembershipEvent> ev = s.events;
+    std::stable_sort(ev.begin(), ev.end(), replay_less);
+    return ev;
+}
+
+} // namespace
+
+void MembershipSchedule::validate(std::uint32_t num_devices) const {
+    SCGNN_CHECK(num_devices > 0, "membership: cluster must have >=1 device");
+    std::vector<std::uint8_t> alive(num_devices, 1);
+    std::uint32_t active = num_devices;
+    std::uint32_t prev_epoch = 0;
+    std::vector<std::uint32_t> touched;  // devices changed at prev_epoch
+    for (const MembershipEvent& ev : replay_order(*this)) {
+        SCGNN_CHECK(ev.epoch >= 1,
+                    "membership: event epochs are 1-based (epoch 0 is the "
+                    "full initial cluster)");
+        SCGNN_CHECK(ev.device < num_devices,
+                    "membership: event device id out of range");
+        if (ev.epoch != prev_epoch) {
+            prev_epoch = ev.epoch;
+            touched.clear();
+        }
+        SCGNN_CHECK(std::find(touched.begin(), touched.end(), ev.device) ==
+                        touched.end(),
+                    "membership: device changed twice in one epoch");
+        touched.push_back(ev.device);
+        if (ev.kind == MembershipEventKind::kLeave) {
+            SCGNN_CHECK(alive[ev.device],
+                        "membership: leave of a device that is not active");
+            SCGNN_CHECK(active > 1,
+                        "membership: leave would empty the cluster");
+            alive[ev.device] = 0;
+            --active;
+        } else {
+            SCGNN_CHECK(!alive[ev.device],
+                        "membership: join of a device that is already active");
+            alive[ev.device] = 1;
+            ++active;
+        }
+    }
+}
+
+MembershipSchedule MembershipSchedule::churn(std::uint32_t devices,
+                                             std::uint32_t epochs,
+                                             double rate,
+                                             std::uint64_t seed,
+                                             std::uint32_t min_active) {
+    SCGNN_CHECK(devices > 0, "membership churn: devices must be >= 1");
+    SCGNN_CHECK(rate >= 0.0 && rate <= 1.0,
+                "membership churn: rate must be in [0, 1]");
+    if (min_active == 0) min_active = 1;
+    MembershipSchedule out;
+    out.seed = seed;
+    std::vector<std::uint8_t> alive(devices, 1);
+    std::uint32_t active = devices;
+    for (std::uint32_t e = 1; e < epochs; ++e) {
+        // Independent splitmix64 stream per epoch, matching the fault
+        // model's per-(seed, key) streams: insensitive to event history.
+        std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (e + 1));
+        Rng rng(splitmix64(state));
+        if (!rng.bernoulli(rate)) continue;
+        if (active > min_active) {
+            // Leave the k-th active device.
+            std::uint32_t k =
+                static_cast<std::uint32_t>(rng.uniform_u64(active));
+            for (std::uint32_t d = 0; d < devices; ++d) {
+                if (!alive[d]) continue;
+                if (k-- == 0) {
+                    out.events.push_back(
+                        {MembershipEventKind::kLeave, e, d});
+                    alive[d] = 0;
+                    --active;
+                    break;
+                }
+            }
+        } else if (active < devices) {
+            // Rejoin the lowest absent device.
+            for (std::uint32_t d = 0; d < devices; ++d) {
+                if (alive[d]) continue;
+                out.events.push_back({MembershipEventKind::kJoin, e, d});
+                alive[d] = 1;
+                ++active;
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+bool parse_membership(const char* s, MembershipSchedule& out) {
+    if (s == nullptr || *s == '\0') return false;
+    MembershipSchedule parsed;
+    const char* p = s;
+    while (*p != '\0') {
+        const char* end = std::strchr(p, ',');
+        const std::size_t len =
+            end ? static_cast<std::size_t>(end - p) : std::strlen(p);
+        if (len == 0 || len >= 64) return false;
+        char tok[64];
+        std::memcpy(tok, p, len);
+        tok[len] = '\0';
+
+        unsigned epoch = 0, device = 0;
+        std::uint64_t seed = 0;
+        int consumed = -1;
+        if (std::sscanf(tok, "leave:%u@d%u%n", &epoch, &device, &consumed) ==
+                2 &&
+            consumed == static_cast<int>(len)) {
+            parsed.events.push_back({MembershipEventKind::kLeave, epoch,
+                                     device});
+        } else if (consumed = -1,
+                   std::sscanf(tok, "join:%u@d%u%n", &epoch, &device,
+                               &consumed) == 2 &&
+                       consumed == static_cast<int>(len)) {
+            parsed.events.push_back({MembershipEventKind::kJoin, epoch,
+                                     device});
+        } else if (consumed = -1,
+                   std::sscanf(tok, "seed:%" SCNu64 "%n", &seed, &consumed) ==
+                           1 &&
+                       consumed == static_cast<int>(len)) {
+            parsed.seed = seed;
+        } else {
+            return false;
+        }
+        p = end ? end + 1 : p + len;
+        if (end && *p == '\0') return false;  // trailing comma
+    }
+    if (parsed.events.empty()) return false;
+    out = std::move(parsed);
+    return true;
+}
+
+std::string membership_name(const MembershipSchedule& s) {
+    if (!s.active()) return "static";
+    std::string name;
+    char buf[64];
+    for (const MembershipEvent& ev : replay_order(s)) {
+        std::snprintf(buf, sizeof(buf), "%s:%u@d%u",
+                      event_kind_name(ev.kind), ev.epoch, ev.device);
+        if (!name.empty()) name += ',';
+        name += buf;
+    }
+    if (s.seed != MembershipSchedule{}.seed) {
+        std::snprintf(buf, sizeof(buf), ",seed:%" PRIu64, s.seed);
+        name += buf;
+    }
+    return name;
+}
+
+Membership::Membership(std::uint32_t num_devices)
+    : mask_(num_devices, 1) {
+    SCGNN_CHECK(num_devices > 0, "membership: cluster must have >=1 device");
+    active_.resize(num_devices);
+    for (std::uint32_t d = 0; d < num_devices; ++d) active_[d] = d;
+}
+
+void Membership::leave(std::uint32_t device) {
+    SCGNN_CHECK(device < total(), "membership leave: device out of range");
+    SCGNN_CHECK(mask_[device], "membership leave: device not active");
+    SCGNN_CHECK(active_count() > 1, "membership leave: last survivor");
+    mask_[device] = 0;
+    active_.erase(std::find(active_.begin(), active_.end(), device));
+}
+
+void Membership::join(std::uint32_t device) {
+    SCGNN_CHECK(device < total(), "membership join: device out of range");
+    SCGNN_CHECK(!mask_[device], "membership join: device already active");
+    mask_[device] = 1;
+    active_.insert(
+        std::upper_bound(active_.begin(), active_.end(), device), device);
+}
+
+} // namespace scgnn::runtime

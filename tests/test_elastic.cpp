@@ -1,0 +1,197 @@
+// Elastic-membership integration tier: the P=16 hierarchical-preset run
+// with one mid-training leave and a later rejoin, golden-pinned at %.17g
+// (losses, the per-epoch active-device trajectory and the modelled comm
+// figures), plus the invariants the MembershipSummary must satisfy and
+// the two core guarantees of the elastic runtime:
+//
+//   * membership never touches the numerics — the elastic loss trajectory
+//     is bitwise-identical to the static run of the same seeds;
+//   * elastic runs are bitwise reproducible at any thread count.
+//
+// On mismatch the golden check prints the regen command:
+//   SCGNN_GOLDEN_REGEN=1 ./build/tests/test_elastic
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scgnn/common/parallel.hpp"
+#include "scgnn/core/framework.hpp"
+#include "scgnn/runtime/membership.hpp"
+
+namespace scgnn::core {
+namespace {
+
+constexpr double kScale = 0.1;
+constexpr std::uint32_t kEpochs = 6;
+constexpr std::uint64_t kSeed = 7;
+
+/// The GoldenHierPreset configuration of test_golden.cpp (P=16 hier
+/// preset, vanilla exchange, hierarchical weight sync), optionally with
+/// the elastic schedule `leave:2@d3,join:4@d3` layered on top.
+PipelineConfig hier16_cfg(const graph::Dataset& d, bool elastic) {
+    PipelineConfig cfg;
+    cfg.num_parts = 16;
+    cfg.model.in_dim = static_cast<std::uint32_t>(d.features.cols());
+    cfg.model.hidden_dim = 32;
+    cfg.model.out_dim = d.num_classes;
+    cfg.train.epochs = kEpochs;
+    cfg.method.method = Method::kVanilla;
+    cfg.train.comm.topology = comm::TopologySpec::preset(16);
+    cfg.train.comm.collective = comm::collective::Algo::kHier;
+    cfg.train.comm.count_weight_sync = true;
+    if (elastic) {
+        runtime::MembershipSchedule s;
+        s.events = {{runtime::MembershipEventKind::kLeave, 2, 3},
+                    {runtime::MembershipEventKind::kJoin, 4, 3}};
+        cfg.train.membership = s;
+    }
+    return cfg;
+}
+
+std::string g17(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string render(const PipelineResult& r) {
+    const runtime::MembershipSummary& m = r.train.membership;
+    std::ostringstream o;
+    o << "{\n";
+    o << "  \"schema\": \"scgnn.golden/1\",\n";
+    o << "  \"preset\": \"pubmed\",\n";
+    o << "  \"config\": {\"scale\": " << g17(kScale)
+      << ", \"epochs\": " << kEpochs << ", \"parts\": 16"
+      << ", \"seed\": " << kSeed << ", \"hidden\": 32"
+      << ", \"method\": \"vanilla\", \"topology\": \"hier:4x4\""
+      << ", \"collective\": \"hier\", \"count_weight_sync\": true"
+      << ", \"membership\": \"leave:2@d3,join:4@d3\"},\n";
+    o << "  \"epoch_loss\": [";
+    for (std::size_t e = 0; e < r.train.epoch_metrics.size(); ++e)
+        o << (e ? ", " : "") << g17(r.train.epoch_metrics[e].loss);
+    o << "],\n";
+    o << "  \"active_per_epoch\": [";
+    for (std::size_t e = 0; e < m.active_per_epoch.size(); ++e)
+        o << (e ? ", " : "") << m.active_per_epoch[e];
+    o << "],\n";
+    o << "  \"final_loss\": " << g17(r.train.final_loss) << ",\n";
+    o << "  \"test_accuracy\": " << g17(r.train.test_accuracy) << ",\n";
+    o << "  \"mean_comm_mb\": " << g17(r.train.mean_comm_mb) << ",\n";
+    o << "  \"mean_comm_ms\": " << g17(r.train.mean_comm_ms) << ",\n";
+    o << "  \"membership\": {"
+      << "\"joins\": " << m.joins << ", \"leaves\": " << m.leaves
+      << ", \"rebuilds\": " << m.rebuilds
+      << ", \"migrated_bytes\": " << m.migrated_bytes
+      << ", \"migrated_state_bytes\": " << m.migrated_state_bytes
+      << ", \"migrated_residual_bytes\": " << m.migrated_residual_bytes
+      << ", \"replicated_weight_bytes\": " << m.replicated_weight_bytes
+      << ", \"invalidated_halo_bytes\": " << m.invalidated_halo_bytes
+      << ", \"rebuild_ms\": " << g17(m.rebuild_ms)
+      << ", \"min_active\": " << m.min_active << "}\n";
+    o << "}\n";
+    return o.str();
+}
+
+bool regen_mode() { return std::getenv("SCGNN_GOLDEN_REGEN") != nullptr; }
+
+void check_golden(const std::string& name, const std::string& got) {
+    const std::string path =
+        std::string(SCGNN_GOLDEN_DIR) + "/" + name + ".json";
+    if (regen_mode()) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << got;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path << "\nregenerate with:\n"
+        << "  SCGNN_GOLDEN_REGEN=1 ./build/tests/test_elastic";
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(expected.str(), got)
+        << "golden mismatch for " << path
+        << "\nIf this numeric change is intentional, regenerate with:\n"
+        << "  SCGNN_GOLDEN_REGEN=1 ./build/tests/test_elastic\n"
+        << "and commit the refreshed tests/golden/*.json.";
+}
+
+PipelineResult run_hier16(bool elastic) {
+    const graph::Dataset d =
+        graph::make_dataset(graph::DatasetPreset::kPubMedSim, kScale, kSeed);
+    return run_pipeline(d, hier16_cfg(d, elastic));
+}
+
+TEST(ElasticGolden, LeaveRejoinRunPinned) {
+    const PipelineResult r = run_hier16(/*elastic=*/true);
+    check_golden("pubmed_hier16_elastic", render(r));
+}
+
+TEST(ElasticGolden, LossBitwiseIdenticalToStaticRun) {
+    const PipelineResult el = run_hier16(/*elastic=*/true);
+    const PipelineResult st = run_hier16(/*elastic=*/false);
+    ASSERT_EQ(el.train.epoch_metrics.size(), st.train.epoch_metrics.size());
+    for (std::size_t e = 0; e < el.train.epoch_metrics.size(); ++e)
+        EXPECT_EQ(g17(el.train.epoch_metrics[e].loss),
+                  g17(st.train.epoch_metrics[e].loss))
+            << "epoch " << e;
+    EXPECT_EQ(g17(el.train.final_loss), g17(st.train.final_loss));
+    EXPECT_EQ(g17(el.train.test_accuracy), g17(st.train.test_accuracy));
+    // The static run reports an untouched summary.
+    EXPECT_FALSE(st.train.membership.changed());
+    EXPECT_EQ(st.train.membership.migrated_bytes, 0u);
+}
+
+TEST(ElasticSummary, InvariantsHold) {
+    const PipelineResult r = run_hier16(/*elastic=*/true);
+    const runtime::MembershipSummary& m = r.train.membership;
+    // Joins/leaves mirror the schedule exactly.
+    EXPECT_EQ(m.leaves, 1u);
+    EXPECT_EQ(m.joins, 1u);
+    EXPECT_EQ(m.rebuilds, 2u);
+    // The priced-bytes decomposition is exact.
+    EXPECT_EQ(m.migrated_bytes, m.migrated_state_bytes +
+                                    m.migrated_residual_bytes +
+                                    m.replicated_weight_bytes);
+    EXPECT_GT(m.migrated_state_bytes, 0u);
+    EXPECT_GT(m.replicated_weight_bytes, 0u);
+    EXPECT_GT(m.invalidated_halo_bytes, 0u);
+    EXPECT_GT(m.rebuild_ms, 0.0);
+    // One trajectory entry per epoch actually run; the dip and recovery
+    // match the schedule (leave at 2, rejoin at 4, 1-based effect epochs).
+    ASSERT_EQ(m.active_per_epoch.size(), r.train.epoch_metrics.size());
+    EXPECT_EQ(m.active_per_epoch,
+              (std::vector<std::uint32_t>{16, 16, 15, 15, 16, 16}));
+    EXPECT_EQ(m.min_active, 15u);
+    // The per-epoch metrics carry the same trajectory.
+    for (std::size_t e = 0; e < m.active_per_epoch.size(); ++e)
+        EXPECT_EQ(r.train.epoch_metrics[e].active_devices,
+                  m.active_per_epoch[e]);
+    // The transition epochs show the migration spike on the wire: each
+    // carries strictly more bytes than the following epoch, which runs
+    // under the same membership but pays no migration. (Comparing against
+    // the *preceding* epoch would be wrong — co-locating the departed
+    // device's partition also removes wire cost, which can outweigh the
+    // spike at small scales.)
+    EXPECT_GT(r.train.epoch_metrics[2].comm_mb,
+              r.train.epoch_metrics[3].comm_mb);
+    EXPECT_GT(r.train.epoch_metrics[4].comm_mb,
+              r.train.epoch_metrics[5].comm_mb);
+}
+
+TEST(ElasticGolden, BitwiseReproducibleAcrossThreadCounts) {
+    auto run_at = [&](unsigned threads) {
+        ThreadCountGuard guard(threads);
+        return run_hier16(/*elastic=*/true);
+    };
+    const std::string at1 = render(run_at(1));
+    const std::string at4 = render(run_at(4));
+    EXPECT_EQ(at1, at4);
+}
+
+} // namespace
+} // namespace scgnn::core

@@ -1,0 +1,321 @@
+// Elastic-membership unit tier: schedule parsing/validation/churn, the
+// Membership active-set view, ClusterState's deterministic rebalance and
+// ownership invariants, and the rank-subset Allreduce schedules the
+// rebuilds produce. Everything here must be bitwise deterministic — every
+// "same inputs" assertion compares full structures, not summaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "scgnn/comm/collective.hpp"
+#include "scgnn/comm/topology.hpp"
+#include "scgnn/runtime/cluster.hpp"
+#include "scgnn/runtime/membership.hpp"
+
+namespace scgnn::runtime {
+namespace {
+
+using comm::collective::Algo;
+using comm::collective::Allreduce;
+using comm::collective::Round;
+
+// ---------------------------------------------------------------- parsing
+
+TEST(MembershipParse, RoundTripsThroughName) {
+    MembershipSchedule s;
+    ASSERT_TRUE(parse_membership("leave:5@d3,join:10@d3", s));
+    ASSERT_EQ(s.events.size(), 2u);
+    EXPECT_EQ(s.events[0].kind, MembershipEventKind::kLeave);
+    EXPECT_EQ(s.events[0].epoch, 5u);
+    EXPECT_EQ(s.events[0].device, 3u);
+    EXPECT_EQ(s.events[1].kind, MembershipEventKind::kJoin);
+
+    MembershipSchedule back;
+    ASSERT_TRUE(parse_membership(membership_name(s).c_str(), back));
+    EXPECT_EQ(back.events.size(), s.events.size());
+    EXPECT_EQ(membership_name(back), membership_name(s));
+}
+
+TEST(MembershipParse, SeedElementAndStaticName) {
+    MembershipSchedule s;
+    ASSERT_TRUE(parse_membership("leave:2@d1,seed:99", s));
+    EXPECT_EQ(s.seed, 99u);
+    EXPECT_NE(membership_name(s).find("seed:99"), std::string::npos);
+    EXPECT_EQ(membership_name(MembershipSchedule{}), "static");
+}
+
+TEST(MembershipParse, RejectsMalformedValues) {
+    MembershipSchedule s;
+    EXPECT_FALSE(parse_membership("", s));
+    EXPECT_FALSE(parse_membership("leave:5", s));
+    EXPECT_FALSE(parse_membership("leave:5@3", s));
+    EXPECT_FALSE(parse_membership("evict:5@d3", s));
+    EXPECT_FALSE(parse_membership("leave:5@d3,", s));
+    EXPECT_FALSE(parse_membership("leave:5@d3x", s));
+    EXPECT_FALSE(parse_membership("seed:", s));
+}
+
+// ------------------------------------------------------------- validation
+
+MembershipSchedule sched(std::vector<MembershipEvent> ev) {
+    MembershipSchedule s;
+    s.events = std::move(ev);
+    return s;
+}
+
+TEST(MembershipValidate, AcceptsLegalReplay) {
+    const auto s = sched({{MembershipEventKind::kLeave, 1, 2},
+                          {MembershipEventKind::kLeave, 2, 0},
+                          {MembershipEventKind::kJoin, 3, 2}});
+    EXPECT_NO_THROW(s.validate(4));
+}
+
+TEST(MembershipValidate, RejectsIllegalReplays) {
+    // Epoch 0 is the full-cluster start; events must land at >= 1.
+    EXPECT_THROW(sched({{MembershipEventKind::kLeave, 0, 1}}).validate(4),
+                 Error);
+    // Device id beyond the frozen P.
+    EXPECT_THROW(sched({{MembershipEventKind::kLeave, 1, 4}}).validate(4),
+                 Error);
+    // Leaving a device that already left.
+    EXPECT_THROW(sched({{MembershipEventKind::kLeave, 1, 2},
+                        {MembershipEventKind::kLeave, 2, 2}})
+                     .validate(4),
+                 Error);
+    // Joining a device that never left.
+    EXPECT_THROW(sched({{MembershipEventKind::kJoin, 1, 2}}).validate(4),
+                 Error);
+    // No survivor.
+    EXPECT_THROW(sched({{MembershipEventKind::kLeave, 1, 0},
+                        {MembershipEventKind::kLeave, 1, 1}})
+                     .validate(2),
+                 Error);
+    // Same device changed twice in one epoch.
+    EXPECT_THROW(sched({{MembershipEventKind::kLeave, 1, 2},
+                        {MembershipEventKind::kJoin, 1, 2}})
+                     .validate(4),
+                 Error);
+}
+
+TEST(MembershipChurn, DeterministicAndValid) {
+    const auto a = MembershipSchedule::churn(8, 20, 0.5, 1234, 2);
+    const auto b = MembershipSchedule::churn(8, 20, 0.5, 1234, 2);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+        EXPECT_EQ(a.events[i].epoch, b.events[i].epoch);
+        EXPECT_EQ(a.events[i].device, b.events[i].device);
+    }
+    EXPECT_FALSE(a.events.empty()) << "rate 0.5 over 20 epochs never fired";
+    EXPECT_NO_THROW(a.validate(8));
+    // A different seed draws a different trajectory.
+    const auto c = MembershipSchedule::churn(8, 20, 0.5, 77, 2);
+    EXPECT_NE(membership_name(a), membership_name(c));
+}
+
+// ---------------------------------------------------------- active view
+
+TEST(MembershipView, LeaveJoinKeepAscendingActiveList) {
+    Membership m(4);
+    EXPECT_EQ(m.active_count(), 4u);
+    m.leave(1);
+    m.leave(3);
+    EXPECT_EQ(m.active(), (std::vector<std::uint32_t>{0, 2}));
+    EXPECT_FALSE(m.is_active(3));
+    m.join(3);
+    EXPECT_EQ(m.active(), (std::vector<std::uint32_t>{0, 2, 3}));
+    EXPECT_EQ(m.mask()[1], 0u);
+    EXPECT_EQ(m.mask()[2], 1u);
+    EXPECT_THROW(m.leave(1), Error);   // already absent
+    EXPECT_THROW(m.join(0), Error);    // already active
+    Membership last(1);
+    EXPECT_THROW(last.leave(0), Error);  // no survivor
+}
+
+// ------------------------------------------------------------ ClusterState
+
+ClusterState::Profile uniform_profile(std::uint32_t p) {
+    ClusterState::Profile prof;
+    prof.part_bytes.assign(p, 1000);
+    prof.affinity.resize(p);
+    for (std::uint32_t i = 0; i < p; ++i) {
+        // Ring-shaped coupling: each partition is chatty with its two
+        // neighbours.
+        prof.affinity[i].emplace_back((i + 1) % p, 500);
+        prof.affinity[i].emplace_back((i + p - 1) % p, 500);
+    }
+    prof.replica_bytes = 4096;
+    return prof;
+}
+
+TEST(ClusterState, StaticScheduleNeverTransitions) {
+    const comm::Topology topo = comm::Topology::flat(4);
+    ClusterState cs(topo, MembershipSchedule{}, uniform_profile(4));
+    for (std::uint32_t e = 1; e <= 5; ++e) {
+        EXPECT_EQ(cs.advance(e), nullptr);
+        cs.note_epoch();
+    }
+    for (std::uint32_t p = 0; p < 4; ++p) EXPECT_EQ(cs.owner(p), p);
+    EXPECT_FALSE(cs.summary().changed());
+    EXPECT_EQ(cs.summary().min_active, 4u);
+    EXPECT_EQ(cs.summary().active_per_epoch.size(), 5u);
+}
+
+TEST(ClusterState, LeaveOrphansReassignedToActiveSurvivors) {
+    const comm::Topology topo = comm::Topology::flat(4);
+    auto run = [&] {
+        ClusterState cs(topo, sched({{MembershipEventKind::kLeave, 1, 2}}),
+                        uniform_profile(4));
+        const Transition* tr = cs.advance(1);
+        EXPECT_NE(tr, nullptr);
+        EXPECT_EQ(tr->left, std::vector<std::uint32_t>{2});
+        EXPECT_FALSE(tr->moved_parts.empty());
+        // Every partition is hosted by an active device afterwards.
+        for (std::uint32_t p = 0; p < 4; ++p)
+            EXPECT_TRUE(cs.membership().is_active(cs.owner(p)));
+        std::vector<std::uint32_t> owners;
+        for (std::uint32_t p = 0; p < 4; ++p) owners.push_back(cs.owner(p));
+        return owners;
+    };
+    // Bitwise-deterministic rebalance: two fresh runs agree exactly.
+    EXPECT_EQ(run(), run());
+}
+
+TEST(ClusterState, RejoinRestoresHomeOwnershipAndReplicates) {
+    const comm::Topology topo = comm::Topology::flat(4);
+    ClusterState cs(topo,
+                    sched({{MembershipEventKind::kLeave, 1, 2},
+                           {MembershipEventKind::kJoin, 3, 2}}),
+                    uniform_profile(4));
+    ASSERT_NE(cs.advance(1), nullptr);
+    EXPECT_EQ(cs.advance(2), nullptr);
+    const Transition* tr = cs.advance(3);
+    ASSERT_NE(tr, nullptr);
+    EXPECT_EQ(tr->joined, std::vector<std::uint32_t>{2});
+    // Warm handoff: every partition is back on its home device.
+    for (std::uint32_t p = 0; p < 4; ++p) EXPECT_EQ(cs.owner(p), p);
+    // The joiner received a model replica priced at replica_bytes.
+    ASSERT_EQ(tr->replications.size(), 1u);
+    EXPECT_EQ(tr->replications[0].part, kReplicaMigration);
+    EXPECT_EQ(tr->replications[0].to_device, 2u);
+    EXPECT_EQ(tr->replications[0].bytes, 4096u);
+    EXPECT_TRUE(cs.membership().is_active(tr->replications[0].from_device));
+}
+
+TEST(ClusterState, SummaryCountsAndDecomposition) {
+    const comm::Topology topo = comm::Topology::flat(4);
+    ClusterState cs(topo,
+                    sched({{MembershipEventKind::kLeave, 1, 2},
+                           {MembershipEventKind::kJoin, 2, 2}}),
+                    uniform_profile(4));
+    for (std::uint32_t e = 1; e <= 3; ++e) {
+        cs.advance(e);
+        cs.note_epoch();
+    }
+    const MembershipSummary& s = cs.summary();
+    EXPECT_EQ(s.leaves, 1u);
+    EXPECT_EQ(s.joins, 1u);
+    EXPECT_EQ(s.rebuilds, 2u);
+    EXPECT_EQ(s.migrated_bytes, s.migrated_state_bytes +
+                                    s.migrated_residual_bytes +
+                                    s.replicated_weight_bytes);
+    EXPECT_GT(s.migrated_state_bytes, 0u);
+    EXPECT_GT(s.replicated_weight_bytes, 0u);
+    EXPECT_GT(s.invalidated_halo_bytes, 0u);
+    EXPECT_EQ(s.min_active, 3u);
+    EXPECT_EQ(s.active_per_epoch,
+              (std::vector<std::uint32_t>{3, 4, 4}));
+}
+
+// ------------------------------------------- Allreduce over rank subsets
+
+bool same_schedule(const std::vector<Round>& a, const std::vector<Round>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t r = 0; r < a.size(); ++r) {
+        if (a[r].sends.size() != b[r].sends.size()) return false;
+        for (std::size_t i = 0; i < a[r].sends.size(); ++i) {
+            const auto& x = a[r].sends[i];
+            const auto& y = b[r].sends[i];
+            if (x.src != y.src || x.dst != y.dst || x.bytes != y.bytes)
+                return false;
+        }
+    }
+    return true;
+}
+
+TEST(AllreduceSubset, FullRankSetMatchesLegacyCtorBitwise) {
+    const std::uint64_t bytes = 1 << 20;
+    std::vector<std::uint32_t> full16(16);
+    for (std::uint32_t i = 0; i < 16; ++i) full16[i] = i;
+    const comm::Topology flat = comm::Topology::flat(16);
+    const comm::Topology hier =
+        comm::Topology::build(comm::TopologySpec::preset(16), 16);
+    for (const comm::Topology* topo : {&flat, &hier}) {
+        for (const Algo a :
+             {Algo::kP2P, Algo::kRing, Algo::kTree, Algo::kHier}) {
+            const Allreduce legacy(*topo, a, bytes);
+            const Allreduce subset(*topo, a, bytes, full16);
+            EXPECT_TRUE(same_schedule(legacy.schedule(), subset.schedule()))
+                << "algo " << comm::collective::algo_name(a);
+        }
+    }
+}
+
+TEST(AllreduceSubset, RingSpansExactlyTheListedRanks) {
+    const comm::Topology topo = comm::Topology::flat(8);
+    const std::vector<std::uint32_t> ranks{0, 2, 5, 7};
+    const Allreduce ar(topo, Algo::kRing, 4096, ranks);
+    // 2(k-1) rounds over k ranks.
+    EXPECT_EQ(ar.schedule().size(), 2u * (ranks.size() - 1));
+    for (const Round& r : ar.schedule())
+        for (const auto& s : r.sends) {
+            EXPECT_TRUE(std::find(ranks.begin(), ranks.end(), s.src) !=
+                        ranks.end());
+            EXPECT_TRUE(std::find(ranks.begin(), ranks.end(), s.dst) !=
+                        ranks.end());
+        }
+}
+
+TEST(AllreduceSubset, TreeFallsBackToRingOffPowerOfTwo) {
+    const comm::Topology topo = comm::Topology::flat(8);
+    const std::vector<std::uint32_t> ranks{0, 3, 6};  // 3 survivors
+    const Allreduce tree(topo, Algo::kTree, 4096, ranks);
+    const Allreduce ring(topo, Algo::kRing, 4096, ranks);
+    EXPECT_TRUE(same_schedule(tree.schedule(), ring.schedule()));
+    // The full-topology power-of-two requirement still holds.
+    EXPECT_THROW(Allreduce(comm::Topology::flat(6), Algo::kTree, 4096),
+                 Error);
+}
+
+TEST(AllreduceSubset, HierSkipsEmptyNodesAndElectsActingLeaders) {
+    // 4 nodes x 4 devices; node 1 (devices 4..7) fully departed and
+    // node 2's canonical leader (device 8) is gone too.
+    const comm::Topology topo =
+        comm::Topology::build(comm::TopologySpec::preset(16), 16);
+    const std::vector<std::uint32_t> ranks{0, 1, 2, 3, 9, 10, 12, 13, 14, 15};
+    const Allreduce ar(topo, Algo::kHier, 1 << 16, ranks);
+    ASSERT_FALSE(ar.schedule().empty());
+    for (const Round& r : ar.schedule())
+        for (const auto& s : r.sends) {
+            EXPECT_TRUE(std::find(ranks.begin(), ranks.end(), s.src) !=
+                        ranks.end())
+                << "send from departed device " << s.src;
+            EXPECT_TRUE(std::find(ranks.begin(), ranks.end(), s.dst) !=
+                        ranks.end())
+                << "send to departed device " << s.dst;
+            // Nothing may touch the fully-departed node 1.
+            EXPECT_FALSE(s.src >= 4 && s.src <= 7);
+            EXPECT_FALSE(s.dst >= 4 && s.dst <= 7);
+        }
+    // Node 2's acting leader is its lowest survivor (9): it must appear
+    // on the inter-node ring.
+    bool nine_on_ring = false;
+    for (const Round& r : ar.schedule())
+        for (const auto& s : r.sends)
+            if (s.src == 9 || s.dst == 9) nine_on_ring = true;
+    EXPECT_TRUE(nine_on_ring);
+}
+
+} // namespace
+} // namespace scgnn::runtime
