@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
             sc.grouping.kmeans_k = k;
             sc.grouping.seed = opt.seed;
             core::SemanticCompressor comp(sc);
-            const auto r = train_distributed(d, parts, mc, cfg, comp);
+            const auto r = runtime::Scenario::for_training(cfg).train(d, parts, mc, comp);
             const double vanilla_bytes = static_cast<double>(
                 ctx.vanilla_exchange_bytes(mc.hidden_dim));
             const double ours_bytes = static_cast<double>(

@@ -103,9 +103,9 @@ int main(int argc, char** argv) {
     benchutil::CommonFlags common;
     // Tuned operating point for the adaptive runs (pubmed, see DESIGN.md
     // §12); the --schedule-* flags still override.
-    common.schedule.floor = 0.25;
-    common.schedule.drift_threshold = 1.0;
-    common.schedule.improve_threshold = 0.001;
+    common.schedule().floor = 0.25;
+    common.schedule().drift_threshold = 1.0;
+    common.schedule().improve_threshold = 0.001;
     double scale = 0.2;
     std::uint32_t epochs = 96, parts_n = 4;
     std::uint64_t seed = 2024;
@@ -139,9 +139,9 @@ int main(int argc, char** argv) {
 
     std::printf("# schedules: adaptive floor=%.3g drift=%.3g improve=%.3g, "
                 "warmup floor=%.3g over %u epochs\n",
-                common.schedule.floor, common.schedule.drift_threshold,
-                common.schedule.improve_threshold, common.schedule.floor,
-                common.schedule.warmup_epochs);
+                common.schedule().floor, common.schedule().drift_threshold,
+                common.schedule().improve_threshold, common.schedule().floor,
+                common.schedule().warmup_epochs);
 
     struct Plan {
         const char* stack;
@@ -172,7 +172,7 @@ int main(int argc, char** argv) {
         Run run;
         run.stack = p.stack;
         run.schedule = p.schedule;
-        run.result = train_distributed(d, parts, mc, cfg, *comp);
+        run.result = runtime::Scenario::for_training(cfg).train(d, parts, mc, *comp);
         runs.push_back(std::move(run));
     }
 

@@ -139,7 +139,7 @@ int main(int argc, char** argv) {
     benchutil::print_dataset(d);
 
     const runtime::MembershipSchedule churn =
-        common.membership.active() ? common.membership : churn_for(epochs);
+        common.membership().active() ? common.membership() : churn_for(epochs);
     std::printf("# membership: %s\n",
                 runtime::membership_name(churn).c_str());
 
@@ -163,7 +163,7 @@ int main(int argc, char** argv) {
             Row row;
             row.devices = p;
             row.mode = elastic ? "elastic" : "static";
-            row.result = train_distributed(d, parts, mc, cfg, *comp);
+            row.result = runtime::Scenario::for_training(cfg).train(d, parts, mc, *comp);
             rows.push_back(std::move(row));
         }
     }

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
             core::SemanticCompressorConfig sc = benchutil::semantic_cfg();
             sc.drop = v.drop;
             core::SemanticCompressor comp(sc);
-            const auto r = train_distributed(d, parts, mc, cfg, comp);
+            const auto r = runtime::Scenario::for_training(cfg).train(d, parts, mc, comp);
             if (std::string(v.name) == "full") {
                 full_mb = r.mean_comm_mb;
                 full_acc = r.test_accuracy;

@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
     double vanilla_mb = 0.0;
     {
         const auto v = dist::make_compressor("vanilla");
-        vanilla_mb = train_distributed(d, parts, mc, cfg, *v).mean_comm_mb;
+        vanilla_mb = runtime::Scenario::for_training(cfg).train(d, parts, mc, *v).mean_comm_mb;
     }
 
     Table compat({"combination", "volume fraction", "test acc", "verdict"});
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
         const std::string name = std::string(core::method_key(a)) + "+" +
                                  core::method_key(b);
         const auto comp = dist::make_compressor(name, stage_opts);
-        const auto r = train_distributed(d, parts, mc, cfg, *comp);
+        const auto r = runtime::Scenario::for_training(cfg).train(d, parts, mc, *comp);
         const bool converged = r.test_accuracy > chance + 0.1;
         compat.add_row({name, Table::pct(r.mean_comm_mb / vanilla_mb),
                         Table::pct(r.test_accuracy),

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
             m.sampling.rate = 0.1;
             m.semantic = benchutil::semantic_cfg();
             auto comp = core::make_compressor(m);
-            const auto r = train_distributed(d, parts, mc, cfg, *comp);
+            const auto r = runtime::Scenario::for_training(cfg).train(d, parts, mc, *comp);
             table.add_row({d.name, core::to_string(method),
                            Table::num(r.mean_epoch_ms, 1),
                            Table::pct(r.mean_comm_ms / r.mean_epoch_ms),

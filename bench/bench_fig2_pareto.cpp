@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
         m.method = core::Method::kVanilla;
         auto comp = core::make_compressor(m);
         vanilla_mb =
-            train_distributed(d, parts, mc, cfg, *comp).mean_comm_mb;
+            runtime::Scenario::for_training(cfg).train(d, parts, mc, *comp).mean_comm_mb;
     }
 
     std::printf("== Fig. 2(b): volume/accuracy Pareto of per-edge decaying "
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     auto run = [&](const char* name, const std::string& knob,
                    core::MethodConfig m) {
         auto comp = core::make_compressor(m);
-        const auto r = train_distributed(d, parts, mc, cfg, *comp);
+        const auto r = runtime::Scenario::for_training(cfg).train(d, parts, mc, *comp);
         table.add_row({name, knob, Table::pct(r.mean_comm_mb / vanilla_mb),
                        Table::pct(r.test_accuracy)});
     };

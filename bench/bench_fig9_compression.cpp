@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
         auto run_volume = [&](core::MethodConfig m) {
             auto comp = core::make_compressor(m);
-            const auto r = train_distributed(d, parts, mc, cfg, *comp);
+            const auto r = runtime::Scenario::for_training(cfg).train(d, parts, mc, *comp);
             return r.mean_comm_mb;
         };
 

@@ -37,12 +37,12 @@ int main(int argc, char** argv) {
             cfg.comm.mode = comm::CostModel::Mode::kAdditive;
             const auto additive_comp = dist::make_compressor(method, copts);
             const auto ra =
-                train_distributed(d, parts, mc, cfg, *additive_comp);
+                runtime::Scenario::for_training(cfg).train(d, parts, mc, *additive_comp);
 
             cfg.comm.mode = comm::CostModel::Mode::kOverlap;
             const auto overlap_comp = dist::make_compressor(method, copts);
             const auto ro =
-                train_distributed(d, parts, mc, cfg, *overlap_comp);
+                runtime::Scenario::for_training(cfg).train(d, parts, mc, *overlap_comp);
 
             const double hidden = ro.mean_overlap_ms;
             table.add_row(

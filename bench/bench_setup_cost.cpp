@@ -36,9 +36,9 @@ int main(int argc, char** argv) {
         dist::CompressorOptions opts;
         opts.semantic = benchutil::semantic_cfg();
         const auto vanilla = dist::make_compressor("vanilla");
-        const auto rv = train_distributed(d, parts, mc, cfg, *vanilla);
+        const auto rv = runtime::Scenario::for_training(cfg).train(d, parts, mc, *vanilla);
         const auto ours = dist::make_compressor("ours", opts);
-        const auto ro = train_distributed(d, parts, mc, cfg, *ours);
+        const auto ro = runtime::Scenario::for_training(cfg).train(d, parts, mc, *ours);
 
         const double saved = rv.mean_epoch_ms - ro.mean_epoch_ms;
         table.add_row(

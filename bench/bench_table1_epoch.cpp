@@ -33,12 +33,12 @@ int main(int argc, char** argv) {
             m.method = core::Method::kVanilla;
             auto vanilla_comp = core::make_compressor(m);
             const auto vanilla =
-                train_distributed(d, parts, mc, cfg, *vanilla_comp);
+                runtime::Scenario::for_training(cfg).train(d, parts, mc, *vanilla_comp);
 
             m.method = core::Method::kSemantic;
             m.semantic = benchutil::semantic_cfg();
             auto ours_comp = core::make_compressor(m);
-            const auto ours = train_distributed(d, parts, mc, cfg, *ours_comp);
+            const auto ours = runtime::Scenario::for_training(cfg).train(d, parts, mc, *ours_comp);
 
             const double target =
                 ours.mean_comm_mb / std::max(1e-9, vanilla.mean_comm_mb);
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
 
             auto run = [&](core::MethodConfig mc2) {
                 auto comp = core::make_compressor(mc2);
-                return train_distributed(d, parts, mc, cfg, *comp);
+                return runtime::Scenario::for_training(cfg).train(d, parts, mc, *comp);
             };
             m = {};
             m.method = core::Method::kDelay;

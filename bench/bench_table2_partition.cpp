@@ -32,9 +32,9 @@ int main(int argc, char** argv) {
             dist::CompressorOptions opts;
             opts.semantic = benchutil::semantic_cfg();
             const auto vanilla = dist::make_compressor("vanilla");
-            const auto rv = train_distributed(d, parts, mc, cfg, *vanilla);
+            const auto rv = runtime::Scenario::for_training(cfg).train(d, parts, mc, *vanilla);
             const auto ours = dist::make_compressor("ours", opts);
-            const auto ro = train_distributed(d, parts, mc, cfg, *ours);
+            const auto ro = runtime::Scenario::for_training(cfg).train(d, parts, mc, *ours);
 
             if (algo == partition::PartitionAlgo::kNodeCut)
                 node_cut_cv = ro.mean_comm_mb;

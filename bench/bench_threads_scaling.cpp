@@ -166,7 +166,7 @@ int main(int argc, char** argv) {
         cfg.record_epochs = false;
         add_row(table, "dist epoch", sweep(reps, [&] {
             core::SemanticCompressor comp(benchutil::semantic_cfg());
-            const auto r = train_distributed(d, parts, mc, cfg, comp);
+            const auto r = runtime::Scenario::for_training(cfg).train(d, parts, mc, comp);
             std::uint64_t h = fnv1a(&r.final_loss, sizeof(r.final_loss));
             return fnv1a(&r.test_accuracy, sizeof(r.test_accuracy), h);
         }));

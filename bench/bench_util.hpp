@@ -29,6 +29,7 @@
 #include "scgnn/core/framework.hpp"
 #include "scgnn/obs/obs.hpp"
 #include "scgnn/runtime/membership.hpp"
+#include "scgnn/runtime/scenario.hpp"
 #include "scgnn/tensor/kernels.hpp"
 
 namespace scgnn::benchutil {
@@ -76,177 +77,80 @@ inline const char* log_level_name(LogLevel l) {
 /// Usage: call try_parse(argc, argv, i) inside an arg loop (it consumes
 /// the flag and its value and advances `i`), then activate() once parsing
 /// is done, and apply() on every DistTrainConfig the binary trains with.
+///
+/// Thin façade over runtime::Scenario — the flags are parsed exactly once
+/// by Scenario::parse_flag into one ScenarioConfig, and the accessors
+/// below read that config (so benches and scgnn_cli share one source of
+/// truth with the Scenario workloads).
 struct CommonFlags {
-    unsigned threads = 0;         ///< 0 = SCGNN_THREADS env / all cores
-    std::string obs_out;          ///< non-empty = obs enabled, output prefix
-    bool overlap = false;         ///< --overlap: timeline cost mode
-    bool kernels_set = false;     ///< --kernels given (else env/default)
-    tensor::KernelPath kernels = tensor::KernelPath::kScalar;
-    comm::FaultModel fault{};     ///< inactive unless a --fault-* flag set
-    comm::RetryPolicy retry{};
-    comm::TopologySpec topology{};  ///< flat unless --topology hier:NxM
-    comm::collective::Algo collective = comm::collective::Algo::kRing;
-    dist::RateScheduleConfig schedule{};  ///< fixed unless --compressor-schedule
-    runtime::MembershipSchedule membership{};  ///< static unless --membership
+    runtime::ScenarioConfig scn{};  ///< the one parsed configuration
 
     /// Consume argv[i] (and its value) when it is one of the shared
-    /// flags; returns false for flags the caller must handle itself.
-    /// Exits with code 2 on a malformed value, matching usage() errors.
+    /// scenario flags; returns false for flags the caller must handle
+    /// itself. Exits with code 2 on a malformed value.
     bool try_parse(int argc, char** argv, int& i) {
-        auto value = [&](const char* flag) -> const char* {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n", flag);
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (std::strcmp(argv[i], "--threads") == 0) {
-            threads = static_cast<unsigned>(std::atoi(value("--threads")));
-        } else if (std::strcmp(argv[i], "--log-level") == 0) {
-            LogLevel level;
-            const char* s = value("--log-level");
-            if (!parse_log_level(s, level)) {
-                std::fprintf(stderr,
-                             "unknown --log-level '%s' "
-                             "(expected debug|info|warn|error)\n", s);
-                std::exit(2);
-            }
-            set_log_level(level);
-        } else if (std::strcmp(argv[i], "--obs-out") == 0) {
-            obs_out = value("--obs-out");
-        } else if (std::strcmp(argv[i], "--overlap") == 0) {
-            overlap = true;  // flag only, no value
-        } else if (std::strcmp(argv[i], "--kernels") == 0) {
-            const char* s = value("--kernels");
-            if (!tensor::parse_kernel_path(s, kernels)) {
-                std::fprintf(stderr,
-                             "unknown --kernels '%s' (expected scalar|simd)\n",
-                             s);
-                std::exit(2);
-            }
-            kernels_set = true;
-        } else if (std::strcmp(argv[i], "--topology") == 0) {
-            const char* s = value("--topology");
-            if (!comm::parse_topology(s, topology)) {
-                std::fprintf(stderr,
-                             "bad --topology '%s' (expected flat|hier:NxM)\n",
-                             s);
-                std::exit(2);
-            }
-        } else if (std::strcmp(argv[i], "--collective") == 0) {
-            const char* s = value("--collective");
-            if (!comm::collective::parse_algo(s, collective)) {
-                std::fprintf(stderr,
-                             "unknown --collective '%s' "
-                             "(expected p2p|ring|tree|hier)\n", s);
-                std::exit(2);
-            }
-        } else if (std::strcmp(argv[i], "--compressor-schedule") == 0) {
-            const char* s = value("--compressor-schedule");
-            if (!dist::parse_schedule(s, schedule.kind)) {
-                std::fprintf(stderr,
-                             "unknown --compressor-schedule '%s' "
-                             "(expected fixed|warmup|adaptive)\n", s);
-                std::exit(2);
-            }
-        } else if (std::strcmp(argv[i], "--schedule-floor") == 0) {
-            schedule.floor = std::atof(value("--schedule-floor"));
-            if (schedule.floor <= 0.0 || schedule.floor > 1.0) {
-                std::fprintf(stderr,
-                             "bad --schedule-floor %g (expected (0, 1])\n",
-                             schedule.floor);
-                std::exit(2);
-            }
-        } else if (std::strcmp(argv[i], "--schedule-drift") == 0) {
-            schedule.drift_threshold = std::atof(value("--schedule-drift"));
-        } else if (std::strcmp(argv[i], "--schedule-improve") == 0) {
-            schedule.improve_threshold =
-                std::atof(value("--schedule-improve"));
-        } else if (std::strcmp(argv[i], "--schedule-hold") == 0) {
-            schedule.hold_epochs = static_cast<std::uint32_t>(
-                std::atoi(value("--schedule-hold")));
-            if (schedule.hold_epochs < 1) {
-                std::fprintf(stderr, "bad --schedule-hold (expected >= 1)\n");
-                std::exit(2);
-            }
-        } else if (std::strcmp(argv[i], "--warmup-epochs") == 0) {
-            schedule.warmup_epochs = static_cast<std::uint32_t>(
-                std::atoi(value("--warmup-epochs")));
-            if (schedule.warmup_epochs < 1) {
-                std::fprintf(stderr, "bad --warmup-epochs (expected >= 1)\n");
-                std::exit(2);
-            }
-        } else if (std::strcmp(argv[i], "--membership") == 0) {
-            const char* s = value("--membership");
-            if (!runtime::parse_membership(s, membership)) {
-                std::fprintf(stderr,
-                             "bad --membership '%s' (expected comma-joined "
-                             "leave:<epoch>@d<dev> / join:<epoch>@d<dev> "
-                             "events, optional seed:<n>)\n", s);
-                std::exit(2);
-            }
-        } else if (std::strcmp(argv[i], "--fault-drop") == 0) {
-            fault.drop_probability = std::atof(value("--fault-drop"));
-        } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
-            fault.seed = static_cast<std::uint64_t>(
-                std::atoll(value("--fault-seed")));
-        } else if (std::strcmp(argv[i], "--fault-link-down") == 0) {
-            const char* spec = value("--fault-link-down");
-            comm::LinkDownWindow w;
-            if (std::sscanf(spec, "%u:%u:%u:%u", &w.src, &w.dst,
-                            &w.first_epoch, &w.last_epoch) != 4) {
-                std::fprintf(stderr,
-                             "bad --fault-link-down '%s' "
-                             "(expected src:dst:first_epoch:last_epoch)\n",
-                             spec);
-                std::exit(2);
-            }
-            fault.down_windows.push_back(w);
-        } else if (std::strcmp(argv[i], "--retry-max") == 0) {
-            retry.max_attempts =
-                static_cast<std::uint32_t>(std::atoi(value("--retry-max")));
-        } else if (std::strcmp(argv[i], "--timeout") == 0) {
-            retry.timeout_s = std::atof(value("--timeout"));
-        } else {
-            return false;
-        }
-        return true;
+        return runtime::Scenario::parse_flag(argc, argv, i, scn);
     }
 
     /// Apply the side-effectful flags (obs arming, pool width, kernel
-    /// path). Resolves `threads` to the actual pool width. Exits with
+    /// path). Resolves threads() to the actual pool width. Exits with
     /// code 2 when `--kernels simd` was requested on a host without
     /// AVX2+FMA — a bench must not silently fall back and publish scalar
     /// numbers as SIMD ones.
-    void activate() {
-        if (!obs_out.empty()) {
-            obs::set_enabled(true);
-            obs::set_output_prefix(obs_out);  // arms write-at-exit
-        }
-        if (kernels_set) {
-            if (kernels == tensor::KernelPath::kSimd &&
-                !tensor::simd_supported()) {
-                std::fprintf(stderr,
-                             "--kernels simd: host lacks AVX2+FMA support\n");
-                std::exit(2);
-            }
-            tensor::set_kernel_path(kernels);
-        }
-        set_num_threads(threads);
-        threads = num_threads();
-    }
+    void activate() { runtime::Scenario::activate(scn); }
 
     /// Copy the comm-facing flags (fault schedule, retry policy, cost
     /// mode, topology shape, collective algorithm) into a train config's
     /// CommPolicy.
     void apply(dist::DistTrainConfig& cfg) const {
-        cfg.comm.fault = fault;
-        cfg.comm.retry = retry;
-        if (overlap) cfg.comm.mode = comm::CostModel::Mode::kOverlap;
-        cfg.comm.topology = topology;
-        cfg.comm.collective = collective;
-        cfg.rate = schedule;
-        cfg.membership = membership;
+        const dist::DistTrainConfig& t = scn.pipeline.train;
+        cfg.comm.fault = t.comm.fault;
+        cfg.comm.retry = t.comm.retry;
+        cfg.comm.mode = t.comm.mode;
+        cfg.comm.topology = t.comm.topology;
+        cfg.comm.collective = t.comm.collective;
+        cfg.rate = t.rate;
+        cfg.membership = t.membership;
+    }
+
+    // Accessors into the parsed scenario config.
+    [[nodiscard]] unsigned threads() const noexcept { return scn.threads; }
+    [[nodiscard]] const std::string& obs_out() const noexcept {
+        return scn.obs_out;
+    }
+    [[nodiscard]] bool overlap() const noexcept {
+        return scn.pipeline.train.comm.overlap();
+    }
+    [[nodiscard]] comm::FaultModel& fault() noexcept {
+        return scn.pipeline.train.comm.fault;
+    }
+    [[nodiscard]] const comm::FaultModel& fault() const noexcept {
+        return scn.pipeline.train.comm.fault;
+    }
+    [[nodiscard]] comm::RetryPolicy& retry() noexcept {
+        return scn.pipeline.train.comm.retry;
+    }
+    [[nodiscard]] const comm::RetryPolicy& retry() const noexcept {
+        return scn.pipeline.train.comm.retry;
+    }
+    [[nodiscard]] const comm::TopologySpec& topology() const noexcept {
+        return scn.pipeline.train.comm.topology;
+    }
+    [[nodiscard]] comm::collective::Algo collective() const noexcept {
+        return scn.pipeline.train.comm.collective;
+    }
+    [[nodiscard]] dist::RateScheduleConfig& schedule() noexcept {
+        return scn.pipeline.train.rate;
+    }
+    [[nodiscard]] const dist::RateScheduleConfig& schedule() const noexcept {
+        return scn.pipeline.train.rate;
+    }
+    [[nodiscard]] runtime::MembershipSchedule& membership() noexcept {
+        return scn.pipeline.train.membership;
+    }
+    [[nodiscard]] const runtime::MembershipSchedule& membership()
+        const noexcept {
+        return scn.pipeline.train.membership;
     }
 };
 
@@ -273,8 +177,8 @@ inline Options parse_options(int argc, char** argv) {
             opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     }
     opt.common.activate();
-    opt.threads = opt.common.threads;
-    opt.obs_out = opt.common.obs_out;
+    opt.threads = opt.common.threads();
+    opt.obs_out = opt.common.obs_out();
     std::printf(
         "# options: scale=%.2f epochs=%u seed=%llu threads=%u "
         "log-level=%s obs=%s mode=%s kernels=%s topology=%s collective=%s "
@@ -282,22 +186,22 @@ inline Options parse_options(int argc, char** argv) {
         opt.scale, opt.epochs, static_cast<unsigned long long>(opt.seed),
         opt.threads, log_level_name(log_level()),
         opt.obs_out.empty() ? "off" : opt.obs_out.c_str(),
-        opt.common.overlap ? "overlap" : "additive",
+        opt.common.overlap() ? "overlap" : "additive",
         tensor::kernel_path_name(tensor::kernel_path()),
-        comm::topology_name(opt.common.topology).c_str(),
-        comm::collective::algo_name(opt.common.collective),
-        dist::schedule_name(opt.common.schedule.kind));
-    if (opt.common.membership.active())
+        comm::topology_name(opt.common.topology()).c_str(),
+        comm::collective::algo_name(opt.common.collective()),
+        dist::schedule_name(opt.common.schedule().kind));
+    if (opt.common.membership().active())
         std::printf("# membership: %s\n",
-                    runtime::membership_name(opt.common.membership).c_str());
-    if (opt.common.fault.active())
+                    runtime::membership_name(opt.common.membership()).c_str());
+    if (opt.common.fault().active())
         std::printf("# faults: drop=%.3f seed=%llu down-windows=%zu "
                     "retry-max=%u timeout=%gs\n",
-                    opt.common.fault.drop_probability,
-                    static_cast<unsigned long long>(opt.common.fault.seed),
-                    opt.common.fault.down_windows.size(),
-                    opt.common.retry.max_attempts,
-                    opt.common.retry.timeout_s);
+                    opt.common.fault().drop_probability,
+                    static_cast<unsigned long long>(opt.common.fault().seed),
+                    opt.common.fault().down_windows.size(),
+                    opt.common.retry().max_attempts,
+                    opt.common.retry().timeout_s);
     return opt;
 }
 

@@ -14,6 +14,7 @@
 #include "scgnn/common/table.hpp"
 #include "scgnn/core/framework.hpp"
 #include "scgnn/dist/factory.hpp"
+#include "scgnn/runtime/scenario.hpp"
 
 int main() {
     using namespace scgnn;
@@ -44,7 +45,7 @@ int main() {
     Table table({"deployment", "comm MB/ep", "comm ms", "compute ms",
                  "epoch ms", "comm share", "test acc"});
     auto report = [&](const char* name, dist::BoundaryCompressor& comp) {
-        const auto r = train_distributed(data, parts, model, cfg, comp);
+        const auto r = runtime::Scenario::for_training(cfg).train(data, parts, model, comp);
         table.add_row({name, Table::num(r.mean_comm_mb, 2),
                        Table::num(r.mean_comm_ms, 1),
                        Table::num(r.mean_compute_ms, 1),

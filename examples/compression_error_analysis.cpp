@@ -12,6 +12,7 @@
 #include "scgnn/gnn/checkpoint.hpp"
 #include "scgnn/gnn/metrics.hpp"
 #include "scgnn/gnn/trainer.hpp"
+#include "scgnn/runtime/scenario.hpp"
 
 int main() {
     using namespace scgnn;
@@ -75,7 +76,7 @@ int main() {
         std::printf("training %s...\n", v.name);
         auto comp = core::make_compressor(v.method);
         const auto r =
-            train_distributed(data, parts, model_cfg, cfg, *comp);
+            runtime::Scenario::for_training(cfg).train(data, parts, model_cfg, *comp);
 
         gnn::GnnModel model(model_cfg);
         gnn::load_checkpoint(model, cfg.checkpoint_path);

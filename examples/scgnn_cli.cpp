@@ -3,8 +3,12 @@
 // partitioner without writing code.
 //
 // Usage:
-//   scgnn_cli [--dataset reddit|yelp|ogbn|pubmed | --load <dir>]
+//   scgnn_cli [--mode train|sample-train|serve]
+//             [--dataset reddit|yelp|ogbn|pubmed | --load <dir>]
 //             [--scale <f>] [--parts <n>] [--epochs <n>] [--layers <n>]
+//             [--batch-size <n>] [--fanout <k1,k2,...>]
+//             [--qps <f>] [--deadline-ms <f>] [--queries <n>]
+//             [--serve-batch <n>] [--no-serve-cache]
 //             [--method vanilla|sampling|quant|delay|ours|<stack>]
 //             [--compressor-schedule fixed|warmup|adaptive]
 //             [--schedule-floor <f>] [--schedule-drift <f>]
@@ -54,6 +58,16 @@
 // success — including a degraded run that stayed within `--max-staleness`
 // (default 0) consecutive stale epochs — and 3 when fault recovery left
 // any halo block staler than that threshold.
+//
+// `--mode` picks the workload (see runtime/scenario.hpp): `train` is the
+// default full-batch distributed run, `sample-train` switches the trainer
+// to seeded neighbor-sampled mini-batches (`--batch-size` seeds per batch,
+// `--fanout` per-layer neighbor budgets, e.g. `--fanout 10,5`), and
+// `serve` mounts the open-loop inference simulation instead of training
+// (`--qps` arrival rate, `--queries` stream length, `--serve-batch` /
+// `--deadline-ms` micro-batching, `--no-serve-cache` disables the
+// semantic halo cache). Serving inherits the link cost model and the
+// semantic-grouping knobs from the training-side flags.
 //
 // `--membership` replays a deterministic elastic-membership schedule
 // (see runtime/membership.hpp): comma-joined `leave:<epoch>@d<dev>` /
@@ -196,7 +210,8 @@ int main(int argc, char** argv) {
 
     common.activate();
     common.apply(cfg.train);
-    const std::string& obs_out = common.obs_out;
+    const std::string& obs_out = common.obs_out();
+    const runtime::ScenarioMode mode = common.scn.mode;
 
     graph::Dataset data = load_dir.empty()
                               ? graph::make_dataset(parse_preset(dataset),
@@ -216,15 +231,51 @@ int main(int argc, char** argv) {
         cfg.train.norm = gnn::AdjNorm::kSum;
 
     std::printf("%s | %u nodes | %llu edges | avg degree %.1f | %u parts | "
-                "%s | %s partition | %u threads\n",
+                "%s | %s | %s partition | %u threads\n",
                 data.name.c_str(), data.graph.num_nodes(),
                 static_cast<unsigned long long>(data.graph.num_edges()),
                 data.graph.average_degree(), cfg.num_parts,
+                runtime::mode_name(mode),
                 cfg.method.name.empty() ? core::to_string(cfg.method.method)
                                         : cfg.method.name.c_str(),
                 partition::to_string(cfg.algo), scgnn::num_threads());
 
-    const core::PipelineResult res = core::run_pipeline(data, cfg);
+    // Mount the configured workload behind the single validated builder.
+    // The serving scenario picks up the model shape from the training-side
+    // flags so `--layers` / hidden width mean the same thing in both.
+    runtime::ScenarioConfig scn = common.scn;
+    scn.pipeline = cfg;
+    scn.serve.layers = cfg.model.num_layers;
+    scn.serve.embed_dim = cfg.model.hidden_dim;
+    const runtime::Scenario scenario = [&] {
+        try {
+            return runtime::Scenario::build(std::move(scn));
+        } catch (const scgnn::Error& e) {
+            usage(e.what());
+        }
+    }();
+    const runtime::ScenarioResult sres = scenario.run(data);
+
+    if (mode == runtime::ScenarioMode::kServe) {
+        const runtime::ServeResult& s = sres.serve;
+        Table st({"metric", "value"});
+        st.add_row({"queries", Table::num(std::uint64_t{s.queries})});
+        st.add_row({"batches", Table::num(s.batches)});
+        st.add_row({"mean batch", Table::num(s.mean_batch, 2)});
+        st.add_row({"p50 latency ms", Table::num(s.p50_ms, 3)});
+        st.add_row({"p99 latency ms", Table::num(s.p99_ms, 3)});
+        st.add_row({"p99.9 latency ms", Table::num(s.p999_ms, 3)});
+        st.add_row({"mean latency ms", Table::num(s.mean_ms, 3)});
+        st.add_row({"cache hit rate", Table::pct(s.hit_rate)});
+        st.add_row({"halo MB fetched", Table::num(s.halo_mb, 3)});
+        std::printf("%s", st.str().c_str());
+        if (!obs_out.empty() && obs::finish())
+            std::printf("observability: wrote %s.trace.json and "
+                        "%s.report.json\n", obs_out.c_str(), obs_out.c_str());
+        return 0;
+    }
+
+    const core::PipelineResult& res = sres.pipeline;
     Table t({"metric", "value"});
     t.add_row({"test accuracy", Table::pct(res.train.test_accuracy)});
     t.add_row({"val accuracy", Table::pct(res.train.val_accuracy)});
@@ -261,6 +312,15 @@ int main(int argc, char** argv) {
         t.add_row({"rebuild ms", Table::num(mem.rebuild_ms, 2)});
         t.add_row({"min active devices",
                    Table::num(std::uint64_t{mem.min_active})});
+    }
+    if (mode == runtime::ScenarioMode::kSampleTrain) {
+        const dist::SampleStats& smp = res.train.sampling;
+        t.add_row({"mini-batches", Table::num(smp.batches)});
+        t.add_row({"mean batch nodes", Table::num(smp.mean_batch_nodes, 1)});
+        t.add_row({"halo rows requested", Table::num(smp.requested_rows)});
+        t.add_row({"request MB",
+                   Table::num(static_cast<double>(smp.request_bytes) / 1e6,
+                              3)});
     }
     std::printf("%s", t.str().c_str());
 

@@ -82,6 +82,15 @@ public:
     /// Total observations folded in.
     [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
 
+    /// Quantile `p` in [0, 1] from the binned counts: exact cumulative
+    /// walk to rank p·(total−1), then linear interpolation inside the
+    /// holding bin (observations are assumed uniform within a bin). The
+    /// result therefore deviates from the true sample quantile by at most
+    /// one bin width — the documented bias bound; edge-clamped
+    /// observations inherit the edge bin's range. Deterministic: pure
+    /// integer walk + one division. Requires total() > 0.
+    [[nodiscard]] double quantile(double p) const;
+
     /// Fold another histogram's counts into this one. Requires identical
     /// [lo, hi) range and bin count.
     void merge(const Histogram& other);

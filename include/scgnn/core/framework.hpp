@@ -104,6 +104,19 @@ public:
                                               const tensor::Matrix& grad_in,
                                               tensor::Matrix& grad_out) override;
 
+    /// Subset (request-driven) exchange: chains the stages' *_subset
+    /// transforms over the requested rows; wire bytes compose as in
+    /// forward_rows but against the request-model vanilla volume
+    /// rows.size()·f·4 instead of the per-edge volume.
+    [[nodiscard]] std::uint64_t forward_subset(
+        const dist::DistContext& ctx, std::size_t plan_idx, int layer,
+        std::span<const std::uint32_t> rows, const tensor::Matrix& src,
+        tensor::Matrix& out) override;
+    [[nodiscard]] std::uint64_t backward_subset(
+        const dist::DistContext& ctx, std::size_t plan_idx, int layer,
+        std::span<const std::uint32_t> rows, const tensor::Matrix& grad_in,
+        tensor::Matrix& grad_out) override;
+
 private:
     std::vector<std::unique_ptr<dist::BoundaryCompressor>> stages_;
 };
@@ -135,5 +148,18 @@ struct PipelineResult {
 /// for reference, since they are a static property of the partitioning.
 [[nodiscard]] PipelineResult run_pipeline(const graph::Dataset& data,
                                           const PipelineConfig& cfg);
+
+namespace detail {
+
+/// Fill the static-stage statistics of a finished run (cross edges, wire
+/// rows, grouping figures, compression ratio). When the method is plain
+/// semantic, `comp` must be the training compressor (its live grouping is
+/// read); otherwise a reference grouping is rebuilt from `method.semantic`.
+/// Shared by run_pipeline and the Scenario sample-train path.
+void fill_semantic_stats(PipelineResult& res, const dist::DistContext& ctx,
+                         const MethodConfig& method,
+                         const dist::BoundaryCompressor* comp);
+
+} // namespace detail
 
 } // namespace scgnn::core

@@ -102,6 +102,24 @@ public:
                                               const tensor::Matrix& grad_in,
                                               tensor::Matrix& grad_out) override;
 
+    /// Request-driven subset exchange (neighbor-sampled training): fuses
+    /// only the *requested* members of each touched group, with the output
+    /// weights renormalised over the requested subset so the partial fusion
+    /// stays a convex combination. Costs one wire row per touched
+    /// (non-dropped) group plus one per requested raw row; dropped classes
+    /// reconstruct as zero and ship nothing, exactly as in the full path.
+    [[nodiscard]] std::uint64_t forward_subset(
+        const dist::DistContext& ctx, std::size_t plan_idx, int layer,
+        std::span<const std::uint32_t> rows, const tensor::Matrix& src,
+        tensor::Matrix& out) override;
+
+    /// Adjoint of forward_subset: one fused gradient row crosses back per
+    /// touched group and is disassembled by the renormalised weights.
+    [[nodiscard]] std::uint64_t backward_subset(
+        const dist::DistContext& ctx, std::size_t plan_idx, int layer,
+        std::span<const std::uint32_t> rows, const tensor::Matrix& grad_in,
+        tensor::Matrix& grad_out) override;
+
     /// The grouping built for plan `plan_idx` (valid after setup()).
     [[nodiscard]] const Grouping& grouping(std::size_t plan_idx) const;
 

@@ -13,6 +13,7 @@
 /// gradients are compressed symmetrically, as in the paper.
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "scgnn/dist/context.hpp"
@@ -82,6 +83,30 @@ public:
     [[nodiscard]] virtual std::uint64_t backward_rows(
         const DistContext& ctx, std::size_t plan_idx, int layer,
         const tensor::Matrix& grad_in, tensor::Matrix& grad_out) = 0;
+
+    /// Request-driven forward exchange over a *subset* of the plan's rows —
+    /// the per-batch halo request of neighbor-sampled training. `rows`
+    /// holds ascending unique plan-row indices (each < plan.num_rows());
+    /// `src` is subset-shaped (rows.size() × f, src row i = plan row
+    /// rows[i]) and the reconstructions come back subset-shaped in `out`.
+    /// Unlike forward_rows' per-edge pricing, the request model ships each
+    /// requested boundary row at most once per exchange, so the default
+    /// (vanilla semantics) copies the rows through at rows.size()·f·4
+    /// wire bytes. Compressing overrides (semantic fuse, error feedback)
+    /// restrict their transform to the requested subset.
+    [[nodiscard]] virtual std::uint64_t forward_subset(
+        const DistContext& ctx, std::size_t plan_idx, int layer,
+        std::span<const std::uint32_t> rows, const tensor::Matrix& src,
+        tensor::Matrix& out);
+
+    /// Adjoint of forward_subset: `grad_in` holds the consumer-side
+    /// gradients w.r.t. the reconstructed subset rows; the gradients
+    /// w.r.t. the true source rows come back in `grad_out` (both
+    /// subset-shaped). Default: verbatim copy at rows.size()·f·4 bytes.
+    [[nodiscard]] virtual std::uint64_t backward_subset(
+        const DistContext& ctx, std::size_t plan_idx, int layer,
+        std::span<const std::uint32_t> rows, const tensor::Matrix& grad_in,
+        tensor::Matrix& grad_out);
 };
 
 /// The uncompressed reference: ships every boundary row verbatim and costs

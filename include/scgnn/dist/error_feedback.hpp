@@ -91,6 +91,20 @@ public:
         const DistContext& ctx, std::size_t plan_idx, int layer,
         const tensor::Matrix& grad_in, tensor::Matrix& grad_out) override;
 
+    /// Request-driven subset exchange: the residual slot stays at the full
+    /// plan shape (rows the batch did not request keep their backlog for a
+    /// later request), the carry-in/residual-update/resync rules apply to
+    /// the requested rows only, and the inner stage runs its own
+    /// *_subset transform. Resync flushes are charged per requested row.
+    [[nodiscard]] std::uint64_t forward_subset(
+        const DistContext& ctx, std::size_t plan_idx, int layer,
+        std::span<const std::uint32_t> rows, const tensor::Matrix& src,
+        tensor::Matrix& out) override;
+    [[nodiscard]] std::uint64_t backward_subset(
+        const DistContext& ctx, std::size_t plan_idx, int layer,
+        std::span<const std::uint32_t> rows, const tensor::Matrix& grad_in,
+        tensor::Matrix& grad_out) override;
+
     /// Frobenius norm of every pending residual written this epoch — the
     /// still-undelivered error after resyncs took their share.
     [[nodiscard]] double epoch_residual_norm() const;
@@ -143,6 +157,12 @@ private:
                            const DistContext& ctx, std::size_t plan_idx,
                            int layer, bool backward,
                            const tensor::Matrix& src, tensor::Matrix& out);
+    std::uint64_t exchange_subset(std::vector<std::vector<Slot>>& side,
+                                  const DistContext& ctx, std::size_t plan_idx,
+                                  int layer, bool backward,
+                                  std::span<const std::uint32_t> rows,
+                                  const tensor::Matrix& src,
+                                  tensor::Matrix& out);
 
     std::unique_ptr<BoundaryCompressor> inner_;
     ErrorFeedbackConfig cfg_;

@@ -1,0 +1,117 @@
+#pragma once
+/// \file sampler.hpp
+/// \brief Seeded neighbor sampling for mini-batch GNN training — the
+///        sampled-workload half of the Scenario API (DESIGN.md §14).
+///
+/// A batch starts from `batch_size` seed nodes drawn from a per-epoch
+/// permutation of the train split and recursively samples at most
+/// `fanout[l]` in-neighbors per consumer at aggregation layer l, GraphSAGE
+/// style: the self term of the normalised adjacency is always kept at its
+/// exact weight, and the sampled non-self entries are rescaled by
+/// (candidates / sampled) so the sampled aggregation stays an unbiased
+/// estimate of the full one. Sampling is entirely serial and keyed by a
+/// splitmix64 chain over (seed, epoch, batch, layer, node), so a batch is
+/// bitwise identical at any thread count and across runs.
+///
+/// The cross-partition edges of a batch do not trigger the full boundary
+/// exchange of the fixed path: they are collected into per-(layer, plan)
+/// *halo requests* naming only the sampled boundary rows, which the
+/// sampled trainer prices through BoundaryCompressor::forward_subset /
+/// backward_subset and Fabric::send — the request-driven transfer model of
+/// serving-style systems, composed with semantic/EF compression on the
+/// requested subset.
+
+#include <cstdint>
+#include <vector>
+
+#include "scgnn/dist/context.hpp"
+#include "scgnn/gnn/adjacency.hpp"
+#include "scgnn/graph/dataset.hpp"
+#include "scgnn/tensor/sparse.hpp"
+
+namespace scgnn::dist {
+
+/// Neighbor-sampling configuration.
+struct SamplerConfig {
+    std::uint32_t batch_size = 512;  ///< seed nodes per batch
+    /// Per-layer in-neighbor budget. Either one entry per aggregation
+    /// layer, or a single entry broadcast to every layer.
+    std::vector<std::uint32_t> fanout{10, 5};
+    std::uint64_t seed = 17;  ///< permutation + sampling seed
+};
+
+/// The sampled boundary rows one batch requests from one exchange plan at
+/// one aggregation layer, plus the cross edges that consume them.
+struct PlanRequest {
+    std::size_t plan = 0;  ///< index into DistContext::plans()
+    /// Requested plan rows, ascending unique — the `rows` argument of the
+    /// subset compressor exchange.
+    std::vector<std::uint32_t> rows;
+    /// Batch-local row of each requested node (parallel to `rows`), where
+    /// the owner gathers the payload from.
+    std::vector<std::uint32_t> src_local;
+    std::vector<std::uint32_t> edge_dst;  ///< batch-local consumer per edge
+    std::vector<std::uint32_t> edge_req;  ///< index into `rows` per edge
+    std::vector<float> edge_w;            ///< aggregation weight per edge
+};
+
+/// One sampled mini-batch: the union of every node touched at any layer,
+/// in ascending global order (= batch-local order), with the intra-device
+/// edges as per-layer sparse matrices and the cross-device edges as halo
+/// requests.
+struct SampledBatch {
+    std::vector<std::uint32_t> nodes;  ///< ascending global ids
+    std::vector<std::uint32_t> seeds;  ///< batch-local indices of the seeds
+    /// Per aggregation layer, the same-owner sampled edges as a
+    /// (|nodes| × |nodes|) matrix over batch-local indices. Rows of nodes
+    /// that are not consumers at that layer are empty.
+    std::vector<tensor::SparseMatrix> local_adj;
+    std::vector<std::vector<PlanRequest>> requests;  ///< [layer][request]
+    std::uint64_t halo_rows = 0;  ///< Σ requested rows over layers/plans
+    std::uint64_t sampled_edges = 0;  ///< intra + cross sampled edges
+};
+
+/// Seeded, thread-count-invariant neighbor sampler over a partitioned
+/// dataset. Build once per run; call begin_epoch() then batch(b) for
+/// b ∈ [0, num_batches()).
+class NeighborSampler {
+public:
+    /// `num_layers` is the model's aggregation depth (fanout must have one
+    /// entry, broadcast, or exactly `num_layers` entries, each ≥ 1).
+    NeighborSampler(const graph::Dataset& data, const DistContext& ctx,
+                    gnn::AdjNorm norm, std::uint32_t num_layers,
+                    SamplerConfig cfg);
+
+    /// Re-permute the train split for epoch `epoch` (deterministic).
+    void begin_epoch(std::uint64_t epoch);
+
+    /// Batches per epoch: ceil(train split / batch_size).
+    [[nodiscard]] std::size_t num_batches() const noexcept;
+
+    /// Build batch `b` of the current epoch. Pure function of
+    /// (config seed, epoch, b) — rebuilding the same batch gives the same
+    /// result bit for bit.
+    [[nodiscard]] SampledBatch batch(std::size_t b) const;
+
+    /// Fanout at aggregation layer `l` (broadcast-aware).
+    [[nodiscard]] std::uint32_t fanout_at(std::size_t l) const noexcept {
+        return cfg_.fanout.size() == 1 ? cfg_.fanout[0]
+                                       : cfg_.fanout[l];
+    }
+
+    [[nodiscard]] const SamplerConfig& config() const noexcept { return cfg_; }
+    [[nodiscard]] std::uint32_t num_layers() const noexcept {
+        return num_layers_;
+    }
+
+private:
+    const DistContext* ctx_;
+    SamplerConfig cfg_;
+    std::uint32_t num_layers_;
+    tensor::SparseMatrix adj_;  ///< global normalised adjacency
+    std::vector<std::uint32_t> order_;  ///< permuted train node ids
+    std::vector<std::int64_t> plan_of_pair_;  ///< (src·P+dst) → plan or −1
+    std::uint64_t epoch_ = 0;
+};
+
+} // namespace scgnn::dist

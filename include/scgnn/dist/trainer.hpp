@@ -31,6 +31,7 @@
 #include "scgnn/dist/compressor.hpp"
 #include "scgnn/dist/context.hpp"
 #include "scgnn/dist/rate_control.hpp"
+#include "scgnn/dist/sampler.hpp"
 #include "scgnn/gnn/model.hpp"
 #include "scgnn/gnn/optimizer.hpp"
 #include "scgnn/gnn/trainer.hpp"
@@ -252,6 +253,15 @@ struct EpochMetrics {
     std::uint32_t active_devices = 0;
 };
 
+/// Per-run counters of the neighbor-sampled mode (all zero on a full-batch
+/// run).
+struct SampleStats {
+    std::uint64_t batches = 0;         ///< mini-batch steps over all epochs
+    double mean_batch_nodes = 0.0;     ///< mean touched nodes per batch
+    std::uint64_t requested_rows = 0;  ///< Σ halo rows requested
+    std::uint64_t request_bytes = 0;   ///< Σ wire bytes of those requests
+};
+
 /// Result of a distributed run. Accuracy is evaluated on the *full*
 /// uncompressed graph with the trained weights (compression is a training-
 /// time mechanism, as in BNS-GCN's protocol).
@@ -274,13 +284,42 @@ struct DistTrainResult {
                                     ///< the fault model is inactive)
     runtime::MembershipSummary membership;  ///< elastic counters (all-zero
                                             ///< on a static run)
+    SampleStats sampling;  ///< mini-batch counters (all-zero full-batch)
 };
+
+namespace detail {
+
+/// The full-batch distributed training loop. Not a public entry point:
+/// workloads mount through runtime::Scenario, which validates the config
+/// once and dispatches here (or to train_sampled).
+[[nodiscard]] DistTrainResult train_full(const graph::Dataset& data,
+                                         const partition::Partitioning& parts,
+                                         const gnn::GnnConfig& model_cfg,
+                                         const DistTrainConfig& cfg,
+                                         BoundaryCompressor& compressor);
+
+} // namespace detail
+
+/// Neighbor-sampled mini-batch training: per-epoch seeded batches from
+/// `sampler_cfg`, halo *requests* priced through the compressor's subset
+/// exchange and the fabric instead of the full boundary exchange.
+/// Membership schedules are not supported in this mode (Scenario::build
+/// rejects them). Deterministic and bitwise thread-count-invariant.
+[[nodiscard]] DistTrainResult train_sampled(
+    const graph::Dataset& data, const partition::Partitioning& parts,
+    const gnn::GnnConfig& model_cfg, const DistTrainConfig& cfg,
+    const SamplerConfig& sampler_cfg, BoundaryCompressor& compressor);
 
 /// Train a fresh model on `data` split by `parts`, exchanging boundary rows
 /// through `compressor`. Deterministic given the seeds in the configs.
-[[nodiscard]] DistTrainResult train_distributed(
-    const graph::Dataset& data, const partition::Partitioning& parts,
-    const gnn::GnnConfig& model_cfg, const DistTrainConfig& cfg,
-    BoundaryCompressor& compressor);
+[[deprecated(
+    "mount workloads behind runtime::Scenario "
+    "(Scenario::for_training(cfg).train(...))")]] inline DistTrainResult
+train_distributed(const graph::Dataset& data,
+                  const partition::Partitioning& parts,
+                  const gnn::GnnConfig& model_cfg, const DistTrainConfig& cfg,
+                  BoundaryCompressor& compressor) {
+    return detail::train_full(data, parts, model_cfg, cfg, compressor);
+}
 
 } // namespace scgnn::dist

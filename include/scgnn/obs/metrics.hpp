@@ -107,6 +107,11 @@ public:
     [[nodiscard]] Histogram merged() const;
     [[nodiscard]] RunningStat stat() const;
 
+    /// Quantile `p` over the merged bins (Histogram::quantile: exact
+    /// cumulative walk, bias bounded by one bin width). Requires at least
+    /// one observation.
+    [[nodiscard]] double quantile(double p) const { return merged().quantile(p); }
+
     void reset() noexcept;
 
     [[nodiscard]] double lo() const noexcept { return lo_; }

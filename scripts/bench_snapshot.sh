@@ -24,6 +24,11 @@
 #                                final_loss, migrated_mb, peak_comm_ms and
 #                                active_min are modelled/deterministic and
 #                                diff exactly.
+#   BENCH_serving.json         — the inference-serving QPS sweep
+#                                (bench_serving): naive vs cached+batched
+#                                at 1k/4k/16k QPS. Latency quantiles, hit
+#                                rate and halo MB are all modelled, so
+#                                every field diffs exactly.
 #
 # Everything is pinned: fixed seeds, fixed scale, SCGNN_THREADS=1 for the
 # microkernels, scalar kernel default. Run from anywhere:
@@ -39,7 +44,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
 for bin in bench_kernels bench_threads_scaling bench_collectives \
-           bench_adaptive_rate bench_elastic; do
+           bench_adaptive_rate bench_elastic bench_serving; do
     if [[ ! -x "$build_dir/bench/$bin" ]]; then
         echo "error: $build_dir/bench/$bin not built" >&2
         echo "hint: cmake --build $build_dir --target $bin" >&2
@@ -77,7 +82,12 @@ echo "== elastic-membership sweep (static vs churn at P=16/64) =="
     --json "$repo_root/BENCH_elastic.json"
 
 echo
+echo "== inference-serving sweep (naive vs cached+batched x QPS) =="
+"$build_dir/bench/bench_serving" \
+    --json "$repo_root/BENCH_serving.json"
+
+echo
 echo "== snapshot summary =="
 python3 "$repo_root/scripts/check_bench_regression.py" \
     "$repo_root/BENCH_kernels.json" "$repo_root/BENCH_kernels.json"
-echo "wrote BENCH_kernels.json, BENCH_threads_scaling.json, BENCH_collectives.json, BENCH_adaptive_rate.json and BENCH_elastic.json"
+echo "wrote BENCH_kernels.json, BENCH_threads_scaling.json, BENCH_collectives.json, BENCH_adaptive_rate.json, BENCH_elastic.json and BENCH_serving.json"

@@ -31,7 +31,8 @@ import sys
 # Deterministic per-benchmark fields: modelled pipeline outputs that are
 # bitwise reproducible, unlike real_time.
 DETERMINISTIC_KEYS = ("final_loss", "total_mb", "mean_rate",
-                      "migrated_mb", "peak_comm_ms", "active_min")
+                      "migrated_mb", "peak_comm_ms", "active_min",
+                      "p50_ms", "p99_ms", "p999_ms", "hit_rate", "halo_mb")
 
 # (benchmark-name prefix, minimum simd speedup) — the acceptance floors.
 SPEEDUP_FLOORS = [

@@ -94,6 +94,33 @@ double Histogram::bin_hi(std::size_t i) const {
                      static_cast<double>(counts_.size());
 }
 
+double Histogram::quantile(double p) const {
+    SCGNN_CHECK(p >= 0.0 && p <= 1.0, "quantile rank must be in [0,1]");
+    SCGNN_CHECK(total_ > 0, "quantile of an empty histogram");
+    // Rank in [0, total-1], matching the percentile() convention on the
+    // sorted sample; the fractional part interpolates inside the bin.
+    const double rank = p * static_cast<double>(total_ - 1);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0) continue;
+        const auto below = static_cast<double>(cum);
+        cum += counts_[i];
+        if (rank < static_cast<double>(cum)) {
+            // Observations spread uniformly across the bin: position the
+            // rank among the bin's counts_[i] samples.
+            const double within =
+                (rank - below + 0.5) / static_cast<double>(counts_[i]);
+            return bin_lo(i) + (bin_hi(i) - bin_lo(i)) *
+                                   std::clamp(within, 0.0, 1.0);
+        }
+    }
+    // rank == total-1 lands past the loop only through rounding; return
+    // the upper edge of the last non-empty bin.
+    for (std::size_t i = counts_.size(); i-- > 0;)
+        if (counts_[i] > 0) return bin_hi(i);
+    return lo_;
+}
+
 std::string Histogram::ascii(std::size_t width) const {
     std::uint64_t peak = 1;
     for (auto c : counts_) peak = std::max(peak, c);

@@ -140,7 +140,98 @@ std::uint64_t ComposedCompressor::backward_rows(const dist::DistContext& ctx,
     return static_cast<std::uint64_t>(bytes);
 }
 
+std::uint64_t ComposedCompressor::forward_subset(
+    const dist::DistContext& ctx, std::size_t plan_idx, int layer,
+    std::span<const std::uint32_t> rows, const tensor::Matrix& src,
+    tensor::Matrix& out) {
+    // Request-model vanilla volume: each requested row ships once.
+    const double vanilla_bytes =
+        static_cast<double>(rows.size()) * src.cols() * sizeof(float);
+    tensor::Matrix cur = src;
+    double bytes = 0.0;
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        tensor::Matrix next;
+        const auto stage_bytes = static_cast<double>(
+            stages_[i]->forward_subset(ctx, plan_idx, layer, rows, cur, next));
+        if (i == 0)
+            bytes = stage_bytes;
+        else if (vanilla_bytes > 0.0)
+            bytes *= stage_bytes / vanilla_bytes;
+        cur = std::move(next);
+    }
+    out = std::move(cur);
+    return static_cast<std::uint64_t>(bytes);
+}
+
+std::uint64_t ComposedCompressor::backward_subset(
+    const dist::DistContext& ctx, std::size_t plan_idx, int layer,
+    std::span<const std::uint32_t> rows, const tensor::Matrix& grad_in,
+    tensor::Matrix& grad_out) {
+    const double vanilla_bytes =
+        static_cast<double>(rows.size()) * grad_in.cols() * sizeof(float);
+    tensor::Matrix cur = grad_in;
+    std::vector<double> per_stage(stages_.size(), 0.0);
+    for (std::size_t i = stages_.size(); i-- > 0;) {
+        tensor::Matrix next;
+        per_stage[i] = static_cast<double>(
+            stages_[i]->backward_subset(ctx, plan_idx, layer, rows, cur, next));
+        cur = std::move(next);
+    }
+    grad_out = std::move(cur);
+    double bytes = per_stage[0];
+    for (std::size_t i = 1; i < stages_.size(); ++i)
+        if (vanilla_bytes > 0.0) bytes *= per_stage[i] / vanilla_bytes;
+    return static_cast<std::uint64_t>(bytes);
+}
+
 // ----------------------------------------------------------------- Pipeline
+
+namespace detail {
+
+namespace {
+
+/// Read grouping figures off a (live or reference) semantic compressor.
+void read_grouping_stats(PipelineResult& res, const dist::DistContext& ctx,
+                         const SemanticCompressor& sem) {
+    res.wire_rows = sem.total_wire_rows();
+    std::uint64_t edges_in_groups = 0;
+    std::uint32_t groups = 0;
+    for (std::size_t pi = 0; pi < ctx.plans().size(); ++pi) {
+        const Grouping& g = sem.grouping(pi);
+        groups += static_cast<std::uint32_t>(g.groups.size());
+        edges_in_groups += g.grouped_edges();
+    }
+    res.num_groups = groups;
+    res.mean_group_size =
+        groups == 0 ? 0.0 : static_cast<double>(edges_in_groups) / groups;
+}
+
+} // namespace
+
+void fill_semantic_stats(PipelineResult& res, const dist::DistContext& ctx,
+                         const MethodConfig& method,
+                         const dist::BoundaryCompressor* comp) {
+    res.cross_edges = ctx.total_cross_edges();
+    // Static semantic statistics of this partitioning (cheap to recompute
+    // when the training method was a baseline).
+    if (method.plain_semantic() && comp != nullptr) {
+        const auto* sem = dynamic_cast<const SemanticCompressor*>(comp);
+        SCGNN_ASSERT(sem != nullptr,
+                     "semantic method without SemanticCompressor");
+        read_grouping_stats(res, ctx, *sem);
+    } else {
+        SemanticCompressor sem(method.semantic);
+        sem.setup(ctx);
+        read_grouping_stats(res, ctx, sem);
+    }
+    res.compression_ratio =
+        res.wire_rows == 0
+            ? 1.0
+            : static_cast<double>(res.cross_edges) /
+                  static_cast<double>(res.wire_rows);
+}
+
+} // namespace detail
 
 PipelineResult run_pipeline(const graph::Dataset& data,
                             const PipelineConfig& cfg) {
@@ -153,48 +244,10 @@ PipelineResult run_pipeline(const graph::Dataset& data,
     const std::unique_ptr<dist::BoundaryCompressor> comp =
         make_compressor(cfg.method);
     res.train =
-        train_distributed(data, parts, cfg.model, cfg.train, *comp);
+        dist::detail::train_full(data, parts, cfg.model, cfg.train, *comp);
 
-    // Static semantic statistics of this partitioning (cheap to recompute
-    // when the training method was a baseline).
     const dist::DistContext ctx(data, parts, cfg.train.norm);
-    res.cross_edges = ctx.total_cross_edges();
-    if (cfg.method.plain_semantic()) {
-        const auto* sem = dynamic_cast<const SemanticCompressor*>(comp.get());
-        SCGNN_ASSERT(sem != nullptr, "semantic method without SemanticCompressor");
-        res.wire_rows = sem->total_wire_rows();
-        std::uint64_t edges_in_groups = 0;
-        std::uint32_t groups = 0;
-        for (std::size_t pi = 0; pi < ctx.plans().size(); ++pi) {
-            const Grouping& g = sem->grouping(pi);
-            groups += static_cast<std::uint32_t>(g.groups.size());
-            edges_in_groups += g.grouped_edges();
-        }
-        res.num_groups = groups;
-        res.mean_group_size =
-            groups == 0 ? 0.0
-                        : static_cast<double>(edges_in_groups) / groups;
-    } else {
-        SemanticCompressor sem(cfg.method.semantic);
-        sem.setup(ctx);
-        res.wire_rows = sem.total_wire_rows();
-        std::uint64_t edges_in_groups = 0;
-        std::uint32_t groups = 0;
-        for (std::size_t pi = 0; pi < ctx.plans().size(); ++pi) {
-            const Grouping& g = sem.grouping(pi);
-            groups += static_cast<std::uint32_t>(g.groups.size());
-            edges_in_groups += g.grouped_edges();
-        }
-        res.num_groups = groups;
-        res.mean_group_size =
-            groups == 0 ? 0.0
-                        : static_cast<double>(edges_in_groups) / groups;
-    }
-    res.compression_ratio =
-        res.wire_rows == 0
-            ? 1.0
-            : static_cast<double>(res.cross_edges) /
-                  static_cast<double>(res.wire_rows);
+    detail::fill_semantic_stats(res, ctx, cfg.method, comp.get());
     return res;
 }
 

@@ -1,0 +1,253 @@
+/// \file inference.cpp
+/// \brief Deterministic open-loop serving simulation (DESIGN.md §14).
+
+#include "scgnn/runtime/inference.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "scgnn/common/rng.hpp"
+#include "scgnn/common/stats.hpp"
+#include "scgnn/gnn/adjacency.hpp"
+#include "scgnn/obs/ledger.hpp"
+#include "scgnn/obs/metrics.hpp"
+#include "scgnn/obs/obs.hpp"
+
+namespace scgnn::runtime {
+
+namespace {
+
+/// Unit signature: a splitmix64 fold over a tag and two coordinates, so
+/// group units, raw-row units and off-plan node units never collide.
+std::uint64_t unit_sig(std::uint64_t tag, std::uint64_t a, std::uint64_t b) {
+    std::uint64_t s = tag;
+    s = splitmix64(s) ^ a;
+    s = splitmix64(s) ^ b;
+    return splitmix64(s);
+}
+
+} // namespace
+
+InferenceServer::InferenceServer(const graph::Dataset& data,
+                                 const partition::Partitioning& parts,
+                                 ServeConfig cfg)
+    : cfg_(std::move(cfg)),
+      ctx_(data, parts, gnn::AdjNorm::kSymmetric),
+      adj_(gnn::normalized_adjacency(data.graph, gnn::AdjNorm::kSymmetric)),
+      num_nodes_(data.graph.num_nodes()) {
+    SCGNN_CHECK(cfg_.qps > 0.0, "qps must be positive");
+    SCGNN_CHECK(cfg_.queries >= 1, "need at least one query");
+    SCGNN_CHECK(cfg_.batch_max >= 1, "batch_max must be at least 1");
+    SCGNN_CHECK(cfg_.deadline_ms >= 0.0, "deadline must be non-negative");
+    SCGNN_CHECK(cfg_.layers >= 1, "a query resolves at least one hop");
+    SCGNN_CHECK(cfg_.embed_dim >= 1, "embed_dim must be at least 1");
+    SCGNN_CHECK(cfg_.hist_max_ms > 0.0 && cfg_.hist_bins >= 1,
+                "latency histogram needs a positive range and >= 1 bins");
+
+    const std::uint32_t p = ctx_.num_parts();
+    plan_of_pair_.assign(static_cast<std::size_t>(p) * p, -1);
+    for (std::size_t pi = 0; pi < ctx_.plans().size(); ++pi) {
+        const dist::PairPlan& plan = ctx_.plans()[pi];
+        plan_of_pair_[static_cast<std::size_t>(plan.src_part) * p +
+                      plan.dst_part] = static_cast<std::int64_t>(pi);
+    }
+
+    if (cfg_.semantic) {
+        // One static grouping pass (the same Fig. 8 setup step training
+        // runs); only the group ids survive — the cache is keyed by group
+        // signature, so one fused-row fetch serves every member.
+        core::SemanticCompressor comp(cfg_.compressor);
+        comp.setup(ctx_);
+        group_of_.resize(ctx_.plans().size());
+        for (std::size_t pi = 0; pi < ctx_.plans().size(); ++pi)
+            group_of_[pi] = comp.grouping(pi).group_of_row;
+    }
+}
+
+std::size_t InferenceServer::resolve_units(
+    std::uint32_t v, std::vector<std::uint64_t>& units,
+    std::vector<std::uint32_t>& unit_owner) const {
+    const std::uint32_t p = ctx_.num_parts();
+    const std::uint32_t home = ctx_.owner(v);
+    // Serial BFS over the normalised adjacency, depth = layers. Nodes are
+    // visited in discovery order (`seen` is membership only), keeping the
+    // unit list bitwise deterministic on any library implementation.
+    std::vector<std::uint32_t> visited{v};
+    std::unordered_set<std::uint32_t> seen{v};
+    std::size_t frontier_lo = 0;
+    for (std::uint32_t hop = 0; hop < cfg_.layers; ++hop) {
+        const std::size_t frontier_hi = visited.size();
+        for (std::size_t fi = frontier_lo; fi < frontier_hi; ++fi) {
+            for (const std::uint32_t w : adj_.row_cols(visited[fi])) {
+                if (!seen.insert(w).second) continue;
+                visited.push_back(w);
+            }
+        }
+        frontier_lo = frontier_hi;
+    }
+
+    for (const std::uint32_t u : visited) {
+        const std::uint32_t o = ctx_.owner(u);
+        if (o == home) continue;
+        std::uint64_t sig = 0;
+        const std::int64_t pi =
+            plan_of_pair_[static_cast<std::size_t>(o) * p + home];
+        bool on_plan = false;
+        if (pi >= 0) {
+            const dist::PairPlan& plan =
+                ctx_.plans()[static_cast<std::size_t>(pi)];
+            const auto it = std::lower_bound(plan.dbg.src_nodes.begin(),
+                                             plan.dbg.src_nodes.end(), u);
+            if (it != plan.dbg.src_nodes.end() && *it == u) {
+                const auto row = static_cast<std::size_t>(
+                    it - plan.dbg.src_nodes.begin());
+                on_plan = true;
+                const std::int32_t g =
+                    cfg_.semantic ? group_of_[static_cast<std::size_t>(pi)][row]
+                                  : -1;
+                sig = g >= 0 ? unit_sig(0xA5, static_cast<std::uint64_t>(pi),
+                                        static_cast<std::uint64_t>(g))
+                             : unit_sig(0xB7, static_cast<std::uint64_t>(pi),
+                                        row);
+            }
+        }
+        // Multi-hop remote nodes without a direct boundary row still cost
+        // one per-node unit (fetched through their owner).
+        if (!on_plan) sig = unit_sig(0xC9, o, u);
+        units.push_back(sig);
+        unit_owner.push_back(o);
+    }
+    return visited.size();
+}
+
+ServeResult InferenceServer::run() const {
+    const std::uint32_t p = ctx_.num_parts();
+    struct Query {
+        double arrival_ms;
+        std::uint32_t node;
+    };
+    // Open-loop arrivals at fixed spacing; the node stream is one seeded
+    // sequence drawn before routing, so it is independent of P.
+    std::vector<std::vector<Query>> per_device(p);
+    {
+        Rng rng(cfg_.seed);
+        const double gap_ms = 1e3 / cfg_.qps;
+        for (std::uint32_t i = 0; i < cfg_.queries; ++i) {
+            const auto v = static_cast<std::uint32_t>(
+                rng.uniform_u64(num_nodes_));
+            per_device[ctx_.owner(v)].push_back({i * gap_ms, v});
+        }
+    }
+
+    comm::Fabric fabric(p, cfg_.cost);
+    Histogram hist(0.0, cfg_.hist_max_ms, cfg_.hist_bins);
+    RunningStat lat;
+    ServeResult res;
+    res.queries = cfg_.queries;
+    std::uint64_t fetched_bytes = 0;
+    const std::uint64_t unit_bytes =
+        static_cast<std::uint64_t>(cfg_.embed_dim) * sizeof(float);
+
+    std::vector<std::uint64_t> units;
+    std::vector<std::uint32_t> owners;
+    std::unordered_set<std::uint64_t> batch_seen;
+    std::map<std::uint32_t, std::uint64_t> fetch_by_owner;
+    for (std::uint32_t d = 0; d < p; ++d) {
+        const std::vector<Query>& q = per_device[d];
+        std::unordered_set<std::uint64_t> cache;
+        double busy_until_ms = 0.0;
+        std::size_t i = 0;
+        while (i < q.size()) {
+            // The batch window is anchored at the head arrival: members
+            // are the (≤ batch_max) queries arriving within deadline_ms,
+            // and dispatch happens when the batch fills or the window
+            // closes — never before the device frees up.
+            const double t0 = q[i].arrival_ms;
+            std::size_t j = i + 1;
+            while (j < q.size() && j - i < cfg_.batch_max &&
+                   q[j].arrival_ms <= t0 + cfg_.deadline_ms)
+                ++j;
+            const double close_ms =
+                j - i == cfg_.batch_max
+                    ? q[j - 1].arrival_ms
+                    : std::min(t0 + cfg_.deadline_ms,
+                               q.back().arrival_ms);
+            const double dispatch_ms = std::max(busy_until_ms, close_ms);
+
+            units.clear();
+            owners.clear();
+            std::size_t touched = 0;
+            for (std::size_t k = i; k < j; ++k)
+                touched += resolve_units(q[k].node, units, owners);
+
+            batch_seen.clear();
+            fetch_by_owner.clear();
+            for (std::size_t u = 0; u < units.size(); ++u) {
+                if (!batch_seen.insert(units[u]).second) continue;
+                if (cfg_.halo_cache && cache.count(units[u]) > 0) {
+                    ++res.cache_hits;
+                    continue;
+                }
+                ++res.cache_misses;
+                fetch_by_owner[owners[u]] += unit_bytes;
+                if (cfg_.halo_cache) cache.insert(units[u]);
+            }
+            double fetch_ms = 0.0;
+            for (const auto& [o, bytes] : fetch_by_owner) {
+                fetch_ms += fabric.send(o, d, bytes).modelled_ms;
+                fetched_bytes += bytes;
+            }
+
+            const double service_ms =
+                cfg_.dispatch_overhead_ms +
+                cfg_.compute_ms_per_node * static_cast<double>(touched) +
+                fetch_ms;
+            const double done_ms = dispatch_ms + service_ms;
+            busy_until_ms = done_ms;
+            for (std::size_t k = i; k < j; ++k) {
+                const double l = done_ms - q[k].arrival_ms;
+                hist.add(l);
+                lat.add(l);
+                if (obs::enabled())
+                    obs::registry()
+                        .histogram("serve.latency_ms", 0.0, cfg_.hist_max_ms,
+                                   cfg_.hist_bins)
+                        .observe(l);
+            }
+            ++res.batches;
+            i = j;
+        }
+    }
+
+    res.mean_batch = res.batches > 0
+                         ? static_cast<double>(res.queries) /
+                               static_cast<double>(res.batches)
+                         : 0.0;
+    res.p50_ms = hist.quantile(0.50);
+    res.p99_ms = hist.quantile(0.99);
+    res.p999_ms = hist.quantile(0.999);
+    res.mean_ms = lat.mean();
+    res.max_ms = lat.max();
+    const std::uint64_t touches = res.cache_hits + res.cache_misses;
+    res.hit_rate = touches > 0 ? static_cast<double>(res.cache_hits) /
+                                     static_cast<double>(touches)
+                               : 0.0;
+    res.halo_mb = static_cast<double>(fetched_bytes) / 1e6;
+
+    if (obs::enabled()) {
+        obs::Registry& reg = obs::registry();
+        reg.counter("serve.queries").add(res.queries);
+        reg.counter("serve.batches").add(res.batches);
+        reg.counter("serve.cache_hits").add(res.cache_hits);
+        reg.counter("serve.cache_misses").add(res.cache_misses);
+        obs::record_final("serve.p50_ms", res.p50_ms);
+        obs::record_final("serve.p99_ms", res.p99_ms);
+        obs::record_final("serve.p999_ms", res.p999_ms);
+        obs::record_final("serve.mean_ms", res.mean_ms);
+        obs::record_final("serve.hit_rate", res.hit_rate);
+        obs::record_final("serve.halo_mb", res.halo_mb);
+    }
+    return res;
+}
+
+} // namespace scgnn::runtime

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <utility>
 
 #include "scgnn/obs/metrics.hpp"
 #include "scgnn/obs/trace.hpp"
@@ -182,6 +184,151 @@ std::uint64_t SemanticCompressor::backward_rows(const DistContext& ctx,
         auto d = grad_out.row(r);
         std::copy(s.begin(), s.end(), d.begin());
         wire_rows += plan.dbg.out_degree(r);
+    }
+    return wire_rows * f * sizeof(float);
+}
+
+namespace {
+
+/// Requested-subset view of one plan's grouping: for every touched group
+/// the (member index within the group, index into `rows`) pairs, plus the
+/// subset indices of the requested raw rows. std::map keeps the group
+/// iteration order deterministic.
+struct SubsetBuckets {
+    std::map<std::int32_t, std::vector<std::pair<std::size_t, std::size_t>>>
+        groups;
+    std::vector<std::size_t> raw;
+};
+
+SubsetBuckets bucket_subset(const Grouping& grouping, const PairPlan& plan,
+                            std::span<const std::uint32_t> rows) {
+    SubsetBuckets b;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        SCGNN_CHECK(rows[i] < plan.num_rows(), "subset row out of plan range");
+        if (i > 0) SCGNN_CHECK(rows[i] > rows[i - 1], "subset rows must ascend");
+        const std::int32_t gid = grouping.group_of_row[rows[i]];
+        if (gid < 0) {
+            b.raw.push_back(i);
+            continue;
+        }
+        const SemanticGroup& g = grouping.groups[static_cast<std::size_t>(gid)];
+        std::size_t mi = 0;
+        while (g.members[mi] != rows[i]) ++mi;
+        b.groups[gid].emplace_back(mi, i);
+    }
+    return b;
+}
+
+/// Renormalisation factor over the requested members' output weights; a
+/// degenerate all-zero request falls back to the uniform average.
+float subset_weight_scale(
+    const SemanticGroup& g,
+    const std::vector<std::pair<std::size_t, std::size_t>>& req,
+    bool& uniform) {
+    float wsum = 0.0f;
+    for (const auto& [mi, si] : req) wsum += g.out_weights[mi];
+    uniform = !(wsum > 0.0f);
+    return uniform ? 1.0f / static_cast<float>(req.size()) : 1.0f / wsum;
+}
+
+} // namespace
+
+std::uint64_t SemanticCompressor::forward_subset(
+    const DistContext& ctx, std::size_t plan_idx, int /*layer*/,
+    std::span<const std::uint32_t> rows, const Matrix& src, Matrix& out) {
+    SCGNN_CHECK(plan_idx < plans_.size(), "plan index out of range (setup?)");
+    const PairPlan& plan = ctx.plans()[plan_idx];
+    const PlanState& state = plans_[plan_idx];
+    SCGNN_CHECK(src.rows() == rows.size(), "subset payload row mismatch");
+
+    const std::size_t f = src.cols();
+    out.reshape_zero(rows.size(), f);
+    std::uint64_t wire_rows = 0;
+
+    const SubsetBuckets b = bucket_subset(state.grouping, plan, rows);
+
+    tensor::Workspace::Lease fuse(ws_, 1, f);
+    const auto h_g = fuse.get().row(0);
+    for (const auto& [gid, req] : b.groups) {
+        const SemanticGroup& g =
+            state.grouping.groups[static_cast<std::size_t>(gid)];
+        if (cfg_.drop.dropped(g.origin)) continue;
+        bool uniform = false;
+        const float inv = subset_weight_scale(g, req, uniform);
+        // Partial fuse over the requested members only, renormalised so the
+        // fused row stays a convex combination of what was requested.
+        std::fill(h_g.begin(), h_g.end(), 0.0f);
+        for (const auto& [mi, si] : req) {
+            const float w = uniform ? inv : g.out_weights[mi] * inv;
+            tensor::kern::axpy(w, src.row(si).data(), h_g.data(), f);
+        }
+        ++wire_rows;  // one semantic row per touched group
+        for (const auto& [mi, si] : req) {
+            auto dst = out.row(si);
+            std::copy(h_g.begin(), h_g.end(), dst.begin());
+        }
+    }
+
+    for (std::size_t i : b.raw) {
+        const auto& rr = state.grouping.raw_rows;
+        const auto it = std::lower_bound(rr.begin(), rr.end(), rows[i]);
+        const auto ri = static_cast<std::size_t>(it - rr.begin());
+        if (cfg_.drop.dropped(state.raw_class[ri])) continue;
+        const auto s = src.row(i);
+        auto d = out.row(i);
+        std::copy(s.begin(), s.end(), d.begin());
+        ++wire_rows;  // request model: each requested raw row ships once
+    }
+    return wire_rows * f * sizeof(float);
+}
+
+std::uint64_t SemanticCompressor::backward_subset(
+    const DistContext& ctx, std::size_t plan_idx, int /*layer*/,
+    std::span<const std::uint32_t> rows, const Matrix& grad_in,
+    Matrix& grad_out) {
+    SCGNN_CHECK(plan_idx < plans_.size(), "plan index out of range (setup?)");
+    const PairPlan& plan = ctx.plans()[plan_idx];
+    const PlanState& state = plans_[plan_idx];
+    SCGNN_CHECK(grad_in.rows() == rows.size(), "subset payload row mismatch");
+
+    const std::size_t f = grad_in.cols();
+    grad_out.reshape_zero(rows.size(), f);
+    std::uint64_t wire_rows = 0;
+
+    const SubsetBuckets b = bucket_subset(state.grouping, plan, rows);
+
+    tensor::Workspace::Lease fuse(ws_, 1, f);
+    const auto g_g = fuse.get().row(0);
+    for (const auto& [gid, req] : b.groups) {
+        const SemanticGroup& g =
+            state.grouping.groups[static_cast<std::size_t>(gid)];
+        if (cfg_.drop.dropped(g.origin)) continue;
+        // Adjoint of the partial fuse: one fused gradient row crosses back…
+        std::fill(g_g.begin(), g_g.end(), 0.0f);
+        for (const auto& [mi, si] : req) {
+            const auto gi = grad_in.row(si);
+            for (std::size_t c = 0; c < f; ++c) g_g[c] += gi[c];
+        }
+        ++wire_rows;
+        // …and is disassembled by the renormalised requested weights.
+        bool uniform = false;
+        const float inv = subset_weight_scale(g, req, uniform);
+        for (const auto& [mi, si] : req) {
+            const float w = uniform ? inv : g.out_weights[mi] * inv;
+            auto d = grad_out.row(si);
+            for (std::size_t c = 0; c < f; ++c) d[c] = w * g_g[c];
+        }
+    }
+
+    for (std::size_t i : b.raw) {
+        const auto& rr = state.grouping.raw_rows;
+        const auto it = std::lower_bound(rr.begin(), rr.end(), rows[i]);
+        const auto ri = static_cast<std::size_t>(it - rr.begin());
+        if (cfg_.drop.dropped(state.raw_class[ri])) continue;
+        const auto s = grad_in.row(i);
+        auto d = grad_out.row(i);
+        std::copy(s.begin(), s.end(), d.begin());
+        ++wire_rows;
     }
     return wire_rows * f * sizeof(float);
 }

@@ -2,6 +2,53 @@
 
 namespace scgnn::dist {
 
+namespace {
+
+/// Shared precondition of the subset exchange: `rows` ascending, unique,
+/// in-range for the plan, and the payload shaped (rows.size() × f).
+void check_subset(const DistContext& ctx, std::size_t plan_idx,
+                  std::span<const std::uint32_t> rows,
+                  const tensor::Matrix& payload) {
+    const PairPlan& plan = ctx.plans()[plan_idx];
+    SCGNN_CHECK(payload.rows() == rows.size(), "subset payload row mismatch");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        SCGNN_CHECK(rows[i] < plan.num_rows(), "subset row out of plan range");
+        if (i > 0) SCGNN_CHECK(rows[i] > rows[i - 1], "subset rows must ascend");
+    }
+}
+
+} // namespace
+
+std::uint64_t BoundaryCompressor::forward_subset(
+    const DistContext& ctx, std::size_t plan_idx, int /*layer*/,
+    std::span<const std::uint32_t> rows, const tensor::Matrix& src,
+    tensor::Matrix& out) {
+    check_subset(ctx, plan_idx, rows, src);
+    const std::size_t f = src.cols();
+    out.reshape_zero(rows.size(), f);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto s = src.row(i);
+        const auto d = out.row(i);
+        for (std::size_t c = 0; c < f; ++c) d[c] = s[c];
+    }
+    return static_cast<std::uint64_t>(rows.size()) * f * sizeof(float);
+}
+
+std::uint64_t BoundaryCompressor::backward_subset(
+    const DistContext& ctx, std::size_t plan_idx, int /*layer*/,
+    std::span<const std::uint32_t> rows, const tensor::Matrix& grad_in,
+    tensor::Matrix& grad_out) {
+    check_subset(ctx, plan_idx, rows, grad_in);
+    const std::size_t f = grad_in.cols();
+    grad_out.reshape_zero(rows.size(), f);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto s = grad_in.row(i);
+        const auto d = grad_out.row(i);
+        for (std::size_t c = 0; c < f; ++c) d[c] = s[c];
+    }
+    return static_cast<std::uint64_t>(rows.size()) * f * sizeof(float);
+}
+
 std::uint64_t VanillaExchange::forward_rows(const DistContext& ctx,
                                             std::size_t plan_idx, int /*layer*/,
                                             const tensor::Matrix& src,

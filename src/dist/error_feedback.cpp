@@ -207,6 +207,114 @@ std::uint64_t ErrorFeedbackCompressor::exchange(
     return bytes;
 }
 
+std::uint64_t ErrorFeedbackCompressor::exchange_subset(
+    std::vector<std::vector<Slot>>& side, const DistContext& ctx,
+    std::size_t plan_idx, int layer, bool backward,
+    std::span<const std::uint32_t> rows, const Matrix& src, Matrix& out) {
+    const PairPlan& plan = ctx.plans()[plan_idx];
+    const std::size_t full_rows = plan.num_rows();
+    const std::size_t n = rows.size();
+    const std::size_t f = src.cols();
+    SCGNN_CHECK(src.rows() == n, "subset payload row mismatch");
+    Slot& s = slot(side, plan_idx, layer);
+
+    // payload[i] = src[i] + the carried residual of *plan* row rows[i]; the
+    // slot keeps the full plan shape so unrequested rows hold their backlog
+    // until some later batch requests them.
+    tensor::Workspace::Lease payload_l(ws_, n, f);
+    Matrix& payload = payload_l.get();
+    const bool carry =
+        s.has_prev && s.prev.rows() == full_rows && s.prev.cols() == f;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto sr = src.row(i);
+        auto pr = payload.row(i);
+        std::copy(sr.begin(), sr.end(), pr.begin());
+        if (carry) {
+            const auto rr = s.prev.row(rows[i]);
+            for (std::size_t c = 0; c < f; ++c) pr[c] += rr[c];
+        }
+    }
+
+    std::uint64_t bytes =
+        backward
+            ? inner_->backward_subset(ctx, plan_idx, layer, rows, payload, out)
+            : inner_->forward_subset(ctx, plan_idx, layer, rows, payload, out);
+
+    // First touch this epoch starts a fresh full-shape pending residual;
+    // later batches update only the rows they requested (last write wins,
+    // matching the carry-in those rows actually saw).
+    if (!s.has_next || s.next.rows() != full_rows || s.next.cols() != f)
+        s.next.reshape_zero(full_rows, f);
+    const double theta = cfg_.flush_threshold;
+    const double theta2 = theta > 0.0 ? theta * theta : -1.0;
+    row_sq_residual_.resize(n);
+    flush_candidates_.clear();
+    double sum_sq_raw = 0.0, sum_sq_p = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto pr = payload.row(i);
+        const auto orow = out.row(i);
+        auto nr = s.next.row(rows[i]);
+        double sq_r = 0.0, sq_p = 0.0;
+        for (std::size_t c = 0; c < f; ++c) {
+            const float d = pr[c] - orow[c];
+            nr[c] = d;
+            sq_r += static_cast<double>(d) * d;
+            sq_p += static_cast<double>(pr[c]) * pr[c];
+        }
+        row_sq_residual_[i] = sq_r;
+        sum_sq_raw += sq_r;
+        sum_sq_p += sq_p;
+        if (theta2 >= 0.0 && sq_r > theta2 * sq_p) {
+            const double ratio = sq_p > 0.0
+                                     ? sq_r / sq_p
+                                     : std::numeric_limits<double>::infinity();
+            flush_candidates_.emplace_back(ratio,
+                                           static_cast<std::uint32_t>(i));
+        }
+    }
+    const auto budget = static_cast<std::size_t>(
+        std::ceil(rate_ * static_cast<double>(flush_candidates_.size())));
+    if (budget < flush_candidates_.size()) {
+        std::partial_sort(flush_candidates_.begin(),
+                          flush_candidates_.begin() +
+                              static_cast<std::ptrdiff_t>(budget),
+                          flush_candidates_.end(),
+                          [](const auto& a, const auto& b) {
+                              if (a.first != b.first) return a.first > b.first;
+                              return a.second < b.second;
+                          });
+        flush_candidates_.resize(budget);
+    }
+    for (const auto& [ratio, i] : flush_candidates_) {
+        const auto sr = src.row(i);
+        auto orow = out.row(i);
+        auto nr = s.next.row(rows[i]);
+        std::copy(sr.begin(), sr.end(), orow.begin());
+        std::fill(nr.begin(), nr.end(), 0.0f);
+        row_sq_residual_[i] = 0.0;
+    }
+    const std::uint64_t flushed = flush_candidates_.size();
+    double sum_sq_r = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum_sq_r += row_sq_residual_[i];
+    s.has_next = true;
+    epoch_sq_residual_ += sum_sq_r;
+    epoch_sq_raw_residual_ += sum_sq_raw;
+    epoch_sq_payload_ += sum_sq_p;
+    if (flushed > 0) {
+        const std::uint64_t extra = flushed * f * sizeof(float);
+        bytes += extra;
+        recovered_rows_ += flushed;
+        recovered_bytes_ += extra;
+    }
+    if (obs::enabled()) {
+        obs::Registry& reg = obs::registry();
+        reg.gauge("ef.residual_norm").set(std::sqrt(epoch_sq_residual_));
+        if (flushed > 0)
+            reg.counter("ef.bytes_recovered").add(flushed * f * sizeof(float));
+    }
+    return bytes;
+}
+
 std::uint64_t ErrorFeedbackCompressor::forward_rows(const DistContext& ctx,
                                                     std::size_t plan_idx,
                                                     int layer,
@@ -222,6 +330,21 @@ std::uint64_t ErrorFeedbackCompressor::backward_rows(const DistContext& ctx,
                                                      Matrix& grad_out) {
     return exchange(bwd_, ctx, plan_idx, layer, /*backward=*/true, grad_in,
                     grad_out);
+}
+
+std::uint64_t ErrorFeedbackCompressor::forward_subset(
+    const DistContext& ctx, std::size_t plan_idx, int layer,
+    std::span<const std::uint32_t> rows, const Matrix& src, Matrix& out) {
+    return exchange_subset(fwd_, ctx, plan_idx, layer, /*backward=*/false,
+                           rows, src, out);
+}
+
+std::uint64_t ErrorFeedbackCompressor::backward_subset(
+    const DistContext& ctx, std::size_t plan_idx, int layer,
+    std::span<const std::uint32_t> rows, const Matrix& grad_in,
+    Matrix& grad_out) {
+    return exchange_subset(bwd_, ctx, plan_idx, layer, /*backward=*/true, rows,
+                           grad_in, grad_out);
 }
 
 double ErrorFeedbackCompressor::epoch_residual_norm() const {

@@ -1,0 +1,212 @@
+#include "scgnn/dist/sampler.hpp"
+
+#include <algorithm>
+
+#include "scgnn/common/rng.hpp"
+
+namespace scgnn::dist {
+
+namespace {
+
+/// Deterministic per-consumer stream key: a splitmix64 chain over the
+/// sampler seed, epoch, batch, layer and node, so every consumer draws
+/// from an independent stream regardless of iteration order.
+std::uint64_t stream_key(std::uint64_t seed, std::uint64_t epoch,
+                         std::uint64_t batch, std::uint64_t layer,
+                         std::uint64_t node) {
+    std::uint64_t s = seed;
+    s = splitmix64(s) ^ epoch;
+    s = splitmix64(s) ^ batch;
+    s = splitmix64(s) ^ layer;
+    s = splitmix64(s) ^ node;
+    return splitmix64(s);
+}
+
+/// Batch-local index of global node `g` within the ascending `nodes` list.
+std::uint32_t batch_index(const std::vector<std::uint32_t>& nodes,
+                          std::uint32_t g) {
+    const auto it = std::lower_bound(nodes.begin(), nodes.end(), g);
+    SCGNN_ASSERT(it != nodes.end() && *it == g, "node missing from batch");
+    return static_cast<std::uint32_t>(it - nodes.begin());
+}
+
+} // namespace
+
+NeighborSampler::NeighborSampler(const graph::Dataset& data,
+                                 const DistContext& ctx, gnn::AdjNorm norm,
+                                 std::uint32_t num_layers, SamplerConfig cfg)
+    : ctx_(&ctx),
+      cfg_(std::move(cfg)),
+      num_layers_(num_layers),
+      adj_(gnn::normalized_adjacency(data.graph, norm)),
+      order_(data.train_mask) {
+    SCGNN_CHECK(num_layers_ >= 1, "sampler needs at least one layer");
+    SCGNN_CHECK(cfg_.batch_size >= 1, "batch size must be at least 1");
+    SCGNN_CHECK(cfg_.fanout.size() == 1 || cfg_.fanout.size() == num_layers_,
+                "fanout must have one entry or one per layer");
+    for (std::uint32_t f : cfg_.fanout)
+        SCGNN_CHECK(f >= 1, "fanout entries must be at least 1");
+    SCGNN_CHECK(!order_.empty(), "sampler needs a non-empty train split");
+
+    const std::uint32_t p = ctx.num_parts();
+    plan_of_pair_.assign(static_cast<std::size_t>(p) * p, -1);
+    for (std::size_t pi = 0; pi < ctx.plans().size(); ++pi) {
+        const PairPlan& plan = ctx.plans()[pi];
+        plan_of_pair_[static_cast<std::size_t>(plan.src_part) * p +
+                      plan.dst_part] = static_cast<std::int64_t>(pi);
+    }
+    begin_epoch(0);
+}
+
+void NeighborSampler::begin_epoch(std::uint64_t epoch) {
+    epoch_ = epoch;
+    std::sort(order_.begin(), order_.end());
+    Rng rng(stream_key(cfg_.seed, epoch, /*batch=*/~0ULL, /*layer=*/~0ULL,
+                       /*node=*/~0ULL));
+    rng.shuffle(order_);
+}
+
+std::size_t NeighborSampler::num_batches() const noexcept {
+    return (order_.size() + cfg_.batch_size - 1) / cfg_.batch_size;
+}
+
+SampledBatch NeighborSampler::batch(std::size_t b) const {
+    SCGNN_CHECK(b < num_batches(), "batch index out of range");
+    const std::size_t lo = b * cfg_.batch_size;
+    const std::size_t hi = std::min(order_.size(), lo + cfg_.batch_size);
+    const std::uint32_t L = num_layers_;
+
+    // Frontier recursion: need[l] = ascending global ids whose layer-l
+    // embedding the batch must materialise; need[L] = the seeds.
+    std::vector<std::vector<std::uint32_t>> need(L + 1);
+    need[L].assign(order_.begin() + static_cast<std::ptrdiff_t>(lo),
+                   order_.begin() + static_cast<std::ptrdiff_t>(hi));
+    std::sort(need[L].begin(), need[L].end());
+
+    struct Edge {
+        std::uint32_t dst, src;
+        float w;
+    };
+    std::vector<std::vector<Edge>> edges(L);
+    std::vector<std::size_t> others;  // reused candidate buffer
+    for (std::uint32_t l = L; l-- > 0;) {
+        for (const std::uint32_t u : need[l + 1]) {
+            const auto cols = adj_.row_cols(u);
+            const auto vals = adj_.row_vals(u);
+            others.clear();
+            for (std::size_t i = 0; i < cols.size(); ++i) {
+                if (cols[i] == u)  // the self term is always kept exactly
+                    edges[l].push_back({u, u, vals[i]});
+                else
+                    others.push_back(i);
+            }
+            const auto k = static_cast<std::size_t>(fanout_at(l));
+            if (others.size() <= k) {
+                for (const std::size_t i : others)
+                    edges[l].push_back({u, cols[i], vals[i]});
+            } else {
+                Rng rng(stream_key(cfg_.seed, epoch_, b, l, u));
+                std::vector<std::uint32_t> pick = rng.sample_without_replacement(
+                    static_cast<std::uint32_t>(others.size()),
+                    static_cast<std::uint32_t>(k));
+                std::sort(pick.begin(), pick.end());
+                // Horvitz–Thompson rescale keeps the estimator unbiased.
+                const float scale = static_cast<float>(others.size()) /
+                                    static_cast<float>(k);
+                for (const std::uint32_t j : pick) {
+                    const std::size_t i = others[j];
+                    edges[l].push_back({u, cols[i], vals[i] * scale});
+                }
+            }
+        }
+        // The sources of layer l are the nodes whose h^l is needed.
+        std::vector<std::uint32_t>& srcs = need[l];
+        srcs.reserve(edges[l].size());
+        for (const Edge& e : edges[l]) srcs.push_back(e.src);
+        std::sort(srcs.begin(), srcs.end());
+        srcs.erase(std::unique(srcs.begin(), srcs.end()), srcs.end());
+    }
+
+    SampledBatch out;
+    for (const auto& level : need)
+        out.nodes.insert(out.nodes.end(), level.begin(), level.end());
+    std::sort(out.nodes.begin(), out.nodes.end());
+    out.nodes.erase(std::unique(out.nodes.begin(), out.nodes.end()),
+                    out.nodes.end());
+
+    out.seeds.reserve(need[L].size());
+    for (const std::uint32_t g : need[L])
+        out.seeds.push_back(batch_index(out.nodes, g));
+
+    const std::uint32_t p = ctx_->num_parts();
+    out.local_adj.resize(L);
+    out.requests.resize(L);
+    std::vector<tensor::Triplet> triplets;
+    // Per-plan staging: (plan row, batch-local consumer, weight).
+    struct CrossEdge {
+        std::uint32_t plan_row, dst;
+        float w;
+    };
+    std::vector<std::vector<CrossEdge>> cross(ctx_->plans().size());
+    for (std::uint32_t l = 0; l < L; ++l) {
+        triplets.clear();
+        for (auto& per_plan : cross) per_plan.clear();
+        for (const Edge& e : edges[l]) {
+            const std::uint32_t bd = batch_index(out.nodes, e.dst);
+            const std::uint32_t owner_src = ctx_->owner(e.src);
+            const std::uint32_t owner_dst = ctx_->owner(e.dst);
+            ++out.sampled_edges;
+            if (owner_src == owner_dst) {
+                triplets.push_back(
+                    {bd, batch_index(out.nodes, e.src), e.w});
+                continue;
+            }
+            const std::int64_t pi =
+                plan_of_pair_[static_cast<std::size_t>(owner_src) * p +
+                              owner_dst];
+            SCGNN_ASSERT(pi >= 0, "cross edge without an exchange plan");
+            const PairPlan& plan = ctx_->plans()[static_cast<std::size_t>(pi)];
+            const auto it = std::lower_bound(plan.dbg.src_nodes.begin(),
+                                             plan.dbg.src_nodes.end(), e.src);
+            SCGNN_ASSERT(it != plan.dbg.src_nodes.end() && *it == e.src,
+                         "sampled boundary row missing from plan");
+            cross[static_cast<std::size_t>(pi)].push_back(
+                {static_cast<std::uint32_t>(it - plan.dbg.src_nodes.begin()),
+                 bd, e.w});
+        }
+        out.local_adj[l] = tensor::SparseMatrix(out.nodes.size(),
+                                                out.nodes.size(), triplets);
+
+        for (std::size_t pi = 0; pi < cross.size(); ++pi) {
+            if (cross[pi].empty()) continue;
+            PlanRequest req;
+            req.plan = pi;
+            req.rows.reserve(cross[pi].size());
+            for (const CrossEdge& e : cross[pi]) req.rows.push_back(e.plan_row);
+            std::sort(req.rows.begin(), req.rows.end());
+            req.rows.erase(std::unique(req.rows.begin(), req.rows.end()),
+                           req.rows.end());
+            const PairPlan& plan = ctx_->plans()[pi];
+            req.src_local.reserve(req.rows.size());
+            for (const std::uint32_t r : req.rows)
+                req.src_local.push_back(
+                    batch_index(out.nodes, plan.dbg.src_nodes[r]));
+            req.edge_dst.reserve(cross[pi].size());
+            req.edge_req.reserve(cross[pi].size());
+            req.edge_w.reserve(cross[pi].size());
+            for (const CrossEdge& e : cross[pi]) {
+                const auto it = std::lower_bound(req.rows.begin(),
+                                                 req.rows.end(), e.plan_row);
+                req.edge_dst.push_back(e.dst);
+                req.edge_req.push_back(
+                    static_cast<std::uint32_t>(it - req.rows.begin()));
+                req.edge_w.push_back(e.w);
+            }
+            out.halo_rows += req.rows.size();
+            out.requests[l].push_back(std::move(req));
+        }
+    }
+    return out;
+}
+
+} // namespace scgnn::dist

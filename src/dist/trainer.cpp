@@ -393,11 +393,11 @@ void DistAggregator::invalidate_moved(
     }
 }
 
-DistTrainResult train_distributed(const graph::Dataset& data,
-                                  const partition::Partitioning& parts,
-                                  const gnn::GnnConfig& model_cfg,
-                                  const DistTrainConfig& cfg,
-                                  BoundaryCompressor& compressor) {
+DistTrainResult detail::train_full(const graph::Dataset& data,
+                                   const partition::Partitioning& parts,
+                                   const gnn::GnnConfig& model_cfg,
+                                   const DistTrainConfig& cfg,
+                                   BoundaryCompressor& compressor) {
     SCGNN_CHECK(model_cfg.in_dim == data.features.cols(),
                 "model in_dim must match the dataset feature width");
     SCGNN_CHECK(model_cfg.out_dim == data.num_classes,

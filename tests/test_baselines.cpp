@@ -4,6 +4,7 @@
 #include "scgnn/baselines/baselines.hpp"
 #include "scgnn/dist/factory.hpp"
 #include "scgnn/dist/trainer.hpp"
+#include "scgnn/runtime/scenario.hpp"
 #include "scgnn/tensor/ops.hpp"
 
 namespace scgnn::baselines {
@@ -291,7 +292,7 @@ TEST_P(BaselineTraining, EveryBaselineStillLearns) {
         .hidden_dim = 16,
         .out_dim = c.data.num_classes,
         .seed = 2};
-    const auto r = train_distributed(c.data, c.parts, mc, cfg, *comp);
+    const auto r = runtime::Scenario::for_training(cfg).train(c.data, c.parts, mc, *comp);
     EXPECT_GT(r.test_accuracy, 1.0 / c.data.num_classes + 0.15);
 }
 

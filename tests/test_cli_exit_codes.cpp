@@ -33,6 +33,19 @@ const Case kCases[] = {
     {"warmup-epochs", "--warmup-epochs 0"},
     {"unknown-flag", "--frobnicate"},
     {"missing-value", "--membership"},
+    // The Scenario workload flags (runtime/scenario.hpp).
+    {"mode", "--mode inference"},
+    {"batch-size", "--batch-size 0"},
+    {"fanout-zero", "--fanout 10,0"},
+    {"fanout-garbage", "--fanout x"},
+    {"qps", "--qps 0"},
+    {"deadline-ms", "--deadline-ms -1"},
+    {"queries", "--queries 0"},
+    {"serve-batch", "--serve-batch 0"},
+    // Scenario::build validators: flags that parse alone but make an
+    // invalid combination must still exit 2 before any work starts.
+    {"sample-train-membership",
+     "--mode sample-train --membership leave:1@d1,join:2@d1"},
 };
 
 class CliExitCode : public ::testing::TestWithParam<Case> {};
@@ -74,6 +87,21 @@ TEST(CliExitCode, WellFormedFlagsParse) {
     const int status = std::system(cmd.c_str());
     ASSERT_TRUE(WIFEXITED(status));
     EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(CliExitCode, WellFormedWorkloadFlagsParse) {
+    // The sampled and serving workloads end-to-end: legal values exit 0.
+    for (const char* args :
+         {" --scale 0.05 --epochs 2 --parts 4 --mode sample-train"
+          " --batch-size 32 --fanout 6,4",
+          " --scale 0.05 --parts 4 --mode serve --qps 3000 --queries 200"
+          " --serve-batch 4 --deadline-ms 1.5 --no-serve-cache"}) {
+        const std::string cmd = std::string(SCGNN_CLI_PATH) + args +
+                                " >/dev/null 2>/dev/null";
+        const int status = std::system(cmd.c_str());
+        ASSERT_TRUE(WIFEXITED(status)) << args;
+        EXPECT_EQ(WEXITSTATUS(status), 0) << args;
+    }
 }
 #endif
 

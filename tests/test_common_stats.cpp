@@ -134,6 +134,55 @@ TEST(Histogram, RejectsDegenerateConstruction) {
     EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
 }
 
+TEST(Histogram, QuantileKnownRanks) {
+    // One observation per bin: ranks land mid-bin and interpolate to the
+    // documented positions (rank = p·(total−1), uniform-within-bin).
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 9.5);
+}
+
+TEST(Histogram, QuantileIsMonotoneAndBinBounded) {
+    Histogram h(0.0, 100.0, 50);
+    for (int i = 0; i < 1000; ++i) h.add((i * 37) % 100 + 0.01);
+    double prev = h.quantile(0.0);
+    for (double p : {0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        const double q = h.quantile(p);
+        EXPECT_GE(q, prev) << "p=" << p;
+        EXPECT_GE(q, 0.0);
+        EXPECT_LE(q, 100.0);
+        prev = q;
+    }
+}
+
+TEST(Histogram, QuantileSkewedMassFindsTheTail) {
+    // 990 observations in the first bin, 10 far out: rank 0.999·999
+    // lands among the tail samples, rank 0.5 among the head ones.
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 990; ++i) h.add(0.5);
+    for (int i = 0; i < 10; ++i) h.add(9.5);
+    EXPECT_LT(h.quantile(0.5), 1.0);
+    EXPECT_GE(h.quantile(0.999), 9.0);
+}
+
+TEST(Histogram, QuantileClampedObservationsUseEdgeBins) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);  // clamps into bin 0
+    EXPECT_GE(h.quantile(0.5), 0.0);
+    EXPECT_LE(h.quantile(0.5), 2.0);
+}
+
+TEST(Histogram, QuantileRejectsBadInput) {
+    Histogram empty(0.0, 1.0, 4);
+    EXPECT_THROW(empty.quantile(0.5), Error);
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.5);
+    EXPECT_THROW(h.quantile(-0.1), Error);
+    EXPECT_THROW(h.quantile(1.1), Error);
+}
+
 TEST(Histogram, AsciiRendersOneLinePerBin) {
     Histogram h(0.0, 1.0, 3);
     h.add(0.1);

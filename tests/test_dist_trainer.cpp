@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "scgnn/dist/trainer.hpp"
+#include "scgnn/runtime/scenario.hpp"
 #include "scgnn/tensor/ops.hpp"
 
 namespace scgnn::dist {
@@ -90,7 +91,7 @@ TEST(DistTrainer, VanillaMatchesSingleDeviceTrajectory) {
     dist_cfg.epochs = 15;
     VanillaExchange vanilla;
     const DistTrainResult dist =
-        train_distributed(d, parts, model_for(d), dist_cfg, vanilla);
+        runtime::Scenario::for_training(dist_cfg).train(d, parts, model_for(d), vanilla);
 
     ASSERT_EQ(dist.epoch_metrics.size(), 15u);
     for (std::size_t e = 0; e < 15; ++e)
@@ -106,7 +107,7 @@ TEST(DistTrainer, EpochMetricsAreConsistent) {
     cfg.epochs = 5;
     VanillaExchange vanilla;
     const DistTrainResult r =
-        train_distributed(d, parts, model_for(d), cfg, vanilla);
+        runtime::Scenario::for_training(cfg).train(d, parts, model_for(d), vanilla);
     for (const EpochMetrics& m : r.epoch_metrics) {
         EXPECT_GT(m.comm_mb, 0.0);
         EXPECT_GT(m.comm_ms, 0.0);
@@ -127,7 +128,7 @@ TEST(DistTrainer, CommVolumeIsThreeExchangesPerEpoch) {
     DistTrainConfig cfg;
     cfg.epochs = 1;
     VanillaExchange vanilla;
-    const DistTrainResult r = train_distributed(d, parts, mc, cfg, vanilla);
+    const DistTrainResult r = runtime::Scenario::for_training(cfg).train(d, parts, mc, vanilla);
     const double expected_mb =
         3.0 * static_cast<double>(ctx.vanilla_exchange_bytes(mc.in_dim)) / 1e6;
     EXPECT_NEAR(r.mean_comm_mb, expected_mb, expected_mb * 1e-6);
@@ -139,9 +140,9 @@ TEST(DistTrainer, MorePartitionsMoreTraffic) {
     cfg.epochs = 2;
     VanillaExchange v1, v2;
     const DistTrainResult r2 =
-        train_distributed(d, parts_for(d, 2), model_for(d), cfg, v1);
+        runtime::Scenario::for_training(cfg).train(d, parts_for(d, 2), model_for(d), v1);
     const DistTrainResult r8 =
-        train_distributed(d, parts_for(d, 8), model_for(d), cfg, v2);
+        runtime::Scenario::for_training(cfg).train(d, parts_for(d, 8), model_for(d), v2);
     EXPECT_GT(r8.mean_comm_mb, r2.mean_comm_mb);
 }
 
@@ -153,7 +154,7 @@ TEST(DistTrainer, EarlyStoppingHaltsAndKeepsMetricsConsistent) {
     cfg.patience = 3;
     VanillaExchange vanilla;
     const DistTrainResult r =
-        train_distributed(d, parts, model_for(d), cfg, vanilla);
+        runtime::Scenario::for_training(cfg).train(d, parts, model_for(d), vanilla);
     EXPECT_LT(r.epochs_run, 200u);
     EXPECT_EQ(r.epoch_metrics.size(), r.epochs_run);
     EXPECT_GT(r.best_val_accuracy, 1.0 / d.num_classes);
@@ -176,7 +177,7 @@ TEST(DistTrainer, ThreeLayerVanillaMatchesSingleDevice) {
     dist_cfg.epochs = 8;
     VanillaExchange vanilla;
     const DistTrainResult dist =
-        train_distributed(d, parts, mc, dist_cfg, vanilla);
+        runtime::Scenario::for_training(dist_cfg).train(d, parts, mc, vanilla);
     for (std::size_t e = 0; e < 8; ++e)
         EXPECT_NEAR(dist.epoch_metrics[e].loss, single.losses[e], 5e-3);
 }
@@ -189,9 +190,9 @@ TEST(DistTrainer, WeightSyncAddsRingAllReduceVolume) {
     const gnn::GnnConfig mc = model_for(d);
 
     VanillaExchange v1, v2;
-    const auto without = train_distributed(d, parts, mc, cfg, v1);
+    const auto without = runtime::Scenario::for_training(cfg).train(d, parts, mc, v1);
     cfg.comm.count_weight_sync = true;
-    const auto with = train_distributed(d, parts, mc, cfg, v2);
+    const auto with = runtime::Scenario::for_training(cfg).train(d, parts, mc, v2);
 
     // Expected ring volume: P devices × 2(P−1)/P × |params| bytes.
     gnn::GnnModel model(mc);
@@ -215,10 +216,10 @@ TEST(DistTrainer, HierarchicalTopologyKeepsNumericsAndChargesTieredLinks) {
     cfg.comm.count_weight_sync = true;
 
     VanillaExchange v1, v2;
-    const auto flat = train_distributed(d, parts, mc, cfg, v1);
+    const auto flat = runtime::Scenario::for_training(cfg).train(d, parts, mc, v1);
     ASSERT_TRUE(comm::parse_topology("hier:2x2", cfg.comm.topology));
     cfg.comm.collective = comm::collective::Algo::kHier;
-    const auto hier = train_distributed(d, parts, mc, cfg, v2);
+    const auto hier = runtime::Scenario::for_training(cfg).train(d, parts, mc, v2);
 
     for (std::size_t e = 0; e < 2; ++e)
         EXPECT_DOUBLE_EQ(hier.epoch_metrics[e].loss,
@@ -234,8 +235,7 @@ TEST(DistTrainer, TopologyShapeMustCoverThePartitionCount) {
     cfg.epochs = 1;
     ASSERT_TRUE(comm::parse_topology("hier:2x2", cfg.comm.topology));
     VanillaExchange vanilla;
-    EXPECT_THROW((void)train_distributed(d, parts, model_for(d), cfg,
-                                         vanilla),
+    EXPECT_THROW((void)runtime::Scenario::for_training(cfg).train(d, parts, model_for(d), vanilla),
                  Error);
 }
 
@@ -249,9 +249,9 @@ TEST(DistTrainer, DeeperModelsMoveMoreTraffic) {
 
     VanillaExchange v2, v3;
     mc.num_layers = 2;
-    const auto r2 = train_distributed(d, parts, mc, cfg, v2);
+    const auto r2 = runtime::Scenario::for_training(cfg).train(d, parts, mc, v2);
     mc.num_layers = 3;
-    const auto r3 = train_distributed(d, parts, mc, cfg, v3);
+    const auto r3 = runtime::Scenario::for_training(cfg).train(d, parts, mc, v3);
     // 2-layer: 3 same-width exchanges; 3-layer: 5.
     EXPECT_NEAR(r3.mean_comm_mb / r2.mean_comm_mb, 5.0 / 3.0, 1e-3);
 }
@@ -263,7 +263,7 @@ TEST(DistTrainer, FaultFreeRunReportsNoFaultActivity) {
     cfg.epochs = 3;
     VanillaExchange vanilla;
     const DistTrainResult r =
-        train_distributed(d, parts, model_for(d), cfg, vanilla);
+        runtime::Scenario::for_training(cfg).train(d, parts, model_for(d), vanilla);
     EXPECT_FALSE(r.fault.degraded());
     EXPECT_EQ(r.fault.fabric.attempts, 0u);
     EXPECT_EQ(r.fault.stale_uses, 0u);
@@ -284,7 +284,7 @@ TEST(DistTrainer, DegradedRunSurvivesAndKeepsLedgerConsistent) {
     cfg.comm.retry.timeout_s = 1e-3;
     VanillaExchange vanilla;
     const DistTrainResult r =
-        train_distributed(d, parts, model_for(d), cfg, vanilla);
+        runtime::Scenario::for_training(cfg).train(d, parts, model_for(d), vanilla);
 
     ASSERT_EQ(r.epoch_metrics.size(), 6u);
     for (const EpochMetrics& m : r.epoch_metrics)
@@ -318,10 +318,10 @@ TEST(DistTrainer, RetryBudgetConvertsFailuresIntoRetries) {
 
     cfg.comm.retry.max_attempts = 1;
     const DistTrainResult tight =
-        train_distributed(d, parts, model_for(d), cfg, v1);
+        runtime::Scenario::for_training(cfg).train(d, parts, model_for(d), v1);
     cfg.comm.retry.max_attempts = 8;
     const DistTrainResult roomy =
-        train_distributed(d, parts, model_for(d), cfg, v8);
+        runtime::Scenario::for_training(cfg).train(d, parts, model_for(d), v8);
 
     // With a single attempt every drop is a failure; with eight attempts
     // nearly all sends eventually land, trading failures for retries.
@@ -344,7 +344,7 @@ TEST(DistTrainer, FaultScheduleIsDeterministicPerSeed) {
     cfg.comm.retry.max_attempts = 2;
     auto run = [&]() {
         VanillaExchange vanilla;
-        return train_distributed(d, parts, model_for(d), cfg, vanilla);
+        return runtime::Scenario::for_training(cfg).train(d, parts, model_for(d), vanilla);
     };
     const DistTrainResult a = run();
     const DistTrainResult b = run();
@@ -362,12 +362,12 @@ TEST(DistTrainer, ValidatesConfig) {
     gnn::GnnConfig bad = model_for(d);
     bad.in_dim += 1;
     EXPECT_THROW(
-        (void)train_distributed(d, parts, bad, DistTrainConfig{}, vanilla),
+        (void)runtime::Scenario::for_training(DistTrainConfig{}).train(d, parts, bad, vanilla),
         Error);
     DistTrainConfig cfg;
     cfg.epochs = 0;
     EXPECT_THROW(
-        (void)train_distributed(d, parts, model_for(d), cfg, vanilla), Error);
+        (void)runtime::Scenario::for_training(cfg).train(d, parts, model_for(d), vanilla), Error);
 }
 
 } // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "scgnn/core/framework.hpp"
+#include "scgnn/runtime/scenario.hpp"
 
 namespace scgnn::core {
 namespace {
@@ -161,7 +162,7 @@ TEST(Composed, TrainingWithCompositionLearns) {
 
     dist::DistTrainConfig tc;
     tc.epochs = 25;
-    const auto r = train_distributed(d, parts, cfg.model, tc, composed);
+    const auto r = runtime::Scenario::for_training(tc).train(d, parts, cfg.model, composed);
     EXPECT_GT(r.test_accuracy, 1.0 / d.num_classes + 0.15);
 }
 

@@ -15,6 +15,7 @@
 #include "scgnn/obs/metrics.hpp"
 #include "scgnn/obs/obs.hpp"
 #include "scgnn/obs/trace.hpp"
+#include "scgnn/runtime/scenario.hpp"
 
 namespace scgnn::obs {
 namespace {
@@ -144,6 +145,26 @@ TEST_F(ObsTest, HistogramMetricMergesShards) {
     const Histogram merged = h.merged();
     for (std::size_t b = 0; b < 10; ++b)
         EXPECT_EQ(merged.bin_count(b), 10u) << "bin " << b;
+}
+
+TEST_F(ObsTest, HistogramMetricQuantileMatchesMergedHistogram) {
+    HistogramMetric h(0.0, 10.0, 10);
+    parallel_for(0, 100, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            h.observe(static_cast<double>(i % 10) + 0.5);
+    });
+    // Sharded observe + merged quantile == the value-type walk: quantiles
+    // are thread-count independent and bounded by the histogram range.
+    const Histogram merged = h.merged();
+    for (double p : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+        EXPECT_DOUBLE_EQ(h.quantile(p), merged.quantile(p)) << "p=" << p;
+        EXPECT_GE(h.quantile(p), 0.0);
+        EXPECT_LE(h.quantile(p), 10.0);
+    }
+    EXPECT_LT(h.quantile(0.0), 1.0);   // head bin
+    EXPECT_GT(h.quantile(1.0), 9.0);   // tail bin
+    HistogramMetric empty(0.0, 1.0, 2);
+    EXPECT_THROW(empty.quantile(0.5), Error);
 }
 
 TEST_F(ObsTest, RegistryCreatesOnFirstUseAndKeepsAddresses) {
@@ -307,7 +328,7 @@ TEST_F(ObsTest, LedgerEpochsMatchDistTrainResultExactly) {
     cfg.epochs = 4;
     dist::VanillaExchange vanilla;
     const dist::DistTrainResult r =
-        dist::train_distributed(d, parts, mc, cfg, vanilla);
+        runtime::Scenario::for_training(cfg).train(d, parts, mc, vanilla);
 
     ASSERT_EQ(ledger().num_epochs(), r.epoch_metrics.size());
     for (std::size_t e = 0; e < r.epoch_metrics.size(); ++e) {

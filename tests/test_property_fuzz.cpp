@@ -19,8 +19,10 @@
 #include "scgnn/core/framework.hpp"
 #include "scgnn/core/semantic_aggregate.hpp"
 #include "scgnn/core/semantic_compressor.hpp"
+#include "scgnn/common/parallel.hpp"
 #include "scgnn/dist/error_feedback.hpp"
 #include "scgnn/dist/factory.hpp"
+#include "scgnn/dist/sampler.hpp"
 #include "scgnn/tensor/ops.hpp"
 #include "scgnn/tensor/quantize.hpp"
 
@@ -394,6 +396,102 @@ TEST_P(FuzzSeed, InertFaultScheduleMatchesFaultFreeRun) {
     EXPECT_EQ(clean.train.mean_comm_ms, inert.train.mean_comm_ms);
     EXPECT_FALSE(inert.train.fault.degraded());
     EXPECT_DOUBLE_EQ(inert.train.fault.fabric.penalty_s, 0.0);
+}
+
+/// Canonical bitwise dump of a sampled batch (nodes, seeds, per-layer
+/// local edges and halo requests at full precision).
+std::string render_batch(const dist::SampledBatch& b) {
+    std::string out;
+    char buf[64];
+    for (std::uint32_t v : b.nodes) {
+        std::snprintf(buf, sizeof buf, "%u,", v);
+        out += buf;
+    }
+    for (std::uint32_t s : b.seeds) {
+        std::snprintf(buf, sizeof buf, "s%u,", s);
+        out += buf;
+    }
+    for (const tensor::SparseMatrix& m : b.local_adj)
+        for (std::size_t r = 0; r < m.rows(); ++r) {
+            const auto cols = m.row_cols(r);
+            const auto vals = m.row_vals(r);
+            for (std::size_t e = 0; e < cols.size(); ++e) {
+                std::snprintf(buf, sizeof buf, "%zu:%u:%.17g;", r, cols[e],
+                              static_cast<double>(vals[e]));
+                out += buf;
+            }
+        }
+    for (const auto& layer : b.requests)
+        for (const dist::PlanRequest& req : layer)
+            for (std::size_t e = 0; e < req.edge_dst.size(); ++e) {
+                std::snprintf(buf, sizeof buf, "p%zu:%u>%u*%.17g;",
+                              req.plan, req.edge_dst[e], req.edge_req[e],
+                              static_cast<double>(req.edge_w[e]));
+                out += buf;
+            }
+    return out;
+}
+
+TEST_P(FuzzSeed, NeighborSamplerInvariants) {
+    Rng rng(GetParam() ^ 0x5a5au);
+    const double scale = 0.06 + 0.06 * rng.uniform();
+    const auto parts_n =
+        static_cast<std::uint32_t>(2 + rng.uniform_u64(3));
+    const graph::Dataset d = graph::make_dataset(
+        graph::DatasetPreset::kPubMedSim, scale, GetParam());
+    const partition::Partitioning parts = partition::make_partitioning(
+        partition::PartitionAlgo::kNodeCut, d.graph, parts_n, GetParam());
+    const dist::DistContext ctx(d, parts, gnn::AdjNorm::kSymmetric);
+
+    dist::SamplerConfig cfg;
+    cfg.batch_size = static_cast<std::uint32_t>(8 + rng.uniform_u64(56));
+    cfg.fanout = {static_cast<std::uint32_t>(1 + rng.uniform_u64(8)),
+                  static_cast<std::uint32_t>(1 + rng.uniform_u64(8))};
+    cfg.seed = GetParam();
+    dist::NeighborSampler s(d, ctx, gnn::AdjNorm::kSymmetric, 2, cfg);
+    s.begin_epoch(GetParam() % 5);
+
+    for (std::size_t bi = 0; bi < s.num_batches(); ++bi) {
+        const dist::SampledBatch b = s.batch(bi);
+        for (std::size_t li = 0; li < b.local_adj.size(); ++li) {
+            // Fanout bound: non-self in-degree per consumer ≤ fanout[l],
+            // counting local and cross edges together.
+            std::vector<std::uint32_t> in_deg(b.nodes.size(), 0);
+            for (std::size_t r = 0; r < b.local_adj[li].rows(); ++r)
+                for (std::uint32_t c : b.local_adj[li].row_cols(r))
+                    if (c != r) ++in_deg[r];
+            for (const dist::PlanRequest& req : b.requests[li])
+                for (std::uint32_t dst : req.edge_dst) ++in_deg[dst];
+            for (std::uint32_t deg : in_deg)
+                ASSERT_LE(deg, s.fanout_at(li));
+            // Sampled halo ⊆ the full boundary: every requested row is a
+            // real row of its plan, ascending unique.
+            for (const dist::PlanRequest& req : b.requests[li]) {
+                ASSERT_LT(req.plan, ctx.plans().size());
+                const dist::PairPlan& plan = ctx.plans()[req.plan];
+                for (std::size_t i = 0; i < req.rows.size(); ++i) {
+                    if (i > 0) ASSERT_LT(req.rows[i - 1], req.rows[i]);
+                    ASSERT_LT(req.rows[i], plan.dbg.num_src());
+                    ASSERT_EQ(ctx.owner(plan.dbg.src_nodes[req.rows[i]]),
+                              plan.src_part);
+                }
+            }
+        }
+    }
+
+    // Fixed-seed determinism and thread-count invariance, bitwise.
+    auto dump_all = [&]() {
+        std::string all;
+        for (std::size_t bi = 0; bi < s.num_batches(); ++bi)
+            all += render_batch(s.batch(bi));
+        return all;
+    };
+    const std::string base = dump_all();
+    EXPECT_EQ(base, dump_all());
+    {
+        ThreadCountGuard guard(4);
+        EXPECT_EQ(base, dump_all());
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,

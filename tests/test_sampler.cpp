@@ -1,0 +1,242 @@
+// Unit tests for the seeded neighbor sampler (dist/sampler.hpp): batch
+// structure, fanout bounds, halo requests staying inside the exchange
+// plans, epoch permutations covering the train split, and the bitwise
+// determinism contract (same seed/epoch/batch → same batch, at any
+// thread count).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "scgnn/common/parallel.hpp"
+#include "scgnn/dist/sampler.hpp"
+#include "scgnn/partition/partition.hpp"
+
+namespace scgnn::dist {
+namespace {
+
+struct Fixture {
+    graph::Dataset data;
+    partition::Partitioning parts;
+    DistContext ctx;
+
+    explicit Fixture(double scale = 0.12, std::uint32_t num_parts = 4,
+                     std::uint64_t seed = 5)
+        : data(graph::make_dataset(graph::DatasetPreset::kPubMedSim, scale,
+                                   seed)),
+          parts(partition::make_partitioning(
+              partition::PartitionAlgo::kNodeCut, data.graph, num_parts,
+              seed)),
+          ctx(data, parts, gnn::AdjNorm::kSymmetric) {}
+};
+
+SamplerConfig small_cfg() {
+    SamplerConfig cfg;
+    cfg.batch_size = 32;
+    cfg.fanout = {4, 3};
+    cfg.seed = 17;
+    return cfg;
+}
+
+/// Canonical dump of a batch for bitwise comparison.
+std::string render(const SampledBatch& b) {
+    std::ostringstream o;
+    for (std::uint32_t v : b.nodes) o << v << ",";
+    o << "|";
+    for (std::uint32_t s : b.seeds) o << s << ",";
+    o << "|" << b.halo_rows << "|" << b.sampled_edges << "|";
+    for (const tensor::SparseMatrix& m : b.local_adj) {
+        for (std::size_t r = 0; r < m.rows(); ++r) {
+            const auto cols = m.row_cols(r);
+            const auto vals = m.row_vals(r);
+            for (std::size_t e = 0; e < cols.size(); ++e) {
+                char buf[64];
+                std::snprintf(buf, sizeof buf, "%zu:%u:%.17g;", r, cols[e],
+                              static_cast<double>(vals[e]));
+                o << buf;
+            }
+        }
+        o << "/";
+    }
+    for (const auto& layer : b.requests)
+        for (const PlanRequest& req : layer) {
+            o << "p" << req.plan << ":";
+            for (std::size_t e = 0; e < req.edge_dst.size(); ++e) {
+                char buf[64];
+                std::snprintf(buf, sizeof buf, "%u>%u*%.17g;",
+                              req.edge_dst[e], req.edge_req[e],
+                              static_cast<double>(req.edge_w[e]));
+                o << buf;
+            }
+        }
+    return o.str();
+}
+
+TEST(NeighborSampler, BatchStructureInvariants) {
+    const Fixture fx;
+    NeighborSampler s(fx.data, fx.ctx, gnn::AdjNorm::kSymmetric, 2,
+                      small_cfg());
+    s.begin_epoch(0);
+    ASSERT_GT(s.num_batches(), 1u);
+    for (std::size_t bi = 0; bi < s.num_batches(); ++bi) {
+        const SampledBatch b = s.batch(bi);
+        // Nodes ascending unique, all valid.
+        for (std::size_t i = 1; i < b.nodes.size(); ++i)
+            ASSERT_LT(b.nodes[i - 1], b.nodes[i]);
+        for (std::uint32_t v : b.nodes)
+            ASSERT_LT(v, fx.data.graph.num_nodes());
+        // Seeds are batch-local and in range.
+        ASSERT_FALSE(b.seeds.empty());
+        ASSERT_LE(b.seeds.size(), small_cfg().batch_size);
+        for (std::uint32_t sl : b.seeds) ASSERT_LT(sl, b.nodes.size());
+        // One square local matrix per layer.
+        ASSERT_EQ(b.local_adj.size(), 2u);
+        for (const tensor::SparseMatrix& m : b.local_adj) {
+            EXPECT_EQ(m.rows(), b.nodes.size());
+            EXPECT_EQ(m.cols(), b.nodes.size());
+        }
+        // halo_rows is exactly the sum of requested rows.
+        std::uint64_t rows = 0;
+        for (const auto& layer : b.requests)
+            for (const PlanRequest& req : layer) rows += req.rows.size();
+        EXPECT_EQ(b.halo_rows, rows);
+    }
+}
+
+TEST(NeighborSampler, FanoutBoundsHold) {
+    const Fixture fx;
+    SamplerConfig cfg = small_cfg();
+    NeighborSampler s(fx.data, fx.ctx, gnn::AdjNorm::kSymmetric, 2, cfg);
+    s.begin_epoch(1);
+    for (std::size_t bi = 0; bi < s.num_batches(); ++bi) {
+        const SampledBatch b = s.batch(bi);
+        for (std::size_t li = 0; li < b.local_adj.size(); ++li) {
+            // Per consumer: local non-self in-edges + cross edges at this
+            // layer must respect the fanout budget (+1 for the exact self
+            // term, which is never sampled away).
+            std::vector<std::uint32_t> in_deg(b.nodes.size(), 0);
+            const tensor::SparseMatrix& m = b.local_adj[li];
+            for (std::size_t r = 0; r < m.rows(); ++r)
+                for (std::uint32_t c : m.row_cols(r))
+                    if (c != r) ++in_deg[r];
+            for (const PlanRequest& req : b.requests[li])
+                for (std::uint32_t dst : req.edge_dst) ++in_deg[dst];
+            for (std::size_t r = 0; r < in_deg.size(); ++r)
+                EXPECT_LE(in_deg[r], s.fanout_at(li))
+                    << "layer " << li << " consumer " << r;
+        }
+    }
+}
+
+TEST(NeighborSampler, HaloRequestsStayInsideThePlans) {
+    const Fixture fx;
+    NeighborSampler s(fx.data, fx.ctx, gnn::AdjNorm::kSymmetric, 2,
+                      small_cfg());
+    s.begin_epoch(0);
+    bool any_request = false;
+    for (std::size_t bi = 0; bi < s.num_batches(); ++bi) {
+        const SampledBatch b = s.batch(bi);
+        for (const auto& layer : b.requests)
+            for (const PlanRequest& req : layer) {
+                any_request = true;
+                ASSERT_LT(req.plan, fx.ctx.plans().size());
+                const PairPlan& plan = fx.ctx.plans()[req.plan];
+                // Rows ascending unique, every one a real boundary row of
+                // the plan — the sampled halo is a subset of the full one.
+                for (std::size_t i = 1; i < req.rows.size(); ++i)
+                    ASSERT_LT(req.rows[i - 1], req.rows[i]);
+                for (std::uint32_t r : req.rows)
+                    ASSERT_LT(r, plan.dbg.num_src());
+                ASSERT_EQ(req.src_local.size(), req.rows.size());
+                // Edge arrays are parallel and index into rows / nodes.
+                ASSERT_EQ(req.edge_dst.size(), req.edge_req.size());
+                ASSERT_EQ(req.edge_dst.size(), req.edge_w.size());
+                for (std::uint32_t e : req.edge_req)
+                    ASSERT_LT(e, req.rows.size());
+                for (std::uint32_t d : req.edge_dst)
+                    ASSERT_LT(d, b.nodes.size());
+                // Requested rows name nodes owned by the plan's source
+                // part; consumers are owned by the destination part.
+                for (std::size_t i = 0; i < req.rows.size(); ++i) {
+                    const std::uint32_t g = plan.dbg.src_nodes[req.rows[i]];
+                    EXPECT_EQ(fx.ctx.owner(g), plan.src_part);
+                    EXPECT_EQ(b.nodes[req.src_local[i]], g);
+                }
+                for (std::uint32_t d : req.edge_dst)
+                    EXPECT_EQ(fx.ctx.owner(b.nodes[d]), plan.dst_part);
+            }
+    }
+    EXPECT_TRUE(any_request) << "fixture produced no cross-device edges";
+}
+
+TEST(NeighborSampler, EpochPermutationCoversTrainSplit) {
+    const Fixture fx;
+    NeighborSampler s(fx.data, fx.ctx, gnn::AdjNorm::kSymmetric, 2,
+                      small_cfg());
+    for (std::uint64_t epoch : {0ull, 3ull}) {
+        s.begin_epoch(epoch);
+        std::multiset<std::uint32_t> seen;
+        for (std::size_t bi = 0; bi < s.num_batches(); ++bi) {
+            const SampledBatch b = s.batch(bi);
+            for (std::uint32_t sl : b.seeds) seen.insert(b.nodes[sl]);
+        }
+        // Every train node exactly once per epoch.
+        const std::multiset<std::uint32_t> want(fx.data.train_mask.begin(),
+                                                fx.data.train_mask.end());
+        EXPECT_EQ(seen, want) << "epoch " << epoch;
+    }
+}
+
+TEST(NeighborSampler, RebuildingABatchIsBitwiseStable) {
+    const Fixture fx;
+    NeighborSampler s(fx.data, fx.ctx, gnn::AdjNorm::kSymmetric, 2,
+                      small_cfg());
+    s.begin_epoch(2);
+    const std::string once = render(s.batch(1));
+    const std::string again = render(s.batch(1));
+    EXPECT_EQ(once, again);
+    // A different epoch reshuffles the seeds.
+    s.begin_epoch(3);
+    EXPECT_NE(render(s.batch(1)), once);
+}
+
+TEST(NeighborSampler, BitwiseInvariantAcrossThreadCounts) {
+    const Fixture fx;
+    auto sample_at = [&](unsigned threads) {
+        ThreadCountGuard guard(threads);
+        NeighborSampler s(fx.data, fx.ctx, gnn::AdjNorm::kSymmetric, 2,
+                          small_cfg());
+        s.begin_epoch(0);
+        std::string all;
+        for (std::size_t bi = 0; bi < s.num_batches(); ++bi)
+            all += render(s.batch(bi));
+        return all;
+    };
+    EXPECT_EQ(sample_at(1), sample_at(4));
+}
+
+TEST(NeighborSampler, SingleFanoutEntryBroadcasts) {
+    const Fixture fx;
+    SamplerConfig cfg = small_cfg();
+    cfg.fanout = {3};
+    NeighborSampler s(fx.data, fx.ctx, gnn::AdjNorm::kSymmetric, 2, cfg);
+    EXPECT_EQ(s.fanout_at(0), 3u);
+    EXPECT_EQ(s.fanout_at(1), 3u);
+}
+
+TEST(NeighborSampler, RejectsBadConfig) {
+    const Fixture fx;
+    SamplerConfig cfg = small_cfg();
+    cfg.fanout = {4, 3, 2};  // neither 1 nor num_layers entries
+    EXPECT_THROW(NeighborSampler(fx.data, fx.ctx, gnn::AdjNorm::kSymmetric,
+                                 2, cfg),
+                 Error);
+    cfg = small_cfg();
+    cfg.batch_size = 0;
+    EXPECT_THROW(NeighborSampler(fx.data, fx.ctx, gnn::AdjNorm::kSymmetric,
+                                 2, cfg),
+                 Error);
+}
+
+} // namespace
+} // namespace scgnn::dist

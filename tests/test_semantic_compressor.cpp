@@ -5,6 +5,7 @@
 
 #include "scgnn/core/semantic_compressor.hpp"
 #include "scgnn/dist/trainer.hpp"
+#include "scgnn/runtime/scenario.hpp"
 #include "scgnn/tensor/ops.hpp"
 
 namespace scgnn::core {
@@ -186,9 +187,9 @@ TEST(SemanticCompressor, TrainingMatchesVanillaAccuracy) {
     tc.epochs = 30;
 
     dist::VanillaExchange vanilla;
-    const auto rv = train_distributed(c.data, c.parts, mc, tc, vanilla);
+    const auto rv = runtime::Scenario::for_training(tc).train(c.data, c.parts, mc, vanilla);
     SemanticCompressor ours(c.cfg(12));
-    const auto ro = train_distributed(c.data, c.parts, mc, tc, ours);
+    const auto ro = runtime::Scenario::for_training(tc).train(c.data, c.parts, mc, ours);
 
     EXPECT_GT(ro.test_accuracy, rv.test_accuracy - 0.05);
     EXPECT_LT(ro.mean_comm_mb, rv.mean_comm_mb * 0.7);

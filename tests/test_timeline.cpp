@@ -15,6 +15,7 @@
 #include "scgnn/comm/timeline.hpp"
 #include "scgnn/common/parallel.hpp"
 #include "scgnn/dist/trainer.hpp"
+#include "scgnn/runtime/scenario.hpp"
 
 namespace scgnn::comm {
 namespace {
@@ -217,7 +218,7 @@ TEST(TimelineTrainer, OverlapEpochNeverExceedsAdditiveSumOnPresets) {
         cfg.epochs = 3;
         cfg.comm.mode = CostModel::Mode::kOverlap;
         dist::VanillaExchange vanilla;
-        const auto r = train_distributed(d, parts, mc, cfg, vanilla);
+        const auto r = runtime::Scenario::for_training(cfg).train(d, parts, mc, vanilla);
         // The makespan prices the very same compute budget and send set
         // the additive sum does, so overlap can only shrink the epoch.
         // 2% grace absorbs wall-clock jitter in the per-step compute
@@ -244,7 +245,7 @@ TEST(TimelineTrainer, AdditiveModeLeavesOverlapFieldsZero) {
     dist::DistTrainConfig cfg;
     cfg.epochs = 2;
     dist::VanillaExchange vanilla;
-    const auto r = train_distributed(d, parts, mc, cfg, vanilla);
+    const auto r = runtime::Scenario::for_training(cfg).train(d, parts, mc, vanilla);
     EXPECT_DOUBLE_EQ(r.mean_overlap_ms, 0.0);
     EXPECT_DOUBLE_EQ(r.mean_comm_exposed_ms, 0.0);
     for (const auto& m : r.epoch_metrics)

@@ -18,6 +18,7 @@
 #include "scgnn/obs/metrics.hpp"
 #include "scgnn/obs/obs.hpp"
 #include "scgnn/partition/partition.hpp"
+#include "scgnn/runtime/scenario.hpp"
 #include "scgnn/tensor/workspace.hpp"
 
 namespace scgnn {
@@ -238,7 +239,7 @@ TEST(SteadyState, DistributedEpochsBeyondWarmupAllocationFree) {
         core::SemanticCompressor comp(core::SemanticCompressorConfig{});
         obs::reset_alloc_stats();
         obs::set_alloc_tracking(true);
-        const auto r = dist::train_distributed(d, parts, mc, cfg, comp);
+        const auto r = runtime::Scenario::for_training(cfg).train(d, parts, mc, comp);
         obs::set_alloc_tracking(false);
         EXPECT_TRUE(std::isfinite(r.final_loss));
         return obs::alloc_stats().count;
